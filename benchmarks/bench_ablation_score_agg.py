@@ -1,0 +1,54 @@
+"""Ablation — look-ahead score aggregation: sum (paper) vs. max
+(paper footnote 4: "Alternatively the maximum score could be used
+instead of the sum").
+
+Compares accepted static cost and simulated cycles across the whole
+evaluation set under both aggregations.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import FigureTable, measure_kernel
+from repro.kernels import EVALUATION_KERNELS
+from repro.slp import VectorizerConfig, get_lookahead_score_max
+
+from conftest import emit_table
+
+SUM_CONFIG = VectorizerConfig.lslp()
+MAX_CONFIG = replace(
+    VectorizerConfig.lslp(), score_function=get_lookahead_score_max,
+    name="LSLP-maxscore",
+)
+
+
+def build_table() -> FigureTable:
+    table = FigureTable(
+        "Ablation score-agg",
+        "Look-ahead score aggregation: sum (paper) vs max (footnote 4)",
+        ["kernel", "cost-sum", "cost-max", "cycles-sum", "cycles-max"],
+    )
+    for kernel in EVALUATION_KERNELS:
+        sum_run = measure_kernel(kernel, SUM_CONFIG)
+        max_run = measure_kernel(kernel, MAX_CONFIG)
+        table.add_row(
+            kernel=kernel.name,
+            **{
+                "cost-sum": sum_run.static_cost,
+                "cost-max": max_run.static_cost,
+                "cycles-sum": sum_run.cycles,
+                "cycles-max": max_run.cycles,
+            },
+        )
+    return table
+
+
+def test_ablation_score_aggregation(benchmark):
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    emit_table(table)
+    # Both aggregations break the ties these kernels need; neither may
+    # regress below vanilla SLP, and on this set they agree.
+    for row in table.rows:
+        assert row["cost-max"] <= 0
+        assert abs(row["cost-sum"] - row["cost-max"]) <= 2, row

@@ -1,0 +1,41 @@
+"""Extension experiment — the composed pipeline the paper assumes.
+
+The paper's kernels reach SLP already inlined and unrolled (§2.1, §5.1).
+This bench runs the *whole* path on kernels authored the way the SPEC
+sources are written — library helpers called from loops — measuring
+inline → unroll → simplify-cfg → SLP end to end.
+"""
+
+import pytest
+
+from repro.experiments import FigureTable, measure_kernel, PAPER_CONFIGS
+from repro.kernels import EXTENDED_KERNELS
+
+from conftest import emit_table
+
+
+def build_table() -> FigureTable:
+    table = FigureTable(
+        "Extension pipeline",
+        "Inline + unroll + SLP on helper/loop-style kernels "
+        "(speedup over O3, simulated)",
+        ["kernel", "SLP-NR", "SLP", "LSLP"],
+    )
+    for kernel in EXTENDED_KERNELS:
+        baseline = measure_kernel(kernel, PAPER_CONFIGS[0]).cycles
+        row = {"kernel": kernel.name}
+        for config in PAPER_CONFIGS[1:]:
+            cycles = measure_kernel(kernel, config).cycles
+            row[config.name] = baseline / cycles
+        table.add_row(**row)
+    return table
+
+
+def test_ext_pipeline(benchmark):
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    emit_table(table)
+    for row in table.rows:
+        assert row["LSLP"] >= row["SLP"] - 1e-9
+        assert row["LSLP"] > 1.0
+    loop_row = table.row_for("kernel", "ext.boy-surface-loop")
+    assert loop_row["LSLP"] > loop_row["SLP"]  # LSLP-specific win survives

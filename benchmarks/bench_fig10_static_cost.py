@@ -1,0 +1,32 @@
+"""Figure 10 — static vectorization cost per kernel (more negative =
+better vector code).
+
+Paper's shape: LSLP's cost dominates SLP's on every kernel, with the
+motivation kernels at exactly -6 / -2 / -10 for LSLP.
+"""
+
+import pytest
+
+from repro.experiments import fig10_static_cost
+
+from conftest import emit_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return fig10_static_cost()
+
+
+def test_fig10_static_cost(benchmark, table):
+    benchmark(fig10_static_cost)
+    emit_table(table)
+
+    for row in table.rows[:-1]:
+        assert row["LSLP"] <= row["SLP"] <= 0
+
+    assert table.row_for("kernel", "motivation-loads")["LSLP"] == -6
+    assert table.row_for("kernel", "motivation-opcodes")["LSLP"] == -2
+    assert table.row_for("kernel", "motivation-multi")["LSLP"] == -10
+
+    mean = table.rows[-1]
+    assert mean["LSLP"] < mean["SLP"] < mean["SLP-NR"] <= 0

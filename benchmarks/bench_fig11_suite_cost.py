@@ -1,0 +1,35 @@
+"""Figure 11 — whole-benchmark static cost normalized to SLP (%).
+
+Paper's shape: SLP-NR slightly above 100% (reordering usually helps),
+LSLP below 100% on sensitive suites (povray the most), untouched suites
+flat at 100%.
+"""
+
+import pytest
+
+from repro.experiments import fig11_suite_cost
+
+from conftest import emit_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return fig11_suite_cost()
+
+
+def test_fig11_suite_cost(benchmark, table):
+    benchmark(fig11_suite_cost)
+    emit_table(table)
+
+    for row in table.rows[:-1]:
+        assert row["SLP"] == pytest.approx(100.0)
+        assert row["LSLP"] <= 100.0 + 1e-9
+
+    gmean = table.rows[-1]
+    assert gmean["LSLP"] < 100.0 < gmean["SLP-NR"]
+
+    assert table.row_for("suite", "410.bwaves")["LSLP"] == pytest.approx(
+        100.0
+    )
+    lslp_values = [row["LSLP"] for row in table.rows[:-1]]
+    assert table.row_for("suite", "453.povray")["LSLP"] == min(lslp_values)

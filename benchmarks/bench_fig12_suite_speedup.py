@@ -1,0 +1,33 @@
+"""Figure 12 — whole-benchmark execution speedup over O3.
+
+Paper's shape: dilution — the big per-kernel wins of Figure 9 shrink to
+~1% once the benchmark's scalar hot paths dominate; LSLP still leads on
+povray and gromacs.
+"""
+
+import pytest
+
+from repro.experiments import fig12_suite_speedup
+
+from conftest import emit_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return fig12_suite_speedup()
+
+
+def test_fig12_suite_speedup(benchmark, table):
+    benchmark(fig12_suite_speedup)
+    emit_table(table)
+
+    gmean = table.rows[-1]
+    assert 1.0 <= gmean["LSLP"] < 1.10   # dilution: nothing like Fig. 9
+    assert gmean["LSLP"] >= gmean["SLP"]
+
+    for suite in ("453.povray", "435.gromacs"):
+        row = table.row_for("suite", suite)
+        assert row["LSLP"] > row["SLP"]
+
+    for row in table.rows[:-1]:
+        assert row["LSLP"] >= row["SLP"] - 1e-9

@@ -1,0 +1,37 @@
+"""Figure 13 — sensitivity to look-ahead depth (LA0..LA4) and
+multi-node size (Multi1..Multi3), normalized to full LSLP.
+
+Paper's shape: LA0 falls to SLP's level ("disabling the look-ahead
+optimization alone brings LSLP's performance all the way down to SLP"),
+deeper look-ahead is monotone, and small multi-nodes hurt the kernels
+that need re-association.
+"""
+
+import pytest
+
+from repro.experiments import fig13_sensitivity
+
+from conftest import emit_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return fig13_sensitivity()
+
+
+def test_fig13_sensitivity(benchmark, table):
+    benchmark.pedantic(fig13_sensitivity, rounds=1, iterations=1)
+    emit_table(table)
+
+    gmean = table.rows[-1]
+    assert gmean["LSLP-LA0"] == pytest.approx(gmean["SLP"], rel=0.05)
+    assert (
+        gmean["LSLP-LA0"] <= gmean["LSLP-LA1"] <= gmean["LSLP-LA2"]
+        <= gmean["LSLP-LA4"] <= 1.0 + 1e-9
+    )
+    assert gmean["LSLP-Multi1"] <= gmean["LSLP-Multi3"] <= 1.0 + 1e-9
+
+    # motivation-multi needs the multi-node machinery specifically
+    multi_row = table.row_for("kernel", "motivation-multi")
+    assert multi_row["LSLP-Multi1"] < 1.0
+    assert multi_row["LSLP-Multi3"] == pytest.approx(1.0)

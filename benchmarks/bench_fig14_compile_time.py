@@ -1,0 +1,31 @@
+"""Figure 14 — compilation time normalized to O3 (look-ahead depth 8).
+
+Paper's shape: the vectorizing configurations cost measurable compile
+time over O3, and LSLP adds a little over SLP (the paper reports <1%
+against a full clang -O3; our whole pipeline is tiny, so the same
+overhead is proportionally larger — the ordering is what reproduces).
+"""
+
+import pytest
+
+from repro.experiments import fig14_compile_time
+
+from conftest import emit_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return fig14_compile_time(repeats=5)
+
+
+def test_fig14_compile_time(benchmark, table):
+    benchmark.pedantic(lambda: fig14_compile_time(repeats=2),
+                       rounds=1, iterations=1)
+    emit_table(table)
+
+    gmean = table.rows[-1]
+    assert gmean["SLP-NR"] > 1.0
+    assert gmean["SLP"] > 1.0
+    assert gmean["LSLP"] > 1.0
+    # LSLP's look-ahead costs compile time over vanilla SLP on average
+    assert gmean["LSLP"] > gmean["SLP-NR"]

@@ -1,0 +1,29 @@
+"""Table 2 — the kernels used for evaluation.
+
+Regenerates the kernel inventory and times a full build+verify of the
+whole catalog (the "front-end throughput" of the reproduction).
+"""
+
+from repro.experiments import table2_kernels
+from repro.ir import verify_function
+from repro.kernels import ALL_KERNELS, EVALUATION_KERNELS
+
+from conftest import emit_table
+
+
+def build_all():
+    for kernel in ALL_KERNELS.values():
+        _, func = kernel.build()
+        verify_function(func)
+    return len(ALL_KERNELS)
+
+
+def test_table2_kernel_inventory(benchmark):
+    built = benchmark(build_all)
+    assert built == len(ALL_KERNELS)
+    table = table2_kernels()
+    emit_table(table)
+    assert len(table.rows) == len(EVALUATION_KERNELS) == 11
+    origins = table.column("origin")
+    assert sum("SPEC2006" in origin for origin in origins) == 8
+    assert sum("paper §3" in origin for origin in origins) == 3

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one of the paper's tables/figures, prints it,
+saves it under ``benchmarks/output/``, and asserts the paper's
+qualitative claims.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def emit_table(table) -> str:
+    """Render ``table``, echo it, and persist it for EXPERIMENTS.md."""
+    text = table.render()
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    filename = table.figure_id.lower().replace(" ", "") + ".txt"
+    (OUTPUT_DIR / filename).write_text(text + "\n")
+    print()
+    print(text)
+    return text

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Walkthrough of multi-node formation and look-ahead reordering.
+
+Recreates the paper's §4.5 / Figure 8 narrative on a four-lane kernel:
+prints the SLP graph LSLP builds (multi-node included), the operand
+slots' final order and modes after reordering, and the look-ahead scores
+that broke the shl-vs-shl ties (Figure 7).
+
+Run:  python examples/lookahead_walkthrough.py
+"""
+
+from repro.analysis import ScalarEvolution
+from repro.costmodel import skylake_like
+from repro.kernels import FIG8_WALKTHROUGH
+from repro.slp import (
+    BuildPolicy,
+    GraphBuilder,
+    LookAheadContext,
+    MultiNode,
+    OperandReorderer,
+    collect_store_seeds,
+    get_lookahead_score,
+)
+
+
+def describe(value):
+    name = getattr(value, "opcode", None)
+    if name is None:
+        return value.short_name()
+    if name == "load":
+        return f"load {value.ptr.short_name()}"
+    return name
+
+
+def main():
+    kernel = FIG8_WALKTHROUGH
+    print(f"=== {kernel.name} ===")
+    print(kernel.source)
+
+    module, func = kernel.build()
+    ctx = LookAheadContext(ScalarEvolution())
+    target = skylake_like()
+    (seed,) = collect_store_seeds(func.entry, ctx.scev, target)
+
+    builder = GraphBuilder(BuildPolicy(), target, ctx)
+    graph = builder.build(seed.stores)
+    print("=== LSLP graph ===")
+    print(graph.dump())
+
+    multi = next(
+        node for node in graph.walk() if isinstance(node, MultiNode)
+    )
+    print(f"\nmulti-node: {len(multi.rows)} chained '{multi.opcode}' "
+          f"groups, {multi.num_operands} operand slots")
+
+    print("\n=== final operand order (slot x lane) ===")
+    for slot, group in enumerate(multi.operand_groups):
+        cells = ", ".join(f"{describe(v):>16}" for v in group)
+        print(f"slot {slot}: [{cells}]")
+
+    # Rebuild without reordering to recover the *raw* operand groups,
+    # then run the reordering sweep standalone to show the slot modes
+    # (Figure 8(b)'s table).
+    module2, func2 = kernel.build()
+    ctx2 = LookAheadContext(ScalarEvolution())
+    (seed2,) = collect_store_seeds(func2.entry, ctx2.scev, target)
+    raw_builder = GraphBuilder(
+        BuildPolicy(enable_reordering=False), target, ctx2
+    )
+    raw_graph = raw_builder.build(seed2.stores)
+    raw_multi = next(
+        node for node in raw_graph.walk() if isinstance(node, MultiNode)
+    )
+    reorderer = OperandReorderer(ctx2, look_ahead_depth=8)
+    result = reorderer.reorder(raw_multi.operand_groups)
+    print("\n=== per-slot modes after the reordering sweep ===")
+    for slot, mode in enumerate(result.modes):
+        lanes = ", ".join(
+            f"{describe(v):>16}" for v in result.final_order[slot]
+        )
+        print(f"slot {slot}: {mode.name:7} [{lanes}]")
+
+    # Figure 7: score two candidates against a last-lane shift.
+    lane0_shifts = [
+        v for v in multi.operand_groups[0] if getattr(v, "opcode", "") == "shl"
+    ]
+    if len(lane0_shifts) >= 2:
+        last, candidate = lane0_shifts[0], lane0_shifts[1]
+        for level in (1, 2):
+            score = get_lookahead_score(last, candidate, level, ctx)
+            print(
+                f"\nlook-ahead score of {describe(candidate)} against "
+                f"{describe(last)} at level {level}: {score}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation (§5).
+
+Prints Table 2 and Figures 9-14 as ASCII tables.  Expect a couple of
+minutes: Figure 13 compiles all kernels under nine configurations and
+Figure 14 repeats compilations for stable wall-clock numbers.
+
+Run:  python examples/run_all_figures.py [--quick]
+"""
+
+import sys
+
+from repro.experiments import ALL_FIGURES
+from repro.kernels import MOTIVATION_KERNELS
+
+
+def main():
+    quick = "--quick" in sys.argv
+    for name, build in ALL_FIGURES.items():
+        if quick and name in ("fig13", "fig14"):
+            table = build(kernels=MOTIVATION_KERNELS)
+        else:
+            table = build()
+        print(table.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

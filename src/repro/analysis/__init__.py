@@ -1,0 +1,29 @@
+"""repro.analysis — the analyses the SLP vectorizer depends on.
+
+* :mod:`repro.analysis.scev` — affine address expressions ("scalar
+  evolution"), used to prove loads/stores consecutive.
+* :mod:`repro.analysis.aliasing` — base-object + constant-offset alias
+  analysis.
+* :mod:`repro.analysis.schedule` — bundle and tree scheduling legality.
+"""
+
+from .aliasing import AliasAnalysis, AliasResult
+from .scev import AffineExpr, PointerSCEV, ScalarEvolution
+from .schedule import (
+    TreeScheduler,
+    bundle_is_schedulable,
+    depends_on,
+    same_block,
+)
+
+__all__ = [
+    "AffineExpr",
+    "AliasAnalysis",
+    "AliasResult",
+    "bundle_is_schedulable",
+    "depends_on",
+    "PointerSCEV",
+    "same_block",
+    "ScalarEvolution",
+    "TreeScheduler",
+]

@@ -1,0 +1,98 @@
+"""Alias analysis over pointer scalar evolutions.
+
+Good enough for straight-line kernels over named global arrays: distinct
+bases never alias, same-base accesses alias exactly when their constant
+element distance is zero, and anything symbolic is conservatively MAY.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..ir.call import Call
+from ..ir.instructions import Instruction, Load, Store
+from ..ir.values import Argument, GlobalArray, Value
+from .scev import ScalarEvolution
+
+
+class AliasResult(enum.Enum):
+    NO_ALIAS = "no"
+    MAY_ALIAS = "may"
+    MUST_ALIAS = "must"
+
+
+class AliasAnalysis:
+    """Pairwise aliasing queries for pointers and memory instructions."""
+
+    def __init__(self, scev: Optional[ScalarEvolution] = None):
+        self.scev = scev if scev is not None else ScalarEvolution()
+
+    def alias(self, a: Value, b: Value) -> AliasResult:
+        """Alias relation between two pointer values."""
+        pa = self.scev.pointer(a)
+        pb = self.scev.pointer(b)
+        if pa is None or pb is None:
+            return AliasResult.MAY_ALIAS
+        if pa.base is not pb.base:
+            if self._distinct_objects(pa.base, pb.base):
+                return AliasResult.NO_ALIAS
+            return AliasResult.MAY_ALIAS
+        distance = pa.index.constant_difference(pb.index)
+        if distance is None:
+            return AliasResult.MAY_ALIAS
+        if distance == 0:
+            return AliasResult.MUST_ALIAS
+        return AliasResult.NO_ALIAS
+
+    @staticmethod
+    def _distinct_objects(a: Value, b: Value) -> bool:
+        # Two different named globals occupy disjoint storage.  A pointer
+        # argument may point anywhere, including into a global.
+        return isinstance(a, GlobalArray) and isinstance(b, GlobalArray)
+
+    # ---- instruction-level --------------------------------------------------
+
+    def instructions_may_conflict(self, a: Instruction, b: Instruction) -> bool:
+        """True when reordering memory instructions ``a`` and ``b`` could
+        change behaviour (at least one writes, and the locations may
+        overlap, accounting for vector access footprints)."""
+        if isinstance(a, Call) or isinstance(b, Call):
+            # calls may read and write anything: they conflict with any
+            # memory instruction and with each other
+            other = b if isinstance(a, Call) else a
+            return isinstance(other, (Load, Store, Call))
+        a_mem = isinstance(a, (Load, Store))
+        b_mem = isinstance(b, (Load, Store))
+        if not a_mem or not b_mem:
+            return False
+        if isinstance(a, Load) and isinstance(b, Load):
+            return False
+        return self._ranges_may_overlap(a, b)
+
+    def _ranges_may_overlap(self, a: Instruction, b: Instruction) -> bool:
+        pa = self.scev.access_pointer(a)
+        pb = self.scev.access_pointer(b)
+        if pa is None or pb is None:
+            return True
+        if pa.base is not pb.base:
+            return not self._distinct_objects(pa.base, pb.base)
+        distance = pa.index.constant_difference(pb.index)
+        if distance is None:
+            return True
+        # Footprints: [0, width) elements starting at each access.
+        return -_access_width(b) < distance < _access_width(a)
+
+
+def _access_width(inst: Instruction) -> int:
+    """Number of contiguous elements a load/store touches."""
+    if isinstance(inst, Load):
+        ty = inst.type
+    elif isinstance(inst, Store):
+        ty = inst.value.type
+    else:
+        return 0
+    return ty.count if ty.is_vector else 1
+
+
+__all__ = ["AliasAnalysis", "AliasResult"]

@@ -1,0 +1,232 @@
+"""Scalar-evolution-lite: affine address expressions.
+
+The SLP seed collector and operand reordering both need to answer one
+question: *do two memory accesses touch adjacent elements of the same
+object?*  LLVM answers it with scalar evolution [Bachmann et al., ISSAC
+1994]; we implement the affine subset that straight-line kernels need.
+
+An :class:`AffineExpr` is ``offset + sum(coeff_k * sym_k)`` where the
+symbols are opaque IR values (arguments, or instructions the analysis
+cannot see through).  Two pointer expressions with the same base object
+and symbolically identical affine parts differ only in their constant
+offsets, so adjacency is decidable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.instructions import BinaryOperator, GetElementPtr, Load, Store
+from ..ir.values import Argument, Constant, GlobalArray, Value
+
+
+class AffineExpr:
+    """An affine integer expression: constant offset + weighted symbols."""
+
+    __slots__ = ("offset", "terms")
+
+    def __init__(self, offset: int = 0,
+                 terms: Optional[dict[int, tuple[Value, int]]] = None):
+        self.offset = offset
+        # keyed by id(symbol) -> (symbol, coefficient); zero coeffs dropped
+        self.terms: dict[int, tuple[Value, int]] = {}
+        if terms:
+            for key, (sym, coeff) in terms.items():
+                if coeff != 0:
+                    self.terms[key] = (sym, coeff)
+
+    # ---- constructors -----------------------------------------------------
+
+    @staticmethod
+    def constant(value: int) -> "AffineExpr":
+        return AffineExpr(value)
+
+    @staticmethod
+    def symbol(value: Value, coeff: int = 1) -> "AffineExpr":
+        return AffineExpr(0, {id(value): (value, coeff)})
+
+    # ---- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: "AffineExpr") -> "AffineExpr":
+        terms = dict(self.terms)
+        for key, (sym, coeff) in other.terms.items():
+            if key in terms:
+                merged = terms[key][1] + coeff
+                if merged == 0:
+                    del terms[key]
+                else:
+                    terms[key] = (sym, merged)
+            else:
+                terms[key] = (sym, coeff)
+        return AffineExpr(self.offset + other.offset, terms)
+
+    def __sub__(self, other: "AffineExpr") -> "AffineExpr":
+        return self + other.scaled(-1)
+
+    def scaled(self, factor: int) -> "AffineExpr":
+        if factor == 0:
+            return AffineExpr(0)
+        terms = {
+            key: (sym, coeff * factor)
+            for key, (sym, coeff) in self.terms.items()
+        }
+        return AffineExpr(self.offset * factor, terms)
+
+    # ---- queries --------------------------------------------------------------
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.terms
+
+    def same_symbolic_part(self, other: "AffineExpr") -> bool:
+        """True when the non-constant parts are identical."""
+        if self.terms.keys() != other.terms.keys():
+            return False
+        return all(
+            self.terms[key][1] == other.terms[key][1] for key in self.terms
+        )
+
+    def constant_difference(self, other: "AffineExpr") -> Optional[int]:
+        """``other - self`` when it is a known constant, else None."""
+        if not self.same_symbolic_part(other):
+            return None
+        return other.offset - self.offset
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, AffineExpr)
+            and self.offset == other.offset
+            and self.same_symbolic_part(other)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.offset, frozenset((k, c) for k, (_, c) in self.terms.items()))
+        )
+
+    def __str__(self) -> str:
+        parts = []
+        for sym, coeff in sorted(
+            self.terms.values(), key=lambda t: t[0].short_name()
+        ):
+            if coeff == 1:
+                parts.append(sym.short_name())
+            else:
+                parts.append(f"{coeff}*{sym.short_name()}")
+        if self.offset or not parts:
+            parts.append(str(self.offset))
+        return " + ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AffineExpr {self}>"
+
+
+class PointerSCEV:
+    """A pointer expressed as base object + affine element index."""
+
+    __slots__ = ("base", "index")
+
+    def __init__(self, base: Value, index: AffineExpr):
+        self.base = base
+        self.index = index
+
+    def __str__(self) -> str:
+        return f"{self.base.short_name()}[{self.index}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PointerSCEV {self}>"
+
+
+class ScalarEvolution:
+    """Per-function scalar evolution analysis with memoization."""
+
+    def __init__(self):
+        self._index_cache: dict[int, AffineExpr] = {}
+        self._pointer_cache: dict[int, Optional[PointerSCEV]] = {}
+
+    # ---- integer expressions ---------------------------------------------
+
+    def index_expr(self, value: Value) -> AffineExpr:
+        """Affine form of an integer value (opaque values become symbols)."""
+        cached = self._index_cache.get(id(value))
+        if cached is None:
+            cached = self._compute_index(value)
+            self._index_cache[id(value)] = cached
+        return cached
+
+    def _compute_index(self, value: Value) -> AffineExpr:
+        if isinstance(value, Constant):
+            return AffineExpr.constant(value.value)
+        if isinstance(value, BinaryOperator):
+            if value.opcode == "add":
+                return self.index_expr(value.lhs) + self.index_expr(value.rhs)
+            if value.opcode == "sub":
+                return self.index_expr(value.lhs) - self.index_expr(value.rhs)
+            if value.opcode == "mul":
+                lhs = self.index_expr(value.lhs)
+                rhs = self.index_expr(value.rhs)
+                if rhs.is_constant:
+                    return lhs.scaled(rhs.offset)
+                if lhs.is_constant:
+                    return rhs.scaled(lhs.offset)
+            if value.opcode == "shl":
+                lhs = self.index_expr(value.lhs)
+                rhs = self.index_expr(value.rhs)
+                if rhs.is_constant and 0 <= rhs.offset < 64:
+                    return lhs.scaled(1 << rhs.offset)
+        return AffineExpr.symbol(value)
+
+    # ---- pointers -------------------------------------------------------------
+
+    def pointer(self, value: Value) -> Optional[PointerSCEV]:
+        """Base + affine index for a pointer value, or None if opaque."""
+        if id(value) not in self._pointer_cache:
+            self._pointer_cache[id(value)] = self._compute_pointer(value)
+        return self._pointer_cache[id(value)]
+
+    def _compute_pointer(self, value: Value) -> Optional[PointerSCEV]:
+        if isinstance(value, GlobalArray):
+            return PointerSCEV(value, AffineExpr.constant(0))
+        if isinstance(value, Argument) and value.type.is_pointer:
+            return PointerSCEV(value, AffineExpr.constant(0))
+        if isinstance(value, GetElementPtr):
+            base = self.pointer(value.base)
+            if base is None:
+                return None
+            return PointerSCEV(
+                base.base, base.index + self.index_expr(value.index)
+            )
+        return None
+
+    # ---- access-level queries ----------------------------------------------
+
+    def access_pointer(self, inst) -> Optional[PointerSCEV]:
+        """Pointer SCEV of a load or store instruction."""
+        if isinstance(inst, Load):
+            return self.pointer(inst.ptr)
+        if isinstance(inst, Store):
+            return self.pointer(inst.ptr)
+        return None
+
+    def element_distance(self, a: Value, b: Value) -> Optional[int]:
+        """Distance in elements from pointer ``a`` to pointer ``b``."""
+        pa = self.pointer(a)
+        pb = self.pointer(b)
+        if pa is None or pb is None or pa.base is not pb.base:
+            return None
+        return pa.index.constant_difference(pb.index)
+
+    def are_consecutive(self, a: Value, b: Value) -> bool:
+        """True when pointer ``b`` addresses the element right after ``a``."""
+        return self.element_distance(a, b) == 1
+
+    def accesses_consecutive(self, first, second) -> bool:
+        """True when two load/store instructions touch adjacent elements."""
+        pa = self.access_pointer(first)
+        pb = self.access_pointer(second)
+        if pa is None or pb is None or pa.base is not pb.base:
+            return False
+        return pa.index.constant_difference(pb.index) == 1
+
+
+__all__ = ["AffineExpr", "PointerSCEV", "ScalarEvolution"]

@@ -1,0 +1,130 @@
+"""Scheduling legality for SLP bundles and whole SLP trees.
+
+The paper's footnote 1 lists the conditions a candidate group must meet;
+the "schedulable" condition is checked here.  Two levels:
+
+* :func:`bundle_is_schedulable` — can these N scalar instructions form a
+  single vector instruction at all (same block, mutually independent)?
+* :class:`TreeScheduler` — once a whole SLP tree has been built, can all
+  of its instructions be replaced by vector code emitted at one insertion
+  point (the position of the *last* tree instruction) without violating
+  memory dependences or SSA dominance for external users?
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..ir.basicblock import BasicBlock
+from ..ir.instructions import Instruction, Load, Store
+from .aliasing import AliasAnalysis
+
+
+def same_block(insts: Sequence[Instruction]) -> Optional[BasicBlock]:
+    """The common parent block of all instructions, or None."""
+    if not insts:
+        return None
+    block = insts[0].parent
+    if block is None:
+        return None
+    for inst in insts[1:]:
+        if inst.parent is not block:
+            return None
+    return block
+
+
+def depends_on(consumer: Instruction, producer: Instruction,
+               limit: int = 10_000) -> bool:
+    """True when ``consumer`` transitively uses ``producer`` via SSA
+    operands.  Bounded DFS (straight-line code: no cycles)."""
+    stack = [consumer]
+    visited: set[int] = set()
+    steps = 0
+    while stack:
+        steps += 1
+        if steps > limit:
+            return True  # conservative
+        current = stack.pop()
+        for operand in current.operands:
+            if operand is producer:
+                return True
+            if isinstance(operand, Instruction) and id(operand) not in visited:
+                visited.add(id(operand))
+                stack.append(operand)
+    return False
+
+
+def bundle_is_schedulable(insts: Sequence[Instruction]) -> bool:
+    """Can these scalars be fused into one vector instruction?
+
+    They must share a basic block and be mutually independent — one lane
+    may not (transitively) consume another lane's result.
+    """
+    if same_block(insts) is None:
+        return False
+    for i, a in enumerate(insts):
+        for b in insts[i + 1:]:
+            if a is b:
+                return False
+            if depends_on(a, b) or depends_on(b, a):
+                return False
+    return True
+
+
+class TreeScheduler:
+    """Validates that a whole SLP tree can be emitted at one point.
+
+    The code generator replaces every in-tree scalar with vector code
+    inserted immediately before the last in-tree instruction.  That is
+    only legal when:
+
+    * moving each in-tree load *down* to the insertion point crosses no
+      conflicting store that stays scalar,
+    * moving each in-tree store *down* crosses no conflicting memory
+      instruction that stays scalar, and
+    * every in-tree value used *outside* the tree has all such users
+      positioned after the insertion point (the extractelement that
+      replaces the scalar def must dominate them).
+    """
+
+    def __init__(self, aa: AliasAnalysis):
+        self.aa = aa
+
+    def insertion_index(self, tree_insts: Iterable[Instruction]) -> int:
+        return max(inst.index_in_block() for inst in tree_insts)
+
+    def tree_is_schedulable(self, tree_insts: Sequence[Instruction]) -> bool:
+        block = same_block(tree_insts)
+        if block is None:
+            return False
+        in_tree = {id(inst) for inst in tree_insts}
+        insert_pos = self.insertion_index(tree_insts)
+        body = block.instructions
+
+        for inst in tree_insts:
+            pos = inst.index_in_block()
+            if isinstance(inst, (Load, Store)):
+                for other in body[pos + 1: insert_pos + 1]:
+                    if id(other) in in_tree:
+                        continue
+                    if self.aa.instructions_may_conflict(inst, other):
+                        return False
+            for use in inst.uses:
+                user = use.user
+                if not isinstance(user, Instruction):
+                    return False
+                if id(user) in in_tree:
+                    continue
+                if user.parent is not block:
+                    return False
+                if user.index_in_block() <= insert_pos:
+                    return False
+        return True
+
+
+__all__ = [
+    "bundle_is_schedulable",
+    "depends_on",
+    "same_block",
+    "TreeScheduler",
+]

@@ -1,0 +1,235 @@
+"""Command-line interface: compile, run, inspect, and reproduce.
+
+Installed as the ``lslp`` console script::
+
+    lslp compile kernel.c --config lslp          # print vectorized IR
+    lslp compile kernel.c --config slp --report  # per-tree decisions
+    lslp run kernel.c --arg i=8 --dump A         # interpret + dump array
+    lslp kernels                                 # list the Table 2 set
+    lslp figures fig9 fig10                      # regenerate figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .costmodel.targets import target_by_name
+from .experiments.figures import ALL_FIGURES
+from .frontend.lower import compile_kernel_source
+from .interp.interpreter import Interpreter
+from .interp.memory import MemoryImage
+from .ir.printer import print_function, print_module
+from .kernels.catalog import ALL_KERNELS
+from .opt.pipelines import compile_function
+from .slp.vectorizer import VectorizerConfig
+
+CONFIG_FACTORIES = {
+    "o3": VectorizerConfig.o3,
+    "slp-nr": VectorizerConfig.slp_nr,
+    "slp": VectorizerConfig.slp,
+    "lslp": VectorizerConfig.lslp,
+}
+
+
+def _config_from_args(args) -> VectorizerConfig:
+    config = CONFIG_FACTORIES[args.config]()
+    if args.config == "lslp":
+        config = VectorizerConfig.lslp(
+            look_ahead_depth=args.look_ahead,
+            multi_node_max_size=args.multi_node,
+        )
+    return config
+
+
+def _add_compile_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("source", help="kernel source file (mini-C)")
+    parser.add_argument(
+        "--config", choices=sorted(CONFIG_FACTORIES), default="lslp",
+        help="vectorizer configuration (default: lslp)",
+    )
+    parser.add_argument(
+        "--target", default="skylake-like",
+        help="cost-model target (default: skylake-like)",
+    )
+    parser.add_argument(
+        "--look-ahead", type=int, default=8,
+        help="LSLP look-ahead depth (default: 8)",
+    )
+    parser.add_argument(
+        "--multi-node", type=int, default=None,
+        help="LSLP multi-node size limit (default: unbounded)",
+    )
+
+
+def _load_module(path: str):
+    try:
+        with open(path) as handle:
+            source = handle.read()
+    except OSError as error:
+        raise SystemExit(f"error: cannot read {path}: {error}")
+    return compile_kernel_source(source, path)
+
+
+def cmd_compile(args) -> int:
+    module = _load_module(args.source)
+    config = _config_from_args(args)
+    target = target_by_name(args.target)
+    if args.print_before:
+        print("; --- before ---")
+        print(print_module(module))
+    for func in module.functions.values():
+        result = compile_function(func, config, target,
+                                  verify_each=args.verify_each)
+        if args.stats:
+            stats = result.report.stats
+            print(f"; @{func.name} stats: {stats.nodes} nodes, "
+                  f"{stats.multi_nodes} multi-nodes, "
+                  f"{stats.gathers} gathers, {stats.reorders} reorders, "
+                  f"{stats.lookahead_evals} look-ahead evals")
+        if args.report:
+            print(f"; @{func.name}: static cost {result.static_cost}, "
+                  f"{result.report.num_vectorized} tree(s) vectorized")
+            for tree in result.report.trees:
+                status = "vectorized" if tree.vectorized else "rejected"
+                print(f";   {tree.kind} tree (VL={tree.vector_length}) "
+                      f"cost {tree.cost}: {status}")
+    print(f"; --- after {config.name} ---")
+    print(print_module(module))
+    return 0
+
+
+def cmd_run(args) -> int:
+    module = _load_module(args.source)
+    config = _config_from_args(args)
+    target = target_by_name(args.target)
+    func = module.get_function(args.entry)
+    compile_function(func, config, target)
+
+    runtime_args: dict[str, object] = {}
+    for pair in args.arg or []:
+        name, _, value = pair.partition("=")
+        if not value:
+            raise SystemExit(f"error: malformed --arg {pair!r}; use name=N")
+        runtime_args[name] = float(value) if "." in value else int(value)
+
+    memory = MemoryImage(module)
+    memory.randomize(seed=args.seed)
+    trace: list[str] = []
+
+    def record(inst, value):
+        from .ir.printer import print_instruction
+
+        shown = "" if value is None else f"  ; -> {value}"
+        trace.append(f"  {print_instruction(inst)}{shown}")
+
+    interpreter = Interpreter(memory, target)
+    result = interpreter.run(
+        func, runtime_args,
+        on_retire=record if args.trace else None,
+    )
+    if args.trace:
+        limit = args.trace_limit
+        for line in trace[:limit]:
+            print(line)
+        if len(trace) > limit:
+            print(f"  ... ({len(trace) - limit} more)")
+    print(f"@{args.entry}({runtime_args}) under {config.name}: "
+          f"{result.cycles} cycles, "
+          f"{result.instructions_retired} instructions")
+    if result.return_value is not None:
+        print(f"returned: {result.return_value}")
+    for name in args.dump or []:
+        values = memory.get_array(name)
+        preview = ", ".join(str(v) for v in values[:args.dump_count])
+        print(f"@{name}[0:{args.dump_count}] = [{preview}]")
+    return 0
+
+
+def cmd_kernels(_args) -> int:
+    width = max(len(name) for name in ALL_KERNELS)
+    for kernel in ALL_KERNELS.values():
+        print(f"{kernel.name:{width}}  {kernel.origin}")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    names = args.names or sorted(ALL_FIGURES)
+    for name in names:
+        build = ALL_FIGURES.get(name)
+        if build is None:
+            raise SystemExit(
+                f"error: unknown figure {name!r}; known: "
+                f"{', '.join(sorted(ALL_FIGURES))}"
+            )
+        table = build()
+        if args.chart:
+            from .experiments.charts import render_bar_chart
+
+            print(render_bar_chart(table))
+        else:
+            print(table.render())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lslp",
+        description="Look-ahead SLP auto-vectorizer (CGO'18 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile and print IR")
+    _add_compile_options(p_compile)
+    p_compile.add_argument("--print-before", action="store_true",
+                           help="also print the IR before vectorization")
+    p_compile.add_argument("--report", action="store_true",
+                           help="print per-tree vectorization decisions")
+    p_compile.add_argument("--stats", action="store_true",
+                           help="print graph-builder statistics")
+    p_compile.add_argument("--verify-each", action="store_true",
+                           help="run the IR verifier after every pass")
+    p_compile.set_defaults(handler=cmd_compile)
+
+    p_run = sub.add_parser("run", help="compile then interpret")
+    _add_compile_options(p_run)
+    p_run.add_argument("--entry", default="kernel",
+                       help="function to execute (default: kernel)")
+    p_run.add_argument("--arg", action="append", metavar="NAME=VALUE",
+                       help="runtime argument (repeatable)")
+    p_run.add_argument("--seed", type=int, default=0,
+                       help="memory randomization seed")
+    p_run.add_argument("--dump", action="append", metavar="ARRAY",
+                       help="print an array after execution (repeatable)")
+    p_run.add_argument("--dump-count", type=int, default=16,
+                       help="elements to print per dumped array")
+    p_run.add_argument("--trace", action="store_true",
+                       help="print an instruction-level execution trace")
+    p_run.add_argument("--trace-limit", type=int, default=200,
+                       help="maximum trace lines to print")
+    p_run.set_defaults(handler=cmd_run)
+
+    p_kernels = sub.add_parser("kernels", help="list the kernel catalog")
+    p_kernels.set_defaults(handler=cmd_kernels)
+
+    p_figures = sub.add_parser(
+        "figures", help="regenerate evaluation tables/figures"
+    )
+    p_figures.add_argument("--chart", action="store_true",
+                           help="render bar charts instead of tables")
+    p_figures.add_argument("names", nargs="*",
+                           help=f"subset of: {', '.join(sorted(ALL_FIGURES))}")
+    p_figures.set_defaults(handler=cmd_figures)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

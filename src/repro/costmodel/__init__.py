@@ -1,0 +1,20 @@
+"""repro.costmodel — the target cost model (LLVM-TTI stand-in)."""
+
+from .targets import (
+    expensive_shuffle,
+    scalar_only,
+    skylake_like,
+    sse_like,
+    target_by_name,
+)
+from .tti import TargetCostModel, TargetDescription
+
+__all__ = [
+    "expensive_shuffle",
+    "scalar_only",
+    "skylake_like",
+    "sse_like",
+    "target_by_name",
+    "TargetCostModel",
+    "TargetDescription",
+]

@@ -1,0 +1,82 @@
+"""Pre-configured cost-model targets.
+
+``skylake_like()`` is the default everywhere and reproduces the numbers
+used throughout the paper's worked examples.  The other targets exist for
+sensitivity experiments: a narrow SSE-class machine, a machine with
+expensive cross-lane traffic (gathers/extracts cost more, making
+borderline trees unprofitable), and a scalar-only machine used as the
+"vectorization disabled" baseline in tests.
+"""
+
+from __future__ import annotations
+
+from .tti import TargetCostModel, TargetDescription
+
+
+def skylake_like() -> TargetCostModel:
+    """AVX2-class default target (matches the paper's cost examples)."""
+    return TargetCostModel(TargetDescription(name="skylake-like"))
+
+
+def sse_like() -> TargetCostModel:
+    """A 128-bit target: fewer lanes for wide element types."""
+    return TargetCostModel(
+        TargetDescription(name="sse-like", max_vector_bits=128)
+    )
+
+
+def expensive_shuffle() -> TargetCostModel:
+    """A target where cross-lane data movement is costly.
+
+    Gathers and extracts cost 3x; useful for showing how the cost model
+    gates vectorization decisions.
+    """
+    return TargetCostModel(
+        TargetDescription(
+            name="expensive-shuffle",
+            insert_cost=3,
+            extract_cost=3,
+            shuffle_cost=3,
+        )
+    )
+
+
+def scalar_only() -> TargetCostModel:
+    """A machine with no profitable SIMD: vector ops cost as much as the
+    whole scalar group plus one, so no tree is ever profitable."""
+    return TargetCostModel(
+        TargetDescription(
+            name="scalar-only",
+            max_vector_bits=64,
+            vector_alu_cost=64,
+            vector_load_cost=64,
+            vector_store_cost=64,
+        )
+    )
+
+
+_REGISTRY = {
+    "skylake-like": skylake_like,
+    "sse-like": sse_like,
+    "expensive-shuffle": expensive_shuffle,
+    "scalar-only": scalar_only,
+}
+
+
+def target_by_name(name: str) -> TargetCostModel:
+    """Look up a target factory by its registry name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown target {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+__all__ = [
+    "expensive_shuffle",
+    "scalar_only",
+    "skylake_like",
+    "sse_like",
+    "target_by_name",
+]

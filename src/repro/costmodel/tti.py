@@ -1,0 +1,181 @@
+"""Target cost model (LLVM "TTI"-style).
+
+The SLP profitability decision is ``sum(VectorCost - ScalarCost)`` over
+the groups of the SLP graph plus gather/extract overheads (paper §2.2,
+§3.1).  The default numbers reproduce the costs annotated on the paper's
+worked examples (Figures 2-4):
+
+* a group of two ALU instructions costs ``1 - 2 = -1``
+* a vectorizable group of consecutive loads or stores costs ``-1``
+* gathering the operands of a vector instruction from scalars costs
+  ``+1`` per lane (``+2`` at VL=2)
+* a gather of nothing but constants costs ``0``
+* extracting a lane for an external scalar user costs ``+1``
+
+The same tables drive the interpreter's simulated-cycle accounting, so
+static cost and measured "performance" come from one machine description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..ir.instructions import Instruction, binary_opcode_info
+from ..ir.types import Type, VectorType
+from ..ir.values import Constant, Value
+
+
+@dataclass(frozen=True)
+class TargetDescription:
+    """Tunable machine parameters for a cost-model target."""
+
+    name: str = "skylake-like"
+    #: widest SIMD register in bits (AVX2 = 256)
+    max_vector_bits: int = 256
+    #: issue cost of a simple scalar ALU operation
+    scalar_alu_cost: int = 1
+    #: issue cost of a simple vector ALU operation
+    vector_alu_cost: int = 1
+    #: scalar / vector load issue cost
+    scalar_load_cost: int = 1
+    vector_load_cost: int = 1
+    #: scalar / vector store issue cost
+    scalar_store_cost: int = 1
+    vector_store_cost: int = 1
+    #: cost of inserting one scalar lane into a vector register
+    insert_cost: int = 1
+    #: cost of extracting one scalar lane out of a vector register
+    extract_cost: int = 1
+    #: cost of a vector shuffle / splat
+    shuffle_cost: int = 1
+    #: call overhead (argument setup + transfer)
+    call_cost: int = 4
+    #: branch / phi resolution cost
+    branch_cost: int = 1
+    #: multipliers for expensive operations
+    division_cost: int = 8
+    vector_division_cost: int = 14
+    #: per-opcode overrides: opcode -> (scalar cost, vector cost)
+    opcode_costs: dict = field(default_factory=dict)
+
+
+class TargetCostModel:
+    """Answers per-instruction and per-group cost queries for a target."""
+
+    def __init__(self, desc: TargetDescription | None = None):
+        self.desc = desc if desc is not None else TargetDescription()
+
+    # ---- capabilities ------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.desc.name
+
+    def max_lanes(self, element: Type) -> int:
+        """Widest supported vector length for an element type."""
+        return max(2, self.desc.max_vector_bits // element.size_bits())
+
+    def supports_vector(self, vec_ty: VectorType) -> bool:
+        return vec_ty.size_bits() <= self.desc.max_vector_bits
+
+    # ---- per-opcode costs ------------------------------------------------------
+
+    def _alu_cost(self, opcode: str, vector: bool) -> int:
+        override = self.desc.opcode_costs.get(opcode)
+        if override is not None:
+            return override[1] if vector else override[0]
+        try:
+            info = binary_opcode_info(opcode)
+            divides = info.is_division
+        except ValueError:
+            divides = False
+        if divides:
+            return (
+                self.desc.vector_division_cost
+                if vector
+                else self.desc.division_cost
+            )
+        return self.desc.vector_alu_cost if vector else self.desc.scalar_alu_cost
+
+    def scalar_op_cost(self, opcode: str) -> int:
+        """Cost of one scalar instance of ``opcode``."""
+        if opcode == "load":
+            return self.desc.scalar_load_cost
+        if opcode == "store":
+            return self.desc.scalar_store_cost
+        if opcode == "gep":
+            return 0  # folded into addressing modes
+        return self._alu_cost(opcode, vector=False)
+
+    def vector_op_cost(self, opcode: str, lanes: int) -> int:
+        """Cost of one ``lanes``-wide vector instance of ``opcode``."""
+        if opcode == "load":
+            return self.desc.vector_load_cost
+        if opcode == "store":
+            return self.desc.vector_store_cost
+        return self._alu_cost(opcode, vector=True)
+
+    # ---- group-level costs -------------------------------------------------------
+
+    def group_savings(self, opcode: str, lanes: int) -> int:
+        """``VectorCost - ScalarCost`` for a vectorizable group (negative
+        is profitable)."""
+        return self.vector_op_cost(opcode, lanes) - lanes * self.scalar_op_cost(
+            opcode
+        )
+
+    def gather_cost(self, operands: Sequence[Value]) -> int:
+        """Cost of aggregating scalar values into a vector register.
+
+        All-constant groups are free (a constant vector is materialized
+        from memory just like a scalar constant); any group containing a
+        non-constant pays one insert per lane (paper §3.1).
+        """
+        if all(isinstance(v, Constant) for v in operands):
+            return 0
+        first = operands[0]
+        if all(v is first for v in operands):
+            return self.desc.shuffle_cost  # a single broadcast
+        return self.desc.insert_cost * len(operands)
+
+    def extract_cost_for(self, uses: int = 1) -> int:
+        """Cost of extracting a lane for ``uses`` external scalar users."""
+        return self.desc.extract_cost * uses
+
+    # ---- interpreter hook -----------------------------------------------------------
+
+    def issue_cost(self, inst: Instruction) -> int:
+        """Simulated issue cost of one executed IR instruction."""
+        opcode = inst.opcode
+        is_vector = inst.type.is_vector or any(
+            op.type.is_vector for op in inst.operands
+        )
+        if opcode == "load":
+            return (
+                self.desc.vector_load_cost
+                if is_vector
+                else self.desc.scalar_load_cost
+            )
+        if opcode == "store":
+            return (
+                self.desc.vector_store_cost
+                if is_vector
+                else self.desc.scalar_store_cost
+            )
+        if opcode == "gep":
+            return 0
+        if opcode in ("insertelement", "extractelement"):
+            return self.desc.insert_cost
+        if opcode in ("shufflevector", "splat"):
+            return self.desc.shuffle_cost
+        if opcode == "ret":
+            return 0
+        if opcode == "call":
+            return self.desc.call_cost
+        if opcode in ("br", "condbr", "phi"):
+            return self.desc.branch_cost
+        return self._alu_cost(opcode, vector=is_vector)
+
+
+__all__ = ["TargetCostModel", "TargetDescription"]

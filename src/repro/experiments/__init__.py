@@ -1,0 +1,46 @@
+"""repro.experiments — reproduction of every evaluation table/figure."""
+
+from .charts import render_bar_chart
+from .figures import (
+    ALL_FIGURES,
+    fig9_speedup,
+    fig10_static_cost,
+    fig11_suite_cost,
+    fig12_suite_speedup,
+    fig13_sensitivity,
+    fig14_compile_time,
+    table2_kernels,
+)
+from .reporting import FigureTable, render_series
+from .runner import (
+    geomean,
+    KernelMeasurement,
+    measure_kernel,
+    measure_suite,
+    module_static_cost,
+    PAPER_CONFIGS,
+    SENSITIVITY_CONFIGS,
+    SuiteMeasurement,
+)
+
+__all__ = [
+    "ALL_FIGURES",
+    "fig9_speedup",
+    "fig10_static_cost",
+    "fig11_suite_cost",
+    "fig12_suite_speedup",
+    "fig13_sensitivity",
+    "fig14_compile_time",
+    "FigureTable",
+    "render_bar_chart",
+    "geomean",
+    "KernelMeasurement",
+    "measure_kernel",
+    "measure_suite",
+    "module_static_cost",
+    "PAPER_CONFIGS",
+    "render_series",
+    "SENSITIVITY_CONFIGS",
+    "SuiteMeasurement",
+    "table2_kernels",
+]

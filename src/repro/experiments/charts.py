@@ -1,0 +1,85 @@
+"""ASCII bar charts for the figure tables.
+
+The paper's evaluation figures are grouped bar charts; this renders the
+same grouping in a terminal.  Each row of a :class:`FigureTable` becomes
+a labelled group, each numeric column one bar, scaled to the largest
+magnitude in the table.
+"""
+
+from __future__ import annotations
+
+from .reporting import FigureTable
+
+_FULL = "█"
+_PARTIAL = "▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    if scale <= 0:
+        return ""
+    cells = abs(value) / scale * width
+    full = int(cells)
+    fraction = cells - full
+    bar = _FULL * full
+    if fraction > 1 / 8:
+        bar += _PARTIAL[min(int(fraction * 8), 6)]
+    return bar
+
+
+def render_bar_chart(table: FigureTable, width: int = 44) -> str:
+    """Render ``table`` as a grouped horizontal bar chart.
+
+    Non-numeric columns label the group (usually the kernel/suite
+    name); numeric columns become bars.  Negative values (static
+    costs) are drawn by magnitude and keep their sign in the label.
+    """
+    numeric_columns = [
+        column for column in table.columns
+        if all(
+            isinstance(row.get(column), (int, float))
+            and not isinstance(row.get(column), bool)
+            for row in table.rows
+        )
+    ]
+    label_columns = [
+        column for column in table.columns if column not in numeric_columns
+    ]
+    if not numeric_columns or not table.rows:
+        return table.render()
+
+    scale = max(
+        (abs(row[column]) for row in table.rows
+         for column in numeric_columns),
+        default=1.0,
+    ) or 1.0
+    label_width = max(
+        len(str(row.get(column, "")))
+        for row in table.rows
+        for column in (label_columns or table.columns[:1])
+    )
+    series_width = max(len(column) for column in numeric_columns)
+
+    lines = [f"{table.figure_id} — {table.title}", ""]
+    for row in table.rows:
+        label = " ".join(
+            str(row.get(column, "")) for column in label_columns
+        )
+        for index, column in enumerate(numeric_columns):
+            value = row[column]
+            prefix = label.ljust(label_width) if index == 0 else (
+                " " * label_width
+            )
+            bar = _bar(float(value), scale, width)
+            shown = (
+                f"{value:.3f}" if isinstance(value, float) else str(value)
+            )
+            lines.append(
+                f"{prefix}  {column.ljust(series_width)} │{bar} {shown}"
+            )
+        lines.append("")
+    if table.notes:
+        lines.extend(f"note: {note}" for note in table.notes)
+    return "\n".join(lines).rstrip() + "\n"
+
+
+__all__ = ["render_bar_chart"]

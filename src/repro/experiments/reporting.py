@@ -1,0 +1,83 @@
+"""Tabular reporting for the figure experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class FigureTable:
+    """One reproduced table/figure: a title, columns, and data rows."""
+
+    figure_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values) -> None:
+        self.rows.append(values)
+
+    def column(self, name: str) -> list:
+        return [row[name] for row in self.rows]
+
+    def row_for(self, key_column: str, key: str) -> dict:
+        for row in self.rows:
+            if row.get(key_column) == key:
+                return row
+        raise KeyError(f"no row with {key_column}={key!r}")
+
+    def render(self) -> str:
+        """Render as an aligned ASCII table, paper-figure style."""
+        header = [self.figure_id + " — " + self.title, ""]
+        formatted = [
+            [_format_cell(row.get(col)) for col in self.columns]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(col), *(len(line[i]) for line in formatted))
+            if formatted else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        header.append("  ".join(
+            col.ljust(width) for col, width in zip(self.columns, widths)
+        ))
+        header.append("  ".join("-" * width for width in widths))
+        for line in formatted:
+            header.append("  ".join(
+                cell.rjust(width) if _is_numeric(cell) else cell.ljust(width)
+                for cell, width in zip(line, widths)
+            ))
+        if self.notes:
+            header.append("")
+            header.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(header)
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _is_numeric(cell: str) -> bool:
+    try:
+        float(cell)
+        return True
+    except ValueError:
+        return False
+
+
+def render_series(label: str, names: Sequence[str],
+                  values: Sequence[float]) -> str:
+    """A one-line labelled series (used for geomean summaries)."""
+    pairs = ", ".join(
+        f"{name}={value:.3f}" for name, value in zip(names, values)
+    )
+    return f"{label}: {pairs}"
+
+
+__all__ = ["FigureTable", "render_series"]

@@ -1,0 +1,157 @@
+"""Measurement primitives shared by all figure experiments.
+
+Each measurement compiles a *fresh* copy of the workload under one
+configuration, then reports:
+
+* **static cost** — the vectorizer's accepted tree costs (Figure 10), or
+  the whole-module static issue cost (Figure 11),
+* **simulated cycles** — from interpreting the compiled code on the
+  machine model (Figures 9, 12, 13),
+* **compile seconds** — wall-clock time in the pass pipeline (Figure 14).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..costmodel.targets import skylake_like
+from ..costmodel.tti import TargetCostModel
+from ..interp.interpreter import Interpreter
+from ..interp.memory import MemoryImage
+from ..ir.function import Module
+from ..kernels.catalog import Kernel
+from ..kernels.suites import SuiteSpec, build_suite, function_weight
+from ..opt.pipelines import compile_function, compile_module
+from ..slp.vectorizer import VectorizerConfig
+
+#: the four configurations of the paper's §5.1, in plot order
+PAPER_CONFIGS: list[VectorizerConfig] = [
+    VectorizerConfig.o3(),
+    VectorizerConfig.slp_nr(),
+    VectorizerConfig.slp(),
+    VectorizerConfig.lslp(),
+]
+
+#: the Figure 13 sensitivity configurations (paper §5.3)
+SENSITIVITY_CONFIGS: list[VectorizerConfig] = [
+    VectorizerConfig.slp(),
+    VectorizerConfig.lslp(0, None, name="LSLP-LA0"),
+    VectorizerConfig.lslp(1, None, name="LSLP-LA1"),
+    VectorizerConfig.lslp(2, None, name="LSLP-LA2"),
+    VectorizerConfig.lslp(4, None, name="LSLP-LA4"),
+    VectorizerConfig.lslp(8, 1, name="LSLP-Multi1"),
+    VectorizerConfig.lslp(8, 2, name="LSLP-Multi2"),
+    VectorizerConfig.lslp(8, 3, name="LSLP-Multi3"),
+    VectorizerConfig.lslp(),
+]
+
+
+@dataclass
+class KernelMeasurement:
+    """One kernel compiled and executed under one configuration."""
+
+    kernel: str
+    config: str
+    static_cost: int
+    cycles: int
+    compile_seconds: float
+    trees_vectorized: int
+    multi_nodes: int
+    lookahead_evals: int
+
+
+def measure_kernel(kernel: Kernel, config: VectorizerConfig,
+                   target: Optional[TargetCostModel] = None,
+                   seed: int = 0) -> KernelMeasurement:
+    """Compile a fresh copy of ``kernel`` under ``config`` and run it."""
+    target = target if target is not None else skylake_like()
+    module, func = kernel.build()
+    result = compile_function(func, config, target)
+    memory = MemoryImage(module)
+    memory.randomize(seed=seed)
+    execution = Interpreter(memory, target).run(func, kernel.default_args)
+    return KernelMeasurement(
+        kernel=kernel.name,
+        config=config.name,
+        static_cost=result.static_cost,
+        cycles=execution.cycles,
+        compile_seconds=result.compile_seconds,
+        trees_vectorized=result.report.num_vectorized,
+        multi_nodes=result.report.stats.multi_nodes,
+        lookahead_evals=result.report.stats.lookahead_evals,
+    )
+
+
+@dataclass
+class SuiteMeasurement:
+    """One synthetic benchmark suite under one configuration."""
+
+    suite: str
+    config: str
+    #: whole-module static issue cost after compilation (Figure 11's
+    #: metric: lower = better code)
+    module_static_cost: int
+    #: simulated cycles of running every function once (Figure 12)
+    cycles: int
+    compile_seconds: float
+    trees_vectorized: int
+
+
+def module_static_cost(module: Module,
+                       target: TargetCostModel) -> int:
+    """Static issue cost of every instruction in the module."""
+    total = 0
+    for func in module.functions.values():
+        for inst in func.instructions():
+            total += target.issue_cost(inst)
+    return total
+
+
+def measure_suite(spec: SuiteSpec, config: VectorizerConfig,
+                  target: Optional[TargetCostModel] = None,
+                  seed: int = 0) -> SuiteMeasurement:
+    """Compile and execute a fresh copy of one suite."""
+    target = target if target is not None else skylake_like()
+    module = build_suite(spec)
+    results = compile_module(module, config, target)
+    compile_seconds = sum(r.compile_seconds for r in results)
+    vectorized = sum(r.report.num_vectorized for r in results)
+
+    memory = MemoryImage(module)
+    memory.randomize(seed=seed)
+    interpreter = Interpreter(memory, target)
+    cycles = 0
+    for func in module.functions.values():
+        weight = function_weight(func.name)
+        cycles += weight * interpreter.run(func, {"i": 8}).cycles
+    return SuiteMeasurement(
+        suite=spec.name,
+        config=config.name,
+        module_static_cost=module_static_cost(module, target),
+        cycles=cycles,
+        compile_seconds=compile_seconds,
+        trees_vectorized=vectorized,
+    )
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's summary statistic for speedups)."""
+    if not values:
+        return float("nan")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+__all__ = [
+    "geomean",
+    "KernelMeasurement",
+    "measure_kernel",
+    "measure_suite",
+    "module_static_cost",
+    "PAPER_CONFIGS",
+    "SENSITIVITY_CONFIGS",
+    "SuiteMeasurement",
+]

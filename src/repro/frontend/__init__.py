@@ -1,0 +1,41 @@
+"""repro.frontend — the mini C-like kernel language.
+
+Lets kernels be authored exactly as the paper prints them::
+
+    long A[], B[], C[];
+    void kernel(long i) {
+        A[i + 0] = (B[i + 0] << 1) & (C[i + 0] << 2);
+        A[i + 1] = (C[i + 1] << 3) & (B[i + 1] << 4);
+    }
+"""
+
+from .ast_nodes import (
+    ArrayDecl,
+    BinaryExpr,
+    ConditionalExpr,
+    CType,
+    Expr,
+    FuncDecl,
+    IndexExpr,
+    LetStmt,
+    NumExpr,
+    Param,
+    Program,
+    ReturnStmt,
+    Stmt,
+    StoreStmt,
+    UnaryExpr,
+    VarExpr,
+)
+from .lexer import LexError, Token, tokenize
+from .lower import compile_kernel_source, ir_type, lower_program, LowerError
+from .parser import DEFAULT_ARRAY_SIZE, parse_program, ParseError
+
+__all__ = [
+    "ArrayDecl", "BinaryExpr", "compile_kernel_source", "ConditionalExpr",
+    "CType", "DEFAULT_ARRAY_SIZE", "Expr", "FuncDecl", "IndexExpr",
+    "ir_type", "LetStmt", "LexError", "lower_program", "LowerError",
+    "NumExpr", "Param", "parse_program", "ParseError", "Program",
+    "ReturnStmt", "Stmt", "StoreStmt", "Token", "tokenize", "UnaryExpr",
+    "VarExpr",
+]

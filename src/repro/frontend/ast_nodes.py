@@ -1,0 +1,183 @@
+"""AST of the mini C-like kernel language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CType:
+    """A source-level type: base kind plus signedness."""
+
+    kind: str        #: "long", "int", "double", "float", "void"
+    unsigned: bool = False
+
+    def __str__(self) -> str:
+        prefix = "unsigned " if self.unsigned else ""
+        return prefix + self.kind
+
+
+@dataclass
+class ArrayDecl:
+    """``long A[256];`` — a global array (size optional, default 1024)."""
+
+    name: str
+    ctype: CType
+    size: int
+
+
+@dataclass
+class Param:
+    name: str
+    ctype: CType
+
+
+# ---- expressions -----------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    pass
+
+
+@dataclass
+class NumExpr(Expr):
+    text: str          #: original literal text ("0x11", "2.5", "7")
+
+    @property
+    def is_float(self) -> bool:
+        return ("." in self.text or "e" in self.text.lower()) and not (
+            self.text.lower().startswith("0x")
+        )
+
+    @property
+    def value(self):
+        if self.is_float:
+            return float(self.text)
+        return int(self.text, 0)
+
+
+@dataclass
+class VarExpr(Expr):
+    name: str
+
+
+@dataclass
+class IndexExpr(Expr):
+    """``A[i + 2]`` — an array element read (or store target)."""
+
+    array: str
+    index: Expr
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str            #: "-", "~"
+    operand: Expr
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str            #: C operator text: "+", "<<", "&", "<", "==", ...
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class CallExpr(Expr):
+    """``name(arg, ...)`` — a call to a previously defined function."""
+
+    callee: str
+    args: list = field(default_factory=list)
+
+
+@dataclass
+class ConditionalExpr(Expr):
+    """``cond ? a : b``."""
+
+    condition: Expr
+    on_true: Expr
+    on_false: Expr
+
+
+# ---- statements -------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    pass
+
+
+@dataclass
+class StoreStmt(Stmt):
+    """``A[i] = expr;``"""
+
+    target: IndexExpr
+    value: Expr
+
+
+@dataclass
+class LetStmt(Stmt):
+    """``long t = expr;`` — a single-assignment local."""
+
+    name: str
+    ctype: CType
+    value: Expr
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr]
+
+
+@dataclass
+class ForStmt(Stmt):
+    """``for (long j = init; cond; j = step) { body }`` — a counted loop.
+
+    The induction variable is scoped to the loop; the step must assign
+    back to it.  Bodies are straight-line statements (and nested fors).
+    """
+
+    var: str
+    var_type: CType
+    init: Expr
+    condition: Expr
+    step: Expr
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class FuncDecl:
+    name: str
+    return_type: CType
+    params: list[Param]
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Program:
+    arrays: list[ArrayDecl] = field(default_factory=list)
+    functions: list[FuncDecl] = field(default_factory=list)
+
+
+__all__ = [
+    "ArrayDecl",
+    "BinaryExpr",
+    "CallExpr",
+    "ConditionalExpr",
+    "CType",
+    "Expr",
+    "ForStmt",
+    "FuncDecl",
+    "IndexExpr",
+    "LetStmt",
+    "NumExpr",
+    "Param",
+    "Program",
+    "ReturnStmt",
+    "Stmt",
+    "StoreStmt",
+    "UnaryExpr",
+    "VarExpr",
+]

@@ -1,0 +1,125 @@
+"""Lexer for the mini C-like kernel language.
+
+The language covers exactly what the paper's listings use: global array
+declarations (``long A[], B[];``), straight-line kernel functions over
+typed parameters, array indexing, integer/float literals (including hex),
+and C's arithmetic/bitwise/shift/comparison operators with C precedence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class LexError(ValueError):
+    """Raised on an unrecognized character, with position info."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str      #: NAME, NUMBER, KEYWORD, or the operator/punct itself
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind!r}, {self.text!r})"
+
+
+KEYWORDS = frozenset({
+    "void", "long", "unsigned", "double", "float", "int", "return",
+    "for",
+})
+
+#: multi-character operators, longest first so maximal munch works
+_MULTI_OPS = ["<<", ">>", "<=", ">=", "==", "!="]
+_SINGLE_OPS = "+-*/%&|^~()[]{},;=<>?:"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`LexError` on bad input."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    line = 1
+    column = 1
+    pos = 0
+    length = len(source)
+    while pos < length:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            column = 1
+            pos += 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            column += 1
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = length if end == -1 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", line, column)
+            skipped = source[pos:end + 2]
+            line += skipped.count("\n")
+            pos = end + 2
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < length and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            text = source[start:pos]
+            kind = "KEYWORD" if text in KEYWORDS else "NAME"
+            yield Token(kind, text, line, column)
+            column += pos - start
+            continue
+        if ch.isdigit() or (
+            ch == "." and pos + 1 < length and source[pos + 1].isdigit()
+        ):
+            start = pos
+            if source.startswith("0x", pos) or source.startswith("0X", pos):
+                pos += 2
+                while pos < length and source[pos] in "0123456789abcdefABCDEF":
+                    pos += 1
+            else:
+                while pos < length and (source[pos].isdigit() or source[pos] == "."):
+                    pos += 1
+                if pos < length and source[pos] in "eE":
+                    pos += 1
+                    if pos < length and source[pos] in "+-":
+                        pos += 1
+                    while pos < length and source[pos].isdigit():
+                        pos += 1
+            yield Token("NUMBER", source[start:pos], line, column)
+            column += pos - start
+            continue
+        matched = False
+        for op in _MULTI_OPS:
+            if source.startswith(op, pos):
+                yield Token(op, op, line, column)
+                pos += len(op)
+                column += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _SINGLE_OPS:
+            yield Token(ch, ch, line, column)
+            pos += 1
+            column += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", line, column)
+
+
+__all__ = ["KEYWORDS", "LexError", "Token", "tokenize"]

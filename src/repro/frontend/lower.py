@@ -1,0 +1,368 @@
+"""Lowering: mini-C AST → repro IR.
+
+Every kernel in :mod:`repro.kernels` goes through this path, so the IR
+the vectorizer sees has exactly the shape a C compiler front-end would
+produce for the paper's listings: one ``gep`` + ``load`` per array read,
+operator trees in source order, and constants on the right of commutative
+operators only when the source wrote them there.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..ir.builder import IRBuilder
+from ..ir.function import Function, Module
+from ..ir.types import F32, F64, I1, I32, I64, Type, VOID
+from ..ir.values import Constant, GlobalArray, Value
+from .ast_nodes import (
+    ArrayDecl,
+    BinaryExpr,
+    CallExpr,
+    ForStmt,
+    ConditionalExpr,
+    CType,
+    Expr,
+    FuncDecl,
+    IndexExpr,
+    LetStmt,
+    NumExpr,
+    Program,
+    ReturnStmt,
+    StoreStmt,
+    UnaryExpr,
+    VarExpr,
+)
+from .parser import parse_program
+
+
+class LowerError(TypeError):
+    """Raised on type errors and undefined names during lowering."""
+
+
+_TYPE_MAP = {
+    "void": VOID,
+    "long": I64,
+    "int": I32,
+    "double": F64,
+    "float": F32,
+}
+
+
+def ir_type(ctype: CType) -> Type:
+    return _TYPE_MAP[ctype.kind]
+
+
+_INT_BINOPS = {
+    "+": "add", "-": "sub", "*": "mul", "/": "sdiv", "%": "srem",
+    "&": "and", "|": "or", "^": "xor", "<<": "shl",
+}
+_FLOAT_BINOPS = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+_CMP_PREDICATES = {
+    "==": ("eq", "oeq"), "!=": ("ne", "one"), "<": ("slt", "olt"),
+    "<=": ("sle", "ole"), ">": ("sgt", "ogt"), ">=": ("sge", "oge"),
+}
+
+
+def lower_program(source: Union[str, Program],
+                  module_name: str = "kernel") -> Module:
+    """Compile kernel-language source (or a parsed Program) to a Module."""
+    program = parse_program(source) if isinstance(source, str) else source
+    module = Module(module_name)
+    unsigned_arrays = {
+        decl.name: decl.ctype.unsigned for decl in program.arrays
+    }
+    for decl in program.arrays:
+        elem = ir_type(decl.ctype)
+        if elem.is_void:
+            raise LowerError(f"array @{decl.name} cannot be void")
+        module.add_global(GlobalArray(decl.name, elem, decl.size))
+    for func_decl in program.functions:
+        _FunctionLowering(module, func_decl, unsigned_arrays).run()
+    return module
+
+
+class _FunctionLowering:
+    def __init__(self, module: Module, decl: FuncDecl,
+                 unsigned_arrays: Optional[dict[str, bool]] = None):
+        self.module = module
+        self.decl = decl
+        self.unsigned_arrays = unsigned_arrays or {}
+        #: name -> (Value, unsigned?) for params and locals
+        self.scope: dict[str, tuple[Value, bool]] = {}
+        self.func: Optional[Function] = None
+        self.builder = IRBuilder()
+
+    def run(self) -> Function:
+        decl = self.decl
+        arg_types = [(p.name, ir_type(p.ctype)) for p in decl.params]
+        func = Function(decl.name, arg_types, ir_type(decl.return_type))
+        self.module.add_function(func)
+        self.func = func
+        for param, argument in zip(decl.params, func.arguments):
+            self.scope[param.name] = (argument, param.ctype.unsigned)
+        self.builder.set_block(func.add_block("entry"))
+        terminated = False
+        for stmt in decl.body:
+            if terminated:
+                raise LowerError(
+                    f"@{decl.name}: statement after return is unreachable"
+                )
+            terminated = self._lower_statement(stmt)
+        if not terminated:
+            if not func.return_type.is_void:
+                raise LowerError(f"@{decl.name}: missing return value")
+            self.builder.ret()
+        return func
+
+    # ---- statements -------------------------------------------------------
+
+    def _lower_statement(self, stmt) -> bool:
+        if isinstance(stmt, StoreStmt):
+            array = self._array(stmt.target.array)
+            index = self._lower(stmt.target.index, I64)
+            value, _ = self._lower_typed(stmt.value, array.element)
+            ptr = self.builder.gep(array, index)
+            self.builder.store(value, ptr)
+            return False
+        if isinstance(stmt, LetStmt):
+            if stmt.name in self.scope:
+                raise LowerError(f"redefinition of {stmt.name!r}")
+            declared = ir_type(stmt.ctype)
+            value, unsigned = self._lower_typed(stmt.value, declared)
+            self.scope[stmt.name] = (value, stmt.ctype.unsigned or unsigned)
+            return False
+        if isinstance(stmt, ForStmt):
+            self._lower_for(stmt)
+            return False
+        if isinstance(stmt, ReturnStmt):
+            if stmt.value is None:
+                if not self.func.return_type.is_void:
+                    raise LowerError("return without a value")
+                self.builder.ret()
+            else:
+                value, _ = self._lower_typed(
+                    stmt.value, self.func.return_type
+                )
+                self.builder.ret(value)
+            return True
+        raise LowerError(f"unsupported statement {stmt!r}")
+
+    def _lower_for(self, stmt: ForStmt) -> None:
+        """Lower a counted loop to preheader -> header(phi, cond, condbr)
+        -> body(..., step, br header) -> exit."""
+        var_type = ir_type(stmt.var_type)
+        if not var_type.is_integer:
+            raise LowerError("loop variable must have an integer type")
+        init_value = self._lower(stmt.init, var_type)
+
+        func = self.func
+        preheader = self.builder.block
+        header = func.add_block(func.unique_name("loop.header"))
+        body = func.add_block(func.unique_name("loop.body"))
+        exit_block = func.add_block(func.unique_name("loop.exit"))
+
+        self.builder.br(header)
+        self.builder.set_block(header)
+        phi = self.builder.phi(var_type, stmt.var)
+        phi.add_incoming(init_value, preheader)
+
+        saved_scope = dict(self.scope)
+        self.scope[stmt.var] = (phi, stmt.var_type.unsigned)
+        condition = self._lower(stmt.condition, None)
+        if condition.type is not I1:
+            raise LowerError("loop condition must be a comparison")
+        self.builder.condbr(condition, body, exit_block)
+
+        self.builder.set_block(body)
+        for inner in stmt.body:
+            if isinstance(inner, ReturnStmt):
+                raise LowerError("return inside a loop is not supported")
+            self._lower_statement(inner)
+        next_value = self._lower(stmt.step, var_type)
+        latch = self.builder.block
+        self.builder.br(header)
+        phi.add_incoming(next_value, latch)
+
+        self.scope = saved_scope
+        self.builder.set_block(exit_block)
+
+    # ---- expressions ---------------------------------------------------------
+
+    def _array(self, name: str) -> GlobalArray:
+        try:
+            return self.module.get_global(name)
+        except KeyError:
+            raise LowerError(f"undeclared array {name!r}") from None
+
+    def _lower(self, expr: Expr, expected: Optional[Type]) -> Value:
+        value, _ = self._lower_typed(expr, expected)
+        return value
+
+    def _lower_typed(self, expr: Expr, expected: Optional[Type]
+                     ) -> tuple[Value, bool]:
+        """Lower ``expr``; returns (value, carries-unsigned-flag)."""
+        if isinstance(expr, NumExpr):
+            return self._lower_literal(expr, expected), False
+        if isinstance(expr, VarExpr):
+            entry = self.scope.get(expr.name)
+            if entry is None:
+                raise LowerError(f"undefined name {expr.name!r}")
+            value, unsigned = entry
+            self._check(value.type, expected, expr.name)
+            return value, unsigned
+        if isinstance(expr, IndexExpr):
+            array = self._array(expr.array)
+            index = self._lower(expr.index, I64)
+            ptr = self.builder.gep(array, index)
+            value = self.builder.load(ptr)
+            self._check(value.type, expected, f"{expr.array}[...]")
+            unsigned = self._array_unsigned(expr.array)
+            return value, unsigned
+        if isinstance(expr, CallExpr):
+            return self._lower_call(expr, expected)
+        if isinstance(expr, UnaryExpr):
+            return self._lower_unary(expr, expected)
+        if isinstance(expr, BinaryExpr):
+            return self._lower_binary(expr, expected)
+        if isinstance(expr, ConditionalExpr):
+            condition = self._lower(expr.condition, None)
+            if condition.type.is_integer and condition.type.bits != 1:
+                # C truthiness: any non-i1 scalar compares against zero.
+                condition = self.builder.icmp(
+                    "ne", condition, Constant(condition.type, 0)
+                )
+            elif condition.type.is_float:
+                condition = self.builder.fcmp(
+                    "one", condition, Constant(condition.type, 0.0)
+                )
+            on_true, unsigned = self._lower_typed(expr.on_true, expected)
+            on_false = self._lower(expr.on_false, on_true.type)
+            return (
+                self.builder.select(condition, on_true, on_false),
+                unsigned,
+            )
+        raise LowerError(f"unsupported expression {expr!r}")
+
+    def _array_unsigned(self, name: str) -> bool:
+        return self.unsigned_arrays.get(name, False)
+
+    def _lower_literal(self, expr: NumExpr, expected: Optional[Type]) -> Value:
+        if expected is None:
+            expected = F64 if expr.is_float else I64
+        if expected.is_float:
+            return Constant(expected, float(expr.value))
+        if expr.is_float:
+            raise LowerError(
+                f"float literal {expr.text!r} in integer context"
+            )
+        return Constant(expected, expr.value)
+
+    def _lower_call(self, expr: CallExpr, expected: Optional[Type]
+                    ) -> tuple[Value, bool]:
+        try:
+            callee = self.module.get_function(expr.callee)
+        except KeyError:
+            raise LowerError(
+                f"call to undefined function {expr.callee!r} (functions "
+                "must be defined before use)"
+            ) from None
+        if len(expr.args) != len(callee.arguments):
+            raise LowerError(
+                f"{expr.callee!r} takes {len(callee.arguments)} "
+                f"argument(s), got {len(expr.args)}"
+            )
+        args = [
+            self._lower(arg, parameter.type)
+            for arg, parameter in zip(expr.args, callee.arguments)
+        ]
+        if callee.return_type.is_void:
+            raise LowerError(
+                f"void function {expr.callee!r} used as a value"
+            )
+        self._check(callee.return_type, expected, f"{expr.callee}(...)")
+        return self.builder.call(callee, args), False
+
+    def _lower_unary(self, expr: UnaryExpr, expected: Optional[Type]
+                     ) -> tuple[Value, bool]:
+        operand, unsigned = self._lower_typed(expr.operand, expected)
+        if expr.op == "-":
+            if operand.type.is_float:
+                return self.builder.fneg(operand), unsigned
+            zero = Constant(operand.type, 0)
+            return self.builder.sub(zero, operand), unsigned
+        if expr.op == "~":
+            if not operand.type.is_integer:
+                raise LowerError("~ requires an integer operand")
+            return self.builder.not_(operand), unsigned
+        raise LowerError(f"unsupported unary operator {expr.op!r}")
+
+    def _lower_binary(self, expr: BinaryExpr, expected: Optional[Type]
+                      ) -> tuple[Value, bool]:
+        if expr.op in _CMP_PREDICATES:
+            lhs, unsigned = self._infer_pair(expr.lhs, expr.rhs)
+            rhs = self._lower(expr.rhs, lhs.type)
+            int_pred, float_pred = _CMP_PREDICATES[expr.op]
+            if lhs.type.is_float:
+                return self.builder.fcmp(float_pred, lhs, rhs), False
+            return self.builder.icmp(int_pred, lhs, rhs), False
+
+        lhs, lhs_unsigned = self._infer_pair(expr.lhs, expr.rhs, expected)
+        rhs = self._lower(expr.rhs, lhs.type)
+        unsigned = lhs_unsigned
+        if lhs.type.is_float:
+            opcode = _FLOAT_BINOPS.get(expr.op)
+            if opcode is None:
+                raise LowerError(
+                    f"operator {expr.op!r} not defined on floats"
+                )
+        elif expr.op == ">>":
+            opcode = "lshr" if unsigned else "ashr"
+        else:
+            opcode = _INT_BINOPS.get(expr.op)
+            if opcode is None:
+                raise LowerError(f"unsupported operator {expr.op!r}")
+        return self.builder.binop(opcode, lhs, rhs), unsigned
+
+    def _infer_pair(self, lhs_expr: Expr, rhs_expr: Expr,
+                    expected: Optional[Type] = None) -> tuple[Value, bool]:
+        """Lower the left operand, letting a literal adopt the other
+        side's type when the context gives none."""
+        if expected is None and isinstance(lhs_expr, NumExpr):
+            probe = self._expr_type(rhs_expr)
+            if probe is not None:
+                expected = probe
+        return self._lower_typed(lhs_expr, expected)
+
+    def _expr_type(self, expr: Expr) -> Optional[Type]:
+        """Best-effort static type of ``expr`` without emitting code."""
+        if isinstance(expr, VarExpr):
+            entry = self.scope.get(expr.name)
+            return entry[0].type if entry else None
+        if isinstance(expr, IndexExpr):
+            try:
+                return self._array(expr.array).element
+            except LowerError:
+                return None
+        if isinstance(expr, (UnaryExpr,)):
+            return self._expr_type(expr.operand)
+        if isinstance(expr, BinaryExpr):
+            return self._expr_type(expr.lhs) or self._expr_type(expr.rhs)
+        if isinstance(expr, NumExpr):
+            return None
+        return None
+
+    @staticmethod
+    def _check(actual: Type, expected: Optional[Type], what: str) -> None:
+        if expected is not None and actual is not expected:
+            raise LowerError(
+                f"type mismatch for {what}: expected {expected}, got {actual}"
+            )
+
+
+def compile_kernel_source(source: str, module_name: str = "kernel") -> Module:
+    """Convenience: parse + lower in one call."""
+    return lower_program(source, module_name)
+
+
+__all__ = ["compile_kernel_source", "ir_type", "lower_program", "LowerError"]

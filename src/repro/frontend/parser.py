@@ -1,0 +1,285 @@
+"""Recursive-descent parser for the mini C-like kernel language.
+
+Grammar (C subset, straight-line bodies only)::
+
+    program    := (array_decl | func_decl)*
+    array_decl := ctype declarator ("," declarator)* ";"
+    declarator := NAME "[" NUMBER? "]"
+    func_decl  := ctype NAME "(" params? ")" "{" stmt* "}"
+    stmt       := NAME "[" expr "]" "=" expr ";"
+                | ctype NAME "=" expr ";"
+                | "return" expr? ";"
+    expr       := conditional (C precedence: ?: || nothing | ^ & == <
+                  << >> + - * / % | unary)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ast_nodes import (
+    ArrayDecl,
+    BinaryExpr,
+    CallExpr,
+    ForStmt,
+    ConditionalExpr,
+    CType,
+    Expr,
+    FuncDecl,
+    IndexExpr,
+    LetStmt,
+    NumExpr,
+    Param,
+    Program,
+    ReturnStmt,
+    Stmt,
+    StoreStmt,
+    UnaryExpr,
+    VarExpr,
+)
+from .lexer import Token, tokenize
+
+DEFAULT_ARRAY_SIZE = 1024
+
+#: binary operator precedence, loosest to tightest (C order, minus the
+#: logical and assignment tiers the language does not have)
+_PRECEDENCE = [
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class ParseError(ValueError):
+    """Raised on malformed source with token position info."""
+
+    def __init__(self, message: str, token: Optional[Token]):
+        location = f"{token.line}:{token.column}" if token else "eof"
+        text = f" near {token.text!r}" if token else ""
+        super().__init__(f"{location}: {message}{text}")
+
+
+def parse_program(source: str) -> Program:
+    """Parse kernel-language source into a :class:`Program`."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ---- token plumbing -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Optional[Token]:
+        index = self.pos + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input", None)
+        self.pos += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            raise ParseError(f"expected {kind!r}", token)
+        return self._next()
+
+    def _accept(self, kind: str) -> Optional[Token]:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            return self._next()
+        return None
+
+    # ---- types ------------------------------------------------------------
+
+    def _at_type(self) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "KEYWORD" and token.text in (
+            "void", "long", "unsigned", "double", "float", "int"
+        )
+
+    def _parse_ctype(self) -> CType:
+        token = self._expect("KEYWORD")
+        unsigned = False
+        if token.text == "unsigned":
+            unsigned = True
+            token = self._expect("KEYWORD")
+        if token.text not in ("void", "long", "double", "float", "int"):
+            raise ParseError("expected a type name", token)
+        if unsigned and token.text in ("double", "float", "void"):
+            raise ParseError(f"cannot apply unsigned to {token.text}", token)
+        return CType(token.text, unsigned)
+
+    # ---- top level -----------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program()
+        while self._peek() is not None:
+            ctype = self._parse_ctype()
+            name = self._expect("NAME").text
+            if self._peek() is not None and self._peek().kind == "(":
+                program.functions.append(self._parse_function(ctype, name))
+            else:
+                self._parse_array_decls(ctype, name, program)
+        return program
+
+    def _parse_array_decls(self, ctype: CType, first_name: str,
+                           program: Program) -> None:
+        name = first_name
+        while True:
+            self._expect("[")
+            size_token = self._accept("NUMBER")
+            size = int(size_token.text, 0) if size_token else DEFAULT_ARRAY_SIZE
+            self._expect("]")
+            program.arrays.append(ArrayDecl(name, ctype, size))
+            if self._accept(","):
+                name = self._expect("NAME").text
+                continue
+            self._expect(";")
+            return
+
+    def _parse_function(self, return_type: CType, name: str) -> FuncDecl:
+        self._expect("(")
+        params: list[Param] = []
+        if not self._accept(")"):
+            while True:
+                param_type = self._parse_ctype()
+                param_name = self._expect("NAME").text
+                params.append(Param(param_name, param_type))
+                if self._accept(")"):
+                    break
+                self._expect(",")
+        self._expect("{")
+        body: list[Stmt] = []
+        while not self._accept("}"):
+            body.append(self._parse_statement())
+        return FuncDecl(name, return_type, params, body)
+
+    # ---- statements -------------------------------------------------------------
+
+    def _parse_statement(self) -> Stmt:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input in body", None)
+        if token.kind == "KEYWORD" and token.text == "for":
+            return self._parse_for()
+        if token.kind == "KEYWORD" and token.text == "return":
+            self._next()
+            if self._accept(";"):
+                return ReturnStmt(None)
+            value = self._parse_expression()
+            self._expect(";")
+            return ReturnStmt(value)
+        if self._at_type():
+            ctype = self._parse_ctype()
+            name = self._expect("NAME").text
+            self._expect("=")
+            value = self._parse_expression()
+            self._expect(";")
+            return LetStmt(name, ctype, value)
+        # Array store: NAME [ expr ] = expr ;
+        name = self._expect("NAME").text
+        self._expect("[")
+        index = self._parse_expression()
+        self._expect("]")
+        self._expect("=")
+        value = self._parse_expression()
+        self._expect(";")
+        return StoreStmt(IndexExpr(name, index), value)
+
+    def _parse_for(self) -> Stmt:
+        self._expect("KEYWORD")  # 'for'
+        self._expect("(")
+        var_type = self._parse_ctype()
+        var = self._expect("NAME").text
+        self._expect("=")
+        init = self._parse_expression()
+        self._expect(";")
+        condition = self._parse_expression()
+        self._expect(";")
+        step_target = self._expect("NAME").text
+        if step_target != var:
+            raise ParseError(
+                f"loop step must assign to {var!r}", self._peek()
+            )
+        self._expect("=")
+        step = self._parse_expression()
+        self._expect(")")
+        self._expect("{")
+        body: list[Stmt] = []
+        while not self._accept("}"):
+            body.append(self._parse_statement())
+        return ForStmt(var, var_type, init, condition, step, body)
+
+    # ---- expressions ---------------------------------------------------------------
+
+    def _parse_expression(self) -> Expr:
+        return self._parse_conditional()
+
+    def _parse_conditional(self) -> Expr:
+        condition = self._parse_binary(0)
+        if self._accept("?"):
+            on_true = self._parse_expression()
+            self._expect(":")
+            on_false = self._parse_conditional()
+            return ConditionalExpr(condition, on_true, on_false)
+        return condition
+
+    def _parse_binary(self, level: int) -> Expr:
+        if level >= len(_PRECEDENCE):
+            return self._parse_unary()
+        expr = self._parse_binary(level + 1)
+        while True:
+            token = self._peek()
+            if token is None or token.kind not in _PRECEDENCE[level]:
+                return expr
+            self._next()
+            rhs = self._parse_binary(level + 1)
+            expr = BinaryExpr(token.kind, expr, rhs)
+
+    def _parse_unary(self) -> Expr:
+        token = self._peek()
+        if token is not None and token.kind in ("-", "~"):
+            self._next()
+            return UnaryExpr(token.kind, self._parse_unary())
+        if token is not None and token.kind == "+":
+            self._next()
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._next()
+        if token.kind == "NUMBER":
+            return NumExpr(token.text)
+        if token.kind == "(":
+            expr = self._parse_expression()
+            self._expect(")")
+            return expr
+        if token.kind == "NAME":
+            if self._accept("["):
+                index = self._parse_expression()
+                self._expect("]")
+                return IndexExpr(token.text, index)
+            if self._accept("("):
+                args = []
+                if not self._accept(")"):
+                    while True:
+                        args.append(self._parse_expression())
+                        if self._accept(")"):
+                            break
+                        self._expect(",")
+                return CallExpr(token.text, args)
+            return VarExpr(token.text)
+        raise ParseError("expected an expression", token)
+
+
+__all__ = ["DEFAULT_ARRAY_SIZE", "parse_program", "ParseError"]

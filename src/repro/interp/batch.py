@@ -1,0 +1,62 @@
+"""Batch measurement: run a kernel across an index sweep.
+
+The paper times each kernel executing over whole arrays (10 runs,
+averaged).  ``sweep`` reproduces that methodology on the simulator:
+invoke the kernel for a range of base indices against one memory image
+and accumulate cycles.  Because the machine model is deterministic, a
+single sweep substitutes for the paper's average-of-10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..costmodel.tti import TargetCostModel
+from ..ir.function import Function, Module
+from .interpreter import Interpreter
+from .memory import MemoryImage
+
+
+@dataclass
+class SweepResult:
+    """Aggregate of one kernel sweep."""
+
+    invocations: int
+    total_cycles: int
+    total_instructions: int
+
+    @property
+    def cycles_per_invocation(self) -> float:
+        if self.invocations == 0:
+            return 0.0
+        return self.total_cycles / self.invocations
+
+
+def sweep(module: Module, func: Function, *,
+          index_argument: str = "i",
+          start: int = 0, stop: int = 64, step: int = 4,
+          extra_args: Optional[dict[str, object]] = None,
+          seed: int = 0,
+          target: Optional[TargetCostModel] = None) -> SweepResult:
+    """Run ``func`` for ``index_argument`` in ``range(start, stop, step)``
+    over one randomized memory image."""
+    if step <= 0:
+        raise ValueError(f"sweep step must be positive, got {step}")
+    memory = MemoryImage(module)
+    memory.randomize(seed=seed)
+    interpreter = Interpreter(memory, target)
+    total_cycles = 0
+    total_instructions = 0
+    invocations = 0
+    for index in range(start, stop, step):
+        args = dict(extra_args or {})
+        args[index_argument] = index
+        result = interpreter.run(func, args)
+        total_cycles += result.cycles
+        total_instructions += result.instructions_retired
+        invocations += 1
+    return SweepResult(invocations, total_cycles, total_instructions)
+
+
+__all__ = ["sweep", "SweepResult"]

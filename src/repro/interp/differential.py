@@ -1,0 +1,107 @@
+"""Differential testing and cycle measurement helpers.
+
+Vectorization must be semantics-preserving: running the original and the
+transformed function on identical memory images must produce identical
+memory contents and return values.  These helpers package that check,
+and the speedup measurement the performance experiments use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..costmodel.tti import TargetCostModel
+from ..ir.function import Function, Module
+from .interpreter import ExecutionResult, Interpreter
+from .memory import MemoryImage
+
+#: Builds (module, function) pairs; called once per configuration so each
+#: gets a pristine copy of the kernel to transform.
+KernelFactory = Callable[[], tuple[Module, Function]]
+
+
+@dataclass
+class DifferentialOutcome:
+    """Result of comparing a reference run against a transformed run."""
+
+    equivalent: bool
+    reference: ExecutionResult
+    transformed: ExecutionResult
+    detail: str = ""
+
+    @property
+    def speedup(self) -> float:
+        if self.transformed.cycles == 0:
+            return float("inf")
+        return self.reference.cycles / self.transformed.cycles
+
+
+def run_on_fresh_memory(module: Module, func: Function,
+                        args: Optional[dict[str, object]] = None,
+                        seed: int = 0,
+                        target: Optional[TargetCostModel] = None
+                        ) -> tuple[ExecutionResult, MemoryImage]:
+    """Execute ``func`` on a freshly randomized memory image."""
+    memory = MemoryImage(module)
+    memory.randomize(seed=seed)
+    result = Interpreter(memory, target).run(func, args)
+    return result, memory
+
+
+def compare_runs(reference: tuple[Module, Function],
+                 transformed: tuple[Module, Function],
+                 args: Optional[dict[str, object]] = None,
+                 seed: int = 0,
+                 target: Optional[TargetCostModel] = None,
+                 float_tolerance: float = 1e-9) -> DifferentialOutcome:
+    """Run both functions on identical random inputs and compare every
+    observable: final memory contents and the return value."""
+    ref_result, ref_memory = run_on_fresh_memory(
+        *reference, args=args, seed=seed, target=target
+    )
+    new_result, new_memory = run_on_fresh_memory(
+        *transformed, args=args, seed=seed, target=target
+    )
+
+    detail = ""
+    equivalent = True
+    if not ref_memory.same_contents(new_memory, float_tolerance):
+        equivalent = False
+        detail = _first_memory_difference(ref_memory, new_memory)
+    elif not _values_equal(ref_result.return_value,
+                           new_result.return_value, float_tolerance):
+        equivalent = False
+        detail = (
+            f"return value {ref_result.return_value!r} != "
+            f"{new_result.return_value!r}"
+        )
+    return DifferentialOutcome(equivalent, ref_result, new_result, detail)
+
+
+def _values_equal(a, b, tol: float) -> bool:
+    if isinstance(a, float) or isinstance(b, float):
+        if a is None or b is None:
+            return a is b
+        return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
+    return a == b
+
+
+def _first_memory_difference(a: MemoryImage, b: MemoryImage) -> str:
+    arrays_a = a.arrays()
+    arrays_b = b.arrays()
+    for name in sorted(arrays_a):
+        buf_a = arrays_a[name]
+        buf_b = arrays_b.get(name, [])
+        for index, (va, vb) in enumerate(zip(buf_a, buf_b)):
+            if va != vb:
+                return f"@{name}[{index}]: {va!r} != {vb!r}"
+    return "memory images differ"
+
+
+__all__ = [
+    "compare_runs",
+    "DifferentialOutcome",
+    "KernelFactory",
+    "run_on_fresh_memory",
+]

@@ -1,0 +1,288 @@
+"""IR interpreter with simulated-cycle accounting.
+
+Executes scalar *and* vector IR over a :class:`MemoryImage` and charges
+each retired instruction its issue cost from the target cost model.  The
+resulting cycle counts stand in for the paper's Skylake measurements:
+speedup = scalar cycles / vectorized cycles for the same kernel on the
+same inputs.  The interpreter doubles as the differential-testing oracle
+(vectorization must not change any observable result).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..costmodel.targets import skylake_like
+from ..costmodel.tti import TargetCostModel
+from ..ir.builder import UndefVector
+from ..ir.call import Call
+from ..ir.controlflow import Br, CondBr, Phi
+from ..ir.function import Function
+from ..ir.instructions import (
+    BinaryOperator,
+    Cmp,
+    ExtractElement,
+    GetElementPtr,
+    InsertElement,
+    Instruction,
+    Load,
+    Ret,
+    Select,
+    ShuffleVector,
+    Splat,
+    Store,
+    UnaryOperator,
+)
+from ..ir.semantics import eval_binop, eval_cmp, eval_unop
+from ..ir.types import scalar_of
+from ..ir.values import (
+    Argument,
+    Constant,
+    GlobalArray,
+    Value,
+    VectorConstant,
+)
+from .memory import MemoryImage, Pointer
+
+
+class InterpreterError(RuntimeError):
+    """Raised on out-of-bounds access, missing arguments, and the like."""
+
+
+#: safety valve against non-terminating loops in interpreted code
+DEFAULT_STEP_LIMIT = 1_000_000
+
+
+@dataclass
+class ExecutionResult:
+    """What one function invocation did."""
+
+    return_value: object = None
+    cycles: int = 0
+    instructions_retired: int = 0
+    opcode_counts: Counter = field(default_factory=Counter)
+
+
+class Interpreter:
+    """Executes functions of a module against a memory image."""
+
+    def __init__(self, memory: MemoryImage,
+                 target: Optional[TargetCostModel] = None):
+        self.memory = memory
+        self.target = target if target is not None else skylake_like()
+
+    # ------------------------------------------------------------------
+
+    #: recursion depth guard for call execution
+    MAX_CALL_DEPTH = 64
+
+    def run(self, func: Function,
+            args: Optional[dict[str, object]] = None,
+            step_limit: int = DEFAULT_STEP_LIMIT,
+            on_retire=None, _depth: int = 0) -> ExecutionResult:
+        """Execute ``func``; ``args`` maps argument names to runtime
+        values (ints/floats, or :class:`Pointer` for pointer args).
+
+        Handles arbitrary control flow (branches, loops, phis); the
+        ``step_limit`` bounds total retired instructions so buggy IR
+        cannot hang the process.  ``on_retire(inst, value)`` — when given
+        — is called for every retired instruction with the value it
+        produced (None for stores/branches), enabling execution traces.
+        """
+        env: dict[int, object] = {}
+        for argument in func.arguments:
+            value = (args or {}).get(argument.name)
+            if value is None:
+                raise InterpreterError(
+                    f"missing argument %{argument.name} for @{func.name}"
+                )
+            env[id(argument)] = value
+
+        result = ExecutionResult()
+        block = func.entry
+        prev_block = None
+        while block is not None:
+            next_block = None
+            # Phis read their incoming values *simultaneously* on entry.
+            phis = block.phis()
+            if phis:
+                if prev_block is None:
+                    raise InterpreterError(
+                        f"phi in entry block {block.name}"
+                    )
+                staged = [
+                    (phi, self._get(env, phi.incoming_for(prev_block)))
+                    for phi in phis
+                ]
+                for phi, value in staged:
+                    env[id(phi)] = value
+                    result.cycles += self.target.issue_cost(phi)
+                    result.instructions_retired += 1
+                    result.opcode_counts[phi.opcode] += 1
+                    if on_retire is not None:
+                        on_retire(phi, value)
+
+            for inst in block.instructions[len(phis):]:
+                result.cycles += self.target.issue_cost(inst)
+                result.instructions_retired += 1
+                result.opcode_counts[inst.opcode] += 1
+                if result.instructions_retired > step_limit:
+                    raise InterpreterError(
+                        f"step limit {step_limit} exceeded in @{func.name}"
+                    )
+                if isinstance(inst, Ret):
+                    if inst.return_value is not None:
+                        result.return_value = self._get(
+                            env, inst.return_value
+                        )
+                    if on_retire is not None:
+                        on_retire(inst, result.return_value)
+                    return result
+                if isinstance(inst, Br):
+                    if on_retire is not None:
+                        on_retire(inst, None)
+                    next_block = inst.target
+                    break
+                if isinstance(inst, CondBr):
+                    taken = self._get(env, inst.condition)
+                    if on_retire is not None:
+                        on_retire(inst, bool(taken))
+                    next_block = inst.on_true if taken else inst.on_false
+                    break
+                if isinstance(inst, Call):
+                    value = self._execute_call(inst, env, result, _depth)
+                else:
+                    value = self._execute(inst, env)
+                env[id(inst)] = value
+                if on_retire is not None:
+                    on_retire(inst, value)
+            prev_block = block
+            block = next_block
+        return result
+
+    def _execute_call(self, inst: Call, env: dict[int, object],
+                      result: ExecutionResult, depth: int):
+        if depth >= self.MAX_CALL_DEPTH:
+            raise InterpreterError(
+                f"call depth limit exceeded calling @{inst.callee.name}"
+            )
+        call_args = {
+            argument.name: self._get(env, operand)
+            for argument, operand in zip(inst.callee.arguments,
+                                         inst.operands)
+        }
+        inner = self.run(inst.callee, call_args, _depth=depth + 1)
+        result.cycles += inner.cycles
+        result.instructions_retired += inner.instructions_retired
+        result.opcode_counts.update(inner.opcode_counts)
+        return inner.return_value
+
+    # ------------------------------------------------------------------
+
+    def _get(self, env: dict[int, object], value: Value):
+        if isinstance(value, Constant):
+            return value.value
+        if isinstance(value, VectorConstant):
+            return list(value.values)
+        if isinstance(value, UndefVector):
+            zero = 0.0 if value.type.element.is_float else 0
+            return [zero] * value.type.count
+        if isinstance(value, GlobalArray):
+            if value.name not in self.memory:
+                raise InterpreterError(f"no buffer for @{value.name}")
+            return self.memory.pointer_to(value.name)
+        if isinstance(value, (Argument, Instruction)):
+            try:
+                return env[id(value)]
+            except KeyError:
+                raise InterpreterError(
+                    f"use of unevaluated value {value.short_name()}"
+                ) from None
+        raise InterpreterError(f"cannot evaluate {value!r}")
+
+    def _execute(self, inst: Instruction, env: dict[int, object]):
+        ops = [self._get(env, op) for op in inst.operands]
+        elem = scalar_of(inst.type)
+
+        if isinstance(inst, BinaryOperator):
+            return self._lanewise2(
+                inst, ops[0], ops[1],
+                lambda a, b: eval_binop(inst.opcode, a, b, elem),
+            )
+        if isinstance(inst, UnaryOperator):
+            if isinstance(ops[0], list):
+                return [eval_unop(inst.opcode, v, elem) for v in ops[0]]
+            return eval_unop(inst.opcode, ops[0], elem)
+        if isinstance(inst, Cmp):
+            return self._lanewise2(
+                inst, ops[0], ops[1],
+                lambda a, b: eval_cmp(inst.predicate, a, b),
+            )
+        if isinstance(inst, Select):
+            cond, on_true, on_false = ops
+            if isinstance(cond, list):
+                return [
+                    t if c else f for c, t, f in zip(cond, on_true, on_false)
+                ]
+            return on_true if cond else on_false
+        if isinstance(inst, GetElementPtr):
+            base, index = ops
+            if not isinstance(base, Pointer):
+                raise InterpreterError(f"gep of non-pointer in {inst!r}")
+            return base.advanced(index)
+        if isinstance(inst, Load):
+            return self._load(inst, ops[0])
+        if isinstance(inst, Store):
+            self._store(inst, ops[0], ops[1])
+            return None
+        if isinstance(inst, InsertElement):
+            vec = list(ops[0])
+            vec[inst.lane] = ops[1]
+            return vec
+        if isinstance(inst, ExtractElement):
+            return ops[0][inst.lane]
+        if isinstance(inst, ShuffleVector):
+            pool = list(ops[0]) + list(ops[1])
+            return [pool[m] for m in inst.mask]
+        if isinstance(inst, Splat):
+            return [ops[0]] * inst.type.count
+        raise InterpreterError(f"cannot interpret {inst!r}")
+
+    @staticmethod
+    def _lanewise2(inst: Instruction, lhs, rhs, op):
+        if isinstance(lhs, list):
+            return [op(a, b) for a, b in zip(lhs, rhs)]
+        return op(lhs, rhs)
+
+    def _load(self, inst: Load, ptr):
+        if not isinstance(ptr, Pointer):
+            raise InterpreterError(f"load through non-pointer in {inst!r}")
+        if inst.is_vector_load:
+            count = inst.type.count
+            self._check_bounds(inst, ptr, count)
+            return list(ptr.buffer[ptr.offset:ptr.offset + count])
+        self._check_bounds(inst, ptr, 1)
+        return ptr.buffer[ptr.offset]
+
+    def _store(self, inst: Store, value, ptr) -> None:
+        if not isinstance(ptr, Pointer):
+            raise InterpreterError(f"store through non-pointer in {inst!r}")
+        if isinstance(value, list):
+            self._check_bounds(inst, ptr, len(value))
+            ptr.buffer[ptr.offset:ptr.offset + len(value)] = value
+        else:
+            self._check_bounds(inst, ptr, 1)
+            ptr.buffer[ptr.offset] = value
+
+    @staticmethod
+    def _check_bounds(inst: Instruction, ptr: Pointer, width: int) -> None:
+        if ptr.offset < 0 or ptr.offset + width > len(ptr.buffer):
+            raise InterpreterError(
+                f"access @{ptr.name}[{ptr.offset}:{ptr.offset + width}] "
+                f"out of bounds (size {len(ptr.buffer)}) in {inst!r}"
+            )
+
+
+__all__ = ["ExecutionResult", "Interpreter", "InterpreterError"]

@@ -1,0 +1,229 @@
+"""IRBuilder: ergonomic construction of instructions at an insert point."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .basicblock import BasicBlock
+from .call import Call
+from .controlflow import Br, CondBr, Phi
+from .instructions import (
+    BinaryOperator,
+    Cmp,
+    ExtractElement,
+    GetElementPtr,
+    InsertElement,
+    Instruction,
+    Load,
+    Ret,
+    Select,
+    ShuffleVector,
+    Splat,
+    Store,
+    UnaryOperator,
+)
+from .types import I32, I64, Type, VectorType, vector_of
+from .values import Constant, Value
+
+
+class IRBuilder:
+    """Creates instructions and inserts them at the current position.
+
+    By default instructions are appended to the block; ``position_before``
+    redirects insertion before an anchor instruction (used heavily by the
+    vector code generator, which splices vector code in place of the
+    scalar group it replaces).
+    """
+
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self.block = block
+        self._anchor: Optional[Instruction] = None
+
+    # ---- positioning -----------------------------------------------------
+
+    def set_block(self, block: BasicBlock) -> None:
+        self.block = block
+        self._anchor = None
+
+    def position_before(self, inst: Instruction) -> None:
+        self.block = inst.parent
+        self._anchor = inst
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self.block = block
+        self._anchor = None
+
+    def insert(self, inst: Instruction, name_hint: str = "") -> Instruction:
+        """Insert ``inst`` at the current position, naming it if unnamed."""
+        if self.block is None:
+            raise ValueError("builder has no insertion block")
+        if not inst.name and not inst.type.is_void:
+            func = self.block.parent
+            hint = name_hint or inst.opcode
+            inst.name = func.unique_name(hint) if func else hint
+        if self._anchor is not None:
+            self.block.insert_before(self._anchor, inst)
+        else:
+            self.block.append(inst)
+        return inst
+
+    # ---- constants --------------------------------------------------------
+
+    def const(self, ty: Type, value) -> Constant:
+        return Constant(ty, value)
+
+    def i64(self, value: int) -> Constant:
+        return Constant(I64, value)
+
+    def i32(self, value: int) -> Constant:
+        return Constant(I32, value)
+
+    # ---- arithmetic --------------------------------------------------------
+
+    def binop(self, opcode: str, lhs: Value, rhs: Value,
+              name: str = "") -> BinaryOperator:
+        return self.insert(BinaryOperator(opcode, lhs, rhs), name or opcode)
+
+    def add(self, a, b, name=""):
+        return self.binop("add", a, b, name)
+
+    def sub(self, a, b, name=""):
+        return self.binop("sub", a, b, name)
+
+    def mul(self, a, b, name=""):
+        return self.binop("mul", a, b, name)
+
+    def sdiv(self, a, b, name=""):
+        return self.binop("sdiv", a, b, name)
+
+    def and_(self, a, b, name=""):
+        return self.binop("and", a, b, name)
+
+    def or_(self, a, b, name=""):
+        return self.binop("or", a, b, name)
+
+    def xor(self, a, b, name=""):
+        return self.binop("xor", a, b, name)
+
+    def shl(self, a, b, name=""):
+        return self.binop("shl", a, b, name)
+
+    def lshr(self, a, b, name=""):
+        return self.binop("lshr", a, b, name)
+
+    def ashr(self, a, b, name=""):
+        return self.binop("ashr", a, b, name)
+
+    def fadd(self, a, b, name=""):
+        return self.binop("fadd", a, b, name)
+
+    def fsub(self, a, b, name=""):
+        return self.binop("fsub", a, b, name)
+
+    def fmul(self, a, b, name=""):
+        return self.binop("fmul", a, b, name)
+
+    def fdiv(self, a, b, name=""):
+        return self.binop("fdiv", a, b, name)
+
+    def unop(self, opcode: str, operand: Value, name: str = "") -> UnaryOperator:
+        return self.insert(UnaryOperator(opcode, operand), name or opcode)
+
+    def fneg(self, a, name=""):
+        return self.unop("fneg", a, name)
+
+    def not_(self, a, name=""):
+        return self.unop("not", a, name)
+
+    def icmp(self, predicate: str, a: Value, b: Value, name: str = "") -> Cmp:
+        return self.insert(Cmp("icmp", predicate, a, b), name or "cmp")
+
+    def fcmp(self, predicate: str, a: Value, b: Value, name: str = "") -> Cmp:
+        return self.insert(Cmp("fcmp", predicate, a, b), name or "cmp")
+
+    def select(self, cond: Value, a: Value, b: Value, name: str = "") -> Select:
+        return self.insert(Select(cond, a, b), name or "sel")
+
+    # ---- memory ------------------------------------------------------------
+
+    def gep(self, base: Value, index, name: str = "") -> GetElementPtr:
+        if isinstance(index, int):
+            index = self.i64(index)
+        return self.insert(GetElementPtr(base, index), name or "ptr")
+
+    def load(self, ptr: Value, name: str = "") -> Load:
+        return self.insert(Load(ptr.type.pointee, ptr), name or "ld")
+
+    def vload(self, ptr: Value, count: int, name: str = "") -> Load:
+        """Contiguous vector load of ``count`` lanes starting at ``ptr``."""
+        vec_ty = vector_of(ptr.type.pointee, count)
+        return self.insert(Load(vec_ty, ptr), name or "vld")
+
+    def store(self, value: Value, ptr: Value) -> Store:
+        return self.insert(Store(value, ptr))
+
+    # ---- vectors -------------------------------------------------------------
+
+    def insertelement(self, vec: Value, scalar: Value, lane: int,
+                      name: str = "") -> InsertElement:
+        return self.insert(
+            InsertElement(vec, scalar, self.i32(lane)), name or "ins"
+        )
+
+    def extractelement(self, vec: Value, lane: int,
+                       name: str = "") -> ExtractElement:
+        return self.insert(
+            ExtractElement(vec, self.i32(lane)), name or "ext"
+        )
+
+    def shufflevector(self, a: Value, b: Value, mask: Sequence[int],
+                      name: str = "") -> ShuffleVector:
+        return self.insert(ShuffleVector(a, b, tuple(mask)), name or "shuf")
+
+    def splat(self, scalar: Value, count: int, name: str = "") -> Splat:
+        return self.insert(Splat(scalar, count), name or "splat")
+
+    def build_vector(self, elements: Sequence[Value],
+                     name: str = "") -> Value:
+        """Aggregate scalars into a vector via an insertelement chain.
+
+        This is how SLP gathers the inputs of a vector group whose
+        operands could not themselves be vectorized.
+        """
+        if not elements:
+            raise ValueError("cannot build an empty vector")
+        vec_ty = vector_of(elements[0].type, len(elements))
+        vec: Value = UndefVector(vec_ty)
+        for lane, element in enumerate(elements):
+            vec = self.insertelement(vec, element, lane, name or "gather")
+        return vec
+
+    # ---- control -----------------------------------------------------------
+
+    def ret(self, value: Optional[Value] = None) -> Ret:
+        return self.insert(Ret(value))
+
+    def br(self, target) -> Br:
+        return self.insert(Br(target))
+
+    def condbr(self, condition: Value, on_true, on_false) -> CondBr:
+        return self.insert(CondBr(condition, on_true, on_false))
+
+    def phi(self, ty: Type, name: str = "") -> Phi:
+        return self.insert(Phi(ty), name or "phi")
+
+    def call(self, callee, args: Sequence[Value], name: str = "") -> Call:
+        return self.insert(Call(callee, list(args)), name or "call")
+
+
+class UndefVector(Value):
+    """An undefined vector value — the seed of an insertelement chain."""
+
+    def __init__(self, ty: VectorType):
+        super().__init__(ty, "")
+
+    def short_name(self) -> str:
+        return "undef"
+
+
+__all__ = ["IRBuilder", "UndefVector"]

@@ -1,0 +1,51 @@
+"""Direct function calls.
+
+The paper's kernels are small library functions (povray's ``VSumSqr``,
+milc's ``su2_mat_vec``) that the compiler inlines before vectorizing;
+``Call`` plus :mod:`repro.opt.inline` reproduce that setting.  Calls are
+direct (the callee is a ``Function``, not an operand) and may read and
+write any memory, so they conservatively fence memory optimizations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .instructions import Instruction
+from .values import Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .function import Function
+
+
+class Call(Instruction):
+    """``%r = call @callee(args...)`` — a direct call."""
+
+    opcode = "call"
+
+    def __init__(self, callee: "Function", args: list[Value],
+                 name: str = ""):
+        expected = [argument.type for argument in callee.arguments]
+        actual = [value.type for value in args]
+        if expected != actual:
+            raise TypeError(
+                f"call to @{callee.name}: argument types {actual} do not "
+                f"match parameters {expected}"
+            )
+        super().__init__(callee.return_type, list(args), name)
+        self.callee = callee
+
+    @property
+    def may_read_memory(self) -> bool:  # type: ignore[override]
+        return True
+
+    @property
+    def may_write_memory(self) -> bool:  # type: ignore[override]
+        return True
+
+    @property
+    def has_side_effects(self) -> bool:  # type: ignore[override]
+        return True
+
+
+__all__ = ["Call"]

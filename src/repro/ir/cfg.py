@@ -1,0 +1,135 @@
+"""CFG utilities: predecessors, reachability, order, dominators.
+
+The dominator computation is the classic iterative data-flow algorithm
+(Cooper/Harvey/Kennedy style, on sets for simplicity — functions here
+have a handful of blocks).  Used by the verifier for cross-block SSA
+dominance and by the loop analyses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .basicblock import BasicBlock
+from .function import Function
+
+
+def predecessors(func: Function) -> dict[int, list[BasicBlock]]:
+    """Map from ``id(block)`` to its CFG predecessors, in block order."""
+    preds: dict[int, list[BasicBlock]] = {
+        id(block): [] for block in func.blocks
+    }
+    for block in func.blocks:
+        for succ in block.successors():
+            entry = preds.get(id(succ))
+            if entry is not None and block not in entry:
+                entry.append(block)
+    return preds
+
+
+def reachable_blocks(func: Function) -> list[BasicBlock]:
+    """Blocks reachable from the entry, in depth-first discovery order."""
+    if not func.blocks:
+        return []
+    seen: set[int] = set()
+    order: list[BasicBlock] = []
+    stack = [func.entry]
+    while stack:
+        block = stack.pop()
+        if id(block) in seen:
+            continue
+        seen.add(id(block))
+        order.append(block)
+        stack.extend(reversed(block.successors()))
+    return order
+
+
+def reverse_post_order(func: Function) -> list[BasicBlock]:
+    """Reverse post-order over reachable blocks (forward data flow)."""
+    seen: set[int] = set()
+    post: list[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        seen.add(id(block))
+        for succ in block.successors():
+            if id(succ) not in seen:
+                visit(succ)
+        post.append(block)
+
+    if func.blocks:
+        visit(func.entry)
+    return list(reversed(post))
+
+
+class DominatorInfo:
+    """Dominator sets for one function (reachable blocks only)."""
+
+    def __init__(self, func: Function):
+        self.func = func
+        self._dominators: dict[int, set[int]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        order = reverse_post_order(self.func)
+        if not order:
+            return
+        preds = predecessors(self.func)
+        all_ids = {id(block) for block in order}
+        entry = order[0]
+        self._dominators[id(entry)] = {id(entry)}
+        for block in order[1:]:
+            self._dominators[id(block)] = set(all_ids)
+
+        changed = True
+        while changed:
+            changed = False
+            for block in order[1:]:
+                reachable_preds = [
+                    p for p in preds[id(block)] if id(p) in all_ids
+                ]
+                if reachable_preds:
+                    new = set.intersection(
+                        *(self._dominators[id(p)] for p in reachable_preds)
+                    )
+                else:
+                    new = set()
+                new.add(id(block))
+                if new != self._dominators[id(block)]:
+                    self._dominators[id(block)] = new
+                    changed = True
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True when every path from entry to ``b`` goes through ``a``."""
+        dom_b = self._dominators.get(id(b))
+        if dom_b is None:
+            return False  # b unreachable: vacuous, report False
+        return id(a) in dom_b
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def immediate_dominator(self, block: BasicBlock
+                            ) -> Optional[BasicBlock]:
+        """The closest strict dominator, or None for the entry."""
+        dom = self._dominators.get(id(block))
+        if dom is None or len(dom) <= 1:
+            return None
+        strict = dom - {id(block)}
+        by_id = {id(b): b for b in self.func.blocks}
+        # the idom is the strict dominator dominated by all the others
+        for candidate_id in strict:
+            candidate = by_id[candidate_id]
+            if all(
+                self.dominates(by_id[other], candidate)
+                for other in strict
+            ):
+                return candidate
+        return None
+
+
+__all__ = [
+    "DominatorInfo",
+    "predecessors",
+    "reachable_blocks",
+    "reverse_post_order",
+]

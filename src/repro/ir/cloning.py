@@ -1,0 +1,72 @@
+"""Instruction cloning with value remapping (used by the loop unroller)."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .call import Call
+from .controlflow import Br, CondBr, Phi
+from .instructions import (
+    BinaryOperator,
+    Cmp,
+    ExtractElement,
+    GetElementPtr,
+    InsertElement,
+    Instruction,
+    Load,
+    Ret,
+    Select,
+    ShuffleVector,
+    Splat,
+    Store,
+    UnaryOperator,
+)
+from .values import Value
+
+#: maps original values to their replacements during cloning
+ValueMap = dict[int, Value]
+
+
+def map_value(value: Value, vmap: ValueMap) -> Value:
+    """The replacement for ``value`` under ``vmap`` (identity default)."""
+    return vmap.get(id(value), value)
+
+
+def clone_instruction(inst: Instruction, vmap: ValueMap) -> Instruction:
+    """Clone ``inst`` with operands remapped through ``vmap``.
+
+    Control-flow instructions (br/condbr/phi/ret) are intentionally not
+    clonable here: the unroller handles control flow structurally.
+    """
+    ops = [map_value(op, vmap) for op in inst.operands]
+
+    if isinstance(inst, BinaryOperator):
+        return BinaryOperator(inst.opcode, ops[0], ops[1])
+    if isinstance(inst, UnaryOperator):
+        return UnaryOperator(inst.opcode, ops[0])
+    if isinstance(inst, Cmp):
+        return Cmp(inst.opcode, inst.predicate, ops[0], ops[1])
+    if isinstance(inst, Select):
+        return Select(ops[0], ops[1], ops[2])
+    if isinstance(inst, GetElementPtr):
+        return GetElementPtr(ops[0], ops[1])
+    if isinstance(inst, Load):
+        return Load(inst.type, ops[0])
+    if isinstance(inst, Store):
+        return Store(ops[0], ops[1])
+    if isinstance(inst, InsertElement):
+        return InsertElement(ops[0], ops[1], ops[2])
+    if isinstance(inst, ExtractElement):
+        return ExtractElement(ops[0], ops[1])
+    if isinstance(inst, ShuffleVector):
+        return ShuffleVector(ops[0], ops[1], inst.mask)
+    if isinstance(inst, Splat):
+        return Splat(ops[0], inst.type.count)
+    if isinstance(inst, Call):
+        return Call(inst.callee, ops)
+    if isinstance(inst, (Br, CondBr, Phi, Ret)):
+        raise ValueError(f"refusing to clone control flow: {inst!r}")
+    raise ValueError(f"do not know how to clone {inst!r}")
+
+
+__all__ = ["clone_instruction", "map_value", "ValueMap"]

@@ -1,0 +1,122 @@
+"""Control-flow instructions: branches and phi nodes.
+
+The straight-line kernels of the paper never branch, but the pipeline
+the paper assumes (§2.1: SLP runs after loop transformations) does: the
+frontend lowers ``for`` loops to real CFG loops, the unroller flattens
+counted loops, and SLP vectorizes the straight-line result.  These
+instructions complete the IR for that pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from .instructions import Instruction
+from .types import I1, Type, VOID
+from .values import Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .basicblock import BasicBlock
+
+
+class Br(Instruction):
+    """Unconditional branch to a target block."""
+
+    opcode = "br"
+
+    def __init__(self, target: "BasicBlock"):
+        super().__init__(VOID, [])
+        self.target = target
+
+    def successors(self) -> list["BasicBlock"]:
+        return [self.target]
+
+    def replace_successor(self, old: "BasicBlock",
+                          new: "BasicBlock") -> None:
+        if self.target is old:
+            self.target = new
+
+
+class CondBr(Instruction):
+    """Conditional branch: ``condbr i1 %c, label %then, label %else``."""
+
+    opcode = "condbr"
+
+    def __init__(self, condition: Value, on_true: "BasicBlock",
+                 on_false: "BasicBlock"):
+        if condition.type is not I1:
+            raise TypeError(
+                f"condbr condition must be i1, got {condition.type}"
+            )
+        super().__init__(VOID, [condition])
+        self.on_true = on_true
+        self.on_false = on_false
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    def successors(self) -> list["BasicBlock"]:
+        return [self.on_true, self.on_false]
+
+    def replace_successor(self, old: "BasicBlock",
+                          new: "BasicBlock") -> None:
+        if self.on_true is old:
+            self.on_true = new
+        if self.on_false is old:
+            self.on_false = new
+
+
+class Phi(Instruction):
+    """SSA phi node: value depends on the predecessor taken.
+
+    Incoming blocks are stored parallel to the operand list, so standard
+    use-def bookkeeping covers the values while ``incoming_blocks``
+    mirrors the edges.
+    """
+
+    opcode = "phi"
+
+    def __init__(self, ty: Type, name: str = ""):
+        super().__init__(ty, [], name)
+        self.incoming_blocks: list["BasicBlock"] = []
+
+    def add_incoming(self, value: Value, block: "BasicBlock") -> None:
+        if value.type is not self.type:
+            raise TypeError(
+                f"phi incoming {value.type} does not match {self.type}"
+            )
+        self._append_operand(value)
+        self.incoming_blocks.append(block)
+
+    def incoming(self) -> list[tuple[Value, "BasicBlock"]]:
+        return list(zip(self.operands, self.incoming_blocks))
+
+    def incoming_for(self, block: "BasicBlock") -> Value:
+        for value, pred in self.incoming():
+            if pred is block:
+                return value
+        raise KeyError(f"phi has no incoming edge from {block.name}")
+
+    def remove_incoming(self, block: "BasicBlock") -> None:
+        if block not in self.incoming_blocks:
+            raise KeyError(f"phi has no incoming edge from {block.name}")
+        # Rebuild the operand list: simplest way to keep use indices
+        # coherent when an edge in the middle disappears.
+        kept = [
+            (value, pred)
+            for value, pred in self.incoming()
+            if pred is not block
+        ]
+        self.drop_all_references()
+        self.incoming_blocks = []
+        for value, pred in kept:
+            self.add_incoming(value, pred)
+
+
+def is_terminator_instruction(inst: Instruction) -> bool:
+    """Ret, Br or CondBr — must be (and stay) last in a block."""
+    return isinstance(inst, (Br, CondBr)) or inst.opcode == "ret"
+
+
+__all__ = ["Br", "CondBr", "is_terminator_instruction", "Phi"]

@@ -1,0 +1,497 @@
+"""Instruction set of the repro IR.
+
+The instruction set is the subset of LLVM IR that straight-line-code
+vectorization exercises: integer/float arithmetic and bitwise binary
+operators (with the commutativity metadata the LSLP algorithm keys on),
+comparisons and selects, pointer arithmetic (``gep``), loads and stores
+(scalar and vector forms), and the vector shuffle/insert/extract family
+the code generator emits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from .types import (
+    I1,
+    PointerType,
+    Type,
+    VOID,
+    VectorType,
+    scalar_of,
+    vector_of,
+)
+from .values import Constant, User, Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .basicblock import BasicBlock
+
+
+# ---------------------------------------------------------------------------
+# Opcode metadata
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static properties of one opcode."""
+
+    name: str
+    commutative: bool = False
+    is_float: bool = False
+    is_shift: bool = False
+    is_division: bool = False
+
+
+_BINARY_OPCODES = {
+    info.name: info
+    for info in [
+        OpcodeInfo("add", commutative=True),
+        OpcodeInfo("sub"),
+        OpcodeInfo("mul", commutative=True),
+        OpcodeInfo("sdiv", is_division=True),
+        OpcodeInfo("srem", is_division=True),
+        OpcodeInfo("and", commutative=True),
+        OpcodeInfo("or", commutative=True),
+        OpcodeInfo("xor", commutative=True),
+        OpcodeInfo("shl", is_shift=True),
+        OpcodeInfo("lshr", is_shift=True),
+        OpcodeInfo("ashr", is_shift=True),
+        OpcodeInfo("smin", commutative=True),
+        OpcodeInfo("smax", commutative=True),
+        OpcodeInfo("fadd", commutative=True, is_float=True),
+        OpcodeInfo("fsub", is_float=True),
+        OpcodeInfo("fmul", commutative=True, is_float=True),
+        OpcodeInfo("fdiv", is_float=True, is_division=True),
+        OpcodeInfo("fmin", commutative=True, is_float=True),
+        OpcodeInfo("fmax", commutative=True, is_float=True),
+    ]
+}
+
+BINARY_OPCODE_NAMES = frozenset(_BINARY_OPCODES)
+COMMUTATIVE_OPCODES = frozenset(
+    name for name, info in _BINARY_OPCODES.items() if info.commutative
+)
+
+_UNARY_OPCODES = frozenset({"fneg", "not"})
+
+ICMP_PREDICATES = frozenset({"eq", "ne", "slt", "sle", "sgt", "sge"})
+FCMP_PREDICATES = frozenset({"oeq", "one", "olt", "ole", "ogt", "oge"})
+
+
+def binary_opcode_info(opcode: str) -> OpcodeInfo:
+    """Look up the :class:`OpcodeInfo` for a binary opcode name."""
+    info = _BINARY_OPCODES.get(opcode)
+    if info is None:
+        raise ValueError(f"unknown binary opcode: {opcode!r}")
+    return info
+
+
+# ---------------------------------------------------------------------------
+# Instruction base
+# ---------------------------------------------------------------------------
+
+
+class Instruction(User):
+    """Base class for all instructions.
+
+    Instructions live inside exactly one :class:`BasicBlock` (``parent``)
+    once inserted; straight-line position is given by the block's order.
+    """
+
+    opcode: str = "<abstract>"
+
+    def __init__(self, ty: Type, operands: list[Value], name: str = ""):
+        super().__init__(ty, operands, name)
+        self.parent: Optional["BasicBlock"] = None
+
+    # ---- classification ------------------------------------------------
+
+    @property
+    def is_commutative(self) -> bool:
+        return self.opcode in COMMUTATIVE_OPCODES
+
+    @property
+    def is_binary(self) -> bool:
+        return isinstance(self, BinaryOperator)
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in ("ret", "br", "condbr")
+
+    @property
+    def may_read_memory(self) -> bool:
+        return isinstance(self, Load)
+
+    @property
+    def may_write_memory(self) -> bool:
+        return isinstance(self, Store)
+
+    @property
+    def has_side_effects(self) -> bool:
+        return self.may_write_memory or self.is_terminator
+
+    # ---- placement -----------------------------------------------------
+
+    def index_in_block(self) -> int:
+        """Position of this instruction inside its parent block."""
+        if self.parent is None:
+            raise ValueError(f"{self!r} is not inserted in a block")
+        return self.parent.index_of(self)
+
+    def erase_from_parent(self) -> None:
+        """Remove from the block and drop operand references."""
+        if self.is_used():
+            raise ValueError(f"cannot erase {self!r}: it still has uses")
+        if self.parent is not None:
+            self.parent.remove(self)
+        self.drop_all_references()
+
+    def move_before(self, other: "Instruction") -> None:
+        """Reposition this instruction immediately before ``other``."""
+        if other.parent is None or self.parent is None:
+            raise ValueError("both instructions must be in blocks")
+        if other.parent is not self.parent:
+            raise ValueError("cannot move across basic blocks")
+        block = self.parent
+        block.remove(self)
+        block.insert_before(other, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.__class__.__name__} {self.opcode} {self.short_name()}>"
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic
+# ---------------------------------------------------------------------------
+
+
+class BinaryOperator(Instruction):
+    """A two-operand arithmetic / bitwise / shift / min-max instruction."""
+
+    def __init__(self, opcode: str, lhs: Value, rhs: Value, name: str = ""):
+        info = binary_opcode_info(opcode)
+        if lhs.type is not rhs.type:
+            raise TypeError(
+                f"{opcode}: operand types differ: {lhs.type} vs {rhs.type}"
+            )
+        elem = scalar_of(lhs.type)
+        if info.is_float != elem.is_float:
+            raise TypeError(f"{opcode}: wrong operand domain: {lhs.type}")
+        super().__init__(lhs.type, [lhs, rhs], name)
+        self.opcode = opcode
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    def swap_operands(self) -> None:
+        """Exchange the two operands.  Only legal for commutative opcodes."""
+        if not self.is_commutative:
+            raise ValueError(f"cannot swap operands of {self.opcode}")
+        lhs, rhs = self.operands
+        # Detach both, then reattach swapped, to keep use lists coherent.
+        self.set_operand(0, rhs)
+        self.set_operand(1, lhs)
+
+
+class UnaryOperator(Instruction):
+    """A one-operand instruction: ``fneg`` or bitwise ``not``."""
+
+    def __init__(self, opcode: str, operand: Value, name: str = ""):
+        if opcode not in _UNARY_OPCODES:
+            raise ValueError(f"unknown unary opcode: {opcode!r}")
+        elem = scalar_of(operand.type)
+        if opcode == "fneg" and not elem.is_float:
+            raise TypeError(f"fneg requires float operand, got {operand.type}")
+        if opcode == "not" and not elem.is_integer:
+            raise TypeError(f"not requires integer operand, got {operand.type}")
+        super().__init__(operand.type, [operand], name)
+        self.opcode = opcode
+
+
+class Cmp(Instruction):
+    """Integer (``icmp``) or float (``fcmp``) comparison producing i1."""
+
+    def __init__(self, opcode: str, predicate: str, lhs: Value, rhs: Value,
+                 name: str = ""):
+        if opcode == "icmp":
+            valid = ICMP_PREDICATES
+            want_float = False
+        elif opcode == "fcmp":
+            valid = FCMP_PREDICATES
+            want_float = True
+        else:
+            raise ValueError(f"unknown cmp opcode: {opcode!r}")
+        if predicate not in valid:
+            raise ValueError(f"unknown {opcode} predicate: {predicate!r}")
+        if lhs.type is not rhs.type:
+            raise TypeError(
+                f"{opcode}: operand types differ: {lhs.type} vs {rhs.type}"
+            )
+        if scalar_of(lhs.type).is_float != want_float:
+            raise TypeError(f"{opcode}: wrong operand domain: {lhs.type}")
+        result = (
+            vector_of(I1, lhs.type.count) if lhs.type.is_vector else I1
+        )
+        super().__init__(result, [lhs, rhs], name)
+        self.opcode = opcode
+        self.predicate = predicate
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class Select(Instruction):
+    """``select cond, a, b`` — lane-wise conditional move."""
+
+    opcode = "select"
+
+    def __init__(self, cond: Value, on_true: Value, on_false: Value,
+                 name: str = ""):
+        if on_true.type is not on_false.type:
+            raise TypeError(
+                f"select arms differ: {on_true.type} vs {on_false.type}"
+            )
+        want_cond = (
+            vector_of(I1, on_true.type.count)
+            if on_true.type.is_vector
+            else I1
+        )
+        if cond.type is not want_cond:
+            raise TypeError(f"select condition must be {want_cond}")
+        super().__init__(on_true.type, [cond, on_true, on_false], name)
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+
+# ---------------------------------------------------------------------------
+# Memory
+# ---------------------------------------------------------------------------
+
+
+class GetElementPtr(Instruction):
+    """``gep base, index`` — pointer to ``base[index]`` in element units."""
+
+    opcode = "gep"
+
+    def __init__(self, base: Value, index: Value, name: str = ""):
+        if not base.type.is_pointer:
+            raise TypeError(f"gep base must be a pointer, got {base.type}")
+        if not index.type.is_integer:
+            raise TypeError(f"gep index must be an integer, got {index.type}")
+        super().__init__(base.type, [base, index], name)
+
+    @property
+    def base(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+
+class Load(Instruction):
+    """``load ty, ptr`` — scalar load, or contiguous vector load when
+    ``ty`` is a vector whose element matches the pointee."""
+
+    opcode = "load"
+
+    def __init__(self, ty: Type, ptr: Value, name: str = ""):
+        if not ptr.type.is_pointer:
+            raise TypeError(f"load pointer operand required, got {ptr.type}")
+        pointee = ptr.type.pointee
+        elem = scalar_of(ty)
+        if elem is not pointee:
+            raise TypeError(f"cannot load {ty} through {ptr.type}")
+        super().__init__(ty, [ptr], name)
+
+    @property
+    def ptr(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def is_vector_load(self) -> bool:
+        return self.type.is_vector
+
+
+class Store(Instruction):
+    """``store value, ptr`` — scalar store, or contiguous vector store."""
+
+    opcode = "store"
+
+    def __init__(self, value: Value, ptr: Value):
+        if not ptr.type.is_pointer:
+            raise TypeError(f"store pointer operand required, got {ptr.type}")
+        pointee = ptr.type.pointee
+        elem = scalar_of(value.type)
+        if elem is not pointee:
+            raise TypeError(f"cannot store {value.type} through {ptr.type}")
+        super().__init__(VOID, [value, ptr])
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def ptr(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def is_vector_store(self) -> bool:
+        return self.value.type.is_vector
+
+
+# ---------------------------------------------------------------------------
+# Vector construction and element access
+# ---------------------------------------------------------------------------
+
+
+class InsertElement(Instruction):
+    """``insertelement vec, scalar, lane`` — vec with one lane replaced."""
+
+    opcode = "insertelement"
+
+    def __init__(self, vec: Value, scalar: Value, lane: Value, name: str = ""):
+        if not vec.type.is_vector:
+            raise TypeError(f"insertelement target must be vector: {vec.type}")
+        if scalar.type is not vec.type.element:
+            raise TypeError(
+                f"insertelement scalar {scalar.type} does not match "
+                f"element {vec.type.element}"
+            )
+        if not isinstance(lane, Constant) or not lane.type.is_integer:
+            raise TypeError("insertelement lane must be an integer constant")
+        if not 0 <= lane.value < vec.type.count:
+            raise ValueError(f"lane {lane.value} out of range for {vec.type}")
+        super().__init__(vec.type, [vec, scalar, lane], name)
+
+    @property
+    def vec(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def scalar(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def lane(self) -> int:
+        return self.operands[2].value
+
+
+class ExtractElement(Instruction):
+    """``extractelement vec, lane`` — read one lane of a vector."""
+
+    opcode = "extractelement"
+
+    def __init__(self, vec: Value, lane: Value, name: str = ""):
+        if not vec.type.is_vector:
+            raise TypeError(f"extractelement source must be vector: {vec.type}")
+        if not isinstance(lane, Constant) or not lane.type.is_integer:
+            raise TypeError("extractelement lane must be an integer constant")
+        if not 0 <= lane.value < vec.type.count:
+            raise ValueError(f"lane {lane.value} out of range for {vec.type}")
+        super().__init__(vec.type.element, [vec, lane], name)
+
+    @property
+    def vec(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def lane(self) -> int:
+        return self.operands[1].value
+
+
+class ShuffleVector(Instruction):
+    """``shufflevector a, b, mask`` — lane permutation of two vectors.
+
+    The mask is a Python tuple of source lane indices (0..2*VL-1), stored
+    on the instruction rather than as operands, mirroring LLVM's constant
+    mask requirement.
+    """
+
+    opcode = "shufflevector"
+
+    def __init__(self, a: Value, b: Value, mask: tuple[int, ...],
+                 name: str = ""):
+        if not a.type.is_vector or a.type is not b.type:
+            raise TypeError("shufflevector operands must be equal vectors")
+        limit = 2 * a.type.count
+        if not mask or any(not 0 <= m < limit for m in mask):
+            raise ValueError(f"invalid shuffle mask {mask} for {a.type}")
+        result = vector_of(a.type.element, len(mask))
+        super().__init__(result, [a, b], name)
+        self.mask = tuple(mask)
+
+
+class Splat(Instruction):
+    """``splat scalar x N`` — broadcast a scalar to every lane.
+
+    LLVM spells this insertelement+shufflevector; a dedicated opcode keeps
+    printed vector code readable while costing the same.
+    """
+
+    opcode = "splat"
+
+    def __init__(self, scalar: Value, count: int, name: str = ""):
+        if not scalar.type.is_scalar:
+            raise TypeError(f"splat source must be scalar, got {scalar.type}")
+        super().__init__(vector_of(scalar.type, count), [scalar], name)
+
+    @property
+    def scalar(self) -> Value:
+        return self.operands[0]
+
+
+# ---------------------------------------------------------------------------
+# Control
+# ---------------------------------------------------------------------------
+
+
+class Ret(Instruction):
+    """Function return, optionally with a value."""
+
+    opcode = "ret"
+
+    def __init__(self, value: Optional[Value] = None):
+        operands = [] if value is None else [value]
+        super().__init__(VOID, operands)
+
+    @property
+    def return_value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+
+__all__ = [
+    "BINARY_OPCODE_NAMES",
+    "BinaryOperator",
+    "Cmp",
+    "COMMUTATIVE_OPCODES",
+    "ExtractElement",
+    "FCMP_PREDICATES",
+    "GetElementPtr",
+    "ICMP_PREDICATES",
+    "InsertElement",
+    "Instruction",
+    "Load",
+    "OpcodeInfo",
+    "Ret",
+    "Select",
+    "ShuffleVector",
+    "Splat",
+    "Store",
+    "UnaryOperator",
+    "binary_opcode_info",
+]

@@ -1,0 +1,160 @@
+"""Textual printing of the repro IR.
+
+The printed form is LLVM-flavoured and round-trips through
+:mod:`repro.ir.parser`::
+
+    module "kernel"
+
+    @A = global [256 x i64]
+
+    define void @kernel(i64 %i) {
+    entry:
+      %ptr = gep i64* @A, i64 %i
+      %ld = load i64, i64* %ptr
+      %shl = shl i64 %ld, i64 1
+      store i64 %shl, i64* %ptr
+      ret void
+    }
+"""
+
+from __future__ import annotations
+
+from .basicblock import BasicBlock
+from .builder import UndefVector
+from .call import Call
+from .controlflow import Br, CondBr, Phi
+from .function import Function, Module
+from .instructions import (
+    BinaryOperator,
+    Cmp,
+    ExtractElement,
+    GetElementPtr,
+    InsertElement,
+    Instruction,
+    Load,
+    Ret,
+    Select,
+    ShuffleVector,
+    Splat,
+    Store,
+    UnaryOperator,
+)
+from .values import Argument, Constant, GlobalArray, Value, VectorConstant
+
+
+def render_operand(value: Value) -> str:
+    """Render one operand with its type, e.g. ``i64 %x`` or ``f64 2.5``."""
+    if isinstance(value, Constant):
+        return f"{value.type} {_render_literal(value)}"
+    if isinstance(value, GlobalArray):
+        return f"{value.type} @{value.name}"
+    if isinstance(value, UndefVector):
+        return f"{value.type} undef"
+    if isinstance(value, VectorConstant):
+        elems = ", ".join(str(v) for v in value.values)
+        return f"{value.type} <{elems}>"
+    if isinstance(value, (Argument, Instruction)):
+        return f"{value.type} %{value.name}"
+    raise TypeError(f"cannot render operand {value!r}")
+
+
+def _render_literal(const: Constant) -> str:
+    if const.type.is_float:
+        return repr(const.value)
+    return str(const.value)
+
+
+def print_instruction(inst: Instruction) -> str:
+    """Render one instruction, without indentation."""
+    ops = [render_operand(op) for op in inst.operands]
+    if isinstance(inst, Store):
+        return f"store {ops[0]}, {ops[1]}"
+    if isinstance(inst, Ret):
+        return f"ret {ops[0]}" if ops else "ret void"
+    if isinstance(inst, Call) and inst.type.is_void:
+        return f"call void @{inst.callee.name}({', '.join(ops)})"
+    if isinstance(inst, Br):
+        return f"br label %{inst.target.name}"
+    if isinstance(inst, CondBr):
+        return (
+            f"condbr {ops[0]}, label %{inst.on_true.name}, "
+            f"label %{inst.on_false.name}"
+        )
+
+    lhs = f"%{inst.name} = "
+    if isinstance(inst, Call):
+        return lhs + (
+            f"call {inst.type} @{inst.callee.name}({', '.join(ops)})"
+        )
+    if isinstance(inst, Phi):
+        edges = ", ".join(
+            f"[ {_phi_value(value)}, %{block.name} ]"
+            for value, block in inst.incoming()
+        )
+        return lhs + f"phi {inst.type} {edges}"
+    if isinstance(inst, BinaryOperator) or isinstance(inst, UnaryOperator):
+        return lhs + f"{inst.opcode} {', '.join(ops)}"
+    if isinstance(inst, Cmp):
+        return lhs + f"{inst.opcode} {inst.predicate} {', '.join(ops)}"
+    if isinstance(inst, Select):
+        return lhs + f"select {', '.join(ops)}"
+    if isinstance(inst, GetElementPtr):
+        return lhs + f"gep {', '.join(ops)}"
+    if isinstance(inst, Load):
+        return lhs + f"load {inst.type}, {ops[0]}"
+    if isinstance(inst, (InsertElement, ExtractElement)):
+        return lhs + f"{inst.opcode} {', '.join(ops)}"
+    if isinstance(inst, ShuffleVector):
+        mask = ", ".join(str(m) for m in inst.mask)
+        return lhs + f"shufflevector {ops[0]}, {ops[1]}, [{mask}]"
+    if isinstance(inst, Splat):
+        return lhs + f"splat {ops[0]}, {inst.type.count}"
+    raise TypeError(f"cannot print instruction {inst!r}")
+
+
+def _phi_value(value: Value) -> str:
+    if isinstance(value, Constant):
+        return _render_literal(value)
+    return value.short_name()
+
+
+def print_block(block: BasicBlock) -> str:
+    lines = [f"{block.name}:"]
+    lines.extend(f"  {print_instruction(inst)}" for inst in block)
+    return "\n".join(lines)
+
+
+def print_function(func: Function) -> str:
+    args = ", ".join(f"{a.type} %{a.name}" for a in func.arguments)
+    header = f"define {func.return_type} @{func.name}({args}) {{"
+    body = "\n".join(print_block(block) for block in func.blocks)
+    return f"{header}\n{body}\n}}"
+
+
+def print_module(module: Module) -> str:
+    parts = [f'module "{module.name}"', ""]
+    for array in module.globals.values():
+        parts.append(
+            f"@{array.name} = global [{array.count} x {array.element}]"
+        )
+    if module.globals:
+        parts.append("")
+    parts.extend(print_function(f) + "\n" for f in module.functions.values())
+    return "\n".join(parts).rstrip() + "\n"
+
+
+def ensure_names(func: Function) -> None:
+    """Assign names to any unnamed instruction values (for printing)."""
+    for inst in func.instructions():
+        if not inst.name and not inst.type.is_void:
+            inst.name = func.unique_name(inst.opcode)
+
+
+__all__ = [
+    "ensure_names",
+    "print_block",
+    "print_function",
+    "print_instruction",
+    "print_module",
+    "render_operand",
+]

@@ -1,0 +1,136 @@
+"""Evaluation semantics of scalar IR operations.
+
+One definition of what each opcode *means*, shared by the constant
+folder and the interpreter so they can never disagree.  Integers follow
+two's-complement wrap-around at the type's bit width; ``sdiv``/``srem``
+truncate toward zero (C semantics); shifts past the bit width are
+defined to produce 0 (or the sign-fill for ``ashr``) rather than being
+undefined, keeping property-based tests total.
+"""
+
+from __future__ import annotations
+
+from .types import Type
+from .values import _wrap_int
+
+
+class EvaluationError(ArithmeticError):
+    """Raised on division by zero and similar trap conditions."""
+
+
+def _to_unsigned(value: int, bits: int) -> int:
+    return value & ((1 << bits) - 1)
+
+
+def eval_int_binop(opcode: str, lhs: int, rhs: int, bits: int) -> int:
+    """Evaluate an integer binary operation on ``bits``-wide values."""
+    if opcode == "add":
+        result = lhs + rhs
+    elif opcode == "sub":
+        result = lhs - rhs
+    elif opcode == "mul":
+        result = lhs * rhs
+    elif opcode == "sdiv":
+        if rhs == 0:
+            raise EvaluationError("sdiv by zero")
+        result = _truncating_div(lhs, rhs)
+    elif opcode == "srem":
+        if rhs == 0:
+            raise EvaluationError("srem by zero")
+        result = lhs - _truncating_div(lhs, rhs) * rhs
+    elif opcode == "and":
+        result = lhs & rhs
+    elif opcode == "or":
+        result = lhs | rhs
+    elif opcode == "xor":
+        result = lhs ^ rhs
+    elif opcode == "shl":
+        shift = _to_unsigned(rhs, bits)
+        result = 0 if shift >= bits else lhs << shift
+    elif opcode == "lshr":
+        shift = _to_unsigned(rhs, bits)
+        result = 0 if shift >= bits else _to_unsigned(lhs, bits) >> shift
+    elif opcode == "ashr":
+        shift = _to_unsigned(rhs, bits)
+        result = (-1 if lhs < 0 else 0) if shift >= bits else lhs >> shift
+    elif opcode == "smin":
+        result = min(lhs, rhs)
+    elif opcode == "smax":
+        result = max(lhs, rhs)
+    else:
+        raise ValueError(f"unknown integer binop {opcode!r}")
+    return _wrap_int(result, bits)
+
+
+def _truncating_div(lhs: int, rhs: int) -> int:
+    quotient = abs(lhs) // abs(rhs)
+    return -quotient if (lhs < 0) != (rhs < 0) else quotient
+
+
+def eval_float_binop(opcode: str, lhs: float, rhs: float) -> float:
+    """Evaluate a floating-point binary operation."""
+    if opcode == "fadd":
+        return lhs + rhs
+    if opcode == "fsub":
+        return lhs - rhs
+    if opcode == "fmul":
+        return lhs * rhs
+    if opcode == "fdiv":
+        if rhs == 0.0:
+            raise EvaluationError("fdiv by zero")
+        return lhs / rhs
+    if opcode == "fmin":
+        return min(lhs, rhs)
+    if opcode == "fmax":
+        return max(lhs, rhs)
+    raise ValueError(f"unknown float binop {opcode!r}")
+
+
+def eval_binop(opcode: str, lhs, rhs, elem_type: Type):
+    """Dispatch a scalar binary operation on ``elem_type``."""
+    if elem_type.is_integer:
+        return eval_int_binop(opcode, lhs, rhs, elem_type.bits)
+    return eval_float_binop(opcode, lhs, rhs)
+
+
+def eval_unop(opcode: str, operand, elem_type: Type):
+    """Evaluate a scalar unary operation."""
+    if opcode == "fneg":
+        return -operand
+    if opcode == "not":
+        return _wrap_int(~operand, elem_type.bits)
+    raise ValueError(f"unknown unary opcode {opcode!r}")
+
+
+_CMP = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "slt": lambda a, b: a < b,
+    "sle": lambda a, b: a <= b,
+    "sgt": lambda a, b: a > b,
+    "sge": lambda a, b: a >= b,
+    "oeq": lambda a, b: a == b,
+    "one": lambda a, b: a != b,
+    "olt": lambda a, b: a < b,
+    "ole": lambda a, b: a <= b,
+    "ogt": lambda a, b: a > b,
+    "oge": lambda a, b: a >= b,
+}
+
+
+def eval_cmp(predicate: str, lhs, rhs) -> int:
+    """Evaluate a comparison predicate; returns 0 or 1."""
+    try:
+        return int(_CMP[predicate](lhs, rhs))
+    except KeyError:
+        raise ValueError(f"unknown predicate {predicate!r}") from None
+
+
+__all__ = [
+    "eval_binop",
+    "eval_cmp",
+    "eval_float_binop",
+    "eval_int_binop",
+    "eval_unop",
+    "EvaluationError",
+]

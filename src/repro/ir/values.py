@@ -1,0 +1,259 @@
+"""Core value classes of the repro IR.
+
+Every node in the IR is a :class:`Value`.  Values that consume other values
+(instructions) are :class:`User` subclasses and maintain explicit use-def
+chains: each value knows every (user, operand-index) pair that references
+it.  The SLP vectorizer walks these chains bottom-up, and code generation
+relies on ``replace_all_uses_with`` to splice vector instructions in.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, TYPE_CHECKING
+
+from .types import FloatType, IntType, PointerType, Type, VectorType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .instructions import Instruction
+
+
+class Use:
+    """A single operand slot: ``user.operands[index] is value``."""
+
+    __slots__ = ("user", "index")
+
+    def __init__(self, user: "User", index: int):
+        self.user = user
+        self.index = index
+
+    def get(self) -> "Value":
+        return self.user.operands[self.index]
+
+    def set(self, value: "Value") -> None:
+        self.user.set_operand(self.index, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Use({self.user!r}[{self.index}])"
+
+
+class Value:
+    """Base class for everything that can appear as an operand."""
+
+    def __init__(self, ty: Type, name: str = ""):
+        self.type = ty
+        self.name = name
+        self._uses: list[Use] = []
+
+    # ---- use-def chain -------------------------------------------------
+
+    @property
+    def uses(self) -> list[Use]:
+        """All operand slots that reference this value."""
+        return list(self._uses)
+
+    def users(self) -> list["User"]:
+        """Distinct users of this value, in first-use order."""
+        seen: dict[int, User] = {}
+        for use in self._uses:
+            seen.setdefault(id(use.user), use.user)
+        return list(seen.values())
+
+    @property
+    def num_uses(self) -> int:
+        return len(self._uses)
+
+    def is_used(self) -> bool:
+        return bool(self._uses)
+
+    def _add_use(self, use: Use) -> None:
+        self._uses.append(use)
+
+    def _remove_use(self, user: "User", index: int) -> None:
+        for i, use in enumerate(self._uses):
+            if use.user is user and use.index == index:
+                del self._uses[i]
+                return
+        raise AssertionError(
+            f"use-list corruption: {self!r} not used by {user!r}[{index}]"
+        )
+
+    def replace_all_uses_with(self, new: "Value") -> None:
+        """Rewrite every operand slot referencing ``self`` to ``new``."""
+        if new is self:
+            return
+        for use in list(self._uses):
+            use.set(new)
+
+    # ---- convenience ---------------------------------------------------
+
+    @property
+    def is_instruction(self) -> bool:
+        from .instructions import Instruction
+
+        return isinstance(self, Instruction)
+
+    @property
+    def is_constant(self) -> bool:
+        return isinstance(self, Constant)
+
+    def short_name(self) -> str:
+        """A compact printable handle for diagnostics."""
+        if self.name:
+            return f"%{self.name}"
+        return f"%<{id(self):x}>"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.__class__.__name__} {self.short_name()}: {self.type}>"
+
+
+class User(Value):
+    """A value that references other values through operand slots."""
+
+    def __init__(self, ty: Type, operands: list[Value], name: str = ""):
+        super().__init__(ty, name)
+        self.operands: list[Value] = []
+        for operand in operands:
+            self._append_operand(operand)
+
+    def _append_operand(self, value: Value) -> None:
+        index = len(self.operands)
+        self.operands.append(value)
+        value._add_use(Use(self, index))
+
+    def set_operand(self, index: int, value: Value) -> None:
+        old = self.operands[index]
+        if old is value:
+            return
+        old._remove_use(self, index)
+        self.operands[index] = value
+        value._add_use(Use(self, index))
+
+    def drop_all_references(self) -> None:
+        """Detach this user from all of its operands' use lists."""
+        for index, operand in enumerate(self.operands):
+            operand._remove_use(self, index)
+        self.operands = []
+
+    def operand_values(self) -> Iterator[Value]:
+        return iter(self.operands)
+
+
+class Constant(Value):
+    """An immediate constant of integer or float type.
+
+    Constants are *not* interned: two loads of the literal ``1`` are
+    distinct objects.  Compare them with :func:`constants_equal` (or via
+    ``.value``) rather than identity when value equality is intended.
+    """
+
+    def __init__(self, ty: Type, value):
+        if not (ty.is_integer or ty.is_float):
+            raise ValueError(f"constants must be int or float typed: {ty}")
+        super().__init__(ty)
+        if ty.is_integer:
+            value = _wrap_int(int(value), ty.bits)
+        else:
+            value = float(value)
+        self.value = value
+
+    def short_name(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Constant {self.type} {self.value}>"
+
+
+def _wrap_int(value: int, bits: int) -> int:
+    """Wrap ``value`` to ``bits``-wide two's complement (signed view)."""
+    mask = (1 << bits) - 1
+    value &= mask
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def constants_equal(a: Value, b: Value) -> bool:
+    """True when both values are constants of equal type and value."""
+    return (
+        isinstance(a, Constant)
+        and isinstance(b, Constant)
+        and a.type is b.type
+        and a.value == b.value
+    )
+
+
+class VectorConstant(Value):
+    """A constant vector literal, e.g. ``<2 x i64> <1, 3>``.
+
+    The paper's cost model treats all-constant gathers as free (constant
+    vectors load from memory like scalar constants), so the code
+    generator materializes them as literals rather than insertelement
+    chains.
+    """
+
+    def __init__(self, ty, values):
+        if not ty.is_vector:
+            raise ValueError(f"VectorConstant needs a vector type: {ty}")
+        if len(values) != ty.count:
+            raise ValueError(
+                f"expected {ty.count} elements for {ty}, got {len(values)}"
+            )
+        super().__init__(ty)
+        if ty.element.is_integer:
+            self.values = tuple(_wrap_int(int(v), ty.element.bits)
+                                for v in values)
+        else:
+            self.values = tuple(float(v) for v in values)
+
+    def short_name(self) -> str:
+        return "<" + ", ".join(str(v) for v in self.values) + ">"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VectorConstant {self.type} {self.short_name()}>"
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    def __init__(self, ty: Type, name: str):
+        super().__init__(ty, name)
+        self.parent = None  # set by Function
+
+    def short_name(self) -> str:
+        return f"%{self.name}"
+
+
+class GlobalArray(Value):
+    """A named global buffer of ``count`` elements of a scalar type.
+
+    Kernels address memory exclusively through global arrays, mirroring
+    the paper's ``long A[], B[], C[];`` style.  The value itself is a
+    pointer to the first element.
+    """
+
+    def __init__(self, name: str, element: Type, count: int):
+        if not element.is_scalar:
+            raise ValueError(f"array element must be scalar, got {element}")
+        if count <= 0:
+            raise ValueError(f"array size must be positive, got {count}")
+        super().__init__(PointerType(element), name)
+        self.element = element
+        self.count = count
+
+    def short_name(self) -> str:
+        return f"@{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<GlobalArray @{self.name}: [{self.count} x {self.element}]>"
+
+
+__all__ = [
+    "Argument",
+    "Constant",
+    "GlobalArray",
+    "Use",
+    "User",
+    "Value",
+    "VectorConstant",
+    "constants_equal",
+]

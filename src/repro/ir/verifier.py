@@ -1,0 +1,209 @@
+"""IR verifier: structural, use-def, and SSA-dominance invariants.
+
+The vectorizer and the loop transformations rewrite functions in place;
+the verifier runs after every transformation in the test suite to catch
+splicing bugs early.  With control flow present it checks full SSA
+dominance (via :class:`DominatorInfo`), phi placement and edge
+consistency, and terminator discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .basicblock import BasicBlock
+from .builder import UndefVector
+from .cfg import DominatorInfo, predecessors, reachable_blocks
+from .controlflow import Br, CondBr, Phi
+from .function import Function, Module
+from .instructions import Instruction
+from .values import (
+    Argument,
+    Constant,
+    GlobalArray,
+    Use,
+    Value,
+    VectorConstant,
+)
+
+
+class VerificationError(AssertionError):
+    """Raised when a function violates an IR invariant."""
+
+
+def verify_function(func: Function) -> None:
+    """Check use-def coherence, dominance and placement for ``func``.
+
+    Raises :class:`VerificationError` on the first violation.
+    """
+    positions: dict[int, tuple[BasicBlock, int]] = {}
+    multi_block = len(func.blocks) > 1
+    for block in func.blocks:
+        seen_non_phi = False
+        for inst_index, inst in enumerate(block):
+            if inst.parent is not block:
+                raise VerificationError(
+                    f"{inst!r} has wrong parent {inst.parent!r}"
+                )
+            if id(inst) in positions:
+                raise VerificationError(f"{inst!r} appears twice in {func!r}")
+            positions[id(inst)] = (block, inst_index)
+            if inst.is_terminator and inst is not block.instructions[-1]:
+                raise VerificationError(
+                    f"terminator {inst!r} is not last in block {block.name}"
+                )
+            if isinstance(inst, Phi):
+                if seen_non_phi:
+                    raise VerificationError(
+                        f"phi {inst!r} is not at the head of {block.name}"
+                    )
+            else:
+                seen_non_phi = True
+        if multi_block and block.terminator is None:
+            raise VerificationError(
+                f"block {block.name} lacks a terminator"
+            )
+
+    _check_branch_targets(func)
+    doms = DominatorInfo(func) if multi_block else None
+    preds = predecessors(func) if multi_block else None
+    reachable = (
+        {id(b) for b in reachable_blocks(func)} if multi_block else None
+    )
+
+    for block in func.blocks:
+        if reachable is not None and id(block) not in reachable:
+            continue  # unreachable code is not held to dominance rules
+        for inst_index, inst in enumerate(block):
+            if isinstance(inst, Phi):
+                _check_phi(func, inst, block, preds, positions, doms)
+            else:
+                _check_operands(func, inst, block, inst_index, positions,
+                                doms)
+            _check_use_list(inst)
+
+
+def _check_branch_targets(func: Function) -> None:
+    own = {id(block) for block in func.blocks}
+    for block in func.blocks:
+        term = block.terminator
+        if isinstance(term, (Br, CondBr)):
+            for succ in term.successors():
+                if id(succ) not in own:
+                    raise VerificationError(
+                        f"{term!r} targets a block outside @{func.name}"
+                    )
+
+
+def _check_operands(func: Function, inst: Instruction, block: BasicBlock,
+                    inst_index: int,
+                    positions: dict[int, tuple[BasicBlock, int]],
+                    doms: Optional[DominatorInfo]) -> None:
+    for op_index, operand in enumerate(inst.operands):
+        _check_operand_kind(func, inst, operand)
+        if isinstance(operand, Instruction):
+            pos = positions.get(id(operand))
+            if pos is None:
+                raise VerificationError(
+                    f"{inst!r} uses {operand!r} which is not in the function"
+                )
+            def_block, def_index = pos
+            if def_block is block:
+                if def_index >= inst_index:
+                    raise VerificationError(
+                        f"{operand!r} does not dominate its use in {inst!r}"
+                    )
+            elif doms is None or not doms.strictly_dominates(def_block,
+                                                             block):
+                raise VerificationError(
+                    f"{operand!r} (in {def_block.name}) does not dominate "
+                    f"its use in {inst!r} (in {block.name})"
+                )
+        _check_registered_use(operand, inst, op_index)
+
+
+def _check_phi(func: Function, phi: Phi, block: BasicBlock,
+               preds: Optional[dict[int, list[BasicBlock]]],
+               positions: dict[int, tuple[BasicBlock, int]],
+               doms: Optional[DominatorInfo]) -> None:
+    if preds is None:
+        raise VerificationError(
+            f"phi {phi!r} in a single-block function"
+        )
+    pred_ids = {id(p) for p in preds[id(block)]}
+    incoming_ids = {id(b) for b in phi.incoming_blocks}
+    if incoming_ids != pred_ids:
+        names = sorted(b.name for b in phi.incoming_blocks)
+        expected = sorted(p.name for p in preds[id(block)])
+        raise VerificationError(
+            f"phi {phi!r} edges {names} do not match predecessors "
+            f"{expected} of {block.name}"
+        )
+    for op_index, (value, pred) in enumerate(phi.incoming()):
+        _check_operand_kind(func, phi, value)
+        if isinstance(value, Instruction):
+            pos = positions.get(id(value))
+            if pos is None:
+                raise VerificationError(
+                    f"phi {phi!r} uses a value outside the function"
+                )
+            def_block, _ = pos
+            # the incoming value must dominate the *edge*: its block must
+            # dominate the predecessor block
+            if doms is not None and not doms.dominates(def_block, pred):
+                raise VerificationError(
+                    f"phi incoming {value!r} does not dominate edge "
+                    f"from {pred.name}"
+                )
+        _check_registered_use(value, phi, op_index)
+
+
+def _check_operand_kind(func: Function, inst: Instruction,
+                        operand: Value) -> None:
+    if isinstance(operand, (Constant, GlobalArray, UndefVector,
+                            VectorConstant, Instruction)):
+        return
+    if isinstance(operand, Argument):
+        if operand.parent is not func:
+            raise VerificationError(
+                f"{inst!r} uses argument of another function"
+            )
+        return
+    raise VerificationError(
+        f"{inst!r} has invalid operand kind {operand!r}"
+    )
+
+
+def _check_registered_use(operand: Value, user: Instruction,
+                          index: int) -> None:
+    for use in operand.uses:
+        if use.user is user and use.index == index:
+            return
+    raise VerificationError(
+        f"{operand!r} use-list is missing user {user!r}[{index}]"
+    )
+
+
+def _check_use_list(inst: Instruction) -> None:
+    for use in inst.uses:
+        if not isinstance(use, Use):
+            raise VerificationError(f"{inst!r} has malformed use entry")
+        if use.user.operands[use.index] is not inst:
+            raise VerificationError(
+                f"stale use entry on {inst!r}: "
+                f"{use.user!r}[{use.index}] no longer references it"
+            )
+        user = use.user
+        if isinstance(user, Instruction) and user.parent is None:
+            raise VerificationError(
+                f"{inst!r} is used by detached instruction {user!r}"
+            )
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in ``module``."""
+    for func in module.functions.values():
+        verify_function(func)
+
+
+__all__ = ["VerificationError", "verify_function", "verify_module"]

@@ -1,0 +1,63 @@
+"""repro.kernels — the evaluation workloads.
+
+:mod:`catalog` holds the Table 2 kernels (SPEC-derived shapes plus the
+paper's three motivation examples); :mod:`suites` generates the synthetic
+whole-benchmark modules for the Figure 11/12 dilution experiments.
+"""
+
+from .catalog import (
+    ALL_KERNELS,
+    BOY_SURFACE,
+    CALC_Z3,
+    EVALUATION_KERNELS,
+    FIG8_WALKTHROUGH,
+    HRECIPROCAL,
+    INTERSECT_QUADRATIC,
+    Kernel,
+    kernel_by_name,
+    MESH1,
+    MOTIVATION_KERNELS,
+    MOTIVATION_LOADS,
+    MOTIVATION_MULTI,
+    MOTIVATION_OPCODES,
+    MULT_SU2,
+    QUARTIC_CYLINDER,
+    SPEC_KERNELS,
+    VSUMSQR,
+)
+from .extended import (
+    BOY_SURFACE_LOOP,
+    EXTENDED_KERNELS,
+    MULT_SU2_LIB,
+    VSUMSQR_LIB,
+)
+from .suites import build_suite, suite_by_name, SuiteSpec, SUITE_SPECS
+
+__all__ = [
+    "ALL_KERNELS",
+    "BOY_SURFACE",
+    "BOY_SURFACE_LOOP",
+    "build_suite",
+    "CALC_Z3",
+    "EXTENDED_KERNELS",
+    "EVALUATION_KERNELS",
+    "FIG8_WALKTHROUGH",
+    "HRECIPROCAL",
+    "INTERSECT_QUADRATIC",
+    "Kernel",
+    "kernel_by_name",
+    "MESH1",
+    "MOTIVATION_KERNELS",
+    "MOTIVATION_LOADS",
+    "MOTIVATION_MULTI",
+    "MOTIVATION_OPCODES",
+    "MULT_SU2",
+    "MULT_SU2_LIB",
+    "QUARTIC_CYLINDER",
+    "SPEC_KERNELS",
+    "suite_by_name",
+    "SuiteSpec",
+    "SUITE_SPECS",
+    "VSUMSQR",
+    "VSUMSQR_LIB",
+]

@@ -1,0 +1,307 @@
+"""Kernel catalog: the paper's Table 2 workloads.
+
+Each kernel is authored in the mini C-like language with the same use-def
+DAG *shape* as the cited SPEC CPU2006 source (the actual SPEC sources are
+not redistributable): chains of commutative operations, lane-swapped
+operand orders, mixed opcodes behind commutative nodes, splat operands,
+and short reductions.  The three motivation kernels are the paper's
+Figures 2-4 verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..frontend.lower import lower_program
+from ..ir.function import Function, Module
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One benchmark kernel: source, entry point, provenance."""
+
+    name: str
+    source: str
+    origin: str
+    description: str
+    entry: str = "kernel"
+    #: runtime arguments for performance measurement
+    default_args: dict = field(default_factory=lambda: {"i": 8})
+
+    def build(self) -> tuple[Module, Function]:
+        """Lower a fresh copy of the kernel (safe to transform)."""
+        module = lower_program(self.source, self.name)
+        return module, module.get_function(self.entry)
+
+
+# ---------------------------------------------------------------------------
+# Motivation kernels (paper §3, Figures 2-4)
+# ---------------------------------------------------------------------------
+
+MOTIVATION_LOADS = Kernel(
+    name="motivation-loads",
+    origin="paper §3.1, Figure 2",
+    description=(
+        "Load address mismatch: per-lane operand order hides consecutive "
+        "loads; only look-ahead reordering recovers them."
+    ),
+    source="""
+long A[1024], B[1024], C[1024];
+void kernel(long i) {
+    A[i + 0] = (B[i + 0] << 1) & (C[i + 0] << 2);
+    A[i + 1] = (C[i + 1] << 3) & (B[i + 1] << 4);
+}
+""",
+)
+
+MOTIVATION_OPCODES = Kernel(
+    name="motivation-opcodes",
+    origin="paper §3.2, Figure 3",
+    description=(
+        "Opcode mismatch behind commutative adds: vanilla SLP cannot "
+        "see the shift/add split one level up."
+    ),
+    source="""
+unsigned long A[1024], B[2048], C[2048], D[2048], E[2048];
+void kernel(long i) {
+    A[i + 0] = ((B[2*i] << 1) & 0x11) + ((C[2*i] + 2) & 0x12);
+    A[i + 1] = ((D[2*i] + 3) & 0x13) + ((E[2*i] << 4) & 0x14);
+}
+""",
+)
+
+MOTIVATION_MULTI = Kernel(
+    name="motivation-multi",
+    origin="paper §3.3, Figure 4",
+    description=(
+        "Associativity mismatch: the same & chain parenthesized "
+        "differently per lane; only multi-node formation recovers "
+        "isomorphism."
+    ),
+    source="""
+unsigned long A[1024], B[1024], C[1024], D[1024], E[1024];
+void kernel(long i) {
+    A[i + 0] = A[i + 0] & (B[i + 0] + C[i + 0]) & (D[i + 0] + E[i + 0]);
+    A[i + 1] = (D[i + 1] + E[i + 1]) & (B[i + 1] + C[i + 1]) & A[i + 1];
+}
+""",
+)
+
+FIG8_WALKTHROUGH = Kernel(
+    name="fig8-walkthrough",
+    origin="paper §4.5, Figure 8",
+    description=(
+        "Four-lane multi-node whose operand slots exercise OPCODE, LOAD, "
+        "CONST→FAILED, and look-ahead tie-breaking, as in Figure 8."
+    ),
+    source="""
+unsigned long A[1024], B[1024], C[1024], D[1024], E[1024];
+void kernel(long i) {
+    A[i + 0] = ((B[i + 0] << 1) & D[i + 0]) & (1 & (C[i + 0] << 2));
+    A[i + 1] = (D[i + 1] & (B[i + 1] << 1)) & ((C[i + 1] << 2) & 1);
+    A[i + 2] = ((B[i + 2] << 1) & D[i + 2]) & (E[i] & (C[i + 2] << 2));
+    A[i + 3] = ((B[i + 3] << 1) & D[i + 3]) & (1 & (C[i + 3] << (E[i] + 2)));
+}
+""",
+)
+
+# ---------------------------------------------------------------------------
+# SPEC CPU2006-derived kernels (Table 2)
+# ---------------------------------------------------------------------------
+
+BOY_SURFACE = Kernel(
+    name="453.boy-surface",
+    origin="SPEC2006 453.povray fnintern.cpp:355",
+    description=(
+        "Boy-surface polynomial evaluation: fadd chains over products "
+        "whose operand order differs per lane."
+    ),
+    source="""
+double A[1024], B[1024], C[1024], D[1024];
+void kernel(long i) {
+    A[i + 0] = B[i + 0]*C[i + 0] + C[i + 0]*D[i + 0] + B[i + 0]*D[i + 0];
+    A[i + 1] = D[i + 1]*B[i + 1] + B[i + 1]*C[i + 1] + D[i + 1]*C[i + 1];
+}
+""",
+)
+
+INTERSECT_QUADRATIC = Kernel(
+    name="453.intersect-quadratic",
+    origin="SPEC2006 453.povray poly.cpp:813",
+    description=(
+        "Quadratic-intersection discriminants: b*b - 4*a*c with the "
+        "product chain re-associated between lanes."
+    ),
+    source="""
+double A[1024], B[1024], C[1024], D[1024];
+void kernel(long i) {
+    A[i + 0] = B[i + 0]*B[i + 0] - 4.0*C[i + 0]*D[i + 0];
+    A[i + 1] = B[i + 1]*B[i + 1] - D[i + 1]*(C[i + 1]*4.0);
+}
+""",
+)
+
+CALC_Z3 = Kernel(
+    name="453.calc-z3",
+    origin="SPEC2006 453.povray quatern.cpp:433",
+    description=(
+        "Quaternion z^3 components: four lanes of x*y + z*w with "
+        "commutative operand orders scrambled per lane (Listing 2)."
+    ),
+    source="""
+double A[1024], B[1024], C[1024], D[1024], E[1024];
+void kernel(long i) {
+    A[i + 0] = B[i + 0]*C[i + 0] + D[i + 0]*E[i + 0];
+    A[i + 1] = E[i + 1]*D[i + 1] + C[i + 1]*B[i + 1];
+    A[i + 2] = B[i + 2]*C[i + 2] + D[i + 2]*E[i + 2];
+    A[i + 3] = D[i + 3]*E[i + 3] + B[i + 3]*C[i + 3];
+}
+""",
+)
+
+VSUMSQR = Kernel(
+    name="453.vsumsqr",
+    origin="SPEC2006 453.povray vector.h:362",
+    description=(
+        "Sum of squares of a 3-vector: a 3-operand reduction whose leaf "
+        "loads are consecutive (only three, not four — paper §5.2)."
+    ),
+    source="""
+double A[1024], V[4096];
+void kernel(long i) {
+    A[i] = V[3*i + 0]*V[3*i + 0] + V[3*i + 1]*V[3*i + 1]
+         + V[3*i + 2]*V[3*i + 2];
+}
+""",
+)
+
+HRECIPROCAL = Kernel(
+    name="453.hreciprocal",
+    origin="SPEC2006 453.povray hcmplx.cpp:113",
+    description=(
+        "Hypercomplex reciprocal: 4-wide squared-norm reduction feeding "
+        "a reciprocal that is splat across a 4-lane multiply group."
+    ),
+    source="""
+double A[1024], B[1024], C[1024], D[1024], E[1024], N[1024];
+void kernel(long i) {
+    double d = N[i + 0]*N[i + 0] + N[i + 1]*N[i + 1]
+             + N[i + 2]*N[i + 2] + N[i + 3]*N[i + 3];
+    double r = 1.0 / d;
+    A[i + 0] = B[i + 0]*C[i + 0] * (D[i + 0]*E[i + 0]) * r;
+    A[i + 1] = (D[i + 1]*E[i + 1]) * r * (C[i + 1]*B[i + 1]);
+    A[i + 2] = r * (B[i + 2]*C[i + 2]) * (D[i + 2]*E[i + 2]);
+    A[i + 3] = (E[i + 3]*D[i + 3]) * (B[i + 3]*C[i + 3]) * r;
+}
+""",
+)
+
+MESH1 = Kernel(
+    name="453.mesh1",
+    origin="SPEC2006 453.povray fnintern.cpp:759",
+    description=(
+        "Mesh transform: (b+c)*d per lane with the commutative add "
+        "operands swapped in odd lanes."
+    ),
+    source="""
+double A[1024], B[1024], C[1024], D[1024];
+void kernel(long i) {
+    A[i + 0] = (B[i + 0] + C[i + 0]) * D[i + 0];
+    A[i + 1] = (C[i + 1] + B[i + 1]) * D[i + 1];
+    A[i + 2] = (B[i + 2] + C[i + 2]) * D[i + 2];
+    A[i + 3] = (C[i + 3] + B[i + 3]) * D[i + 3];
+}
+""",
+)
+
+MULT_SU2 = Kernel(
+    name="433.mult-su2",
+    origin="SPEC2006 433.milc m_su2_mat_vec_a.c:23",
+    description=(
+        "SU(2) matrix-vector multiply (complex arithmetic): lanes of "
+        "a*b - c*d and a*b + c*d with per-lane operand scrambling."
+    ),
+    source="""
+double X[1024], A0[1024], A1[1024], B0[1024], B1[1024];
+void kernel(long i) {
+    X[i + 0] = A0[i + 0]*B0[i + 0] - A1[i + 0]*B1[i + 0];
+    X[i + 1] = B0[i + 1]*A0[i + 1] - B1[i + 1]*A1[i + 1];
+    X[i + 2] = A0[i + 2]*B1[i + 2] - A1[i + 2]*B0[i + 2];
+    X[i + 3] = B1[i + 3]*A0[i + 3] - B0[i + 3]*A1[i + 3];
+}
+""",
+)
+
+QUARTIC_CYLINDER = Kernel(
+    name="453.quartic-cylinder",
+    origin="SPEC2006 453.povray fnintern.cpp:924",
+    description=(
+        "Quartic cylinder polynomial: fourth powers (fmul multi-nodes "
+        "with repeated operands, exercising SLP-graph DAG reuse)."
+    ),
+    source="""
+double A[1024], B[1024], C[1024];
+void kernel(long i) {
+    A[i + 0] = B[i + 0]*B[i + 0]*B[i + 0]*B[i + 0] + C[i + 0]*C[i + 0]*2.0;
+    A[i + 1] = B[i + 1]*B[i + 1]*B[i + 1]*B[i + 1] + 2.0*(C[i + 1]*C[i + 1]);
+}
+""",
+)
+
+
+MOTIVATION_KERNELS: list[Kernel] = [
+    MOTIVATION_LOADS,
+    MOTIVATION_OPCODES,
+    MOTIVATION_MULTI,
+]
+
+SPEC_KERNELS: list[Kernel] = [
+    BOY_SURFACE,
+    INTERSECT_QUADRATIC,
+    CALC_Z3,
+    VSUMSQR,
+    HRECIPROCAL,
+    MESH1,
+    MULT_SU2,
+    QUARTIC_CYLINDER,
+]
+
+#: the Table 2 / Figure 9 evaluation set, in the paper's plot order
+EVALUATION_KERNELS: list[Kernel] = SPEC_KERNELS + MOTIVATION_KERNELS
+
+ALL_KERNELS: dict[str, Kernel] = {
+    kernel.name: kernel
+    for kernel in EVALUATION_KERNELS + [FIG8_WALKTHROUGH]
+}
+
+
+def kernel_by_name(name: str) -> Kernel:
+    try:
+        return ALL_KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; known: {sorted(ALL_KERNELS)}"
+        ) from None
+
+
+__all__ = [
+    "ALL_KERNELS",
+    "BOY_SURFACE",
+    "CALC_Z3",
+    "EVALUATION_KERNELS",
+    "FIG8_WALKTHROUGH",
+    "HRECIPROCAL",
+    "INTERSECT_QUADRATIC",
+    "Kernel",
+    "kernel_by_name",
+    "MESH1",
+    "MOTIVATION_KERNELS",
+    "MOTIVATION_LOADS",
+    "MOTIVATION_MULTI",
+    "MOTIVATION_OPCODES",
+    "MULT_SU2",
+    "QUARTIC_CYLINDER",
+    "SPEC_KERNELS",
+    "VSUMSQR",
+]

@@ -1,0 +1,100 @@
+"""Extended workloads: the Table 2 kernels re-authored the way they
+appear in the real SPEC sources — as library helpers called from loops.
+
+The evaluation set (`catalog.EVALUATION_KERNELS`) stays exactly the
+paper's 11 straight-line kernels; these variants exercise the *composed*
+pipeline (inline → unroll → simplify-cfg → SLP) that the paper assumes
+has already happened before SLP runs (§2.1).  They back the
+``bench_ext_pipeline`` extension experiment.
+"""
+
+from __future__ import annotations
+
+from .catalog import Kernel
+
+VSUMSQR_LIB = Kernel(
+    name="ext.vsumsqr-lib",
+    origin="extension of 453.vsumsqr (vector.h helper + caller loop)",
+    description=(
+        "VSumSqr as a library helper called from a caller loop: the "
+        "inliner and unroller must run before SLP can see the "
+        "reduction."
+    ),
+    source="""
+double A[1024], V[8192];
+
+double vsumsqr4(long base) {
+    return V[base]*V[base] + V[base + 1]*V[base + 1]
+         + V[base + 2]*V[base + 2] + V[base + 3]*V[base + 3];
+}
+
+void kernel(long i) {
+    for (long j = 0; j < 4; j = j + 1) {
+        A[4*i + j] = vsumsqr4(16*i + 4*j);
+    }
+}
+""",
+)
+
+MULT_SU2_LIB = Kernel(
+    name="ext.mult-su2-lib",
+    origin="extension of 433.mult-su2 (complex-arithmetic helpers)",
+    description=(
+        "SU(2) multiply with real/imag helpers: the scrambled "
+        "commutative products only align after inlining, and only "
+        "under look-ahead reordering."
+    ),
+    source="""
+double X[1024], AR[1024], AI[1024], BR[1024], BI[1024];
+
+double cmul_re(long k) {
+    return AR[k]*BR[k] - AI[k]*BI[k];
+}
+
+double cmul_re_swapped(long k) {
+    return BR[k]*AR[k] - BI[k]*AI[k];
+}
+
+void kernel(long i) {
+    X[i + 0] = cmul_re(i + 0);
+    X[i + 1] = cmul_re_swapped(i + 1);
+    X[i + 2] = cmul_re(i + 2);
+    X[i + 3] = cmul_re_swapped(i + 3);
+}
+""",
+)
+
+BOY_SURFACE_LOOP = Kernel(
+    name="ext.boy-surface-loop",
+    origin="extension of 453.boy-surface (loop over lane pairs)",
+    description=(
+        "The boy-surface polynomial inside a counted loop whose body "
+        "scrambles operand order by parity — unrolling exposes the "
+        "non-isomorphism LSLP fixes."
+    ),
+    source="""
+double A[4096], B[4096], C[4096], D[4096];
+
+void kernel(long i) {
+    for (long j = 0; j < 2; j = j + 1) {
+        A[4*i + 2*j + 0] = B[4*i + 2*j + 0]*C[4*i + 2*j + 0]
+                         + C[4*i + 2*j + 0]*D[4*i + 2*j + 0];
+        A[4*i + 2*j + 1] = D[4*i + 2*j + 1]*B[4*i + 2*j + 1]
+                         + B[4*i + 2*j + 1]*C[4*i + 2*j + 1];
+    }
+}
+""",
+)
+
+EXTENDED_KERNELS: list[Kernel] = [
+    VSUMSQR_LIB,
+    MULT_SU2_LIB,
+    BOY_SURFACE_LOOP,
+]
+
+__all__ = [
+    "BOY_SURFACE_LOOP",
+    "EXTENDED_KERNELS",
+    "MULT_SU2_LIB",
+    "VSUMSQR_LIB",
+]

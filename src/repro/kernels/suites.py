@@ -1,0 +1,196 @@
+"""Synthetic whole-benchmark suites (paper Figures 11 and 12).
+
+The paper's full-benchmark experiments show a *dilution* effect: LSLP
+wins big inside individual vectorization regions (Figures 9/10), but a
+whole SPEC benchmark contains mostly code the vectorizer does not touch,
+so whole-program static cost moves by a few percent and execution time by
+~1% at best.  Since SPEC itself is not redistributable, each suite here
+is a synthetic benchmark: a module with many functions, a controlled
+few of which contain LSLP-sensitive regions, some plain-SLP-friendly
+regions, and a majority of scalar-only code.  The mix ratios are chosen
+per suite to mirror which SPEC benchmarks the paper found sensitive
+(povray and gromacs most, bwaves not at all).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..frontend.lower import lower_program
+from ..ir.function import Module
+
+#: arrays shared by all generated functions in a suite
+_ARRAY_POOL = ["A", "B", "C", "D", "E", "F", "G", "H"]
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """Composition of one synthetic benchmark suite."""
+
+    name: str
+    sensitive: int   #: functions with LSLP-sensitive regions
+    friendly: int    #: functions vanilla SLP already vectorizes
+    scalar: int      #: functions no vectorizer touches
+    seed: int = 0
+
+    @property
+    def total_functions(self) -> int:
+        return self.sensitive + self.friendly + self.scalar
+
+
+#: the suites of Figures 11/12, mirroring the paper's sensitivity order
+SUITE_SPECS: list[SuiteSpec] = [
+    SuiteSpec("453.povray", sensitive=4, friendly=3, scalar=6, seed=453),
+    SuiteSpec("435.gromacs", sensitive=3, friendly=3, scalar=7, seed=435),
+    SuiteSpec("454.calculix", sensitive=1, friendly=4, scalar=9, seed=454),
+    SuiteSpec("481.wrf", sensitive=1, friendly=5, scalar=9, seed=481),
+    SuiteSpec("433.milc", sensitive=2, friendly=4, scalar=8, seed=433),
+    SuiteSpec("410.bwaves", sensitive=0, friendly=5, scalar=9, seed=410),
+    SuiteSpec("416.gamess", sensitive=1, friendly=3, scalar=10, seed=416),
+]
+
+
+def suite_by_name(name: str) -> SuiteSpec:
+    for spec in SUITE_SPECS:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown suite {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Function templates
+# ---------------------------------------------------------------------------
+
+
+def _sensitive_body(rng: random.Random, func: str, arrays: list[str]) -> str:
+    """A region only LSLP vectorizes: commutative chains with per-lane
+    operand scrambling (shapes drawn from the motivation examples)."""
+    a, b, c, d, e = arrays[:5]
+    shape = rng.randrange(3)
+    if shape == 0:
+        # Figure 2 shape: swapped shift operands hiding consecutive loads.
+        s1, s2, s3, s4 = (rng.randrange(1, 6) for _ in range(4))
+        return f"""
+void {func}(long i) {{
+    {a}[i + 0] = ({b}[i + 0] << {s1}) & ({c}[i + 0] << {s2});
+    {a}[i + 1] = ({c}[i + 1] << {s3}) & ({b}[i + 1] << {s4});
+}}
+"""
+    if shape == 1:
+        # Figure 4 shape: re-associated commutative chain.
+        return f"""
+void {func}(long i) {{
+    {a}[i + 0] = {a}[i + 0] & ({b}[i + 0] + {c}[i + 0]) & ({d}[i + 0] + {e}[i + 0]);
+    {a}[i + 1] = ({d}[i + 1] + {e}[i + 1]) & ({b}[i + 1] + {c}[i + 1]) & {a}[i + 1];
+}}
+"""
+    # Listing 2 shape: x*y + z*w with scrambled commutative operands.
+    return f"""
+void {func}(long i) {{
+    {a}[i + 0] = {b}[i + 0]*{c}[i + 0] + {d}[i + 0]*{e}[i + 0];
+    {a}[i + 1] = {c}[i + 1]*{b}[i + 1] + {e}[i + 1]*{d}[i + 1];
+    {a}[i + 2] = {d}[i + 2]*{e}[i + 2] + {b}[i + 2]*{c}[i + 2];
+    {a}[i + 3] = {e}[i + 3]*{d}[i + 3] + {c}[i + 3]*{b}[i + 3];
+}}
+"""
+
+
+def _friendly_body(rng: random.Random, func: str, arrays: list[str]) -> str:
+    """A region vanilla SLP vectorizes.  Half the instances are plain
+    isomorphic lanes (SLP-NR succeeds too); the other half are the
+    paper's Listing 1 shape — operands swapped across lanes with
+    *different* opcodes, which the opcode-based reordering fixes but
+    SLP-NR cannot."""
+    a, b, c, d = arrays[:4]
+    if rng.randrange(2) == 0:
+        k = rng.randrange(1, 4)
+        lanes = "\n".join(
+            f"    {a}[i + {lane}] = {b}[i + {lane}]*{c}[i + {lane}]"
+            f" + {d}[i + {lane}] + {k};"
+            for lane in range(4)
+        )
+        return f"\nvoid {func}(long i) {{\n{lanes}\n}}\n"
+    # Listing 1: sub1 + load1 vs load2 + sub2 — needs rotation.
+    return f"""
+void {func}(long i) {{
+    {a}[i + 0] = ({b}[i + 0] - {c}[i + 0]) + {d}[i + 0];
+    {a}[i + 1] = {d}[i + 1] + ({b}[i + 1] - {c}[i + 1]);
+}}
+"""
+
+
+def _scalar_body(rng: random.Random, func: str, arrays: list[str]) -> str:
+    """A region no straight-line vectorizer touches: one long dependent
+    chain ending in a single store (no adjacent-store seeds)."""
+    a, b = arrays[:2]
+    depth = rng.randrange(24, 40)
+    lines = [f"    long t0 = {b}[i] + {rng.randrange(1, 9)};"]
+    for step in range(1, depth):
+        op = rng.choice(["+", "*", "^", "&", "|"])
+        lines.append(
+            f"    long t{step} = t{step - 1} {op} "
+            f"{b}[i + {rng.randrange(0, 4)}];"
+        )
+    lines.append(f"    {a}[i] = t{depth - 1};")
+    body = "\n".join(lines)
+    return f"\nvoid {func}(long i) {{\n{body}\n}}\n"
+
+
+# ---------------------------------------------------------------------------
+# Suite construction
+# ---------------------------------------------------------------------------
+
+
+def build_suite(spec: SuiteSpec) -> Module:
+    """Generate the synthetic benchmark module for ``spec``.
+
+    Deterministic for a given spec (the RNG is seeded by the suite), so
+    every configuration compiles the exact same input program.
+    """
+    rng = random.Random(spec.seed)
+    decls = "unsigned long " + ", ".join(
+        f"{name}[1024]" for name in _ARRAY_POOL
+    ) + ";\n"
+
+    pieces: list[str] = [decls]
+    order: list[tuple[str, int]] = (
+        [("sensitive", n) for n in range(spec.sensitive)]
+        + [("friendly", n) for n in range(spec.friendly)]
+        + [("scalar", n) for n in range(spec.scalar)]
+    )
+    rng.shuffle(order)
+    for index, (kind, _) in enumerate(order):
+        func = f"f{index}_{kind}"
+        arrays = list(_ARRAY_POOL)
+        rng.shuffle(arrays)
+        if kind == "sensitive":
+            pieces.append(_sensitive_body(rng, func, arrays))
+        elif kind == "friendly":
+            pieces.append(_friendly_body(rng, func, arrays))
+        else:
+            pieces.append(_scalar_body(rng, func, arrays))
+    return lower_program("".join(pieces), spec.name)
+
+
+#: how often each function kind runs in the suite "workload": the
+#: scalar-only functions model the benchmark's hot paths (paper §5.2:
+#: "the regions that get improved by LSLP are not necessarily in hot
+#: execution paths"), so they dominate execution time
+EXECUTION_WEIGHTS = {"scalar": 12, "friendly": 1, "sensitive": 1}
+
+
+def function_weight(name: str) -> int:
+    """Execution weight of a generated suite function, from its name."""
+    kind = name.rsplit("_", 1)[-1]
+    return EXECUTION_WEIGHTS.get(kind, 1)
+
+
+__all__ = [
+    "build_suite",
+    "EXECUTION_WEIGHTS",
+    "function_weight",
+    "suite_by_name",
+    "SuiteSpec",
+    "SUITE_SPECS",
+]

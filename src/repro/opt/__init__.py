@@ -1,0 +1,59 @@
+"""repro.opt — scalar optimization passes and compilation pipelines."""
+
+from .constfold import fold_instruction, run_constfold
+from .cse import run_cse
+from .dce import is_trivially_dead, run_dce
+from .inline import can_inline, inline_call, run_inline
+from .instcombine import run_instcombine, simplify_binop
+from .passmanager import FunctionPass, PassManager, PassTiming, PipelineResult
+from .simplifycfg import (
+    fold_constant_branches,
+    fold_trivial_phis,
+    merge_straight_line_blocks,
+    remove_unreachable_blocks,
+    run_simplifycfg,
+)
+from .unroll import (
+    CountedLoop,
+    find_counted_loop,
+    run_unroll,
+    unroll_loop,
+)
+from .pipelines import (
+    build_pipeline,
+    compile_function,
+    compile_module,
+    CompileResult,
+    scalar_pipeline,
+)
+
+__all__ = [
+    "build_pipeline",
+    "compile_function",
+    "compile_module",
+    "CompileResult",
+    "CountedLoop",
+    "find_counted_loop",
+    "fold_constant_branches",
+    "fold_instruction",
+    "fold_trivial_phis",
+    "merge_straight_line_blocks",
+    "remove_unreachable_blocks",
+    "FunctionPass",
+    "is_trivially_dead",
+    "PassManager",
+    "PassTiming",
+    "PipelineResult",
+    "run_constfold",
+    "run_cse",
+    "run_dce",
+    "can_inline",
+    "inline_call",
+    "run_inline",
+    "run_instcombine",
+    "run_simplifycfg",
+    "run_unroll",
+    "unroll_loop",
+    "scalar_pipeline",
+    "simplify_binop",
+]

@@ -1,0 +1,67 @@
+"""Constant folding: evaluate instructions with all-constant operands."""
+
+from __future__ import annotations
+
+from ..ir.function import Function
+from ..ir.instructions import BinaryOperator, Cmp, Select, UnaryOperator
+from ..ir.semantics import (
+    EvaluationError,
+    eval_binop,
+    eval_cmp,
+    eval_unop,
+)
+from ..ir.values import Constant
+
+
+def fold_instruction(inst) -> Constant | None:
+    """The constant ``inst`` evaluates to, or None if not foldable."""
+    if isinstance(inst, BinaryOperator):
+        lhs, rhs = inst.operands
+        if isinstance(lhs, Constant) and isinstance(rhs, Constant):
+            try:
+                value = eval_binop(inst.opcode, lhs.value, rhs.value,
+                                   inst.type)
+            except EvaluationError:
+                return None  # preserve the trap (division by zero)
+            return Constant(inst.type, value)
+    if isinstance(inst, UnaryOperator):
+        (operand,) = inst.operands
+        if isinstance(operand, Constant):
+            return Constant(
+                inst.type, eval_unop(inst.opcode, operand.value, inst.type)
+            )
+    if isinstance(inst, Cmp):
+        lhs, rhs = inst.operands
+        if isinstance(lhs, Constant) and isinstance(rhs, Constant):
+            return Constant(
+                inst.type, eval_cmp(inst.predicate, lhs.value, rhs.value)
+            )
+    if isinstance(inst, Select):
+        cond, on_true, on_false = inst.operands
+        if isinstance(cond, Constant):
+            chosen = on_true if cond.value else on_false
+            if isinstance(chosen, Constant):
+                return Constant(chosen.type, chosen.value)
+    return None
+
+
+def run_constfold(func: Function) -> bool:
+    """Fold all-constant instructions to literals, iterating to a fixed
+    point so chains of constants collapse completely."""
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        for block in func.blocks:
+            for inst in block.instructions:
+                folded = fold_instruction(inst)
+                if folded is None:
+                    continue
+                inst.replace_all_uses_with(folded)
+                inst.erase_from_parent()
+                changed = True
+                progress = True
+    return changed
+
+
+__all__ = ["fold_instruction", "run_constfold"]

@@ -1,0 +1,92 @@
+"""Common subexpression elimination for straight-line code.
+
+Within each basic block, pure instructions that compute the same
+expression (same opcode, same operand identities, same immediates) are
+merged into the first occurrence.  Redundant loads are merged too, in
+the EarlyCSE style: a load is available until any instruction that may
+write memory executes (conservatively, any store kills all loads).
+"""
+
+from __future__ import annotations
+
+from ..analysis.aliasing import AliasAnalysis
+from ..ir.call import Call
+from ..ir.function import Function
+from ..ir.instructions import (
+    BinaryOperator,
+    Cmp,
+    GetElementPtr,
+    Load,
+    Select,
+    Store,
+    UnaryOperator,
+)
+from ..ir.values import Constant
+
+
+def _expression_key(inst):
+    """Hashable structural identity of a pure instruction, or None."""
+    if not isinstance(
+        inst, (BinaryOperator, UnaryOperator, Cmp, Select, GetElementPtr)
+    ):
+        return None
+    operand_keys = tuple(
+        ("const", op.type, op.value) if isinstance(op, Constant)
+        else ("value", id(op))
+        for op in inst.operands
+    )
+    if isinstance(inst, BinaryOperator) and inst.is_commutative:
+        operand_keys = tuple(sorted(operand_keys))
+    extra = inst.predicate if isinstance(inst, Cmp) else None
+    return (inst.opcode, extra, inst.type, operand_keys)
+
+
+def _load_key(inst):
+    if isinstance(inst, Load):
+        return ("load", inst.type, id(inst.ptr))
+    return None
+
+
+def run_cse(func: Function) -> bool:
+    """Merge structurally identical pure expressions and redundant loads
+    per block."""
+    changed = False
+    aa = AliasAnalysis()
+    for block in func.blocks:
+        progress = True
+        while progress:
+            progress = False
+            seen: dict = {}
+            loads: dict = {}
+            for inst in block.instructions:
+                if isinstance(inst, Call):
+                    loads.clear()
+                    continue
+                if isinstance(inst, Store):
+                    # keep loads the store provably cannot touch
+                    loads = {
+                        key: load
+                        for key, load in loads.items()
+                        if not aa.instructions_may_conflict(load, inst)
+                    }
+                    continue
+                key = _expression_key(inst)
+                table = seen
+                if key is None:
+                    key = _load_key(inst)
+                    table = loads
+                if key is None:
+                    continue
+                original = table.get(key)
+                if original is None:
+                    table[key] = inst
+                    continue
+                inst.replace_all_uses_with(original)
+                inst.erase_from_parent()
+                changed = True
+                progress = True
+                break  # operand identities changed; rebuild the table
+    return changed
+
+
+__all__ = ["run_cse"]

@@ -1,0 +1,41 @@
+"""Dead code elimination.
+
+Erases instructions whose results are unused and that have no side
+effects.  Runs to a fixed point, so whole dead expression trees (the
+scalar address arithmetic left behind by vectorization) disappear in one
+invocation.
+"""
+
+from __future__ import annotations
+
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+
+
+def is_trivially_dead(inst: Instruction) -> bool:
+    """Unused and side-effect free: safe to erase."""
+    return not inst.is_used() and not inst.has_side_effects
+
+
+def run_dce(func: Function) -> bool:
+    """Erase all trivially dead instructions in ``func``."""
+    changed = False
+    for block in func.blocks:
+        # Scan bottom-up so a chain of dead instructions dies in one pass;
+        # loop until a full sweep finds nothing (handles stray diamonds).
+        while True:
+            dead = [
+                inst
+                for inst in reversed(block.instructions)
+                if is_trivially_dead(inst)
+            ]
+            if not dead:
+                break
+            for inst in dead:
+                if is_trivially_dead(inst):  # may have gained a use? no -
+                    inst.erase_from_parent()  # uses only shrink here
+                    changed = True
+    return changed
+
+
+__all__ = ["is_trivially_dead", "run_dce"]

@@ -1,0 +1,90 @@
+"""Function inlining.
+
+The paper's kernels are small library helpers the compiler has inlined
+before SLP ever sees them (povray's ``VSumSqr``, milc's su2 helpers).
+This pass reproduces that: calls to *straight-line* callees (a single
+block ending in ``ret``) are replaced by a clone of the callee body with
+arguments substituted.  Inlining runs before unrolling, so a helper
+called from a loop body gets inlined and then unrolled with it.
+
+Multi-block callees (containing loops) are left as calls; recursive
+calls are never inlined.
+"""
+
+from __future__ import annotations
+
+from ..ir.call import Call
+from ..ir.cloning import clone_instruction
+from ..ir.controlflow import Br, CondBr, Phi
+from ..ir.function import Function
+from ..ir.instructions import Instruction, Ret
+
+#: inlining rounds per function (call chains inline transitively)
+MAX_ROUNDS = 8
+
+
+def can_inline(call: Call, caller: Function) -> bool:
+    """Straight-line, non-recursive callees only."""
+    callee = call.callee
+    if callee is caller:
+        return False
+    if len(callee.blocks) != 1:
+        return False
+    terminator = callee.entry.terminator
+    if not isinstance(terminator, Ret):
+        return False
+    return all(
+        not isinstance(inst, (Br, CondBr, Phi))
+        for inst in callee.entry
+    )
+
+
+def inline_call(call: Call, caller: Function) -> None:
+    """Splice a clone of the callee's body in place of ``call``."""
+    callee = call.callee
+    block = call.parent
+    vmap = {
+        id(argument): operand
+        for argument, operand in zip(callee.arguments, call.operands)
+    }
+    return_value = None
+    for inst in callee.entry.instructions:
+        if isinstance(inst, Ret):
+            if inst.return_value is not None:
+                from ..ir.cloning import map_value
+
+                return_value = map_value(inst.return_value, vmap)
+            break
+        clone = clone_instruction(inst, vmap)
+        clone.name = caller.unique_name(inst.name) if inst.name else ""
+        block.insert_before(call, clone)
+        vmap[id(inst)] = clone
+    if call.is_used():
+        if return_value is None:
+            raise ValueError(
+                f"call to @{callee.name} is used but the callee "
+                "returns void"
+            )
+        call.replace_all_uses_with(return_value)
+    call.erase_from_parent()
+
+
+def run_inline(func: Function) -> bool:
+    """Inline all eligible calls in ``func`` to a fixed point."""
+    changed = False
+    for _ in range(MAX_ROUNDS):
+        calls = [
+            inst
+            for block in func.blocks
+            for inst in block
+            if isinstance(inst, Call) and can_inline(inst, func)
+        ]
+        if not calls:
+            break
+        for call in calls:
+            inline_call(call, func)
+            changed = True
+    return changed
+
+
+__all__ = ["can_inline", "inline_call", "MAX_ROUNDS", "run_inline"]

@@ -1,0 +1,81 @@
+"""Algebraic simplification ("instcombine-lite").
+
+Peephole identities that keep kernels canonical before vectorization:
+
+* ``x + 0``, ``x - 0``, ``x * 1``, ``x << 0``, ``x | 0``, ``x ^ 0``,
+  ``x & -1``  →  ``x``
+* ``x * 0``, ``x & 0``  →  ``0``
+* ``x - x``, ``x ^ x``  →  ``0``
+* ``x & x``, ``x | x``  →  ``x``
+* constant canonicalization: for commutative opcodes the constant moves
+  to the right-hand side (LLVM's canonical form, which the SLP operand
+  modes implicitly rely on)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.function import Function
+from ..ir.instructions import BinaryOperator
+from ..ir.values import Constant, Value
+
+
+def _const(value: Value) -> Optional[int]:
+    if isinstance(value, Constant) and value.type.is_integer:
+        return value.value
+    return None
+
+
+def simplify_binop(inst: BinaryOperator) -> Optional[Value]:
+    """The simpler value ``inst`` reduces to, or None."""
+    lhs, rhs = inst.operands
+    opcode = inst.opcode
+    rhs_const = _const(rhs)
+
+    if rhs_const == 0 and opcode in ("add", "sub", "shl", "lshr", "ashr",
+                                     "or", "xor"):
+        return lhs
+    if rhs_const == 1 and opcode == "mul":
+        return lhs
+    if rhs_const == 0 and opcode in ("mul", "and"):
+        return rhs
+    if rhs_const == -1 and opcode == "and":
+        return lhs
+    if lhs is rhs:
+        if opcode in ("and", "or", "smin", "smax"):
+            return lhs
+        if opcode in ("sub", "xor"):
+            return Constant(inst.type, 0)
+    return None
+
+
+def run_instcombine(func: Function) -> bool:
+    """Apply algebraic identities and canonicalize constants rightward."""
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        for block in func.blocks:
+            for inst in block.instructions:
+                if not isinstance(inst, BinaryOperator):
+                    continue
+                simplified = simplify_binop(inst)
+                if simplified is not None:
+                    inst.replace_all_uses_with(simplified)
+                    inst.erase_from_parent()
+                    changed = True
+                    progress = True
+                    continue
+                lhs, rhs = inst.operands
+                if (
+                    inst.is_commutative
+                    and isinstance(lhs, Constant)
+                    and not isinstance(rhs, Constant)
+                ):
+                    inst.swap_operands()
+                    changed = True
+    return changed
+
+
+__all__ = ["run_instcombine", "simplify_binop"]

@@ -1,0 +1,139 @@
+"""Compilation pipelines: "O3" and the vectorizing configurations.
+
+``compile_function`` mirrors the paper's experimental setup (§5.1): every
+configuration runs the same scalar passes (the "O3" stand-in); the
+vectorizing configurations additionally run the (L)SLP pass followed by a
+cleanup DCE that removes the scalar address arithmetic the vectorizer
+leaves dead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..costmodel.targets import skylake_like
+from ..costmodel.tti import TargetCostModel
+from ..ir.function import Function, Module
+from ..slp.vectorizer import (
+    SLPVectorizer,
+    VectorizationReport,
+    VectorizerConfig,
+)
+from .constfold import run_constfold
+from .cse import run_cse
+from .dce import run_dce
+from .inline import run_inline
+from .instcombine import run_instcombine
+from .passmanager import PassManager, PipelineResult
+from .simplifycfg import run_simplifycfg
+from .unroll import run_unroll
+
+
+@dataclass
+class CompileResult:
+    """Outcome of compiling one function under one configuration."""
+
+    function: Function
+    config: VectorizerConfig
+    timing: PipelineResult
+    report: VectorizationReport = field(
+        default_factory=lambda: VectorizationReport("", "")
+    )
+
+    @property
+    def compile_seconds(self) -> float:
+        return self.timing.total_seconds
+
+    @property
+    def static_cost(self) -> int:
+        return self.report.total_cost
+
+
+class _VectorizePass:
+    """Adapter so the SLP vectorizer can sit in a PassManager and still
+    surface its report."""
+
+    def __init__(self, config: VectorizerConfig, target: TargetCostModel):
+        self.vectorizer = SLPVectorizer(config, target)
+        self.report: Optional[VectorizationReport] = None
+
+    def __call__(self, func: Function) -> bool:
+        report = self.vectorizer.run_function(func)
+        if self.report is None:
+            self.report = report
+        else:
+            self.report.merge(report)
+        return report.num_vectorized > 0
+
+
+def scalar_pipeline(verify_each: bool = False) -> PassManager:
+    """The scalar "O3" passes every configuration runs.
+
+    Loop unrolling runs here (not in the vectorizing add-on) so that the
+    O3 baseline and the vectorizing configurations see the *same*
+    straight-line code, exactly like the paper's setup where SLP runs
+    after the loop transformations (§2.1).
+    """
+    return (
+        PassManager(verify_each=verify_each)
+        .add("inline", run_inline)
+        .add("constfold", run_constfold)
+        .add("instcombine", run_instcombine)
+        .add("cse", run_cse)
+        .add("dce", run_dce)
+        .add("unroll", run_unroll)
+        .add("simplifycfg", run_simplifycfg)
+        .add("constfold-post-unroll", run_constfold)
+        .add("instcombine-post-unroll", run_instcombine)
+        .add("cse-post-unroll", run_cse)
+        .add("dce-post-unroll", run_dce)
+    )
+
+
+def build_pipeline(config: VectorizerConfig,
+                   target: Optional[TargetCostModel] = None,
+                   verify_each: bool = False
+                   ) -> tuple[PassManager, _VectorizePass | None]:
+    """A pipeline for ``config``; also returns the report-capturing
+    vectorizer pass (None for O3)."""
+    target = target if target is not None else skylake_like()
+    manager = scalar_pipeline(verify_each=verify_each)
+    if not config.enabled:
+        return manager, None
+    vectorize = _VectorizePass(config, target)
+    manager.add("slp", vectorize)
+    manager.add("dce-post", run_dce)
+    return manager, vectorize
+
+
+def compile_function(func: Function, config: VectorizerConfig,
+                     target: Optional[TargetCostModel] = None,
+                     verify_each: bool = False) -> CompileResult:
+    """Run the full pipeline for ``config`` over ``func`` in place."""
+    manager, vectorize = build_pipeline(config, target,
+                                        verify_each=verify_each)
+    timing = manager.run_function(func)
+    result = CompileResult(func, config, timing)
+    if vectorize is not None and vectorize.report is not None:
+        result.report = vectorize.report
+    return result
+
+
+def compile_module(module: Module, config: VectorizerConfig,
+                   target: Optional[TargetCostModel] = None
+                   ) -> list[CompileResult]:
+    """Compile every function of ``module`` under ``config``."""
+    return [
+        compile_function(func, config, target)
+        for func in module.functions.values()
+    ]
+
+
+__all__ = [
+    "build_pipeline",
+    "compile_function",
+    "compile_module",
+    "CompileResult",
+    "scalar_pipeline",
+]

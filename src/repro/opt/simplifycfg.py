@@ -1,0 +1,142 @@
+"""CFG simplification: unreachable-block removal, straight-line block
+merging, and trivial phi folding.
+
+After full unrolling the function is a chain of blocks connected by
+unconditional branches; merging them back into one block is what lets
+the (per-block) SLP vectorizer see the whole straight-line region.
+"""
+
+from __future__ import annotations
+
+from ..ir.basicblock import BasicBlock
+from ..ir.cfg import predecessors, reachable_blocks
+from ..ir.controlflow import Br, CondBr, Phi
+from ..ir.function import Function
+from ..ir.values import Constant
+
+
+def remove_unreachable_blocks(func: Function) -> bool:
+    """Delete blocks no path from the entry reaches."""
+    if not func.blocks:
+        return False
+    reachable = {id(block) for block in reachable_blocks(func)}
+    dead = [block for block in func.blocks if id(block) not in reachable]
+    if not dead:
+        return False
+    dead_ids = {id(block) for block in dead}
+    # Remove phi edges coming from dead predecessors first.
+    for block in func.blocks:
+        if id(block) in dead_ids:
+            continue
+        for phi in block.phis():
+            for pred in list(phi.incoming_blocks):
+                if id(pred) in dead_ids:
+                    phi.remove_incoming(pred)
+    for block in dead:
+        for inst in block.instructions:
+            inst.drop_all_references()
+            if isinstance(inst, Phi):
+                inst.incoming_blocks = []
+            block.remove(inst)
+        func.blocks.remove(block)
+    return True
+
+
+def fold_trivial_phis(func: Function) -> bool:
+    """Replace single-incoming phis with their unique value."""
+    changed = False
+    for block in func.blocks:
+        for phi in block.phis():
+            distinct = {id(v) for v in phi.operands}
+            if len(phi.operands) == 1 or (
+                len(distinct) == 1 and phi.operands
+            ):
+                value = phi.operands[0]
+                phi.replace_all_uses_with(value)
+                phi.drop_all_references()
+                phi.incoming_blocks = []
+                block.remove(phi)
+                changed = True
+    return changed
+
+
+def fold_constant_branches(func: Function) -> bool:
+    """Turn ``condbr`` on a constant condition into a plain branch."""
+    changed = False
+    for block in func.blocks:
+        term = block.terminator
+        if not isinstance(term, CondBr):
+            continue
+        condition = term.condition
+        if not isinstance(condition, Constant):
+            continue
+        taken = term.on_true if condition.value else term.on_false
+        skipped = term.on_false if condition.value else term.on_true
+        if skipped is not taken:
+            for phi in skipped.phis():
+                if block in phi.incoming_blocks:
+                    phi.remove_incoming(block)
+        term.drop_all_references()
+        block.remove(term)
+        block.append(Br(taken))
+        changed = True
+    return changed
+
+
+def merge_straight_line_blocks(func: Function) -> bool:
+    """Merge ``X -> Y`` when X ends in an unconditional branch to Y and
+    Y has no other predecessors and no phis."""
+    changed = False
+    merged = True
+    while merged:
+        merged = False
+        preds = predecessors(func)
+        for block in list(func.blocks):
+            term = block.terminator
+            if not isinstance(term, Br):
+                continue
+            target = term.target
+            if target is block or target is func.entry:
+                continue
+            if len(preds[id(target)]) != 1 or target.phis():
+                continue
+            # splice target's instructions into block
+            term.drop_all_references()
+            block.remove(term)
+            for inst in target.instructions:
+                target.remove(inst)
+                block.append(inst)
+            # successors' phis now flow from `block` instead of `target`
+            for succ in block.successors():
+                for phi in succ.phis():
+                    for index, pred in enumerate(phi.incoming_blocks):
+                        if pred is target:
+                            phi.incoming_blocks[index] = block
+            func.blocks.remove(target)
+            merged = True
+            changed = True
+            break
+    return changed
+
+
+def run_simplifycfg(func: Function) -> bool:
+    """Run all CFG cleanups to a fixed point."""
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        progress |= fold_constant_branches(func)
+        progress |= remove_unreachable_blocks(func)
+        progress |= fold_trivial_phis(func)
+        progress |= merge_straight_line_blocks(func)
+        changed |= progress
+    return changed
+
+
+__all__ = [
+    "fold_constant_branches",
+    "fold_trivial_phis",
+    "merge_straight_line_blocks",
+    "remove_unreachable_blocks",
+    "run_simplifycfg",
+]

@@ -1,0 +1,211 @@
+"""Full unrolling of counted loops.
+
+The paper's setting (§2.1) assumes SLP runs after loop transformations
+have exposed straight-line code.  This pass provides the key one: a
+counted loop with constant bounds is replaced by its iterations laid out
+straight-line, turning
+
+    for (long j = 0; j < 4; j = j + 1) { A[4*i + j] = ...; }
+
+into four consecutive statements that the SLP seed collector can group.
+
+Only the canonical shape the frontend emits is matched (single-phi
+header with an ``icmp``+``condbr``, a single-block body ending in a
+back-edge); nested loops unroll inside-out across pass iterations once
+``simplifycfg`` has collapsed the inner loop's blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ir.basicblock import BasicBlock
+from ..ir.cloning import clone_instruction
+from ..ir.controlflow import Br, CondBr, Phi
+from ..ir.function import Function
+from ..ir.instructions import BinaryOperator, Cmp, Instruction
+from ..ir.semantics import eval_cmp, eval_int_binop
+from ..ir.values import Constant
+
+#: refuse to fully unroll loops longer than this
+MAX_TRIP_COUNT = 256
+
+
+@dataclass
+class CountedLoop:
+    """A recognized frontend-shaped counted loop."""
+
+    preheader: BasicBlock
+    header: BasicBlock
+    body: BasicBlock
+    exit: BasicBlock
+    phi: Phi
+    init: int
+    step: int
+    bound: int
+    predicate: str
+
+    def trip_values(self) -> Optional[list[int]]:
+        """The induction-variable values, or None if unbounded/too long."""
+        values: list[int] = []
+        j = self.init
+        bits = self.phi.type.bits
+        while eval_cmp(self.predicate, j, self.bound):
+            values.append(j)
+            if len(values) > MAX_TRIP_COUNT:
+                return None
+            j = eval_int_binop("add", j, self.step, bits)
+        return values
+
+
+def find_counted_loop(func: Function) -> Optional[CountedLoop]:
+    """The first fully-analyzable counted loop in ``func``, if any."""
+    for header in func.blocks:
+        loop = _match_header(func, header)
+        if loop is not None:
+            return loop
+    return None
+
+
+def _match_header(func: Function, header: BasicBlock
+                  ) -> Optional[CountedLoop]:
+    phis = header.phis()
+    if len(phis) != 1:
+        return None
+    phi = phis[0]
+    if not phi.type.is_integer or len(phi.incoming()) != 2:
+        return None
+    term = header.terminator
+    if not isinstance(term, CondBr):
+        return None
+    condition = term.condition
+    # header must be exactly: phi, cmp, condbr
+    if len(header) != 3:
+        return None
+    if not (isinstance(condition, Cmp) and condition.opcode == "icmp"
+            and condition.parent is header):
+        return None
+    if not (condition.lhs is phi and isinstance(condition.rhs, Constant)):
+        return None
+
+    body, exit_block = term.on_true, term.on_false
+    if body is header or exit_block is body:
+        return None
+    body_term = body.terminator
+    if not (isinstance(body_term, Br) and body_term.target is header):
+        return None
+    if body.phis():
+        return None
+
+    # classify the phi edges: one from the body (latch), one from outside
+    incoming = dict()
+    for value, pred in phi.incoming():
+        incoming[id(pred)] = (value, pred)
+    latch_entry = incoming.pop(id(body), None)
+    if latch_entry is None or len(incoming) != 1:
+        return None
+    next_value, _ = latch_entry
+    (init_value, preheader) = next(iter(incoming.values()))
+    if not isinstance(init_value, Constant):
+        return None
+    if not (isinstance(preheader.terminator, Br)
+            and preheader.terminator.target is header):
+        return None
+
+    # the step must be phi + constant, computed in the body
+    if not (isinstance(next_value, BinaryOperator)
+            and next_value.opcode == "add"
+            and next_value.parent is body
+            and next_value.lhs is phi
+            and isinstance(next_value.rhs, Constant)):
+        return None
+    if next_value.rhs.value == 0:
+        return None
+
+    loop = CountedLoop(
+        preheader=preheader,
+        header=header,
+        body=body,
+        exit=exit_block,
+        phi=phi,
+        init=init_value.value,
+        step=next_value.rhs.value,
+        bound=condition.rhs.value,
+        predicate=condition.predicate,
+    )
+    if _values_escape(loop):
+        return None
+    return loop
+
+
+def _values_escape(loop: CountedLoop) -> bool:
+    """True when a loop-defined value is used outside header/body (the
+    frontend's scoping prevents this, but hand-written IR may not)."""
+    inside = {id(loop.header), id(loop.body)}
+    for block in (loop.header, loop.body):
+        for inst in block:
+            for use in inst.uses:
+                user = use.user
+                parent = getattr(user, "parent", None)
+                if parent is None or id(parent) not in inside:
+                    return True
+    return False
+
+
+def unroll_loop(func: Function, loop: CountedLoop) -> bool:
+    """Replace ``loop`` with straight-line copies of its body."""
+    values = loop.trip_values()
+    if values is None:
+        return False
+
+    preheader_br = loop.preheader.terminator
+    body_insts = [
+        inst for inst in loop.body.instructions if not inst.is_terminator
+    ]
+    for j in values:
+        vmap = {id(loop.phi): Constant(loop.phi.type, j)}
+        for inst in body_insts:
+            clone = clone_instruction(inst, vmap)
+            clone.name = (
+                func.unique_name(inst.name) if inst.name else ""
+            )
+            loop.preheader.insert_before(preheader_br, clone)
+            vmap[id(inst)] = clone
+
+    # Retarget the preheader straight to the exit and delete the loop.
+    preheader_br.replace_successor(loop.header, loop.exit)
+    _erase_region(func, [loop.header, loop.body])
+    return True
+
+
+def _erase_region(func: Function, blocks: list[BasicBlock]) -> None:
+    for block in blocks:
+        for inst in block.instructions:
+            inst.drop_all_references()
+            if isinstance(inst, Phi):
+                inst.incoming_blocks = []
+            block.remove(inst)
+        func.blocks.remove(block)
+
+
+def run_unroll(func: Function, max_loops: int = 64) -> bool:
+    """Fully unroll counted loops until none remain (or a budget)."""
+    changed = False
+    for _ in range(max_loops):
+        loop = find_counted_loop(func)
+        if loop is None:
+            break
+        if not unroll_loop(func, loop):
+            break
+        changed = True
+    return changed
+
+
+__all__ = [
+    "CountedLoop",
+    "find_counted_loop",
+    "MAX_TRIP_COUNT",
+    "run_unroll",
+    "unroll_loop",
+]

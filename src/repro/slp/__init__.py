@@ -1,0 +1,70 @@
+"""repro.slp — the SLP / LSLP straight-line-code vectorizer.
+
+The paper's contribution lives here: graph construction with multi-node
+formation (:mod:`builder`), look-ahead operand reordering (:mod:`reorder`,
+:mod:`lookahead`), graph costing (:mod:`cost`), vector code generation
+(:mod:`codegen`), seeds (:mod:`seeds`), reductions (:mod:`reductions`),
+and the top-level pass (:mod:`vectorizer`).
+"""
+
+from .builder import BuildPolicy, BuildStats, GraphBuilder
+from .codegen import CodegenError, VectorCodeGen
+from .cost import GraphCost, NodeCost, compute_graph_cost
+from .exhaustive import ExhaustiveReorderer
+from .graph import GatherNode, MultiNode, SLPGraph, SLPNode, VectorizableNode
+from .lookahead import (
+    LookAheadContext,
+    are_consecutive_or_match,
+    get_lookahead_score,
+    get_lookahead_score_max,
+)
+from .reductions import ReductionPlan, emit_reduction, plan_reduction
+from .reorder import OperandMode, OperandReorderer, ReorderResult, initial_mode
+from .seeds import (
+    ReductionSeed,
+    SeedGroup,
+    collect_reduction_seeds,
+    collect_store_seeds,
+)
+from .vectorizer import (
+    SLPVectorizer,
+    TreeRecord,
+    VectorizationReport,
+    VectorizerConfig,
+)
+
+__all__ = [
+    "are_consecutive_or_match",
+    "BuildPolicy",
+    "BuildStats",
+    "CodegenError",
+    "collect_reduction_seeds",
+    "collect_store_seeds",
+    "compute_graph_cost",
+    "emit_reduction",
+    "ExhaustiveReorderer",
+    "GatherNode",
+    "get_lookahead_score",
+    "get_lookahead_score_max",
+    "GraphBuilder",
+    "GraphCost",
+    "initial_mode",
+    "LookAheadContext",
+    "MultiNode",
+    "NodeCost",
+    "OperandMode",
+    "OperandReorderer",
+    "plan_reduction",
+    "ReductionPlan",
+    "ReductionSeed",
+    "ReorderResult",
+    "SeedGroup",
+    "SLPGraph",
+    "SLPNode",
+    "SLPVectorizer",
+    "TreeRecord",
+    "VectorCodeGen",
+    "VectorizableNode",
+    "VectorizationReport",
+    "VectorizerConfig",
+]

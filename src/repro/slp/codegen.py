@@ -1,0 +1,276 @@
+"""Vector code generation (paper §2.2 steps 6 and 7).
+
+Given a profitable SLP graph rooted at a store seed group, replace the
+scalar instructions with vector code:
+
+* every :class:`VectorizableNode` becomes one vector instruction,
+* every :class:`MultiNode` becomes a fold of its reordered operand
+  vectors with its commutative opcode (``len(rows)`` vector ops),
+* every :class:`GatherNode` becomes a constant vector, a splat, or an
+  insertelement chain,
+* in-tree values with external scalar users get an ``extractelement``,
+* the now-dead scalar tree is erased.
+
+All vector code is emitted at a single insertion point: immediately
+before the last in-tree instruction.  :class:`TreeScheduler` has already
+checked this is legal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.aliasing import AliasAnalysis
+from ..analysis.schedule import TreeScheduler
+from ..ir.builder import IRBuilder
+from ..ir.instructions import (
+    BinaryOperator,
+    Cmp,
+    Instruction,
+    Load,
+    Select,
+    Store,
+    UnaryOperator,
+)
+from ..ir.types import vector_of
+from ..ir.values import Constant, Value, VectorConstant
+from .graph import GatherNode, MultiNode, SLPGraph, SLPNode, VectorizableNode
+
+
+class CodegenError(RuntimeError):
+    """Internal invariant violation during vector code emission."""
+
+
+class VectorCodeGen:
+    """Emits vector code for one SLP graph and erases the scalar tree."""
+
+    def __init__(self, graph: SLPGraph, aa: AliasAnalysis,
+                 extra_claimed: tuple[Instruction, ...] = ()):
+        self.graph = graph
+        self.aa = aa
+        #: instructions outside the graph that the caller will also erase
+        #: (a reduction chain); their uses of in-tree values do not need
+        #: extracts, and they take part in scheduling checks
+        self.extra_claimed = list(extra_claimed)
+        self.builder = IRBuilder()
+        self._emitted: dict[int, Value] = {}
+        self._lane_of: dict[int, tuple[SLPNode, int]] = {}
+        self._claimed: set[int] = set()
+
+    # ------------------------------------------------------------------
+
+    def full_tree(self) -> list[Instruction]:
+        """Every scalar instruction the transformation will erase."""
+        return self.graph.vector_instructions() + self.extra_claimed
+
+    def can_schedule(self) -> bool:
+        """True when the whole tree can legally move to one point."""
+        tree = self.full_tree()
+        if not tree:
+            return False
+        return TreeScheduler(self.aa).tree_is_schedulable(tree)
+
+    def run(self) -> None:
+        """Emit vector code and erase the replaced scalars (store roots)."""
+        self.emit()
+        self.erase()
+
+    def emit(self) -> Value:
+        """Emit the vector code for the whole graph; return the root's
+        vector value (the vector store for store-rooted trees)."""
+        root = self.graph.root
+        if root is None or root.is_gather:
+            raise CodegenError("graph has no vectorizable root")
+
+        tree = self.full_tree()
+        scheduler = TreeScheduler(self.aa)
+        if not scheduler.tree_is_schedulable(tree):
+            raise CodegenError("tree is not schedulable; call can_schedule()")
+
+        for node in self.graph.walk():
+            if node.is_gather:
+                continue
+            self._claimed.update(id(i) for i in node.all_instructions())
+            for lane, value in enumerate(node.lanes):
+                self._lane_of.setdefault(id(value), (node, lane))
+        self._claimed.update(id(i) for i in self.extra_claimed)
+
+        block = tree[0].parent
+        anchor = block.instructions[scheduler.insertion_index(tree)]
+        self.builder.position_before(anchor)
+        return self._emit(root)
+
+    def erase(self) -> None:
+        """Erase the replaced scalar instructions."""
+        self._erase_tree(self.full_tree())
+
+    # ---- node emission ----------------------------------------------------
+
+    def _emit(self, node: SLPNode) -> Value:
+        cached = self._emitted.get(id(node))
+        if cached is not None:
+            return cached
+        if isinstance(node, GatherNode):
+            value = self._emit_gather(node)
+        elif isinstance(node, MultiNode):
+            value = self._emit_multi(node)
+        elif isinstance(node, VectorizableNode):
+            value = self._emit_vectorizable(node)
+        else:
+            raise CodegenError(f"unknown node kind {node!r}")
+        self._emitted[id(node)] = value
+        if not node.is_gather:
+            self._emit_external_extracts(node, value)
+        return value
+
+    def _emit_vectorizable(self, node: VectorizableNode) -> Value:
+        first = node.lanes[0]
+        lanes = node.vector_length
+        if isinstance(first, Load):
+            # Lane order equals address order (checked by the builder),
+            # so a contiguous vector load from lane 0's pointer suffices.
+            return self.builder.vload(first.ptr, lanes, "vec")
+        if isinstance(first, Store):
+            vec = self._emit(node.children[0])
+            return self.builder.store(vec, first.ptr)
+        if isinstance(first, BinaryOperator):
+            lhs = self._emit(node.children[0])
+            rhs = self._emit(node.children[1])
+            return self.builder.binop(node.opcode, lhs, rhs, "vec")
+        if isinstance(first, UnaryOperator):
+            return self.builder.unop(
+                node.opcode, self._emit(node.children[0]), "vec"
+            )
+        if isinstance(first, Cmp):
+            lhs = self._emit(node.children[0])
+            rhs = self._emit(node.children[1])
+            if node.opcode == "icmp":
+                return self.builder.icmp(first.predicate, lhs, rhs, "vec")
+            return self.builder.fcmp(first.predicate, lhs, rhs, "vec")
+        if isinstance(first, Select):
+            cond = self._emit(node.children[0])
+            on_true = self._emit(node.children[1])
+            on_false = self._emit(node.children[2])
+            return self.builder.select(cond, on_true, on_false, "vec")
+        raise CodegenError(f"cannot emit vector code for {node!r}")
+
+    def _emit_multi(self, node: MultiNode) -> Value:
+        """Fold the reordered operand vectors with the chain's opcode.
+
+        Per-lane this computes ``op(op(g0, g1), g2)...`` over that lane's
+        reordered operands — a valid re-association of the original chain
+        because the opcode is commutative and associative.
+        """
+        acc = self._emit(node.children[0])
+        for child in node.children[1:]:
+            acc = self.builder.binop(node.opcode, acc, self._emit(child),
+                                     "vec")
+        return acc
+
+    def _emit_gather(self, node: GatherNode) -> Value:
+        elem_ty = node.lanes[0].type
+        vec_ty = vector_of(elem_ty, node.vector_length)
+        if all(isinstance(v, Constant) for v in node.lanes):
+            return VectorConstant(vec_ty, [v.value for v in node.lanes])
+        if node.is_splat:
+            scalar = self._scalar_lane(node.lanes[0])
+            return self.builder.splat(scalar, node.vector_length)
+        shuffled = self._try_shuffle_gather(node)
+        if shuffled is not None:
+            return shuffled
+        scalars = [self._scalar_lane(v) for v in node.lanes]
+        return self.builder.build_vector(scalars)
+
+    def _try_shuffle_gather(self, node: GatherNode) -> Optional[Value]:
+        """Regroup lanes that already live in vectors with one shuffle.
+
+        Only applies when every lane is an in-tree instruction and the
+        lanes come from at most two source vectors of equal type.
+        """
+        sources: list[SLPNode] = []
+        picks: list[tuple[int, int]] = []  # (source index, lane index)
+        for value in node.lanes:
+            if not isinstance(value, Instruction):
+                return None
+            entry = self._lane_of.get(id(value))
+            if entry is None or id(value) not in self._claimed:
+                return None
+            source, lane = entry
+            for index, existing in enumerate(sources):
+                if existing is source:
+                    picks.append((index, lane))
+                    break
+            else:
+                sources.append(source)
+                picks.append((len(sources) - 1, lane))
+        if not 1 <= len(sources) <= 2:
+            return None
+        vectors = [self._emit(source) for source in sources]
+        if any(not isinstance(v, Value) or v.type.is_void for v in vectors):
+            return None
+        if len(vectors) == 2 and vectors[0].type is not vectors[1].type:
+            return None
+        first = vectors[0]
+        second = vectors[1] if len(vectors) == 2 else vectors[0]
+        if first.type is not second.type:
+            return None
+        width = first.type.count
+        mask = tuple(
+            lane + (width if source_index == 1 else 0)
+            for source_index, lane in picks
+        )
+        return self.builder.shufflevector(first, second, mask, "regroup")
+
+    def _scalar_lane(self, value: Value) -> Value:
+        """A scalar usable at the insertion point for one gather lane.
+
+        If the lane's value is itself being vectorized by this graph, its
+        scalar instruction is going away — extract it from the vector it
+        lives in instead.
+        """
+        if isinstance(value, Instruction) and id(value) in self._claimed:
+            node, lane = self._lane_of[id(value)]
+            vec = self._emit(node)
+            return self.builder.extractelement(vec, lane)
+        return value
+
+    def _emit_external_extracts(self, node: SLPNode, vec: Value) -> None:
+        """Replace external scalar uses of in-tree lane values with
+        extracts from the vector result (step 7)."""
+        if not isinstance(vec, Value) or vec.type.is_void:
+            return
+        for lane, value in enumerate(node.lanes):
+            if not isinstance(value, Instruction) or value.type.is_void:
+                continue
+            extract: Optional[Value] = None
+            for use in value.uses:
+                if id(use.user) in self._claimed:
+                    continue
+                if extract is None:
+                    extract = self.builder.extractelement(vec, lane)
+                use.set(extract)
+
+    # ---- cleanup -----------------------------------------------------------
+
+    def _erase_tree(self, tree: list[Instruction]) -> None:
+        """Erase the replaced scalars, roots first."""
+        remaining = list(tree)
+        while remaining:
+            progressed = False
+            still: list[Instruction] = []
+            for inst in remaining:
+                if inst.is_used():
+                    still.append(inst)
+                else:
+                    inst.erase_from_parent()
+                    progressed = True
+            remaining = still
+            if not progressed:
+                leftover = ", ".join(repr(i) for i in remaining)
+                raise CodegenError(
+                    f"scalar tree not fully dead after vectorization: "
+                    f"{leftover}"
+                )
+
+
+__all__ = ["CodegenError", "VectorCodeGen"]

@@ -1,0 +1,145 @@
+"""SLP graph cost evaluation (paper §2.2 step 4, §3.1).
+
+The cost of the graph is the sum over nodes of ``VectorCost -
+ScalarCost`` (negative is profitable) plus gather overheads for
+non-vectorizable operand groups and extract overheads for in-tree values
+that have scalar users outside the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..costmodel.tti import TargetCostModel
+from ..ir.instructions import Instruction
+from .graph import GatherNode, MultiNode, SLPGraph, SLPNode, VectorizableNode
+
+
+@dataclass
+class NodeCost:
+    """Cost contribution of one graph node."""
+
+    node: SLPNode
+    savings: int = 0    #: VectorCost - ScalarCost of the fused groups
+    gather: int = 0     #: cost of gathering scalar lanes into a vector
+    extracts: int = 0   #: cost of extracting lanes for external users
+
+    @property
+    def total(self) -> int:
+        return self.savings + self.gather + self.extracts
+
+
+@dataclass
+class GraphCost:
+    """Total cost of one SLP graph with per-node breakdown."""
+
+    total: int = 0
+    entries: list[NodeCost] = field(default_factory=list)
+
+    def add(self, entry: NodeCost) -> None:
+        self.entries.append(entry)
+        self.total += entry.total
+
+
+def compute_graph_cost(graph: SLPGraph, target: TargetCostModel,
+                       extra_claimed=()) -> GraphCost:
+    """Evaluate the vectorization cost of ``graph`` against ``target``.
+
+    ``extra_claimed`` lists instructions outside the graph that the
+    transformation will also erase (a reduction's chain): uses by them
+    do not require extracts.
+    """
+    cost = GraphCost()
+    claimed = _claimed_ids(graph)
+    claimed.update(id(inst) for inst in extra_claimed)
+    lane_of = _lane_sources(graph)
+    for node in graph.walk():
+        cost.add(_node_cost(node, target, claimed, lane_of))
+    return cost
+
+
+def _lane_sources(graph: SLPGraph) -> dict[int, int]:
+    """Map from in-tree instruction id to the id of its vector node."""
+    sources: dict[int, int] = {}
+    for node in graph.walk():
+        if node.is_gather:
+            continue
+        for value in node.lanes:
+            sources.setdefault(id(value), id(node))
+    return sources
+
+
+def _claimed_ids(graph: SLPGraph) -> set[int]:
+    ids: set[int] = set()
+    for node in graph.walk():
+        if not node.is_gather:
+            ids.update(id(inst) for inst in node.all_instructions())
+    return ids
+
+
+def _node_cost(node: SLPNode, target: TargetCostModel,
+               claimed: set[int],
+               lane_of: dict[int, int]) -> NodeCost:
+    entry = NodeCost(node)
+    lanes = node.vector_length
+    if isinstance(node, GatherNode):
+        entry.gather = _gather_cost(node, target, claimed, lane_of)
+        return entry
+    if isinstance(node, MultiNode):
+        # One fused vector instruction per chain level (Figure 4(d)
+        # shows each internal group of the multi-node costed separately).
+        entry.savings = len(node.rows) * target.group_savings(
+            node.opcode, lanes
+        )
+        entry.extracts = _extract_cost(node.rows[0], target, claimed)
+        return entry
+    if isinstance(node, VectorizableNode):
+        entry.savings = target.group_savings(node.opcode, lanes)
+        entry.extracts = _extract_cost(node.lanes, target, claimed)
+        return entry
+    raise TypeError(f"unknown node kind {node!r}")
+
+
+def _gather_cost(node: GatherNode, target: TargetCostModel,
+                 claimed: set[int], lane_of: dict[int, int]) -> int:
+    """Cost of materializing a gather node's lanes as a vector.
+
+    Lanes that are themselves vectorized by this graph come out of
+    vector registers: when they all do, and from at most two source
+    vectors, a single shuffle regroups them (mirroring the code
+    generator); otherwise each such lane pays an extract on top of its
+    insert.
+    """
+    from ..ir.instructions import Instruction
+
+    claimed_lanes = [
+        value for value in node.lanes
+        if isinstance(value, Instruction) and id(value) in claimed
+    ]
+    if len(claimed_lanes) == len(node.lanes):
+        sources = {lane_of.get(id(value)) for value in claimed_lanes}
+        if len(sources) <= 2 and None not in sources:
+            return target.desc.shuffle_cost
+    base = target.gather_cost(node.lanes)
+    if node.is_splat:
+        extracts = 1 if claimed_lanes else 0
+    else:
+        extracts = len(claimed_lanes)
+    return base + target.extract_cost_for(extracts)
+
+
+def _extract_cost(lane_values, target: TargetCostModel,
+                  claimed: set[int]) -> int:
+    """Extraction overhead for lanes whose value has users that stay
+    scalar (outside the tree), one extract per lane with any such use."""
+    total = 0
+    for value in lane_values:
+        if not isinstance(value, Instruction) or value.type.is_void:
+            continue
+        external = any(id(use.user) not in claimed for use in value.uses)
+        if external:
+            total += target.extract_cost_for(1)
+    return total
+
+
+__all__ = ["compute_graph_cost", "GraphCost", "NodeCost"]

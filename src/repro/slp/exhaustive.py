@@ -1,0 +1,99 @@
+"""Exhaustive operand reordering — the paper's footnote-3 ablation.
+
+The paper's reorderer is a single greedy left-to-right pass with no
+backtracking ("Backtracking can help improve performance, but this study
+is not in the scope of this paper").  This module implements the upper
+bound it alludes to: try *every* per-lane permutation of the operands and
+keep the assignment with the highest total look-ahead score.  It is
+exponential — ``(slots!)^(lanes-1)`` assignments — so it silently falls
+back to the greedy engine when that product exceeds a budget.
+
+Used by ``benchmarks/bench_ablation_backtracking.py`` to quantify how
+much the no-backtracking simplification costs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import permutations
+from typing import Sequence
+
+from ..ir.values import Value
+from .lookahead import LookAheadContext, get_lookahead_score
+from .reorder import OperandMode, OperandReorderer, ReorderResult, initial_mode
+
+
+@dataclass
+class ExhaustiveReorderer:
+    """Optimal-assignment reordering by brute force, greedy fallback."""
+
+    ctx: LookAheadContext
+    look_ahead_depth: int = 8
+    #: maximum number of complete assignments to evaluate before
+    #: falling back to the greedy single-pass engine
+    max_assignments: int = 20_000
+    score_function: object = field(default=get_lookahead_score)
+
+    def reorder(self, operand_groups: Sequence[Sequence[Value]]
+                ) -> ReorderResult:
+        num_slots = len(operand_groups)
+        if num_slots == 0:
+            return ReorderResult([], [])
+        lanes = len(operand_groups[0])
+        assignments = math.factorial(num_slots) ** max(0, lanes - 1)
+        if assignments > self.max_assignments:
+            return self._greedy().reorder(operand_groups)
+
+        evals = 0
+        best_order: list[tuple[int, ...]] = [
+            tuple(range(num_slots)) for _ in range(lanes)
+        ]
+        best_score = None
+        lane_perms = list(permutations(range(num_slots)))
+
+        def column(lane: int, perm: tuple[int, ...]) -> list[Value]:
+            return [operand_groups[perm[s]][lane] for s in range(num_slots)]
+
+        def search(lane: int, chosen: list[tuple[int, ...]],
+                   score: int) -> None:
+            nonlocal best_score, best_order, evals
+            if lane == lanes:
+                if best_score is None or score > best_score:
+                    best_score = score
+                    best_order = list(chosen)
+                return
+            prev = column(lane - 1, chosen[-1])
+            for perm in lane_perms:
+                cur = column(lane, perm)
+                gained = 0
+                for slot in range(num_slots):
+                    evals += 1
+                    gained += self.score_function(
+                        prev[slot], cur[slot],
+                        max(1, self.look_ahead_depth), self.ctx,
+                    )
+                search(lane + 1, chosen + [perm], score + gained)
+
+        identity = tuple(range(num_slots))
+        search(1, [identity], 0)
+
+        final = [
+            [
+                operand_groups[best_order[lane][slot]][lane]
+                for lane in range(lanes)
+            ]
+            for slot in range(num_slots)
+        ]
+        modes = [initial_mode(final[slot][0]) for slot in range(num_slots)]
+        return ReorderResult(final, modes, evals)
+
+    def _greedy(self) -> OperandReorderer:
+        return OperandReorderer(
+            self.ctx,
+            look_ahead_depth=self.look_ahead_depth,
+            score_function=self.score_function,  # type: ignore[arg-type]
+        )
+
+
+__all__ = ["ExhaustiveReorderer"]

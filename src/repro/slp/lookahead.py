@@ -1,0 +1,121 @@
+"""Look-ahead operand matching and scoring (paper §4.4, Listing 7).
+
+Two entry points:
+
+* :func:`are_consecutive_or_match` — the *trivial* depth-0 compatibility
+  test between two candidate operands: identical values match, constants
+  match constants, a load matches a load at the next consecutive address,
+  and instructions match on equal opcode (and type).
+* :func:`get_lookahead_score` — the recursive look-ahead score.  It
+  compares all operand combinations of the two values down to a depth
+  limit and counts trivial matches; more matching sub-DAG structure means
+  a higher score (Figure 7).
+"""
+
+from __future__ import annotations
+
+from ..analysis.scev import ScalarEvolution
+from ..ir.instructions import Instruction, Load
+from ..ir.values import Constant, Value
+
+
+class LookAheadContext:
+    """Shared analysis state for matching queries within one function."""
+
+    def __init__(self, scev: ScalarEvolution | None = None):
+        self.scev = scev if scev is not None else ScalarEvolution()
+
+
+def are_consecutive_or_match(last: Value, candidate: Value,
+                             ctx: LookAheadContext) -> bool:
+    """Trivial compatibility of ``candidate`` following ``last`` in the
+    next lane (paper Listing 6, line 13)."""
+    if last is candidate:
+        # The exact same value in consecutive lanes: splat-compatible.
+        return True
+    if isinstance(last, Constant) and isinstance(candidate, Constant):
+        return last.type is candidate.type
+    if isinstance(last, Load) and isinstance(candidate, Load):
+        return ctx.scev.accesses_consecutive(last, candidate)
+    if isinstance(last, Instruction) and isinstance(candidate, Instruction):
+        return (
+            last.opcode == candidate.opcode
+            and last.type is candidate.type
+        )
+    return False
+
+
+def _same_kind(a: Value, b: Value) -> bool:
+    """Both values are recursable instructions of the same opcode."""
+    return (
+        isinstance(a, Instruction)
+        and isinstance(b, Instruction)
+        and a.opcode == b.opcode
+        and a.type is b.type
+    )
+
+
+def _is_leaf(value: Value) -> bool:
+    """Values the look-ahead recursion must not descend into.
+
+    Loads are compared by address, not by their pointer-arithmetic
+    operands; constants and non-instructions have no operands to visit.
+    """
+    return isinstance(value, (Load, Constant)) or not isinstance(
+        value, Instruction
+    )
+
+
+def get_lookahead_score(last: Value, candidate: Value, max_level: int,
+                        ctx: LookAheadContext) -> int:
+    """Recursive look-ahead score of ``candidate`` against ``last``
+    (paper Listing 7).
+
+    At depth 0, at leaves, or when the two values are of different kinds,
+    the score is the trivial match (0 or 1).  Otherwise it is the sum of
+    the scores of all operand pairings one level deeper.
+    """
+    if (
+        max_level == 0
+        or not _same_kind(last, candidate)
+        or _is_leaf(last)
+        or _is_leaf(candidate)
+    ):
+        return int(are_consecutive_or_match(last, candidate, ctx))
+    total = 0
+    for last_op in last.operands:
+        for cand_op in candidate.operands:
+            total += get_lookahead_score(last_op, cand_op, max_level - 1, ctx)
+    return total
+
+
+def get_lookahead_score_max(last: Value, candidate: Value, max_level: int,
+                            ctx: LookAheadContext) -> int:
+    """Alternative aggregation from the paper's footnote 4: take the
+    *maximum* over each of ``last``'s operands of its best pairing,
+    instead of the sum over all pairings.  Used by the ablation bench."""
+    if (
+        max_level == 0
+        or not _same_kind(last, candidate)
+        or _is_leaf(last)
+        or _is_leaf(candidate)
+    ):
+        return int(are_consecutive_or_match(last, candidate, ctx))
+    total = 0
+    for last_op in last.operands:
+        best = 0
+        for cand_op in candidate.operands:
+            best = max(
+                best,
+                get_lookahead_score_max(last_op, cand_op, max_level - 1, ctx),
+            )
+        total += best
+    return total
+
+
+__all__ = [
+    "are_consecutive_or_match",
+    "get_lookahead_score",
+    "get_lookahead_score_max",
+    "LookAheadContext",
+]

@@ -1,0 +1,124 @@
+"""Vectorization of reduction-tree seeds (paper §2.2, step 1, idiom ii).
+
+A reduction chain such as ``x0*x0 + x1*x1 + x2*x2 + x3*x3`` becomes: a
+vector tree computing the four products in lanes, a logarithmic shuffle
+reduction folding the lanes, one extract, and scalar folds for any
+leftover operands that did not fit the vector width.  The paper's
+``453.vsumsqr`` kernel exercises this path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.aliasing import AliasAnalysis
+from ..costmodel.tti import TargetCostModel
+from ..ir.builder import IRBuilder
+from ..ir.values import Value
+from .builder import BuildPolicy, GraphBuilder
+from .codegen import VectorCodeGen
+from .cost import GraphCost, compute_graph_cost
+from .graph import SLPGraph
+from .lookahead import LookAheadContext
+from .seeds import ReductionSeed
+
+
+@dataclass
+class ReductionPlan:
+    """A costed, ready-to-emit reduction vectorization."""
+
+    seed: ReductionSeed
+    graph: SLPGraph
+    vector_length: int
+    tree_cost: GraphCost
+    reduction_overhead: int
+
+    @property
+    def total_cost(self) -> int:
+        return self.tree_cost.total + self.reduction_overhead
+
+
+def plan_reduction(seed: ReductionSeed, policy: BuildPolicy,
+                   target: TargetCostModel,
+                   ctx: LookAheadContext) -> Optional[ReductionPlan]:
+    """Build and cost a vectorization plan for one reduction seed."""
+    elem = seed.root.type
+    if not elem.is_scalar:
+        return None
+    vl = _pow2_at_most(min(len(seed.operands), target.max_lanes(elem)))
+    if vl < 2:
+        return None
+    lanes = seed.operands[:vl]
+    builder = GraphBuilder(policy, target, ctx)
+    graph = builder.build(lanes)
+    if graph.root is None or graph.root.is_gather:
+        return None
+    tree_cost = compute_graph_cost(graph, target,
+                                   extra_claimed=seed.chain)
+    overhead = _reduction_overhead(seed, vl, target)
+    return ReductionPlan(seed, graph, vl, tree_cost, overhead)
+
+
+def _reduction_overhead(seed: ReductionSeed, vl: int,
+                        target: TargetCostModel) -> int:
+    """Cost delta of the horizontal reduction itself.
+
+    Vector side: log2(VL) shuffles + log2(VL) vector ops + one extract.
+    Scalar side removed: VL-1 scalar chain operations (the remaining
+    ``len(operands) - VL`` folds stay scalar either way).
+    """
+    steps = int(math.log2(vl))
+    desc = target.desc
+    vector_side = steps * (
+        desc.shuffle_cost + target.vector_op_cost(seed.opcode, vl)
+    ) + desc.extract_cost
+    scalar_removed = (vl - 1) * target.scalar_op_cost(seed.opcode)
+    return vector_side - scalar_removed
+
+
+def emit_reduction(plan: ReductionPlan, aa: AliasAnalysis) -> bool:
+    """Emit vector + horizontal-reduction code for ``plan``.
+
+    Returns False when the tree cannot be scheduled (nothing is
+    modified); True after successful rewriting.
+    """
+    seed = plan.seed
+    codegen = VectorCodeGen(plan.graph, aa, extra_claimed=tuple(seed.chain))
+    if not codegen.can_schedule():
+        return False
+    vec = codegen.emit()
+    builder = codegen.builder
+
+    reduced = _fold_lanes(builder, vec, seed.opcode)
+    for leftover in seed.operands[plan.vector_length:]:
+        reduced = builder.binop(seed.opcode, reduced, leftover, "rdx")
+    seed.root.replace_all_uses_with(reduced)
+    codegen.erase()
+    return True
+
+
+def _fold_lanes(builder: IRBuilder, vec: Value, opcode: str) -> Value:
+    """Logarithmic horizontal fold: shuffle the upper half down, combine,
+    halve, repeat; then extract lane 0."""
+    width = vec.type.count
+    while width > 1:
+        half = width // 2
+        mask = [
+            (i + half) if i < half else i for i in range(vec.type.count)
+        ]
+        shuffled = builder.shufflevector(vec, vec, mask, "rdx.shuf")
+        vec = builder.binop(opcode, vec, shuffled, "rdx")
+        width = half
+    return builder.extractelement(vec, 0, "rdx.res")
+
+
+def _pow2_at_most(n: int) -> int:
+    power = 1
+    while power * 2 <= n:
+        power *= 2
+    return power
+
+
+__all__ = ["emit_reduction", "plan_reduction", "ReductionPlan"]

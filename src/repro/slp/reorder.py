@@ -1,0 +1,192 @@
+"""Top-level operand reordering (paper §4.3, Listings 5 and 6).
+
+Given the operand groups of a (multi-)node as a 2-D array
+``operand_groups[slot][lane]``, decide a per-lane permutation of the
+operands so that each *slot* holds compatible values across all lanes.
+The pass is single-sweep, left-to-right over lanes, with no backtracking,
+exactly as in the paper:
+
+* Lane 0 is accepted as-is and fixes each slot's :class:`OperandMode`.
+* For every later lane, each slot picks the best remaining candidate via
+  :func:`OperandReorderer._get_best`; ties between multiple compatible
+  candidates are broken by the recursive look-ahead score (§4.4).
+* A slot that cannot find a compatible candidate turns ``FAILED`` and
+  from then on lets the other slots choose first, taking leftovers.
+* A slot that picks the exact same value twice in a row turns ``SPLAT``
+  and keeps hunting for that value.
+
+The same engine expresses all the paper's configurations:
+
+* **SLP-NR** — reordering disabled entirely (the engine is not called).
+* **SLP (vanilla)** — ``look_ahead_depth=0``: the mode machinery (opcode
+  match, consecutive loads, constants) still applies, but ties keep the
+  original order — reproducing vanilla SLP's behaviour in §3.1/§3.2.
+* **LSLP** — ``look_ahead_depth=k`` with look-ahead tie-breaking.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..ir.instructions import Instruction, Load
+from ..ir.values import Constant, Value
+from .lookahead import (
+    LookAheadContext,
+    are_consecutive_or_match,
+    get_lookahead_score,
+)
+
+
+class OperandMode(enum.Enum):
+    """Per-slot search state (paper Table 1)."""
+
+    CONST = "const"    #: look for a constant
+    LOAD = "load"      #: look for a load consecutive to the previous lane's
+    OPCODE = "opcode"  #: look for an operation of the same opcode
+    SPLAT = "splat"    #: look for the exact same value again
+    FAILED = "failed"  #: slot lost; let other slots choose first
+
+
+def initial_mode(value: Value) -> OperandMode:
+    """Mode a slot starts in, from its lane-0 operand (Listing 5 line 8)."""
+    if isinstance(value, Constant):
+        return OperandMode.CONST
+    if isinstance(value, Load):
+        return OperandMode.LOAD
+    if isinstance(value, Instruction):
+        return OperandMode.OPCODE
+    # Arguments / globals: only an exact repeat can vectorize (broadcast).
+    return OperandMode.SPLAT
+
+
+@dataclass
+class ReorderResult:
+    """Outcome of one reordering: ``final_order[slot][lane]`` plus the
+    final per-slot modes (useful for tests and the walkthrough)."""
+
+    final_order: list[list[Value]]
+    modes: list[OperandMode]
+    #: number of look-ahead score evaluations performed (compile-time
+    #: accounting for the Figure 14 experiment)
+    lookahead_evals: int = 0
+
+
+ScoreFunction = Callable[[Value, Value, int, LookAheadContext], int]
+
+
+@dataclass
+class OperandReorderer:
+    """The reordering engine, parameterized by look-ahead depth."""
+
+    ctx: LookAheadContext
+    look_ahead_depth: int = 8
+    score_function: ScoreFunction = field(default=get_lookahead_score)
+    #: detect repeated values and switch the slot to SPLAT mode
+    #: (disable only for the ablation study)
+    enable_splat_detection: bool = True
+
+    def reorder(self, operand_groups: Sequence[Sequence[Value]]) -> ReorderResult:
+        """Reorder ``operand_groups[slot][lane]`` (Listing 5)."""
+        num_slots = len(operand_groups)
+        if num_slots == 0:
+            return ReorderResult([], [])
+        lanes = len(operand_groups[0])
+        if any(len(group) != lanes for group in operand_groups):
+            raise ValueError("ragged operand groups")
+
+        self._evals = 0
+        final: list[list[Optional[Value]]] = [
+            [None] * lanes for _ in range(num_slots)
+        ]
+        # 1. Strip the first lane: accept its operands in existing order.
+        modes: list[OperandMode] = []
+        for slot in range(num_slots):
+            value = operand_groups[slot][0]
+            final[slot][0] = value
+            modes.append(initial_mode(value))
+
+        # 2. For all other lanes, find the best candidate per slot.
+        for lane in range(1, lanes):
+            candidates: list[Value] = [
+                operand_groups[slot][lane] for slot in range(num_slots)
+            ]
+            for slot in range(num_slots):
+                if modes[slot] is OperandMode.FAILED:
+                    continue  # let the other slots choose first
+                last = final[slot][lane - 1]
+                best, modes[slot] = self._get_best(
+                    modes[slot], last, candidates
+                )
+                if best is None:
+                    continue
+                candidates.remove(best)
+                final[slot][lane] = best
+                if self.enable_splat_detection and best is last and (
+                    modes[slot] not in (OperandMode.SPLAT,
+                                        OperandMode.CONST)
+                ):
+                    # The same value repeated: cheaper as a broadcast.
+                    # (CONST slots stay CONST: any constant gathers for
+                    # free, so narrowing to an exact repeat only hurts.)
+                    modes[slot] = OperandMode.SPLAT
+            # Hand remaining candidates to the slots left empty, in order.
+            leftovers = list(candidates)
+            for slot in range(num_slots):
+                if final[slot][lane] is None:
+                    final[slot][lane] = leftovers.pop(0)
+            assert not leftovers
+
+        ordered = [list(row) for row in final]
+        return ReorderResult(ordered, modes, self._evals)
+
+    # ------------------------------------------------------------------
+
+    def _get_best(self, mode: OperandMode, last: Value,
+                  candidates: Sequence[Value]
+                  ) -> tuple[Optional[Value], OperandMode]:
+        """Pick the best remaining candidate for one slot (Listing 6)."""
+        if mode is OperandMode.SPLAT:
+            for value in candidates:
+                if value is last:
+                    return value, mode
+            return None, mode
+
+        matching = [
+            c for c in candidates
+            if are_consecutive_or_match(last, c, self.ctx)
+        ]
+        if not matching:
+            # No compatible candidate: vectorization of this slot failed.
+            # Do not consume a candidate the other slots may need.
+            return None, OperandMode.FAILED
+        if len(matching) == 1:
+            return matching[0], mode
+
+        best = matching[0]
+        if mode is OperandMode.OPCODE and self.look_ahead_depth > 0:
+            # 2. Look-ahead to choose among the matching candidates,
+            # deepening one level at a time until the tie breaks.
+            for level in range(1, self.look_ahead_depth + 1):
+                scores = [
+                    self._score(last, candidate, level)
+                    for candidate in matching
+                ]
+                best_score = max(scores)
+                if any(score != best_score for score in scores):
+                    best = matching[scores.index(best_score)]
+                    break
+        return best, mode
+
+    def _score(self, last: Value, candidate: Value, level: int) -> int:
+        self._evals += 1
+        return self.score_function(last, candidate, level, self.ctx)
+
+
+__all__ = [
+    "initial_mode",
+    "OperandMode",
+    "OperandReorderer",
+    "ReorderResult",
+]

@@ -1,0 +1,203 @@
+"""Seed collection (paper §2.2 step 1).
+
+Seeds are the groups of instructions SLP starts from.  Following the
+paper (and LLVM), the primary seeds are groups of *non-dependent store
+instructions that access adjacent memory locations*, proven adjacent by
+scalar evolution.  Reduction seeds (chains of a commutative opcode that
+reduce many values into one) are collected separately and handled by
+:mod:`repro.slp.reductions`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..analysis.scev import ScalarEvolution
+from ..analysis.schedule import bundle_is_schedulable
+from ..costmodel.tti import TargetCostModel
+from ..ir.basicblock import BasicBlock
+from ..ir.instructions import BinaryOperator, Instruction, Store
+
+
+@dataclass
+class SeedGroup:
+    """One group of ``VL`` consecutive stores, sorted by address."""
+
+    stores: list[Store]
+
+    @property
+    def vector_length(self) -> int:
+        return len(self.stores)
+
+    def alive(self) -> bool:
+        """Seeds can be invalidated by earlier trees' code generation."""
+        return all(store.parent is not None for store in self.stores)
+
+
+def collect_store_seeds(block: BasicBlock, scev: ScalarEvolution,
+                        target: TargetCostModel) -> list[SeedGroup]:
+    """Find groups of adjacent stores in ``block``.
+
+    Stores are bucketed by (base object, element type, symbolic index
+    part), sorted by constant offset, split into runs of consecutive
+    offsets, and each run is chunked into the widest power-of-two groups
+    the target supports.  Within a bucket, an offset stored twice keeps
+    only the *last* store (the earlier one is dead on that path as far
+    as vectorization seeding is concerned — LLVM simply would not group
+    them; we conservatively drop the pair from seeding).
+    """
+    buckets: dict[tuple, list[tuple[int, Store]]] = defaultdict(list)
+    for inst in block:
+        if not isinstance(inst, Store) or inst.is_vector_store:
+            continue
+        if not inst.value.type.is_scalar:
+            continue
+        pscev = scev.access_pointer(inst)
+        if pscev is None:
+            continue
+        symbolic = frozenset(
+            (key, coeff) for key, (_, coeff) in pscev.index.terms.items()
+        )
+        key = (id(pscev.base), inst.value.type, symbolic)
+        buckets[key].append((pscev.index.offset, inst))
+
+    groups: list[SeedGroup] = []
+    for entries in buckets.values():
+        groups.extend(_groups_from_bucket(entries, target))
+    return groups
+
+
+def _groups_from_bucket(entries: list[tuple[int, Store]],
+                        target: TargetCostModel) -> Iterator[SeedGroup]:
+    # Duplicate offsets cannot be grouped; drop all stores at such
+    # offsets (conservative, see docstring).
+    by_offset: dict[int, list[Store]] = defaultdict(list)
+    for offset, store in entries:
+        by_offset[offset].append(store)
+    unique = sorted(
+        (offset, stores[0])
+        for offset, stores in by_offset.items()
+        if len(stores) == 1
+    )
+
+    run: list[Store] = []
+    last_offset: Optional[int] = None
+    for offset, store in unique:
+        if last_offset is not None and offset == last_offset + 1:
+            run.append(store)
+        else:
+            yield from _chunk_run(run, target)
+            run = [store]
+        last_offset = offset
+    yield from _chunk_run(run, target)
+
+
+def _chunk_run(run: list[Store], target: TargetCostModel
+               ) -> Iterator[SeedGroup]:
+    """Chunk a maximal run of consecutive stores into seed groups of the
+    widest supported power-of-two width, preferring wide groups first."""
+    if len(run) < 2:
+        return
+    elem = run[0].value.type
+    max_vl = target.max_lanes(elem)
+    start = 0
+    while len(run) - start >= 2:
+        width = _largest_pow2(min(max_vl, len(run) - start))
+        if width < 2:
+            return
+        group = run[start:start + width]
+        if bundle_is_schedulable(group):
+            yield SeedGroup(group)
+            start += width
+        else:
+            # An inter-dependent bundle: skip the first store and retry.
+            start += 1
+
+
+def _largest_pow2(n: int) -> int:
+    power = 1
+    while power * 2 <= n:
+        power *= 2
+    return power
+
+
+# ---------------------------------------------------------------------------
+# Reduction seeds
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReductionSeed:
+    """A chain of one commutative opcode folding many operands into one.
+
+    ``chain`` lists the chain's instructions (root last is not required;
+    root is the instruction whose value leaves the chain).  ``operands``
+    are the frontier values being reduced, in discovery order.
+    """
+
+    opcode: str
+    root: BinaryOperator
+    chain: list[BinaryOperator]
+    operands: list
+
+    def alive(self) -> bool:
+        return all(inst.parent is not None for inst in self.chain)
+
+
+def collect_reduction_seeds(block: BasicBlock, *, min_operands: int = 3
+                            ) -> list[ReductionSeed]:
+    """Find commutative reduction chains rooted in ``block``.
+
+    A root is a commutative binary instruction that is *not* itself the
+    single-use feeder of a same-opcode instruction (i.e. the top of its
+    chain).  The chain grows through single-use same-opcode operands,
+    exactly like multi-node coarsening, but across one lane only.
+    """
+    seeds: list[ReductionSeed] = []
+    for inst in block:
+        if not isinstance(inst, BinaryOperator) or not inst.is_commutative:
+            continue
+        if _feeds_same_opcode_chain(inst):
+            continue  # interior of some chain; its root will pick it up
+        chain: list[BinaryOperator] = []
+        operands: list = []
+        _grow_chain(inst, inst.opcode, chain, operands)
+        if len(operands) >= min_operands:
+            seeds.append(ReductionSeed(inst.opcode, inst, chain, operands))
+    return seeds
+
+
+def _feeds_same_opcode_chain(inst: BinaryOperator) -> bool:
+    if inst.num_uses != 1:
+        return False
+    user = inst.uses[0].user
+    return (
+        isinstance(user, BinaryOperator)
+        and user.opcode == inst.opcode
+        and user.parent is inst.parent
+    )
+
+
+def _grow_chain(inst: BinaryOperator, opcode: str,
+                chain: list[BinaryOperator], operands: list) -> None:
+    chain.append(inst)
+    for operand in inst.operands:
+        if (
+            isinstance(operand, BinaryOperator)
+            and operand.opcode == opcode
+            and operand.num_uses == 1
+            and operand.parent is inst.parent
+        ):
+            _grow_chain(operand, opcode, chain, operands)
+        else:
+            operands.append(operand)
+
+
+__all__ = [
+    "collect_reduction_seeds",
+    "collect_store_seeds",
+    "ReductionSeed",
+    "SeedGroup",
+]

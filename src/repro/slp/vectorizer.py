@@ -1,0 +1,294 @@
+"""The top-level (L)SLP vectorization pass (paper Figure 1).
+
+:class:`VectorizerConfig` captures one experimental configuration; the
+paper's four appear as factory methods:
+
+* ``VectorizerConfig.o3()`` — vectorization disabled entirely,
+* ``VectorizerConfig.slp_nr()`` — SLP with operand reordering disabled,
+* ``VectorizerConfig.slp()`` — vanilla SLP (opcode/consecutive-load
+  reordering, no look-ahead, no multi-nodes),
+* ``VectorizerConfig.lslp()`` — the paper's contribution (multi-nodes +
+  look-ahead reordering), with the depth and multi-node size knobs the
+  Figure 13 sensitivity study sweeps.
+
+:class:`SLPVectorizer` drives the seed loop: collect seeds, build the
+graph, cost it, and generate vector code for profitable trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..analysis.aliasing import AliasAnalysis
+from ..analysis.scev import ScalarEvolution
+from ..costmodel.targets import skylake_like
+from ..costmodel.tti import TargetCostModel
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function, Module
+from .builder import BuildPolicy, BuildStats, GraphBuilder
+from .codegen import VectorCodeGen
+from .cost import GraphCost, compute_graph_cost
+from .graph import SLPGraph
+from .lookahead import LookAheadContext, get_lookahead_score
+from .reductions import emit_reduction, plan_reduction
+from .seeds import (
+    ReductionSeed,
+    SeedGroup,
+    collect_reduction_seeds,
+    collect_store_seeds,
+)
+
+
+@dataclass(frozen=True)
+class VectorizerConfig:
+    """One vectorizer configuration (paper §5.1)."""
+
+    name: str = "lslp"
+    #: master switch: False reproduces plain -O3 (no vectorization)
+    enabled: bool = True
+    #: apply operand reordering at commutative nodes
+    enable_reordering: bool = True
+    #: look-ahead depth (0 = vanilla SLP's heuristic)
+    look_ahead_depth: int = 8
+    #: maximum multi-node size in chained groups (None = unbounded,
+    #: 1 = multi-nodes disabled)
+    multi_node_max_size: Optional[int] = 1
+    #: also vectorize reduction-tree seeds
+    enable_reductions: bool = True
+    #: vectorize only when the tree cost is strictly below this
+    cost_threshold: int = 0
+    #: look-ahead score aggregation (paper footnote 4 ablation)
+    score_function: object = get_lookahead_score
+    #: operand reordering strategy ("greedy" per the paper, or
+    #: "exhaustive" for the backtracking ablation)
+    reorder_strategy: str = "greedy"
+    #: SPLAT-mode detection in the reorderer (ablation knob)
+    enable_splat_detection: bool = True
+
+    # ---- the paper's configurations -----------------------------------
+
+    @staticmethod
+    def o3() -> "VectorizerConfig":
+        """-O3 with all vectorizers disabled."""
+        return VectorizerConfig(name="O3", enabled=False)
+
+    @staticmethod
+    def slp_nr() -> "VectorizerConfig":
+        """SLP with operand reordering disabled (No Rotation)."""
+        return VectorizerConfig(
+            name="SLP-NR",
+            enable_reordering=False,
+            look_ahead_depth=0,
+            multi_node_max_size=1,
+        )
+
+    @staticmethod
+    def slp() -> "VectorizerConfig":
+        """Vanilla SLP: opcode-based reordering, no look-ahead."""
+        return VectorizerConfig(
+            name="SLP",
+            enable_reordering=True,
+            look_ahead_depth=0,
+            multi_node_max_size=1,
+        )
+
+    @staticmethod
+    def lslp(look_ahead_depth: int = 8,
+             multi_node_max_size: Optional[int] = None,
+             name: Optional[str] = None) -> "VectorizerConfig":
+        """Look-ahead SLP; knobs match the Figure 13 sensitivity study."""
+        if name is None:
+            name = "LSLP"
+        return VectorizerConfig(
+            name=name,
+            enable_reordering=True,
+            look_ahead_depth=look_ahead_depth,
+            multi_node_max_size=multi_node_max_size,
+        )
+
+    def with_name(self, name: str) -> "VectorizerConfig":
+        return replace(self, name=name)
+
+    def build_policy(self) -> BuildPolicy:
+        return BuildPolicy(
+            enable_reordering=self.enable_reordering,
+            look_ahead_depth=self.look_ahead_depth,
+            multi_node_max_size=self.multi_node_max_size,
+            score_function=self.score_function,
+            reorder_strategy=self.reorder_strategy,
+            enable_splat_detection=self.enable_splat_detection,
+        )
+
+
+@dataclass
+class TreeRecord:
+    """Outcome of considering one seed group."""
+
+    kind: str                      #: "store" or "reduction"
+    vector_length: int
+    cost: int
+    vectorized: bool
+    schedulable: bool
+    #: graph structure snapshot (for diagnostics / the walkthrough)
+    description: str = ""
+
+
+@dataclass
+class VectorizationReport:
+    """Everything the experiments need to know about one function run."""
+
+    function: str
+    config: str
+    trees: list[TreeRecord] = field(default_factory=list)
+    stats: BuildStats = field(default_factory=BuildStats)
+
+    @property
+    def vectorized_trees(self) -> list[TreeRecord]:
+        return [t for t in self.trees if t.vectorized]
+
+    @property
+    def num_vectorized(self) -> int:
+        return len(self.vectorized_trees)
+
+    @property
+    def total_cost(self) -> int:
+        """Static cost of the vectorization actually performed (Figure
+        10's metric: the sum over accepted trees; 0 when nothing was
+        vectorized)."""
+        return sum(t.cost for t in self.vectorized_trees)
+
+    def merge(self, other: "VectorizationReport") -> None:
+        self.trees.extend(other.trees)
+        self.stats.nodes += other.stats.nodes
+        self.stats.multi_nodes += other.stats.multi_nodes
+        self.stats.gathers += other.stats.gathers
+        self.stats.reorders += other.stats.reorders
+        self.stats.lookahead_evals += other.stats.lookahead_evals
+
+
+class SLPVectorizer:
+    """Runs one configuration over functions/modules, rewriting the IR."""
+
+    def __init__(self, config: Optional[VectorizerConfig] = None,
+                 target: Optional[TargetCostModel] = None):
+        self.config = config if config is not None else VectorizerConfig.lslp()
+        self.target = target if target is not None else skylake_like()
+
+    # ------------------------------------------------------------------
+
+    def run_module(self, module: Module) -> VectorizationReport:
+        report = VectorizationReport("<module>", self.config.name)
+        for func in module.functions.values():
+            report.merge(self.run_function(func))
+        return report
+
+    def run_function(self, func: Function) -> VectorizationReport:
+        report = VectorizationReport(func.name, self.config.name)
+        if not self.config.enabled:
+            return report
+        for block in func.blocks:
+            self._run_block(block, report)
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _run_block(self, block: BasicBlock, report: VectorizationReport
+                   ) -> None:
+        # Analyses are rebuilt per block: code generation invalidates
+        # cached positions but not SCEV facts; a fresh context is cheap
+        # and always sound.
+        ctx = LookAheadContext(ScalarEvolution())
+        aa = AliasAnalysis(ctx.scev)
+
+        for seed in collect_store_seeds(block, ctx.scev, self.target):
+            if not seed.alive():
+                continue
+            self._vectorize_seed(seed, ctx, aa, report)
+
+        if self.config.enable_reductions:
+            for seed in collect_reduction_seeds(block):
+                if not seed.alive():
+                    continue
+                record = self._try_reduction(seed, ctx, aa, report)
+                if record is not None:
+                    report.trees.append(record)
+
+    def _vectorize_seed(self, seed: SeedGroup, ctx: LookAheadContext,
+                        aa: AliasAnalysis,
+                        report: VectorizationReport) -> None:
+        """Try a seed group at full width; on rejection, retry each half
+        (LLVM's SLP does the same width descent)."""
+        record = self._try_store_tree(seed, ctx, aa, report)
+        report.trees.append(record)
+        if record.vectorized or seed.vector_length < 4:
+            return
+        half = seed.vector_length // 2
+        for part in (SeedGroup(seed.stores[:half]),
+                     SeedGroup(seed.stores[half:])):
+            if part.alive():
+                self._vectorize_seed(part, ctx, aa, report)
+
+    def _try_store_tree(self, seed: SeedGroup, ctx: LookAheadContext,
+                        aa: AliasAnalysis,
+                        report: VectorizationReport) -> TreeRecord:
+        builder = GraphBuilder(self.config.build_policy(), self.target, ctx)
+        graph = builder.build(seed.stores)
+        self._absorb_stats(report, builder)
+        cost = compute_graph_cost(graph, self.target)
+        record = TreeRecord(
+            kind="store",
+            vector_length=seed.vector_length,
+            cost=cost.total,
+            vectorized=False,
+            schedulable=False,
+            description=graph.dump(),
+        )
+        if graph.root is None or graph.root.is_gather:
+            return record
+        codegen = VectorCodeGen(graph, aa)
+        record.schedulable = codegen.can_schedule()
+        if record.schedulable and cost.total < self.config.cost_threshold:
+            codegen.run()
+            record.vectorized = True
+        return record
+
+    def _try_reduction(self, seed: ReductionSeed, ctx: LookAheadContext,
+                       aa: AliasAnalysis,
+                       report: VectorizationReport) -> Optional[TreeRecord]:
+        plan = plan_reduction(
+            seed, self.config.build_policy(), self.target, ctx
+        )
+        if plan is None:
+            return None
+        record = TreeRecord(
+            kind="reduction",
+            vector_length=plan.vector_length,
+            cost=plan.total_cost,
+            vectorized=False,
+            schedulable=True,
+            description=plan.graph.dump(),
+        )
+        if plan.total_cost < self.config.cost_threshold:
+            record.vectorized = emit_reduction(plan, aa)
+            if not record.vectorized:
+                record.schedulable = False
+        return record
+
+    @staticmethod
+    def _absorb_stats(report: VectorizationReport,
+                      builder: GraphBuilder) -> None:
+        stats = builder.stats
+        report.stats.nodes += stats.nodes
+        report.stats.multi_nodes += stats.multi_nodes
+        report.stats.gathers += stats.gathers
+        report.stats.reorders += stats.reorders
+        report.stats.lookahead_evals += stats.lookahead_evals
+
+
+__all__ = [
+    "SLPVectorizer",
+    "TreeRecord",
+    "VectorizationReport",
+    "VectorizerConfig",
+]

@@ -1,0 +1,33 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_kernel_source
+from repro.ir import Function, IRBuilder, Module, verify_function
+
+
+@pytest.fixture
+def module():
+    return Module("test")
+
+
+@pytest.fixture
+def func_builder():
+    """A (function, IRBuilder) pair with an empty entry block."""
+    from repro.ir import I64
+
+    func = Function("f", [("i", I64)])
+    block = func.add_block("entry")
+    return func, IRBuilder(block)
+
+
+def build_kernel(source: str, entry: str = "kernel"):
+    """Compile mini-C ``source`` and return (module, entry function)."""
+    module = compile_kernel_source(source)
+    return module, module.get_function(entry)
+
+
+def assert_verifies(func: Function) -> None:
+    verify_function(func)

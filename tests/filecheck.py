@@ -1,0 +1,214 @@
+"""A miniature FileCheck: pattern-directive checking for printed IR.
+
+Compiler test suites (LLVM's ``lit`` + ``FileCheck``) express golden
+tests as source files with embedded directives; the test runner compiles
+the source and verifies the output against the directives.  This module
+implements the directive subset those tests need:
+
+* ``CHECK: <pattern>`` — the pattern must match on some line at or after
+  the previous match.
+* ``CHECK-NEXT: <pattern>`` — the pattern must match on the line
+  immediately after the previous match.
+* ``CHECK-NOT: <pattern>`` — the pattern must not match anywhere between
+  the previous match and the next positive match (or EOF).
+* ``CHECK-DAG: <pattern>`` — like CHECK but a consecutive group of DAG
+  directives may match in any order.
+
+Patterns are literal text, except ``{{...}}`` which encloses a regular
+expression, and ``[[NAME:...]]`` / ``[[NAME]]`` which capture and reuse
+a named string (for matching SSA value names).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+class FileCheckError(AssertionError):
+    """A directive failed to match; the message shows the context."""
+
+
+@dataclass
+class Directive:
+    kind: str          #: "CHECK", "CHECK-NEXT", "CHECK-NOT", "CHECK-DAG"
+    pattern: str
+    line_no: int
+
+
+_DIRECTIVE_RE = re.compile(
+    r"(?://|;|#)\s*(?P<kind>CHECK(?:-NEXT|-NOT|-DAG)?):\s*(?P<pattern>.*\S)?"
+)
+
+
+def parse_directives(source: str) -> list[Directive]:
+    """Extract CHECK directives from a source file's comments."""
+    directives: list[Directive] = []
+    for line_no, line in enumerate(source.splitlines(), start=1):
+        match = _DIRECTIVE_RE.search(line)
+        if match:
+            directives.append(Directive(
+                match.group("kind"),
+                match.group("pattern") or "",
+                line_no,
+            ))
+    return directives
+
+
+def _compile_pattern(pattern: str, variables: dict[str, str]) -> re.Pattern:
+    """Translate a directive pattern into a regex, resolving variables."""
+    parts: list[str] = []
+    pos = 0
+    token = re.compile(
+        r"\{\{(?P<regex>.*?)\}\}"
+        r"|\[\[(?P<name>\w+):(?P<capture>.*?)\]\]"
+        r"|\[\[(?P<ref>\w+)\]\]"
+    )
+    for match in token.finditer(pattern):
+        parts.append(re.escape(pattern[pos:match.start()]))
+        if match.group("regex") is not None:
+            parts.append(f"(?:{match.group('regex')})")
+        elif match.group("name") is not None:
+            parts.append(
+                f"(?P<{match.group('name')}>{match.group('capture')})"
+            )
+        else:
+            name = match.group("ref")
+            if name not in variables:
+                raise FileCheckError(
+                    f"use of undefined FileCheck variable [[{name}]]"
+                )
+            parts.append(re.escape(variables[name]))
+        pos = match.end()
+    parts.append(re.escape(pattern[pos:]))
+    return re.compile("".join(parts))
+
+
+@dataclass
+class _State:
+    lines: list[str]
+    cursor: int = 0                      #: next line index to search from
+    variables: dict[str, str] = field(default_factory=dict)
+
+
+def _find_match(state: _State, directive: Directive, start: int,
+                end: int | None = None) -> int | None:
+    regex = _compile_pattern(directive.pattern, state.variables)
+    stop = len(state.lines) if end is None else end
+    for index in range(start, stop):
+        match = regex.search(state.lines[index])
+        if match:
+            state.variables.update({
+                key: value
+                for key, value in match.groupdict().items()
+                if value is not None
+            })
+            return index
+    return None
+
+
+def run_filecheck(output: str, source: str) -> None:
+    """Check ``output`` against the directives embedded in ``source``.
+
+    Raises :class:`FileCheckError` with a detailed message on the first
+    failed directive.
+    """
+    directives = parse_directives(source)
+    if not directives:
+        raise FileCheckError("no CHECK directives found in test source")
+    state = _State(output.splitlines())
+
+    index = 0
+    while index < len(directives):
+        directive = directives[index]
+        if directive.kind == "CHECK-NOT":
+            # collect the NOT block, bounded by the next positive match
+            nots = []
+            while (index < len(directives)
+                   and directives[index].kind == "CHECK-NOT"):
+                nots.append(directives[index])
+                index += 1
+            boundary = None
+            if index < len(directives):
+                boundary = _positive_match(state, directives[index])
+            limit = boundary if boundary is not None else len(state.lines)
+            for not_directive in nots:
+                hit = _find_match(state, not_directive, state.cursor, limit)
+                if hit is not None:
+                    _fail(not_directive, state, hit,
+                          "CHECK-NOT pattern matched")
+            if index < len(directives):
+                if boundary is None:
+                    _fail(directives[index], state, None, "no match")
+                state.cursor = boundary + 1
+                index += 1
+            continue
+        if directive.kind == "CHECK-DAG":
+            group = []
+            while (index < len(directives)
+                   and directives[index].kind == "CHECK-DAG"):
+                group.append(directives[index])
+                index += 1
+            block_end = state.cursor
+            for dag in group:
+                hit = _find_match(state, dag, state.cursor)
+                if hit is None:
+                    _fail(dag, state, None, "no match")
+                block_end = max(block_end, hit + 1)
+            state.cursor = block_end
+            continue
+        if directive.kind == "CHECK-NEXT":
+            if state.cursor >= len(state.lines):
+                _fail(directive, state, None, "ran out of output")
+            regex = _compile_pattern(directive.pattern, state.variables)
+            match = regex.search(state.lines[state.cursor])
+            if not match:
+                _fail(directive, state, state.cursor,
+                      "CHECK-NEXT did not match the next line")
+            state.variables.update({
+                key: value
+                for key, value in match.groupdict().items()
+                if value is not None
+            })
+            state.cursor += 1
+            index += 1
+            continue
+        # plain CHECK
+        hit = _positive_match(state, directive)
+        if hit is None:
+            _fail(directive, state, None, "no match")
+        state.cursor = hit + 1
+        index += 1
+
+
+def _positive_match(state: _State, directive: Directive) -> int | None:
+    return _find_match(state, directive, state.cursor)
+
+
+def _fail(directive: Directive, state: _State, line_index: int | None,
+          reason: str):
+    context_start = max(0, state.cursor - 2)
+    context = "\n".join(
+        f"    {i + 1:4}: {line}"
+        for i, line in enumerate(
+            state.lines[context_start:state.cursor + 6],
+            start=context_start,
+        )
+    )
+    where = (
+        f" (output line {line_index + 1})" if line_index is not None else ""
+    )
+    raise FileCheckError(
+        f"{directive.kind} (test line {directive.line_no}): {reason}{where}\n"
+        f"  pattern: {directive.pattern!r}\n"
+        f"  searching from output line {state.cursor + 1}\n"
+        f"  output context:\n{context}"
+    )
+
+
+__all__ = [
+    "Directive",
+    "FileCheckError",
+    "parse_directives",
+    "run_filecheck",
+]

@@ -1,0 +1,15 @@
+// An in-tree value with a scalar user outside the tree gets one
+// extractelement feeding that user.
+// CONFIG: lslp
+long A[1024], B[1024], C[1024];
+void kernel(long i) {
+    long t0 = B[i + 0] - C[i + 0];
+    long t1 = B[i + 1] - C[i + 1];
+    A[i + 0] = t0;
+    A[i + 1] = t1;
+    A[i + 32] = t1 * 3;
+}
+// CHECK: [[SUB:%vec[0-9]*]] = sub <2 x i64>
+// CHECK: [[X:%ext[0-9]*]] = extractelement <2 x i64> [[SUB]], i32 1
+// CHECK-DAG: store <2 x i64> [[SUB]]
+// CHECK-DAG: mul i64 [[X]], i64 3

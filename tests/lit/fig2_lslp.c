@@ -1,0 +1,16 @@
+// The paper's Figure 2 under LSLP: look-ahead recovers the consecutive
+// loads hidden by swapped shift operands; everything vectorizes 2-wide.
+// CONFIG: lslp
+long A[1024], B[1024], C[1024];
+void kernel(long i) {
+    A[i + 0] = (B[i + 0] << 1) & (C[i + 0] << 2);
+    A[i + 1] = (C[i + 1] << 3) & (B[i + 1] << 4);
+}
+// CHECK: define void @kernel(i64 %i)
+// CHECK: [[B:%vec[0-9]*]] = load <2 x i64>
+// CHECK-NEXT: [[SB:%vec[0-9]*]] = shl <2 x i64> [[B]], <2 x i64> <1, 4>
+// CHECK-NEXT: [[C:%vec[0-9]*]] = load <2 x i64>
+// CHECK-NEXT: [[SC:%vec[0-9]*]] = shl <2 x i64> [[C]], <2 x i64> <2, 3>
+// CHECK-NEXT: [[AND:%vec[0-9]*]] = and <2 x i64> [[SB]], <2 x i64> [[SC]]
+// CHECK-NEXT: store <2 x i64> [[AND]]
+// CHECK-NOT: shl i64

@@ -1,0 +1,10 @@
+// The paper's Figure 2 under vanilla SLP: cost 0, nothing vectorizes.
+// CONFIG: slp
+long A[1024], B[1024], C[1024];
+void kernel(long i) {
+    A[i + 0] = (B[i + 0] << 1) & (C[i + 0] << 2);
+    A[i + 1] = (C[i + 1] << 3) & (B[i + 1] << 4);
+}
+// CHECK: define void @kernel(i64 %i)
+// CHECK-NOT: <2 x i64>
+// CHECK: ret void

@@ -1,0 +1,15 @@
+// The paper's Figure 4 under LSLP: the re-associated & chains form one
+// multi-node; its three operand slots align into two vector loads per
+// array and a chain of two vector &s.
+// CONFIG: lslp
+unsigned long A[1024], B[1024], C[1024], D[1024], E[1024];
+void kernel(long i) {
+    A[i + 0] = A[i + 0] & (B[i + 0] + C[i + 0]) & (D[i + 0] + E[i + 0]);
+    A[i + 1] = (D[i + 1] + E[i + 1]) & (B[i + 1] + C[i + 1]) & A[i + 1];
+}
+// CHECK-DAG: add <2 x i64>
+// CHECK-DAG: load <2 x i64>
+// CHECK: [[AND1:%vec[0-9]*]] = and <2 x i64>
+// CHECK: [[AND2:%vec[0-9]*]] = and <2 x i64> [[AND1]],
+// CHECK-NEXT: store <2 x i64> [[AND2]]
+// CHECK-NOT: and i64

@@ -1,0 +1,11 @@
+// Mixed non-vectorizable operands are gathered with insertelement.
+// CONFIG: lslp
+long A[1024], B[1024], C[1024];
+void kernel(long i, long k) {
+    A[i + 0] = B[i + 0] - k;
+    A[i + 1] = B[i + 1] - C[i + 5];
+}
+// CHECK: insertelement <2 x i64>
+// CHECK: insertelement <2 x i64>
+// CHECK: sub <2 x i64>
+// CHECK: store <2 x i64>

@@ -1,0 +1,18 @@
+// A helper function is inlined; the calls disappear and the inlined
+// bodies vectorize as 4-wide reductions.
+// CONFIG: lslp
+double A[1024], V[4096];
+double sumsq4(long base) {
+    return V[base]*V[base] + V[base + 1]*V[base + 1]
+         + V[base + 2]*V[base + 2] + V[base + 3]*V[base + 3];
+}
+void kernel(long i) {
+    A[i + 0] = sumsq4(4*i);
+    A[i + 1] = sumsq4(4*i + 4);
+}
+// CHECK: define void @kernel(i64 %i)
+// CHECK-NOT: call
+// CHECK: fmul <4 x f64>
+// CHECK: shufflevector
+// CHECK: extractelement <4 x f64>
+// CHECK: store f64

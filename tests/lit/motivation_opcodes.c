@@ -1,0 +1,14 @@
+// The paper's Figure 3 under LSLP: shifts pair with shifts and adds
+// with adds across the commutative + one level up.
+// CONFIG: lslp
+unsigned long A[1024], B[2048], C[2048], D[2048], E[2048];
+void kernel(long i) {
+    A[i + 0] = ((B[2*i] << 1) & 0x11) + ((C[2*i] + 2) & 0x12);
+    A[i + 1] = ((D[2*i] + 3) & 0x13) + ((E[2*i] << 4) & 0x14);
+}
+// CHECK: shl <2 x i64>
+// CHECK: and <2 x i64>
+// CHECK: add <2 x i64> {{.*}}, <2 x i64> <2, 3>
+// CHECK: and <2 x i64>
+// CHECK: add <2 x i64>
+// CHECK-NEXT: store <2 x i64>

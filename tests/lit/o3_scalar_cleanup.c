@@ -1,0 +1,15 @@
+// The O3 pipeline alone: constants fold, CSE merges the repeated
+// address computation, and no vector code appears.
+// CONFIG: o3
+long A[1024], B[1024];
+void kernel(long i) {
+    long t = 2 * 3 + 1;
+    A[i] = B[i] + t + 0;
+    A[i + 63] = B[i] + t;
+}
+// CHECK: define void @kernel(i64 %i)
+// CHECK: [[L:%ld[0-9]*]] = load i64
+// CHECK: [[ADD:%add[0-9]*]] = add i64 [[L]], i64 7
+// CHECK-NOT: load i64
+// CHECK-NOT: mul
+// CHECK: ret void

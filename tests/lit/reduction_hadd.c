@@ -1,0 +1,16 @@
+// A 4-wide sum-of-squares reduction: one vector multiply, a logarithmic
+// shuffle reduction, one extract, no scalar fmul left.
+// CONFIG: lslp
+double A[1024], V[1024];
+void kernel(long i) {
+    A[i] = V[i]*V[i] + V[i + 1]*V[i + 1]
+         + V[i + 2]*V[i + 2] + V[i + 3]*V[i + 3];
+}
+// CHECK: [[V:%vec[0-9]*]] = load <4 x f64>
+// CHECK-NEXT: [[M:%vec[0-9]*]] = fmul <4 x f64> [[V]], <4 x f64> [[V]]
+// CHECK: shufflevector <4 x f64>
+// CHECK: fadd <4 x f64>
+// CHECK: shufflevector <4 x f64>
+// CHECK: fadd <4 x f64>
+// CHECK: extractelement <4 x f64>
+// CHECK-NOT: fmul f64

@@ -1,0 +1,12 @@
+// A loop-invariant-like scalar shared by all lanes becomes one splat.
+// CONFIG: lslp
+long A[1024], B[1024];
+void kernel(long i, long k) {
+    A[i + 0] = B[i + 0] - k;
+    A[i + 1] = B[i + 1] - k;
+    A[i + 2] = B[i + 2] - k;
+    A[i + 3] = B[i + 3] - k;
+}
+// CHECK: [[S:%splat[0-9]*]] = splat i64 %k, 4
+// CHECK: sub <4 x i64> {{.*}}, <4 x i64> [[S]]
+// CHECK: store <4 x i64>

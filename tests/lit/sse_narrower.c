@@ -1,0 +1,13 @@
+// On a 128-bit target the same 4-lane kernel splits into 2-wide groups.
+// CONFIG: lslp
+// TARGET: sse-like
+double A[1024], B[1024], C[1024];
+void kernel(long i) {
+    A[i + 0] = B[i + 0] + C[i + 0];
+    A[i + 1] = B[i + 1] + C[i + 1];
+    A[i + 2] = B[i + 2] + C[i + 2];
+    A[i + 3] = B[i + 3] + C[i + 3];
+}
+// CHECK: fadd <2 x f64>
+// CHECK: fadd <2 x f64>
+// CHECK-NOT: <4 x f64>

@@ -1,0 +1,10 @@
+// Seed lanes are ordered by address even when the program order is
+// reversed; the vector store targets the lowest address.
+// CONFIG: lslp
+long A[1024], B[1024];
+void kernel(long i) {
+    A[i + 1] = B[i + 1] ^ 1;
+    A[i + 0] = B[i + 0] ^ 2;
+}
+// CHECK: xor <2 x i64> {{.*}}, <2 x i64> <2, 1>
+// CHECK: store <2 x i64>

@@ -1,0 +1,15 @@
+// A counted loop is fully unrolled and vectorized 4-wide; no control
+// flow survives.
+// CONFIG: lslp
+long A[1024], B[1024], C[1024];
+void kernel(long i) {
+    for (long j = 0; j < 4; j = j + 1) {
+        A[4*i + j] = B[4*i + j] * C[4*i + j] + 7;
+    }
+}
+// CHECK: define void @kernel(i64 %i)
+// CHECK-NOT: phi
+// CHECK-NOT: condbr
+// CHECK: mul <4 x i64>
+// CHECK-NEXT: {{.*}}add <4 x i64> {{.*}}, <4 x i64> <7, 7, 7, 7>
+// CHECK-NEXT: store <4 x i64>

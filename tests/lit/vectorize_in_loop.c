@@ -1,0 +1,21 @@
+// SLP vectorizes inside a loop the unroller cannot remove (symbolic
+// bound): the loop skeleton (phi/condbr) survives, the body is SIMD.
+// CONFIG: lslp
+long A[4096], B[4096], C[4096];
+void kernel(long n) {
+    for (long j = 0; j < n; j = j + 1) {
+        A[4*j + 0] = B[4*j + 0] - C[4*j + 0];
+        A[4*j + 1] = B[4*j + 1] - C[4*j + 1];
+        A[4*j + 2] = B[4*j + 2] - C[4*j + 2];
+        A[4*j + 3] = B[4*j + 3] - C[4*j + 3];
+    }
+}
+// CHECK: loop.header:
+// CHECK: %j = phi i64
+// CHECK: condbr
+// CHECK: loop.body:
+// CHECK: load <4 x i64>
+// CHECK: sub <4 x i64>
+// CHECK: store <4 x i64>
+// CHECK: br label %loop.header
+// CHECK: loop.exit:

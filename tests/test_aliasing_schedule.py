@@ -1,0 +1,211 @@
+"""Tests for alias analysis and scheduling legality."""
+
+import pytest
+
+from repro.analysis import (
+    AliasAnalysis,
+    AliasResult,
+    bundle_is_schedulable,
+    depends_on,
+    same_block,
+    TreeScheduler,
+)
+from repro.ir import (
+    Function,
+    GlobalArray,
+    I64,
+    IRBuilder,
+    Module,
+    PointerType,
+)
+
+
+@pytest.fixture
+def env():
+    module = Module("m")
+    a = module.add_global(GlobalArray("A", I64, 64))
+    b = module.add_global(GlobalArray("B", I64, 64))
+    func = Function("f", [("i", I64)])
+    builder = IRBuilder(func.add_block("entry"))
+    return module, func, builder, a, b
+
+
+class TestAliasAnalysis:
+    def test_same_offset_must_alias(self, env):
+        module, func, builder, a, b = env
+        i = func.argument("i")
+        p0 = builder.gep(a, i)
+        p1 = builder.gep(a, i)
+        assert AliasAnalysis().alias(p0, p1) is AliasResult.MUST_ALIAS
+
+    def test_different_offsets_no_alias(self, env):
+        module, func, builder, a, b = env
+        i = func.argument("i")
+        p0 = builder.gep(a, i)
+        p1 = builder.gep(a, builder.add(i, builder.i64(1)))
+        assert AliasAnalysis().alias(p0, p1) is AliasResult.NO_ALIAS
+
+    def test_distinct_globals_no_alias(self, env):
+        module, func, builder, a, b = env
+        i = func.argument("i")
+        assert (
+            AliasAnalysis().alias(builder.gep(a, i), builder.gep(b, i))
+            is AliasResult.NO_ALIAS
+        )
+
+    def test_pointer_argument_may_alias_global(self, env):
+        module, func, builder, a, b = env
+        other = Function("g", [("p", PointerType(I64))])
+        obuilder = IRBuilder(other.add_block("entry"))
+        p = obuilder.gep(other.argument("p"), obuilder.i64(0))
+        q = builder.gep(a, func.argument("i"))
+        assert AliasAnalysis().alias(p, q) is AliasResult.MAY_ALIAS
+
+    def test_symbolic_offsets_may_alias(self, env):
+        module, func, builder, a, b = env
+        i = func.argument("i")
+        opaque = builder.xor(i, builder.i64(3))
+        p0 = builder.gep(a, i)
+        p1 = builder.gep(a, opaque)
+        assert AliasAnalysis().alias(p0, p1) is AliasResult.MAY_ALIAS
+
+    def test_loads_never_conflict(self, env):
+        module, func, builder, a, b = env
+        i = func.argument("i")
+        l0 = builder.load(builder.gep(a, i))
+        l1 = builder.load(builder.gep(a, i))
+        assert not AliasAnalysis().instructions_may_conflict(l0, l1)
+
+    def test_store_conflicts_with_same_location_load(self, env):
+        module, func, builder, a, b = env
+        i = func.argument("i")
+        ptr = builder.gep(a, i)
+        load = builder.load(ptr)
+        store = builder.store(load, ptr)
+        assert AliasAnalysis().instructions_may_conflict(load, store)
+
+    def test_vector_store_footprint_overlaps(self, env):
+        module, func, builder, a, b = env
+        i = func.argument("i")
+        p0 = builder.gep(a, i)
+        p3 = builder.gep(a, builder.add(i, builder.i64(3)))
+        vec = builder.vload(p0, 4)
+        vstore = builder.store(vec, p0)        # covers [i, i+4)
+        scalar_load = builder.load(p3)         # reads i+3: inside
+        aa = AliasAnalysis()
+        assert aa.instructions_may_conflict(vstore, scalar_load)
+        p4 = builder.gep(a, builder.add(i, builder.i64(4)))
+        outside = builder.load(p4)
+        assert not aa.instructions_may_conflict(vstore, outside)
+
+
+class TestDependence:
+    def test_direct_dependence(self, env):
+        module, func, builder, a, b = env
+        i = func.argument("i")
+        x = builder.add(i, builder.i64(1))
+        y = builder.add(x, builder.i64(2))
+        assert depends_on(y, x)
+        assert not depends_on(x, y)
+
+    def test_transitive_dependence(self, env):
+        module, func, builder, a, b = env
+        i = func.argument("i")
+        x = builder.add(i, builder.i64(1))
+        y = builder.add(x, builder.i64(2))
+        z = builder.mul(y, y)
+        assert depends_on(z, x)
+
+    def test_bundle_of_independent_instructions(self, env):
+        module, func, builder, a, b = env
+        i = func.argument("i")
+        x = builder.add(i, builder.i64(1))
+        y = builder.add(i, builder.i64(2))
+        assert bundle_is_schedulable([x, y])
+
+    def test_bundle_with_internal_dependence_rejected(self, env):
+        module, func, builder, a, b = env
+        i = func.argument("i")
+        x = builder.add(i, builder.i64(1))
+        y = builder.add(x, builder.i64(2))
+        assert not bundle_is_schedulable([x, y])
+
+    def test_bundle_with_duplicate_rejected(self, env):
+        module, func, builder, a, b = env
+        i = func.argument("i")
+        x = builder.add(i, builder.i64(1))
+        assert not bundle_is_schedulable([x, x])
+
+    def test_same_block_helper(self, env):
+        module, func, builder, a, b = env
+        i = func.argument("i")
+        x = builder.add(i, builder.i64(1))
+        other_block = func.add_block("bb2")
+        from repro.ir import BinaryOperator, Constant
+
+        y = BinaryOperator("add", i, Constant(I64, 1))
+        other_block.append(y)
+        assert same_block([x, x]) is not None
+        assert same_block([x, y]) is None
+        assert same_block([]) is None
+
+
+class TestTreeScheduler:
+    def _tree_env(self, env):
+        module, func, builder, a, b = env
+        i = func.argument("i")
+        return module, func, builder, a, b, i
+
+    def test_simple_tree_is_schedulable(self, env):
+        module, func, builder, a, b, i = self._tree_env(env)
+        l0 = builder.load(builder.gep(b, i))
+        l1 = builder.load(builder.gep(b, builder.add(i, builder.i64(1))))
+        s0 = builder.store(l0, builder.gep(a, i))
+        s1 = builder.store(l1, builder.gep(a, builder.add(i, builder.i64(1))))
+        scheduler = TreeScheduler(AliasAnalysis())
+        assert scheduler.tree_is_schedulable([l0, l1, s0, s1])
+
+    def test_interposed_conflicting_store_rejected(self, env):
+        module, func, builder, a, b, i = self._tree_env(env)
+        load_ptr = builder.gep(b, i)
+        l0 = builder.load(load_ptr)
+        # A store to the same location *between* the load and the seeds:
+        builder.store(builder.add(l0, builder.i64(1)), load_ptr)
+        l1 = builder.load(builder.gep(b, builder.add(i, builder.i64(1))))
+        s0 = builder.store(l0, builder.gep(a, i))
+        s1 = builder.store(l1, builder.gep(a, builder.add(i, builder.i64(1))))
+        scheduler = TreeScheduler(AliasAnalysis())
+        assert not scheduler.tree_is_schedulable([l0, l1, s0, s1])
+
+    def test_external_user_before_insertion_point_rejected(self, env):
+        module, func, builder, a, b, i = self._tree_env(env)
+        l0 = builder.load(builder.gep(b, i))
+        l1 = builder.load(builder.gep(b, builder.add(i, builder.i64(1))))
+        # an external scalar user of l0 that sits before the last store
+        external = builder.mul(l0, builder.i64(3))
+        builder.store(external, builder.gep(b, builder.i64(32)))
+        s0 = builder.store(l0, builder.gep(a, i))
+        s1 = builder.store(l1, builder.gep(a, builder.add(i, builder.i64(1))))
+        scheduler = TreeScheduler(AliasAnalysis())
+        assert not scheduler.tree_is_schedulable([l0, l1, s0, s1])
+
+    def test_external_user_after_insertion_point_ok(self, env):
+        module, func, builder, a, b, i = self._tree_env(env)
+        l0 = builder.load(builder.gep(b, i))
+        l1 = builder.load(builder.gep(b, builder.add(i, builder.i64(1))))
+        s0 = builder.store(l0, builder.gep(a, i))
+        s1 = builder.store(l1, builder.gep(a, builder.add(i, builder.i64(1))))
+        # external user *after* the insertion point is fine
+        external = builder.mul(l0, builder.i64(3))
+        builder.store(external, builder.gep(b, builder.i64(32)))
+        scheduler = TreeScheduler(AliasAnalysis())
+        assert scheduler.tree_is_schedulable([l0, l1, s0, s1])
+
+    def test_insertion_index_is_last_member(self, env):
+        module, func, builder, a, b, i = self._tree_env(env)
+        l0 = builder.load(builder.gep(b, i))
+        s0 = builder.store(l0, builder.gep(a, i))
+        scheduler = TreeScheduler(AliasAnalysis())
+        assert (
+            scheduler.insertion_index([l0, s0]) == s0.index_in_block()
+        )

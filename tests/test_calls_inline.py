@@ -1,0 +1,181 @@
+"""Tests for function calls and the inliner."""
+
+import pytest
+
+from repro.frontend import compile_kernel_source, LowerError
+from repro.interp import compare_runs, Interpreter, InterpreterError, MemoryImage
+from repro.ir import (
+    Call,
+    Function,
+    I64,
+    IRBuilder,
+    Module,
+    parse_module,
+    print_module,
+    verify_module,
+)
+from repro.opt import compile_function, run_inline
+from repro.slp import VectorizerConfig
+from tests.conftest import build_kernel
+
+HELPER = """
+long A[1024], B[1024];
+
+long square_plus(long x, long k) {
+    return x * x + k;
+}
+
+void kernel(long i) {
+    A[i + 0] = square_plus(B[i + 0], 1);
+    A[i + 1] = square_plus(B[i + 1], 2);
+}
+"""
+
+
+class TestCallConstruction:
+    def test_type_checked(self):
+        module = Module("m")
+        callee = module.add_function(
+            Function("f", [("x", I64)], I64)
+        )
+        IRBuilder(callee.add_block("entry")).ret(callee.argument("x"))
+        caller = module.add_function(Function("g", [("y", I64)], I64))
+        builder = IRBuilder(caller.add_block("entry"))
+        call = builder.call(callee, [caller.argument("y")])
+        builder.ret(call)
+        verify_module(module)
+        assert call.type is I64
+        assert call.may_read_memory and call.may_write_memory
+
+    def test_argument_mismatch_rejected(self):
+        module = Module("m")
+        callee = module.add_function(Function("f", [("x", I64)], I64))
+        caller = module.add_function(Function("g", [], I64))
+        builder = IRBuilder(caller.add_block("entry"))
+        with pytest.raises(TypeError, match="argument types"):
+            builder.call(callee, [])
+
+
+class TestFrontendCalls:
+    def test_lowering_and_execution(self):
+        module = compile_kernel_source(HELPER)
+        verify_module(module)
+        memory = MemoryImage(module)
+        memory.set_array("B", [3, 4] + [0] * 1022)
+        Interpreter(memory).run(module.get_function("kernel"), {"i": 0})
+        assert memory.get_array("A")[:2] == [10, 18]
+
+    def test_undefined_function_rejected(self):
+        with pytest.raises(LowerError, match="undefined function"):
+            compile_kernel_source(
+                "long A[8];\nvoid kernel(long i) { A[i] = ghost(i); }"
+            )
+
+    def test_arity_checked(self):
+        with pytest.raises(LowerError, match="argument"):
+            compile_kernel_source("""
+long A[8];
+long f(long x) { return x; }
+void kernel(long i) { A[i] = f(i, i); }
+""")
+
+    def test_void_call_as_value_rejected(self):
+        with pytest.raises(LowerError, match="void function"):
+            compile_kernel_source("""
+long A[8];
+void setit(long i) { A[i] = 1; }
+void kernel(long i) { A[i] = setit(i); }
+""")
+
+    def test_call_round_trips_through_printer(self):
+        module = compile_kernel_source(HELPER)
+        text = print_module(module)
+        assert "call i64 @square_plus" in text
+        reparsed = parse_module(text)
+        verify_module(reparsed)
+        assert print_module(reparsed) == text
+
+
+class TestInliner:
+    def test_inlines_straight_line_callee(self):
+        module = compile_kernel_source(HELPER)
+        func = module.get_function("kernel")
+        assert run_inline(func)
+        assert not any(
+            isinstance(inst, Call) for inst in func.instructions()
+        )
+
+    def test_inlining_preserves_semantics(self):
+        reference = build_kernel(HELPER)
+        module, func = build_kernel(HELPER)
+        run_inline(func)
+        outcome = compare_runs(reference, (module, func), args={"i": 5})
+        assert outcome.equivalent, outcome.detail
+
+    def test_transitive_inlining(self):
+        source = """
+long A[8], B[8];
+long twice(long x) { return x + x; }
+long quad(long x) { return twice(twice(x)); }
+void kernel(long i) { A[i] = quad(B[i]); }
+"""
+        module, func = build_kernel(source)
+        assert run_inline(func)
+        assert not any(
+            isinstance(inst, Call) for inst in func.instructions()
+        )
+        reference = build_kernel(source)
+        outcome = compare_runs(reference, (module, func), args={"i": 2})
+        assert outcome.equivalent, outcome.detail
+
+    def test_multi_block_callee_not_inlined(self):
+        source = """
+long A[64], B[64];
+long fill_to(long n) {
+    for (long j = 0; j < n; j = j + 1) {
+        B[j] = j * 2;
+    }
+    return B[0];
+}
+void kernel(long i) { A[i] = fill_to(i); }
+"""
+        # a loop in the callee: stays a call (and still executes right)
+        module, func = build_kernel(source)
+        assert not run_inline(func)
+        assert any(isinstance(inst, Call) for inst in func.instructions())
+
+    def test_inlined_helper_vectorizes(self):
+        module, func = build_kernel(HELPER)
+        result = compile_function(func, VectorizerConfig.lslp())
+        assert result.report.num_vectorized >= 1
+        reference = build_kernel(HELPER)
+        outcome = compare_runs(reference, (module, func), args={"i": 3})
+        assert outcome.equivalent, outcome.detail
+
+    def test_call_cycles_include_callee(self):
+        module, func = build_kernel(HELPER)
+        memory = MemoryImage(module)
+        memory.randomize(seed=1)
+        result = Interpreter(memory).run(func, {"i": 0})
+        assert result.opcode_counts["call"] == 2
+        assert result.opcode_counts["mul"] == 2  # from inside the callee
+
+
+class TestRecursionGuard:
+    def test_runaway_recursion_trapped(self):
+        module = Module("m")
+        func = module.add_function(Function("f", [("x", I64)], I64))
+        builder = IRBuilder(func.add_block("entry"))
+        inner = builder.call(func, [func.argument("x")])
+        builder.ret(inner)
+        memory = MemoryImage(module)
+        with pytest.raises(InterpreterError, match="depth"):
+            Interpreter(memory).run(func, {"x": 1})
+
+    def test_recursive_call_not_inlined(self):
+        module = Module("m")
+        func = module.add_function(Function("f", [("x", I64)], I64))
+        builder = IRBuilder(func.add_block("entry"))
+        inner = builder.call(func, [func.argument("x")])
+        builder.ret(inner)
+        assert not run_inline(func)

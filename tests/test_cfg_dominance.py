@@ -1,0 +1,132 @@
+"""Tests for CFG utilities: predecessors, orders, dominators."""
+
+import pytest
+
+from repro.ir import (
+    DominatorInfo,
+    Function,
+    I1,
+    I64,
+    IRBuilder,
+    predecessors,
+    reachable_blocks,
+    reverse_post_order,
+)
+
+
+def diamond_cfg():
+    func = Function("f", [("c", I1)])
+    entry = func.add_block("entry")
+    left = func.add_block("left")
+    right = func.add_block("right")
+    join = func.add_block("join")
+    b = IRBuilder(entry)
+    b.condbr(func.argument("c"), left, right)
+    b.set_block(left)
+    b.br(join)
+    b.set_block(right)
+    b.br(join)
+    b.set_block(join)
+    b.ret()
+    return func, entry, left, right, join
+
+
+def loop_cfg():
+    func = Function("f", [("n", I64)])
+    entry = func.add_block("entry")
+    header = func.add_block("header")
+    body = func.add_block("body")
+    exit_block = func.add_block("exit")
+    b = IRBuilder(entry)
+    b.br(header)
+    b.set_block(header)
+    j = b.phi(I64, "j")
+    cond = b.icmp("slt", j, func.argument("n"))
+    b.condbr(cond, body, exit_block)
+    b.set_block(body)
+    nxt = b.add(j, b.i64(1))
+    b.br(header)
+    j.add_incoming(b.i64(0), entry)
+    j.add_incoming(nxt, body)
+    b.set_block(exit_block)
+    b.ret()
+    return func, entry, header, body, exit_block
+
+
+class TestPredecessors:
+    def test_diamond(self):
+        func, entry, left, right, join = diamond_cfg()
+        preds = predecessors(func)
+        assert preds[id(entry)] == []
+        assert preds[id(left)] == [entry]
+        assert set(map(id, preds[id(join)])) == {id(left), id(right)}
+
+    def test_loop_back_edge(self):
+        func, entry, header, body, exit_block = loop_cfg()
+        preds = predecessors(func)
+        assert set(map(id, preds[id(header)])) == {id(entry), id(body)}
+
+
+class TestOrders:
+    def test_reachable_skips_dead_blocks(self):
+        func, entry, left, right, join = diamond_cfg()
+        dead = func.add_block("dead")
+        IRBuilder(dead).ret()
+        reachable = reachable_blocks(func)
+        assert dead not in reachable
+        assert len(reachable) == 4
+
+    def test_rpo_starts_at_entry(self):
+        func, entry, *_ = diamond_cfg()
+        order = reverse_post_order(func)
+        assert order[0] is entry
+        assert len(order) == 4
+
+    def test_rpo_visits_before_successors_in_dag(self):
+        func, entry, left, right, join = diamond_cfg()
+        order = reverse_post_order(func)
+        index = {id(block): pos for pos, block in enumerate(order)}
+        assert index[id(entry)] < index[id(left)]
+        assert index[id(left)] < index[id(join)]
+        assert index[id(right)] < index[id(join)]
+
+
+class TestDominators:
+    def test_diamond_dominance(self):
+        func, entry, left, right, join = diamond_cfg()
+        doms = DominatorInfo(func)
+        assert doms.dominates(entry, join)
+        assert doms.dominates(entry, left)
+        assert not doms.dominates(left, join)
+        assert not doms.dominates(right, join)
+        assert doms.dominates(join, join)
+        assert not doms.strictly_dominates(join, join)
+
+    def test_loop_dominance(self):
+        func, entry, header, body, exit_block = loop_cfg()
+        doms = DominatorInfo(func)
+        assert doms.dominates(header, body)
+        assert doms.dominates(header, exit_block)
+        assert not doms.dominates(body, exit_block)
+        assert not doms.dominates(body, header)
+
+    def test_immediate_dominators(self):
+        func, entry, left, right, join = diamond_cfg()
+        doms = DominatorInfo(func)
+        assert doms.immediate_dominator(entry) is None
+        assert doms.immediate_dominator(left) is entry
+        assert doms.immediate_dominator(join) is entry
+
+    def test_unreachable_block_dominated_by_nothing(self):
+        func, entry, *_ = diamond_cfg()
+        dead = func.add_block("dead")
+        IRBuilder(dead).ret()
+        doms = DominatorInfo(func)
+        assert not doms.dominates(entry, dead)
+
+    def test_single_block(self):
+        func = Function("f", [])
+        entry = func.add_block("entry")
+        IRBuilder(entry).ret()
+        doms = DominatorInfo(func)
+        assert doms.dominates(entry, entry)

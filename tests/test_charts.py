@@ -1,0 +1,66 @@
+"""Tests for the ASCII bar-chart renderer."""
+
+import pytest
+
+from repro.experiments import FigureTable, render_bar_chart
+
+
+def make_table():
+    table = FigureTable(
+        "Figure X", "demo", ["kernel", "SLP", "LSLP"],
+    )
+    table.add_row(kernel="alpha", SLP=1.0, LSLP=2.0)
+    table.add_row(kernel="beta", SLP=0.5, LSLP=4.0)
+    return table
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        text = render_bar_chart(make_table())
+        assert "alpha" in text
+        assert "beta" in text
+        assert "2.000" in text
+        assert "4.000" in text
+        assert "Figure X" in text
+
+    def test_bars_scale_to_maximum(self):
+        text = render_bar_chart(make_table(), width=40)
+        lines = [line for line in text.splitlines() if "LSLP" in line]
+        beta_bar = lines[1].split("│")[1].split(" ")[0]
+        alpha_bar = lines[0].split("│")[1].split(" ")[0]
+        assert len(beta_bar) == 40          # the maximum fills the width
+        assert 19 <= len(alpha_bar) <= 21   # half the max ≈ half width
+
+    def test_negative_values_drawn_by_magnitude(self):
+        table = FigureTable("F", "costs", ["kernel", "cost"])
+        table.add_row(kernel="k", cost=-10)
+        text = render_bar_chart(table, width=10)
+        assert "-10" in text
+        assert "█" in text
+
+    def test_zero_row(self):
+        table = FigureTable("F", "flat", ["kernel", "v"])
+        table.add_row(kernel="k", v=0)
+        text = render_bar_chart(table)
+        assert "│ 0" in text
+
+    def test_non_numeric_table_falls_back(self):
+        table = FigureTable("F", "words", ["kernel", "origin"])
+        table.add_row(kernel="k", origin="somewhere")
+        text = render_bar_chart(table)
+        assert "somewhere" in text  # table render fallback
+
+    def test_notes_preserved(self):
+        table = make_table()
+        table.notes.append("a caveat")
+        assert "note: a caveat" in render_bar_chart(table)
+
+
+class TestCLIChart:
+    def test_figures_chart_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["figures", "table2", "--chart"]) == 0
+        # table2 has no numeric columns: falls back to the table form
+        out = capsys.readouterr().out
+        assert "Table 2" in out

@@ -1,0 +1,109 @@
+"""Tests for the ``lslp`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+KERNEL = """
+long A[1024], B[1024], C[1024];
+void kernel(long i) {
+    A[i + 0] = (B[i + 0] << 1) & (C[i + 0] << 2);
+    A[i + 1] = (C[i + 1] << 3) & (B[i + 1] << 4);
+}
+"""
+
+
+@pytest.fixture
+def kernel_file(tmp_path):
+    path = tmp_path / "kernel.c"
+    path.write_text(KERNEL)
+    return str(path)
+
+
+class TestCompile:
+    def test_lslp_vectorizes(self, kernel_file, capsys):
+        assert main(["compile", kernel_file, "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "static cost -6" in out
+        assert "<2 x i64>" in out
+        assert "vectorized" in out
+
+    def test_slp_leaves_scalar(self, kernel_file, capsys):
+        assert main(["compile", kernel_file, "--config", "slp",
+                     "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "static cost 0" in out
+        assert "<2 x i64>" not in out
+        assert "rejected" in out
+
+    def test_print_before(self, kernel_file, capsys):
+        assert main(["compile", kernel_file, "--print-before"]) == 0
+        out = capsys.readouterr().out
+        assert "; --- before ---" in out
+        assert out.index("before") < out.index("after")
+
+    def test_lookahead_zero_behaves_like_slp(self, kernel_file, capsys):
+        assert main(["compile", kernel_file, "--look-ahead", "0",
+                     "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "static cost 0" in out
+
+    def test_sse_target(self, kernel_file, capsys):
+        assert main(["compile", kernel_file, "--target", "sse-like"]) == 0
+
+    def test_missing_file(self, capsys):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["compile", "/nonexistent/kernel.c"])
+
+
+class TestRun:
+    def test_run_reports_cycles(self, kernel_file, capsys):
+        assert main(["run", kernel_file, "--arg", "i=4",
+                     "--dump", "A", "--dump-count", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "@A[0:4]" in out
+
+    def test_run_matches_scalar_results(self, kernel_file, capsys):
+        main(["run", kernel_file, "--config", "o3", "--arg", "i=4",
+              "--dump", "A"])
+        scalar = capsys.readouterr().out.splitlines()[-1]
+        main(["run", kernel_file, "--config", "lslp", "--arg", "i=4",
+              "--dump", "A"])
+        vector = capsys.readouterr().out.splitlines()[-1]
+        assert scalar == vector
+
+    def test_malformed_arg(self, kernel_file):
+        with pytest.raises(SystemExit, match="malformed"):
+            main(["run", kernel_file, "--arg", "i"])
+
+
+class TestInspection:
+    def test_kernels_lists_catalog(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "453.calc-z3" in out
+        assert "motivation-multi" in out
+
+    def test_figures_table2(self, capsys):
+        assert main(["figures", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit, match="unknown figure"):
+            main(["figures", "fig99"])
+
+
+class TestTrace:
+    def test_trace_prints_instructions(self, kernel_file, capsys):
+        assert main(["run", kernel_file, "--arg", "i=4", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "; ->" in out
+        assert "store" in out
+
+    def test_trace_limit(self, kernel_file, capsys):
+        assert main(["run", kernel_file, "--arg", "i=4", "--trace",
+                     "--trace-limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "more)" in out

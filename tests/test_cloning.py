@@ -1,0 +1,93 @@
+"""Tests for instruction cloning with value remapping."""
+
+import pytest
+
+from repro.ir import (
+    Br,
+    clone_instruction,
+    Constant,
+    Function,
+    GlobalArray,
+    I64,
+    IRBuilder,
+    map_value,
+    Module,
+    Phi,
+)
+
+
+@pytest.fixture
+def env():
+    module = Module("m")
+    a = module.add_global(GlobalArray("A", I64, 16))
+    func = Function("f", [("i", I64), ("j", I64)])
+    builder = IRBuilder(func.add_block("entry"))
+    return module, func, builder, a
+
+
+def test_map_value_identity_default(env):
+    module, func, builder, a = env
+    i = func.argument("i")
+    assert map_value(i, {}) is i
+    j = func.argument("j")
+    assert map_value(i, {id(i): j}) is j
+
+
+def test_clone_binop_with_remap(env):
+    module, func, builder, a = env
+    i, j = func.arguments
+    add = builder.add(i, builder.i64(1))
+    clone = clone_instruction(add, {id(i): j})
+    assert clone is not add
+    assert clone.opcode == "add"
+    assert clone.operands[0] is j
+    assert clone.operands[1] is add.operands[1]
+    assert clone.parent is None
+
+
+def test_clone_memory_chain(env):
+    module, func, builder, a = env
+    i, j = func.arguments
+    gep = builder.gep(a, i)
+    load = builder.load(gep)
+    store = builder.store(load, gep)
+    vmap = {id(i): j}
+    gep2 = clone_instruction(gep, vmap)
+    vmap[id(gep)] = gep2
+    load2 = clone_instruction(load, vmap)
+    vmap[id(load)] = load2
+    store2 = clone_instruction(store, vmap)
+    assert gep2.index is j
+    assert load2.ptr is gep2
+    assert store2.value is load2
+    assert store2.ptr is gep2
+
+
+def test_clone_cmp_select_and_vector_ops(env):
+    module, func, builder, a = env
+    i, j = func.arguments
+    cmp = builder.icmp("slt", i, j)
+    sel = builder.select(cmp, i, j)
+    vec = builder.build_vector([i, j])
+    shuf = builder.shufflevector(vec, vec, [1, 0])
+    ext = builder.extractelement(shuf, 0)
+    splat = builder.splat(ext, 2)
+    for inst in (cmp, sel, shuf, ext, splat):
+        clone = clone_instruction(inst, {})
+        assert clone.opcode == inst.opcode
+        assert clone.type is inst.type
+    cmp_clone = clone_instruction(cmp, {})
+    assert cmp_clone.predicate == "slt"
+    shuf_clone = clone_instruction(shuf, {})
+    assert shuf_clone.mask == (1, 0)
+
+
+def test_control_flow_not_clonable(env):
+    module, func, builder, a = env
+    other = func.add_block("other")
+    br = Br(other)
+    with pytest.raises(ValueError, match="control flow"):
+        clone_instruction(br, {})
+    phi = Phi(I64)
+    with pytest.raises(ValueError, match="control flow"):
+        clone_instruction(phi, {})

@@ -1,0 +1,130 @@
+"""Tests for the target cost model (TTI stand-in)."""
+
+import pytest
+
+from repro.costmodel import (
+    expensive_shuffle,
+    scalar_only,
+    skylake_like,
+    sse_like,
+    target_by_name,
+    TargetCostModel,
+    TargetDescription,
+)
+from repro.ir import (
+    Argument,
+    BinaryOperator,
+    Constant,
+    GlobalArray,
+    I32,
+    I64,
+    F64,
+    Load,
+    Store,
+    vector_of,
+)
+
+
+@pytest.fixture
+def tti():
+    return skylake_like()
+
+
+class TestPaperCostValues:
+    """The exact numbers the paper's worked examples rely on (§3.1)."""
+
+    def test_two_wide_alu_group_saves_one(self, tti):
+        assert tti.group_savings("add", 2) == -1
+        assert tti.group_savings("and", 2) == -1
+        assert tti.group_savings("shl", 2) == -1
+
+    def test_two_wide_load_store_groups_save_one(self, tti):
+        assert tti.group_savings("load", 2) == -1
+        assert tti.group_savings("store", 2) == -1
+
+    def test_four_wide_alu_group_saves_three(self, tti):
+        assert tti.group_savings("fmul", 4) == -3
+
+    def test_mixed_gather_costs_lane_count(self, tti):
+        x = Argument(I64, "x")
+        c = Constant(I64, 1)
+        assert tti.gather_cost([x, c]) == 2
+        assert tti.gather_cost([x, c, c, x]) == 4
+
+    def test_constant_gather_is_free(self, tti):
+        assert tti.gather_cost([Constant(I64, 1), Constant(I64, 3)]) == 0
+
+    def test_splat_gather_costs_one_broadcast(self, tti):
+        x = Argument(I64, "x")
+        assert tti.gather_cost([x, x, x, x]) == 1
+
+    def test_extract_cost(self, tti):
+        assert tti.extract_cost_for(1) == 1
+        assert tti.extract_cost_for(3) == 3
+
+
+class TestCapabilities:
+    def test_max_lanes_avx2(self, tti):
+        assert tti.max_lanes(I64) == 4
+        assert tti.max_lanes(I32) == 8
+        assert tti.max_lanes(F64) == 4
+
+    def test_supports_vector(self, tti):
+        assert tti.supports_vector(vector_of(I64, 4))
+        assert not tti.supports_vector(vector_of(I64, 8))
+
+    def test_sse_target_is_narrower(self):
+        assert sse_like().max_lanes(I64) == 2
+
+    def test_division_is_expensive(self, tti):
+        assert tti.scalar_op_cost("sdiv") > tti.scalar_op_cost("add")
+        assert tti.vector_op_cost("fdiv", 4) > tti.vector_op_cost("fmul", 4)
+
+    def test_gep_is_free(self, tti):
+        assert tti.scalar_op_cost("gep") == 0
+
+    def test_opcode_cost_override(self):
+        tti = TargetCostModel(
+            TargetDescription(opcode_costs={"mul": (3, 5)})
+        )
+        assert tti.scalar_op_cost("mul") == 3
+        assert tti.vector_op_cost("mul", 4) == 5
+
+
+class TestIssueCosts:
+    def test_scalar_vs_vector_load(self, tti):
+        array = GlobalArray("A", I64, 8)
+        scalar = Load(I64, array)
+        vector = Load(vector_of(I64, 4), array)
+        assert tti.issue_cost(scalar) == 1
+        assert tti.issue_cost(vector) == 1
+
+    def test_vector_binop_issue_cost(self, tti):
+        vec = vector_of(I64, 4)
+        add = BinaryOperator("add", Argument(vec, "x"), Argument(vec, "y"))
+        assert tti.issue_cost(add) == 1
+
+    def test_store_issue_cost(self, tti):
+        array = GlobalArray("A", I64, 8)
+        store = Store(Argument(I64, "x"), array)
+        assert tti.issue_cost(store) == 1
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert target_by_name("skylake-like").name == "skylake-like"
+        assert target_by_name("sse-like").name == "sse-like"
+
+    def test_unknown_target(self):
+        with pytest.raises(KeyError):
+            target_by_name("m1-like")
+
+    def test_scalar_only_never_profits(self):
+        tti = scalar_only()
+        assert tti.group_savings("add", 2) > 0
+        assert tti.group_savings("load", 2) > 0
+
+    def test_expensive_shuffle_gathers(self):
+        tti = expensive_shuffle()
+        x = Argument(I64, "x")
+        assert tti.gather_cost([x, Constant(I64, 1)]) == 6

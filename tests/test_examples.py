@@ -1,0 +1,26 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys, monkeypatch):
+    if path.stem == "run_all_figures":
+        monkeypatch.setattr(sys, "argv", [str(path), "--quick"])
+    else:
+        monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.stem} produced no output"
+
+
+def test_there_are_enough_examples():
+    assert len(EXAMPLES) >= 5

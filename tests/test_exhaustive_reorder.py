@@ -1,0 +1,124 @@
+"""Tests for the exhaustive (backtracking) reordering ablation."""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.interp import compare_runs
+from repro.ir import (
+    Constant,
+    Function,
+    GlobalArray,
+    I64,
+    IRBuilder,
+    Module,
+    verify_function,
+)
+from repro.opt import compile_function
+from repro.slp import (
+    ExhaustiveReorderer,
+    LookAheadContext,
+    OperandReorderer,
+    VectorizerConfig,
+)
+from repro.kernels import EVALUATION_KERNELS
+from tests.conftest import build_kernel
+
+
+@pytest.fixture
+def env():
+    module = Module("m")
+    arrays = {
+        name: module.add_global(GlobalArray(name, I64, 64))
+        for name in "ABCD"
+    }
+    func = Function("f", [("i", I64)])
+    builder = IRBuilder(func.add_block("entry"))
+    return module, func, builder, arrays, LookAheadContext()
+
+
+def load_at(builder, array, index_value, offset):
+    idx = builder.add(index_value, builder.i64(offset))
+    return builder.load(builder.gep(array, idx))
+
+
+class TestExhaustiveReorderer:
+    def test_matches_greedy_on_simple_swap(self, env):
+        module, func, builder, arrays, ctx = env
+        i = func.argument("i")
+        b, c = arrays["B"], arrays["C"]
+        shl_b0 = builder.shl(load_at(builder, b, i, 0), builder.i64(1))
+        shl_c0 = builder.shl(load_at(builder, c, i, 0), builder.i64(2))
+        shl_c1 = builder.shl(load_at(builder, c, i, 1), builder.i64(3))
+        shl_b1 = builder.shl(load_at(builder, b, i, 1), builder.i64(4))
+        groups = [[shl_b0, shl_c1], [shl_c0, shl_b1]]
+        greedy = OperandReorderer(ctx, look_ahead_depth=2).reorder(groups)
+        exhaustive = ExhaustiveReorderer(
+            ctx, look_ahead_depth=2
+        ).reorder(groups)
+        assert exhaustive.final_order == greedy.final_order
+
+    def test_falls_back_when_too_big(self, env):
+        module, func, builder, arrays, ctx = env
+        i = func.argument("i")
+        # 6 slots x 5 lanes -> 720^4 assignments: way over budget
+        groups = [
+            [builder.add(i, builder.i64(10 * s + lane)) for lane in range(5)]
+            for s in range(6)
+        ]
+        reorderer = ExhaustiveReorderer(ctx, max_assignments=100)
+        result = reorderer.reorder(groups)
+        assert len(result.final_order) == 6
+
+    def test_lane0_fixed_in_place(self, env):
+        module, func, builder, arrays, ctx = env
+        i = func.argument("i")
+        c0, c1 = Constant(I64, 1), Constant(I64, 2)
+        a0 = builder.add(i, builder.i64(1))
+        a1 = builder.add(i, builder.i64(2))
+        result = ExhaustiveReorderer(ctx).reorder([[c0, a1], [a0, c1]])
+        assert result.final_order[0][0] is c0
+        assert result.final_order[1][0] is a0
+
+    def test_empty(self, env):
+        *_, ctx = env
+        assert ExhaustiveReorderer(ctx).reorder([]).final_order == []
+
+
+class TestExhaustiveConfig:
+    def test_config_plumbs_through(self):
+        config = replace(
+            VectorizerConfig.lslp(), reorder_strategy="exhaustive",
+            name="LSLP-exhaustive",
+        )
+        kernel = EVALUATION_KERNELS[0]
+        reference = kernel.build()
+        module, func = kernel.build()
+        compile_function(func, config)
+        verify_function(func)
+        out = compare_runs(reference, (module, func),
+                           args=kernel.default_args)
+        assert out.equivalent, out.detail
+
+    def test_exhaustive_at_least_as_good_as_greedy(self):
+        exhaustive_config = replace(
+            VectorizerConfig.lslp(), reorder_strategy="exhaustive"
+        )
+        for kernel in EVALUATION_KERNELS:
+            _, greedy_func = kernel.build()
+            greedy = compile_function(greedy_func, VectorizerConfig.lslp())
+            _, ex_func = kernel.build()
+            exhaustive = compile_function(ex_func, exhaustive_config)
+            assert exhaustive.static_cost <= greedy.static_cost + 1, (
+                kernel.name
+            )
+
+    def test_unknown_strategy_rejected(self):
+        config = replace(VectorizerConfig.lslp(),
+                         reorder_strategy="quantum")
+        _, func = build_kernel(
+            "long A[8], B[8];\nvoid kernel(long i) {"
+            " A[i] = B[i]; A[i+1] = B[i+1]; }"
+        )
+        with pytest.raises(ValueError, match="unknown reorder strategy"):
+            compile_function(func, config)

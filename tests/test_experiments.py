@@ -1,0 +1,199 @@
+"""Tests for the experiment harness: each figure's qualitative claims.
+
+These assert the paper's *shape*: who wins, where, in what order — not
+absolute numbers (our substrate is a simulator, not Skylake).
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig9_speedup,
+    fig10_static_cost,
+    fig11_suite_cost,
+    fig12_suite_speedup,
+    fig13_sensitivity,
+    fig14_compile_time,
+    geomean,
+    measure_kernel,
+    PAPER_CONFIGS,
+    table2_kernels,
+)
+from repro.kernels import EVALUATION_KERNELS, MOTIVATION_KERNELS
+
+# computing the figures is moderately expensive; share them per module
+pytestmark = pytest.mark.filterwarnings("ignore")
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return fig9_speedup()
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return fig10_static_cost()
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return fig11_suite_cost()
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return fig12_suite_speedup()
+
+
+@pytest.fixture(scope="module")
+def fig13():
+    return fig13_sensitivity(kernels=MOTIVATION_KERNELS)
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestMeasureKernel:
+    def test_fields_populated(self):
+        measurement = measure_kernel(EVALUATION_KERNELS[0],
+                                     PAPER_CONFIGS[-1])
+        assert measurement.kernel == EVALUATION_KERNELS[0].name
+        assert measurement.config == "LSLP"
+        assert measurement.cycles > 0
+        assert measurement.compile_seconds > 0
+
+
+class TestTable2:
+    def test_lists_all_kernels(self):
+        table = table2_kernels()
+        assert len(table.rows) == 11
+        assert "453.vsumsqr" in table.column("kernel")
+        rendered = table.render()
+        assert "povray" in rendered
+
+
+class TestFigure9Claims:
+    def test_columns_and_gmean_row(self, fig9):
+        assert fig9.columns == ["kernel", "SLP-NR", "SLP", "LSLP"]
+        assert fig9.rows[-1]["kernel"] == "GMean"
+
+    def test_lslp_wins_on_geomean(self, fig9):
+        gmean = fig9.rows[-1]
+        assert gmean["LSLP"] > gmean["SLP"] > gmean["SLP-NR"] >= 1.0
+
+    def test_motivation_kernels_only_lslp(self, fig9):
+        for name in ("motivation-loads", "motivation-opcodes"):
+            row = fig9.row_for("kernel", name)
+            assert row["SLP"] == pytest.approx(1.0)
+            assert row["SLP-NR"] == pytest.approx(1.0)
+            assert row["LSLP"] > 1.1
+
+    def test_lslp_never_slower_than_o3(self, fig9):
+        for row in fig9.rows[:-1]:
+            assert row["LSLP"] >= 1.0
+
+    def test_calc_z3_is_a_big_lslp_win(self, fig9):
+        row = fig9.row_for("kernel", "453.calc-z3")
+        assert row["LSLP"] > 2.0
+        assert row["SLP"] == pytest.approx(1.0)
+
+
+class TestFigure10Claims:
+    def test_lslp_costs_dominate(self, fig10):
+        for row in fig10.rows[:-1]:
+            assert row["LSLP"] <= row["SLP"]
+
+    def test_paper_exact_values(self, fig10):
+        assert fig10.row_for("kernel", "motivation-loads")["LSLP"] == -6
+        assert fig10.row_for("kernel", "motivation-opcodes")["LSLP"] == -2
+        assert fig10.row_for("kernel", "motivation-multi")["LSLP"] == -10
+
+    def test_mean_ordering(self, fig10):
+        mean = fig10.rows[-1]
+        assert mean["LSLP"] < mean["SLP"] < mean["SLP-NR"] <= 0
+
+
+class TestFigure11Claims:
+    def test_normalized_to_slp(self, fig11):
+        for row in fig11.rows[:-1]:
+            assert row["SLP"] == pytest.approx(100.0)
+
+    def test_lslp_improves_average(self, fig11):
+        gmean = fig11.rows[-1]
+        assert gmean["LSLP"] < 100.0
+        assert gmean["SLP-NR"] > 100.0
+
+    def test_bwaves_untouched(self, fig11):
+        row = fig11.row_for("suite", "410.bwaves")
+        assert row["LSLP"] == pytest.approx(100.0)
+
+    def test_povray_most_improved(self, fig11):
+        values = [row["LSLP"] for row in fig11.rows[:-1]]
+        povray = fig11.row_for("suite", "453.povray")["LSLP"]
+        assert povray == min(values)
+
+
+class TestFigure12Claims:
+    def test_dilution(self, fig12):
+        """Whole-benchmark speedups are small (~1%), unlike Figure 9."""
+        gmean = fig12.rows[-1]
+        assert 1.0 <= gmean["LSLP"] < 1.10
+
+    def test_lslp_best_on_sensitive_suites(self, fig12):
+        for suite in ("453.povray", "435.gromacs"):
+            row = fig12.row_for("suite", suite)
+            assert row["LSLP"] > row["SLP"]
+
+    def test_no_suite_regresses(self, fig12):
+        for row in fig12.rows[:-1]:
+            assert row["LSLP"] >= row["SLP"] - 1e-9
+
+
+class TestFigure13Claims:
+    def test_la0_equals_slp_level(self, fig13):
+        """Paper §5.3: disabling look-ahead brings LSLP down to SLP."""
+        gmean = fig13.rows[-1]
+        assert gmean["LSLP-LA0"] == pytest.approx(gmean["SLP"], rel=0.05)
+
+    def test_depth_is_monotone(self, fig13):
+        gmean = fig13.rows[-1]
+        assert (gmean["LSLP-LA0"] <= gmean["LSLP-LA1"]
+                <= gmean["LSLP-LA2"] <= gmean["LSLP-LA4"] <= 1.0 + 1e-9)
+
+    def test_multi_node_size_matters(self, fig13):
+        gmean = fig13.rows[-1]
+        assert gmean["LSLP-Multi1"] <= gmean["LSLP-Multi3"]
+        # motivation-multi specifically needs multi-nodes
+        row = fig13.row_for("kernel", "motivation-multi")
+        assert row["LSLP-Multi1"] < 1.0
+
+    def test_full_lslp_is_the_reference(self, fig13):
+        for row in fig13.rows:
+            assert row["LSLP"] == pytest.approx(1.0)
+
+
+class TestFigure14Claims:
+    def test_vectorizers_cost_compile_time(self):
+        table = fig14_compile_time(kernels=MOTIVATION_KERNELS, repeats=3)
+        gmean = table.rows[-1]
+        # all vectorizing configs are slower than O3, and LSLP adds
+        # overhead over SLP (the paper's direction, magnified here
+        # because our whole pipeline is small)
+        assert gmean["SLP-NR"] > 1.0
+        assert gmean["SLP"] > 1.0
+        assert gmean["LSLP"] > 1.0
+
+
+class TestRendering:
+    def test_render_contains_all_rows(self, fig9):
+        text = fig9.render()
+        for kernel in EVALUATION_KERNELS:
+            assert kernel.name in text
+        assert "GMean" in text
+        assert "note:" in text

@@ -1,0 +1,128 @@
+"""Tests for the miniature FileCheck engine itself."""
+
+import pytest
+
+from tests.filecheck import (
+    FileCheckError,
+    parse_directives,
+    run_filecheck,
+)
+
+OUTPUT = """\
+define void @kernel(i64 %i) {
+entry:
+  %vec = load <2 x i64>, i64* %ptr
+  %vec1 = shl <2 x i64> %vec, <2 x i64> <1, 4>
+  store <2 x i64> %vec1, i64* %ptr2
+  ret void
+}
+"""
+
+
+class TestParsing:
+    def test_parses_kinds(self):
+        source = """
+// CHECK: a
+// CHECK-NEXT: b
+// CHECK-NOT: c
+// CHECK-DAG: d
+"""
+        kinds = [d.kind for d in parse_directives(source)]
+        assert kinds == ["CHECK", "CHECK-NEXT", "CHECK-NOT", "CHECK-DAG"]
+
+    def test_semicolon_and_hash_comments(self):
+        source = "; CHECK: x\n# CHECK: y\n"
+        assert len(parse_directives(source)) == 2
+
+    def test_line_numbers(self):
+        source = "int x;\n// CHECK: x\n"
+        (directive,) = parse_directives(source)
+        assert directive.line_no == 2
+
+
+class TestMatching:
+    def test_plain_check_sequence(self):
+        run_filecheck(OUTPUT, """
+// CHECK: define void @kernel
+// CHECK: load <2 x i64>
+// CHECK: store <2 x i64>
+""")
+
+    def test_out_of_order_fails(self):
+        with pytest.raises(FileCheckError, match="no match"):
+            run_filecheck(OUTPUT, """
+// CHECK: store <2 x i64>
+// CHECK: load <2 x i64>
+""")
+
+    def test_check_next(self):
+        run_filecheck(OUTPUT, """
+// CHECK: %vec = load
+// CHECK-NEXT: %vec1 = shl
+""")
+
+    def test_check_next_fails_on_gap(self):
+        with pytest.raises(FileCheckError, match="CHECK-NEXT"):
+            run_filecheck(OUTPUT, """
+// CHECK: %vec = load
+// CHECK-NEXT: store
+""")
+
+    def test_check_not_between_matches(self):
+        run_filecheck(OUTPUT, """
+// CHECK: entry:
+// CHECK-NOT: call
+// CHECK: ret void
+""")
+
+    def test_check_not_trips(self):
+        with pytest.raises(FileCheckError, match="CHECK-NOT"):
+            run_filecheck(OUTPUT, """
+// CHECK: entry:
+// CHECK-NOT: shl
+// CHECK: ret void
+""")
+
+    def test_check_not_at_end(self):
+        run_filecheck(OUTPUT, """
+// CHECK: ret void
+// CHECK-NOT: anything after
+""")
+
+    def test_check_dag_any_order(self):
+        run_filecheck(OUTPUT, """
+// CHECK-DAG: store <2 x i64>
+// CHECK-DAG: load <2 x i64>
+""")
+
+    def test_regex_blocks(self):
+        run_filecheck(OUTPUT, """
+// CHECK: %vec{{[0-9]*}} = shl <2 x i64>
+""")
+
+    def test_variables_capture_and_reuse(self):
+        run_filecheck(OUTPUT, """
+// CHECK: [[V:%vec[0-9]*]] = shl
+// CHECK-NEXT: store <2 x i64> [[V]],
+""")
+
+    def test_variable_mismatch_fails(self):
+        with pytest.raises(FileCheckError):
+            run_filecheck(OUTPUT, """
+// CHECK: [[V:%vec]] = load
+// CHECK: store <2 x i64> [[V]],
+""")
+
+    def test_undefined_variable(self):
+        with pytest.raises(FileCheckError, match="undefined"):
+            run_filecheck(OUTPUT, "// CHECK: [[GHOST]]\n")
+
+    def test_no_directives_is_an_error(self):
+        with pytest.raises(FileCheckError, match="no CHECK directives"):
+            run_filecheck(OUTPUT, "int main;\n")
+
+    def test_error_message_contains_context(self):
+        with pytest.raises(FileCheckError) as info:
+            run_filecheck(OUTPUT, "// CHECK: %ghost = mul\n")
+        assert "pattern" in str(info.value)
+        assert "output context" in str(info.value)

@@ -1,0 +1,303 @@
+"""Tests for the mini C-like frontend: lexer, parser, lowering."""
+
+import pytest
+
+from repro.frontend import (
+    BinaryExpr,
+    compile_kernel_source,
+    IndexExpr,
+    LexError,
+    LowerError,
+    NumExpr,
+    parse_program,
+    ParseError,
+    tokenize,
+)
+from repro.ir import F64, I64, verify_module
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("A[i] = B[i] << 2;")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["NAME", "[", "NAME", "]", "=", "NAME", "[",
+                         "NAME", "]", "<<", "NUMBER", ";"]
+
+    def test_keywords(self):
+        tokens = tokenize("unsigned long void return")
+        assert all(t.kind == "KEYWORD" for t in tokens)
+
+    def test_hex_numbers(self):
+        (token,) = tokenize("0x1F")
+        assert token.kind == "NUMBER"
+        assert int(token.text, 0) == 31
+
+    def test_float_numbers(self):
+        tokens = tokenize("2.5 1e9 3.25e-2")
+        assert [t.kind for t in tokens] == ["NUMBER"] * 3
+
+    def test_line_comments(self):
+        tokens = tokenize("a // comment\nb")
+        assert [t.text for t in tokens] == ["a", "b"]
+
+    def test_block_comments(self):
+        tokens = tokenize("a /* multi\nline */ b")
+        assert [t.text for t in tokens] == ["a", "b"]
+        assert tokens[1].line == 2
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never ends")
+
+    def test_bad_character(self):
+        with pytest.raises(LexError) as info:
+            tokenize("a $ b")
+        assert info.value.line == 1
+
+    def test_line_tracking(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens] == [1, 2, 3]
+
+
+class TestParser:
+    def test_array_declarations(self):
+        program = parse_program("long A[256], B[];\ndouble X[16];")
+        assert [a.name for a in program.arrays] == ["A", "B", "X"]
+        assert program.arrays[0].size == 256
+        assert program.arrays[1].size == 1024  # default
+        assert program.arrays[2].ctype.kind == "double"
+
+    def test_unsigned_arrays(self):
+        program = parse_program("unsigned long A[4];")
+        assert program.arrays[0].ctype.unsigned
+
+    def test_function_with_params(self):
+        program = parse_program(
+            "long A[4];\nvoid k(long i, long j) { A[i] = j; }"
+        )
+        func = program.functions[0]
+        assert func.name == "k"
+        assert [p.name for p in func.params] == ["i", "j"]
+
+    def test_precedence_shift_binds_tighter_than_and(self):
+        program = parse_program(
+            "long A[4], B[4];\nvoid k(long i) { A[i] = B[i] << 1 & 3; }"
+        )
+        store = program.functions[0].body[0]
+        assert isinstance(store.value, BinaryExpr)
+        assert store.value.op == "&"
+        assert store.value.lhs.op == "<<"
+
+    def test_precedence_mul_over_add(self):
+        program = parse_program(
+            "long A[4];\nvoid k(long i) { A[i] = 1 + 2 * 3; }"
+        )
+        expr = program.functions[0].body[0].value
+        assert expr.op == "+"
+        assert expr.rhs.op == "*"
+
+    def test_parentheses_override(self):
+        program = parse_program(
+            "long A[4];\nvoid k(long i) { A[i] = (1 + 2) * 3; }"
+        )
+        expr = program.functions[0].body[0].value
+        assert expr.op == "*"
+
+    def test_left_associativity(self):
+        program = parse_program(
+            "long A[4];\nvoid k(long i) { A[i] = 1 - 2 - 3; }"
+        )
+        expr = program.functions[0].body[0].value
+        assert expr.op == "-"
+        assert isinstance(expr.lhs, BinaryExpr)
+        assert expr.lhs.op == "-"
+        assert isinstance(expr.rhs, NumExpr)
+
+    def test_ternary(self):
+        program = parse_program(
+            "long A[4];\nvoid k(long i) { A[i] = i < 2 ? 1 : 0; }"
+        )
+        from repro.frontend import ConditionalExpr
+
+        assert isinstance(program.functions[0].body[0].value,
+                          ConditionalExpr)
+
+    def test_let_and_return(self):
+        program = parse_program("""
+long A[4];
+long k(long i) {
+    long t = A[i] * 3;
+    return t;
+}
+""")
+        body = program.functions[0].body
+        assert body[0].name == "t"
+        assert body[1].value is not None
+
+    def test_unary_operators(self):
+        program = parse_program(
+            "long A[4];\nvoid k(long i) { A[i] = -A[i] + ~i; }"
+        )
+        expr = program.functions[0].body[0].value
+        assert expr.lhs.op == "-"
+        assert expr.rhs.op == "~"
+
+    def test_syntax_error_reports_position(self):
+        with pytest.raises(ParseError, match="2:"):
+            parse_program("long A[4];\nvoid k(long i) { A[i] = ; }")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("long A[4]")
+
+
+class TestLowering:
+    def test_types_map(self):
+        module = compile_kernel_source("""
+long A[8];
+double X[8];
+void kernel(long i) {
+    A[i] = 1;
+    X[i] = 2.5;
+}
+""")
+        verify_module(module)
+        assert module.get_global("A").element is I64
+        assert module.get_global("X").element is F64
+
+    def test_store_load_shapes(self):
+        module = compile_kernel_source("""
+long A[8], B[8];
+void kernel(long i) {
+    A[i] = B[i + 1];
+}
+""")
+        func = module.get_function("kernel")
+        opcodes = [inst.opcode for inst in func.entry]
+        assert opcodes == ["add", "gep", "load", "gep", "store", "ret"]
+
+    def test_unsigned_shift_lowered_logical(self):
+        module = compile_kernel_source("""
+unsigned long A[8], B[8];
+void kernel(long i) {
+    A[i] = B[i] >> 2;
+}
+""")
+        opcodes = [inst.opcode for inst in
+                   module.get_function("kernel").entry]
+        assert "lshr" in opcodes
+        assert "ashr" not in opcodes
+
+    def test_signed_shift_lowered_arithmetic(self):
+        module = compile_kernel_source("""
+long A[8], B[8];
+void kernel(long i) {
+    A[i] = B[i] >> 2;
+}
+""")
+        opcodes = [inst.opcode for inst in
+                   module.get_function("kernel").entry]
+        assert "ashr" in opcodes
+
+    def test_float_ops_lowered(self):
+        module = compile_kernel_source("""
+double A[8], B[8];
+void kernel(long i) {
+    A[i] = B[i] * 2.0 + 1.5;
+}
+""")
+        opcodes = [inst.opcode for inst in
+                   module.get_function("kernel").entry]
+        assert "fmul" in opcodes
+        assert "fadd" in opcodes
+
+    def test_int_literal_adapts_to_float_context(self):
+        module = compile_kernel_source("""
+double A[8], B[8];
+void kernel(long i) {
+    A[i] = B[i] * 2;
+}
+""")
+        verify_module(module)
+
+    def test_float_literal_in_int_context_rejected(self):
+        with pytest.raises(LowerError):
+            compile_kernel_source("""
+long A[8];
+void kernel(long i) {
+    A[i] = 2.5;
+}
+""")
+
+    def test_mixed_array_types_rejected(self):
+        with pytest.raises(LowerError):
+            compile_kernel_source("""
+long A[8];
+double X[8];
+void kernel(long i) {
+    A[i] = X[i];
+}
+""")
+
+    def test_undeclared_array_rejected(self):
+        with pytest.raises(LowerError, match="undeclared"):
+            compile_kernel_source(
+                "long A[8];\nvoid kernel(long i) { Z[i] = 1; }"
+            )
+
+    def test_undefined_variable_rejected(self):
+        with pytest.raises(LowerError, match="undefined"):
+            compile_kernel_source(
+                "long A[8];\nvoid kernel(long i) { A[i] = ghost; }"
+            )
+
+    def test_redefinition_rejected(self):
+        with pytest.raises(LowerError, match="redefinition"):
+            compile_kernel_source("""
+long A[8];
+void kernel(long i) {
+    long t = 1;
+    long t = 2;
+    A[i] = t;
+}
+""")
+
+    def test_missing_return_rejected(self):
+        with pytest.raises(LowerError, match="missing return"):
+            compile_kernel_source("long A[8];\nlong kernel(long i) { }")
+
+    def test_return_value(self):
+        module = compile_kernel_source("""
+long A[8];
+long kernel(long i) {
+    return A[i] + 1;
+}
+""")
+        func = module.get_function("kernel")
+        assert func.entry.terminator.return_value is not None
+
+    def test_ternary_lowered_to_select(self):
+        module = compile_kernel_source("""
+long A[8], B[8];
+void kernel(long i) {
+    A[i] = B[i] < 4 ? B[i] : 4;
+}
+""")
+        opcodes = [inst.opcode for inst in
+                   module.get_function("kernel").entry]
+        assert "icmp" in opcodes
+        assert "select" in opcodes
+
+    def test_locals_are_ssa_values(self):
+        module = compile_kernel_source("""
+long A[8], B[8];
+void kernel(long i) {
+    long t = B[i] * 3;
+    A[i] = t + t;
+}
+""")
+        verify_module(module)
+        func = module.get_function("kernel")
+        muls = [inst for inst in func.entry if inst.opcode == "mul"]
+        assert len(muls) == 1
+        assert muls[0].num_uses == 2

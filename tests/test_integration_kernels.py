@@ -1,0 +1,87 @@
+"""Integration: every kernel under every configuration must compile,
+verify, and be observationally equivalent to the unoptimized reference.
+"""
+
+import pytest
+
+from repro.costmodel import expensive_shuffle, scalar_only, sse_like
+from repro.interp import compare_runs
+from repro.ir import verify_function
+from repro.kernels import ALL_KERNELS, EVALUATION_KERNELS
+from repro.opt import compile_function
+from repro.slp import VectorizerConfig
+from repro.experiments.runner import PAPER_CONFIGS, SENSITIVITY_CONFIGS
+
+ALL_CONFIGS = PAPER_CONFIGS + SENSITIVITY_CONFIGS[1:-1]
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: c.name)
+@pytest.mark.parametrize("kernel", list(ALL_KERNELS.values()),
+                         ids=lambda k: k.name)
+class TestEveryKernelEveryConfig:
+    def test_compiles_verifies_and_matches_reference(self, kernel, config):
+        reference = kernel.build()
+        module, func = kernel.build()
+        compile_function(func, config)
+        verify_function(func)
+        outcome = compare_runs(reference, (module, func),
+                               args=kernel.default_args)
+        assert outcome.equivalent, (
+            f"{kernel.name} under {config.name}: {outcome.detail}"
+        )
+
+
+@pytest.mark.parametrize("kernel", EVALUATION_KERNELS,
+                         ids=lambda k: k.name)
+class TestConfigQualityOrdering:
+    """LSLP's accepted static cost is never worse than vanilla SLP's."""
+
+    def test_lslp_never_worse_than_slp(self, kernel):
+        _, slp_func = kernel.build()
+        slp = compile_function(slp_func, VectorizerConfig.slp())
+        _, lslp_func = kernel.build()
+        lslp = compile_function(lslp_func, VectorizerConfig.lslp())
+        assert lslp.static_cost <= slp.static_cost
+
+    def test_vectorization_never_slows_down_simulated(self, kernel):
+        from repro.experiments.runner import measure_kernel
+
+        o3 = measure_kernel(kernel, VectorizerConfig.o3())
+        for config in (VectorizerConfig.slp(), VectorizerConfig.lslp()):
+            measured = measure_kernel(kernel, config)
+            assert measured.cycles <= o3.cycles
+
+
+class TestAlternativeTargets:
+    @pytest.mark.parametrize("kernel", EVALUATION_KERNELS,
+                             ids=lambda k: k.name)
+    def test_sse_target_still_correct(self, kernel):
+        reference = kernel.build()
+        module, func = kernel.build()
+        compile_function(func, VectorizerConfig.lslp(), sse_like())
+        verify_function(func)
+        outcome = compare_runs(reference, (module, func),
+                               args=kernel.default_args, target=sse_like())
+        assert outcome.equivalent, outcome.detail
+
+    def test_scalar_only_target_never_vectorizes(self):
+        for kernel in EVALUATION_KERNELS:
+            _, func = kernel.build()
+            result = compile_function(
+                func, VectorizerConfig.lslp(), scalar_only()
+            )
+            assert result.report.num_vectorized == 0, kernel.name
+
+    def test_expensive_shuffle_reduces_vectorization(self):
+        cheap_total = 0
+        pricey_total = 0
+        for kernel in EVALUATION_KERNELS:
+            _, func = kernel.build()
+            cheap_total += compile_function(
+                func, VectorizerConfig.lslp()
+            ).report.num_vectorized
+            _, func2 = kernel.build()
+            pricey_total += compile_function(
+                func2, VectorizerConfig.lslp(), expensive_shuffle()
+            ).report.num_vectorized
+        assert pricey_total <= cheap_total

@@ -1,0 +1,262 @@
+"""Tests for branches, phis, CFG printing/parsing, and the verifier's
+control-flow rules."""
+
+import pytest
+
+from repro.ir import (
+    Br,
+    CondBr,
+    Constant,
+    Function,
+    GlobalArray,
+    I1,
+    I64,
+    IRBuilder,
+    Module,
+    parse_module,
+    Phi,
+    print_function,
+    print_module,
+    VerificationError,
+    verify_function,
+)
+
+
+def diamond():
+    """entry -> (then|else) -> join, with a phi at the join."""
+    func = Function("f", [("c", I1), ("x", I64), ("y", I64)])
+    entry = func.add_block("entry")
+    then_b = func.add_block("then")
+    else_b = func.add_block("else")
+    join = func.add_block("join")
+    b = IRBuilder(entry)
+    b.condbr(func.argument("c"), then_b, else_b)
+    b.set_block(then_b)
+    tx = b.add(func.argument("x"), b.i64(1))
+    b.br(join)
+    b.set_block(else_b)
+    ty = b.add(func.argument("y"), b.i64(2))
+    b.br(join)
+    b.set_block(join)
+    phi = b.phi(I64, "merged")
+    phi.add_incoming(tx, then_b)
+    phi.add_incoming(ty, else_b)
+    b.ret(phi)
+    func.return_type = I64
+    return func, phi
+
+
+class TestConstruction:
+    def test_br_successors(self):
+        func = Function("f", [])
+        a = func.add_block("a")
+        b = func.add_block("b")
+        br = Br(b)
+        a.append(br)
+        assert a.successors() == [b]
+        assert br.is_terminator
+
+    def test_condbr_successors_and_type_check(self):
+        func = Function("f", [("c", I1)])
+        a = func.add_block("a")
+        t = func.add_block("t")
+        e = func.add_block("e")
+        cb = CondBr(func.argument("c"), t, e)
+        a.append(cb)
+        assert a.successors() == [t, e]
+        with pytest.raises(TypeError):
+            CondBr(Constant(I64, 1), t, e)
+
+    def test_replace_successor(self):
+        func = Function("f", [("c", I1)])
+        a, t, e, n = (func.add_block(x) for x in "aten")
+        cb = CondBr(func.argument("c"), t, e)
+        cb.replace_successor(t, n)
+        assert cb.on_true is n
+        br = Br(t)
+        br.replace_successor(t, n)
+        assert br.target is n
+
+    def test_phi_incoming(self):
+        func, phi = diamond()
+        assert len(phi.incoming()) == 2
+        then_b = func.blocks[1]
+        value = phi.incoming_for(then_b)
+        assert value.opcode == "add"
+        with pytest.raises(KeyError):
+            phi.incoming_for(func.blocks[0])
+
+    def test_phi_type_checked(self):
+        func = Function("f", [("x", I64)])
+        entry = func.add_block("entry")
+        phi = Phi(I64)
+        with pytest.raises(TypeError):
+            phi.add_incoming(Constant(I1, 1), entry)
+
+    def test_phi_remove_incoming(self):
+        func, phi = diamond()
+        then_b = func.blocks[1]
+        tx = phi.incoming_for(then_b)
+        phi.remove_incoming(then_b)
+        assert len(phi.incoming()) == 1
+        assert all(use.user is not phi for use in tx.uses)
+        with pytest.raises(KeyError):
+            phi.remove_incoming(then_b)
+
+    def test_block_phi_helpers(self):
+        func, phi = diamond()
+        join = func.blocks[3]
+        assert join.phis() == [phi]
+        assert join.first_non_phi().opcode == "ret"
+
+
+class TestPrintParseRoundTrip:
+    def test_diamond_round_trip(self):
+        func, _ = diamond()
+        verify_function(func)
+        module = Module("m")
+        module.functions[func.name] = func
+        text = print_module(module)
+        parsed = parse_module(text)
+        assert print_module(parsed) == text
+
+    def test_loop_round_trip(self):
+        text = """\
+module "m"
+
+@A = global [64 x i64]
+
+define void @loop(i64 %n) {
+entry:
+  br label %header
+header:
+  %j = phi i64 [ 0, %entry ], [ %j.next, %body ]
+  %cmp = icmp slt i64 %j, i64 %n
+  condbr i1 %cmp, label %body, label %exit
+body:
+  %ptr = gep i64* @A, i64 %j
+  store i64 %j, i64* %ptr
+  %j.next = add i64 %j, i64 1
+  br label %header
+exit:
+  ret void
+}
+"""
+        module = parse_module(text)
+        for func in module.functions.values():
+            verify_function(func)
+        assert print_module(module) == text
+
+    def test_forward_label_reference(self):
+        text = """
+define void @f(i1 %c) {
+entry:
+  condbr i1 %c, label %later, label %now
+now:
+  br label %later
+later:
+  ret void
+}
+"""
+        module = parse_module(text)
+        verify_function(module.get_function("f"))
+
+    def test_unknown_label_rejected(self):
+        text = """
+define void @f() {
+entry:
+  br label %ghost
+}
+"""
+        from repro.ir import IRParseError
+
+        with pytest.raises(IRParseError, match="unknown label"):
+            parse_module(text)
+
+
+class TestVerifierCFG:
+    def test_diamond_verifies(self):
+        func, _ = diamond()
+        verify_function(func)
+
+    def test_missing_terminator_detected(self):
+        func = Function("f", [])
+        a = func.add_block("a")
+        b = func.add_block("b")
+        IRBuilder(b).ret()
+        a.append(Br(b))
+        a.remove(a.instructions[0])
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_function(func)
+
+    def test_phi_not_at_head_detected(self):
+        func, phi = diamond()
+        join = func.blocks[3]
+        join.remove(phi)
+        ret = join.instructions[-1]
+        # put a non-phi instruction first, then the phi: illegal
+        builder = IRBuilder(join)
+        builder.position_before(ret)
+        builder.add(func.argument("x"), builder.i64(3))
+        join.insert_before(ret, phi)
+        with pytest.raises(VerificationError):
+            verify_function(func)
+
+    def test_phi_edge_mismatch_detected(self):
+        func, phi = diamond()
+        then_b = func.blocks[1]
+        phi.remove_incoming(then_b)
+        with pytest.raises(VerificationError, match="predecessors"):
+            verify_function(func)
+
+    def test_cross_block_dominance_ok(self):
+        func = Function("f", [("x", I64)])
+        a = func.add_block("a")
+        b_blk = func.add_block("b")
+        builder = IRBuilder(a)
+        v = builder.add(func.argument("x"), builder.i64(1))
+        builder.br(b_blk)
+        builder.set_block(b_blk)
+        builder.add(v, builder.i64(2))
+        builder.ret()
+        verify_function(func)
+
+    def test_cross_block_dominance_violation_detected(self):
+        func = Function("f", [("c", I1), ("x", I64)])
+        entry = func.add_block("entry")
+        left = func.add_block("left")
+        right = func.add_block("right")
+        join = func.add_block("join")
+        builder = IRBuilder(entry)
+        builder.condbr(func.argument("c"), left, right)
+        builder.set_block(left)
+        v = builder.add(func.argument("x"), builder.i64(1))
+        builder.br(join)
+        builder.set_block(right)
+        builder.br(join)
+        builder.set_block(join)
+        builder.add(v, builder.i64(2))  # v does not dominate join
+        builder.ret()
+        with pytest.raises(VerificationError, match="dominate"):
+            verify_function(func)
+
+    def test_branch_outside_function_detected(self):
+        func = Function("f", [])
+        other = Function("g", [])
+        foreign = other.add_block("foreign")
+        entry = func.add_block("entry")
+        entry.append(Br(foreign))
+        with pytest.raises(VerificationError, match="outside"):
+            verify_function(func)
+
+    def test_unreachable_code_not_held_to_dominance(self):
+        func = Function("f", [("x", I64)])
+        entry = func.add_block("entry")
+        dead = func.add_block("dead")
+        builder = IRBuilder(entry)
+        builder.ret()
+        builder.set_block(dead)
+        v = builder.add(func.argument("x"), builder.i64(1))
+        builder.add(v, builder.i64(2))
+        builder.ret()
+        verify_function(func)  # must not raise

@@ -1,0 +1,254 @@
+"""Tests for instruction construction, typing rules and metadata."""
+
+import pytest
+
+from repro.ir import (
+    Argument,
+    BinaryOperator,
+    Cmp,
+    COMMUTATIVE_OPCODES,
+    Constant,
+    ExtractElement,
+    F64,
+    GetElementPtr,
+    GlobalArray,
+    I1,
+    I32,
+    I64,
+    InsertElement,
+    Load,
+    Ret,
+    Select,
+    ShuffleVector,
+    Splat,
+    Store,
+    UnaryOperator,
+    UndefVector,
+    binary_opcode_info,
+    vector_of,
+)
+
+
+def arg(ty=I64, name="x"):
+    return Argument(ty, name)
+
+
+class TestOpcodeMetadata:
+    def test_commutative_set(self):
+        assert "add" in COMMUTATIVE_OPCODES
+        assert "mul" in COMMUTATIVE_OPCODES
+        assert "and" in COMMUTATIVE_OPCODES
+        assert "fadd" in COMMUTATIVE_OPCODES
+        assert "sub" not in COMMUTATIVE_OPCODES
+        assert "shl" not in COMMUTATIVE_OPCODES
+        assert "fdiv" not in COMMUTATIVE_OPCODES
+
+    def test_info_lookup(self):
+        assert binary_opcode_info("add").commutative
+        assert binary_opcode_info("sdiv").is_division
+        assert binary_opcode_info("shl").is_shift
+        assert binary_opcode_info("fmul").is_float
+
+    def test_unknown_opcode(self):
+        with pytest.raises(ValueError):
+            binary_opcode_info("frobnicate")
+
+
+class TestBinaryOperator:
+    def test_result_type_matches_operands(self):
+        add = BinaryOperator("add", arg(), arg(I64, "y"))
+        assert add.type is I64
+
+    def test_mismatched_types_rejected(self):
+        with pytest.raises(TypeError):
+            BinaryOperator("add", arg(I64), arg(I32, "y"))
+
+    def test_float_opcode_on_ints_rejected(self):
+        with pytest.raises(TypeError):
+            BinaryOperator("fadd", arg(I64), arg(I64, "y"))
+
+    def test_int_opcode_on_floats_rejected(self):
+        with pytest.raises(TypeError):
+            BinaryOperator("add", arg(F64), arg(F64, "y"))
+
+    def test_vector_binop(self):
+        vec = vector_of(I64, 4)
+        add = BinaryOperator("add", arg(vec), arg(vec, "y"))
+        assert add.type is vec
+
+    def test_is_commutative_property(self):
+        assert BinaryOperator("xor", arg(), arg(I64, "y")).is_commutative
+        assert not BinaryOperator("sub", arg(), arg(I64, "y")).is_commutative
+
+    def test_swap_non_commutative_rejected(self):
+        sub = BinaryOperator("sub", arg(), arg(I64, "y"))
+        with pytest.raises(ValueError):
+            sub.swap_operands()
+
+
+class TestUnaryOperator:
+    def test_fneg_requires_float(self):
+        assert UnaryOperator("fneg", arg(F64)).type is F64
+        with pytest.raises(TypeError):
+            UnaryOperator("fneg", arg(I64))
+
+    def test_not_requires_integer(self):
+        assert UnaryOperator("not", arg(I64)).type is I64
+        with pytest.raises(TypeError):
+            UnaryOperator("not", arg(F64))
+
+    def test_unknown_unary(self):
+        with pytest.raises(ValueError):
+            UnaryOperator("sqrt", arg(F64))
+
+
+class TestCmpSelect:
+    def test_icmp_yields_i1(self):
+        cmp = Cmp("icmp", "slt", arg(), arg(I64, "y"))
+        assert cmp.type is I1
+
+    def test_vector_icmp_yields_i1_vector(self):
+        vec = vector_of(I64, 4)
+        cmp = Cmp("icmp", "eq", arg(vec), arg(vec, "y"))
+        assert cmp.type is vector_of(I1, 4)
+
+    def test_fcmp_predicates_checked(self):
+        with pytest.raises(ValueError):
+            Cmp("fcmp", "slt", arg(F64), arg(F64, "y"))
+
+    def test_icmp_on_floats_rejected(self):
+        with pytest.raises(TypeError):
+            Cmp("icmp", "slt", arg(F64), arg(F64, "y"))
+
+    def test_select_types(self):
+        cond = Cmp("icmp", "eq", arg(), arg(I64, "y"))
+        sel = Select(cond, arg(I64, "a"), arg(I64, "b"))
+        assert sel.type is I64
+
+    def test_select_arm_mismatch(self):
+        cond = Cmp("icmp", "eq", arg(), arg(I64, "y"))
+        with pytest.raises(TypeError):
+            Select(cond, arg(I64, "a"), arg(I32, "b"))
+
+    def test_select_condition_type_checked(self):
+        with pytest.raises(TypeError):
+            Select(arg(I64, "c"), arg(I64, "a"), arg(I64, "b"))
+
+
+class TestMemory:
+    def test_gep_types(self):
+        array = GlobalArray("A", I64, 8)
+        gep = GetElementPtr(array, Constant(I64, 2))
+        assert gep.type is array.type
+
+    def test_gep_needs_pointer_base(self):
+        with pytest.raises(TypeError):
+            GetElementPtr(arg(I64), Constant(I64, 0))
+
+    def test_gep_needs_integer_index(self):
+        array = GlobalArray("A", I64, 8)
+        with pytest.raises(TypeError):
+            GetElementPtr(array, arg(F64))
+
+    def test_scalar_load(self):
+        array = GlobalArray("A", I64, 8)
+        load = Load(I64, array)
+        assert load.type is I64
+        assert not load.is_vector_load
+
+    def test_vector_load(self):
+        array = GlobalArray("A", I64, 8)
+        load = Load(vector_of(I64, 4), array)
+        assert load.is_vector_load
+
+    def test_load_element_mismatch(self):
+        array = GlobalArray("A", I64, 8)
+        with pytest.raises(TypeError):
+            Load(I32, array)
+        with pytest.raises(TypeError):
+            Load(vector_of(I32, 4), array)
+
+    def test_store_is_void(self):
+        array = GlobalArray("A", I64, 8)
+        store = Store(arg(I64), array)
+        assert store.type.is_void
+        assert store.has_side_effects
+
+    def test_vector_store(self):
+        array = GlobalArray("A", I64, 8)
+        store = Store(arg(vector_of(I64, 2), "v"), array)
+        assert store.is_vector_store
+
+    def test_memory_classification(self):
+        array = GlobalArray("A", I64, 8)
+        assert Load(I64, array).may_read_memory
+        assert Store(arg(I64), array).may_write_memory
+        assert not Load(I64, array).may_write_memory
+
+
+class TestVectorOps:
+    def setup_method(self):
+        self.vec_ty = vector_of(I64, 4)
+        self.vec = arg(self.vec_ty, "v")
+
+    def test_insertelement(self):
+        ins = InsertElement(self.vec, arg(I64, "s"), Constant(I32, 1))
+        assert ins.type is self.vec_ty
+        assert ins.lane == 1
+
+    def test_insertelement_lane_bounds(self):
+        with pytest.raises(ValueError):
+            InsertElement(self.vec, arg(I64, "s"), Constant(I32, 4))
+
+    def test_insertelement_element_type_checked(self):
+        with pytest.raises(TypeError):
+            InsertElement(self.vec, arg(F64, "s"), Constant(I32, 0))
+
+    def test_extractelement(self):
+        ext = ExtractElement(self.vec, Constant(I32, 3))
+        assert ext.type is I64
+        assert ext.lane == 3
+
+    def test_extractelement_bounds(self):
+        with pytest.raises(ValueError):
+            ExtractElement(self.vec, Constant(I32, 9))
+
+    def test_shuffle(self):
+        other = arg(self.vec_ty, "w")
+        shuf = ShuffleVector(self.vec, other, (7, 6, 5, 4))
+        assert shuf.type is self.vec_ty
+        assert shuf.mask == (7, 6, 5, 4)
+
+    def test_shuffle_can_change_width(self):
+        other = arg(self.vec_ty, "w")
+        shuf = ShuffleVector(self.vec, other, (0, 1))
+        assert shuf.type is vector_of(I64, 2)
+
+    def test_shuffle_mask_bounds(self):
+        other = arg(self.vec_ty, "w")
+        with pytest.raises(ValueError):
+            ShuffleVector(self.vec, other, (0, 8, 1, 2))
+
+    def test_splat(self):
+        splat = Splat(arg(I64, "s"), 4)
+        assert splat.type is self.vec_ty
+
+    def test_splat_needs_scalar(self):
+        with pytest.raises(TypeError):
+            Splat(self.vec, 4)
+
+    def test_undef_vector(self):
+        undef = UndefVector(self.vec_ty)
+        assert undef.short_name() == "undef"
+
+
+class TestRet:
+    def test_void_ret(self):
+        ret = Ret()
+        assert ret.return_value is None
+        assert ret.is_terminator
+
+    def test_value_ret(self):
+        x = arg()
+        ret = Ret(x)
+        assert ret.return_value is x

@@ -1,0 +1,193 @@
+"""Printer/parser round-trip and error tests."""
+
+import pytest
+
+from repro.ir import (
+    Function,
+    GlobalArray,
+    I64,
+    F64,
+    IRBuilder,
+    IRParseError,
+    Module,
+    parse_module,
+    print_function,
+    print_instruction,
+    print_module,
+    verify_module,
+)
+from repro.ir.values import VectorConstant
+from repro.ir.types import vector_of
+
+
+def roundtrip(module: Module) -> Module:
+    text = print_module(module)
+    parsed = parse_module(text)
+    verify_module(parsed)
+    assert print_module(parsed) == text
+    return parsed
+
+
+def test_roundtrip_arithmetic_kernel():
+    module = Module("m")
+    a = module.add_global(GlobalArray("A", I64, 16))
+    func = module.add_function(Function("k", [("i", I64)]))
+    builder = IRBuilder(func.add_block("entry"))
+    i = func.argument("i")
+    ptr = builder.gep(a, i)
+    load = builder.load(ptr)
+    shl = builder.shl(load, builder.i64(2))
+    xor = builder.xor(shl, builder.i64(-1))
+    builder.store(xor, ptr)
+    builder.ret()
+    roundtrip(module)
+
+
+def test_roundtrip_all_binops():
+    module = Module("m")
+    func = module.add_function(Function("k", [("x", I64), ("y", I64)]))
+    builder = IRBuilder(func.add_block("entry"))
+    x, y = func.arguments
+    for opcode in ("add", "sub", "mul", "sdiv", "srem", "and", "or",
+                   "xor", "shl", "lshr", "ashr", "smin", "smax"):
+        builder.binop(opcode, x, y)
+    builder.ret()
+    roundtrip(module)
+
+
+def test_roundtrip_float_ops():
+    module = Module("m")
+    func = module.add_function(Function("k", [("x", F64), ("y", F64)],
+                                        F64))
+    builder = IRBuilder(func.add_block("entry"))
+    x, y = func.arguments
+    mul = builder.fmul(x, y)
+    neg = builder.fneg(mul)
+    cmp = builder.fcmp("olt", neg, y)
+    sel = builder.select(cmp, neg, x)
+    builder.ret(sel)
+    roundtrip(module)
+
+
+def test_roundtrip_vector_ops():
+    module = Module("m")
+    a = module.add_global(GlobalArray("A", I64, 16))
+    func = module.add_function(Function("k", [("i", I64)]))
+    builder = IRBuilder(func.add_block("entry"))
+    ptr = builder.gep(a, func.argument("i"))
+    vec = builder.vload(ptr, 4)
+    shuf = builder.shufflevector(vec, vec, [3, 2, 1, 0])
+    ext = builder.extractelement(shuf, 2)
+    splat = builder.splat(ext, 4)
+    added = builder.add(splat, vec)
+    builder.store(added, ptr)
+    builder.ret()
+    roundtrip(module)
+
+
+def test_roundtrip_vector_constant():
+    module = Module("m")
+    a = module.add_global(GlobalArray("A", I64, 16))
+    func = module.add_function(Function("k", [("i", I64)]))
+    builder = IRBuilder(func.add_block("entry"))
+    ptr = builder.gep(a, func.argument("i"))
+    vec = builder.vload(ptr, 2)
+    vc = VectorConstant(vector_of(I64, 2), [1, 3])
+    added = builder.add(vec, vc)
+    builder.store(added, ptr)
+    builder.ret()
+    text = print_module(module)
+    assert "<2 x i64> <1, 3>" in text
+    roundtrip(module)
+
+
+def test_roundtrip_float_literals():
+    module = Module("m")
+    func = module.add_function(Function("k", [("x", F64)], F64))
+    builder = IRBuilder(func.add_block("entry"))
+    v = builder.fmul(func.argument("x"), builder.const(F64, 2.5))
+    builder.ret(v)
+    roundtrip(module)
+
+
+def test_print_instruction_forms():
+    module = Module("m")
+    a = module.add_global(GlobalArray("A", I64, 16))
+    func = module.add_function(Function("k", [("i", I64)]))
+    builder = IRBuilder(func.add_block("entry"))
+    i = func.argument("i")
+    ptr = builder.gep(a, i)
+    load = builder.load(ptr)
+    assert print_instruction(ptr) == "%ptr = gep i64* @A, i64 %i"
+    assert print_instruction(load) == "%ld = load i64, i64* %ptr"
+    store = builder.store(load, ptr)
+    assert print_instruction(store) == "store i64 %ld, i64* %ptr"
+    cmp = builder.icmp("slt", load, builder.i64(3))
+    assert print_instruction(cmp) == "%cmp = icmp slt i64 %ld, i64 3"
+
+
+def test_parse_errors_have_line_numbers():
+    bad = 'module "m"\n\n@A = global [x i64]\n'
+    with pytest.raises(IRParseError) as info:
+        parse_module(bad)
+    assert info.value.line_no == 3
+
+
+def test_parse_rejects_undefined_value():
+    text = """
+define void @k(i64 %i) {
+entry:
+  %a = add i64 %i, i64 %ghost
+  ret void
+}
+"""
+    with pytest.raises(IRParseError, match="undefined value"):
+        parse_module(text)
+
+
+def test_parse_rejects_type_mismatch():
+    text = """
+define void @k(i64 %i) {
+entry:
+  %a = add i64 %i, i64 1
+  %b = add i32 %a, i32 1
+  ret void
+}
+"""
+    with pytest.raises(IRParseError):
+        parse_module(text)
+
+
+def test_parse_rejects_unterminated_function():
+    text = 'define void @k() {\nentry:\n  ret void\n'
+    with pytest.raises(IRParseError, match="unterminated"):
+        parse_module(text)
+
+
+def test_parse_comments_and_blank_lines():
+    text = """
+module "m"
+
+; a full-line comment
+@A = global [4 x i64]
+
+define void @k(i64 %i) {  ; trailing comment is not allowed on define
+entry:
+  ret void  ; comment
+}
+"""
+    # the define line has a comment *after* the brace, which the strip
+    # removes, so this parses
+    module = parse_module(text)
+    assert "A" in module.globals
+
+
+def test_function_print_shape():
+    module = Module("m")
+    func = module.add_function(Function("k", [("i", I64)]))
+    builder = IRBuilder(func.add_block("entry"))
+    builder.ret()
+    text = print_function(func)
+    assert text.startswith("define void @k(i64 %i) {")
+    assert text.endswith("}")
+    assert "entry:" in text

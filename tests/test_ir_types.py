@@ -1,0 +1,136 @@
+"""Tests for the IR type system."""
+
+import pytest
+
+from repro.ir import (
+    F32,
+    F64,
+    FloatType,
+    I1,
+    I32,
+    I64,
+    IntType,
+    PointerType,
+    VOID,
+    VectorType,
+    parse_type,
+    scalar_of,
+    vector_of,
+)
+
+
+class TestInterning:
+    def test_int_types_are_interned(self):
+        assert IntType(64) is IntType(64)
+        assert IntType(64) is I64
+
+    def test_float_types_are_interned(self):
+        assert FloatType(32) is F32
+
+    def test_pointer_types_are_interned(self):
+        assert PointerType(I64) is PointerType(I64)
+
+    def test_vector_types_are_interned(self):
+        assert VectorType(I64, 4) is VectorType(I64, 4)
+
+    def test_distinct_types_differ(self):
+        assert IntType(32) is not IntType(64)
+        assert VectorType(I64, 2) is not VectorType(I64, 4)
+        assert PointerType(I64) is not PointerType(I32)
+
+
+class TestSizes:
+    def test_integer_bits(self):
+        assert I64.size_bits() == 64
+        assert I1.size_bits() == 1
+
+    def test_integer_bytes_round_up(self):
+        assert I1.size_bytes() == 1
+        assert IntType(9).size_bytes() == 2
+
+    def test_vector_size(self):
+        assert VectorType(I64, 4).size_bits() == 256
+        assert VectorType(F32, 8).size_bits() == 256
+
+    def test_pointer_size_is_64(self):
+        assert PointerType(F64).size_bits() == 64
+
+    def test_void_size(self):
+        assert VOID.size_bits() == 0
+
+
+class TestPredicates:
+    def test_is_scalar(self):
+        assert I64.is_scalar
+        assert F32.is_scalar
+        assert not VOID.is_scalar
+        assert not PointerType(I64).is_scalar
+        assert not VectorType(I64, 2).is_scalar
+
+    def test_is_vector(self):
+        assert VectorType(I64, 2).is_vector
+        assert not I64.is_vector
+
+    def test_is_pointer(self):
+        assert PointerType(I64).is_pointer
+        assert not I64.is_pointer
+
+
+class TestConstruction:
+    def test_vector_of_scalar(self):
+        assert vector_of(I64, 4) is VectorType(I64, 4)
+
+    def test_vector_of_vector_rejected(self):
+        with pytest.raises(ValueError):
+            vector_of(VectorType(I64, 2), 2)
+
+    def test_vector_needs_two_lanes(self):
+        with pytest.raises(ValueError):
+            VectorType(I64, 1)
+
+    def test_vector_of_pointer_rejected(self):
+        with pytest.raises(ValueError):
+            VectorType(PointerType(I64), 2)
+
+    def test_pointer_to_void_rejected(self):
+        with pytest.raises(ValueError):
+            PointerType(VOID)
+
+    def test_negative_int_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(0)
+
+    def test_odd_float_width_rejected(self):
+        with pytest.raises(ValueError):
+            FloatType(16)
+
+    def test_scalar_of(self):
+        assert scalar_of(VectorType(I64, 4)) is I64
+        assert scalar_of(I64) is I64
+
+
+class TestParseAndPrint:
+    @pytest.mark.parametrize("text,expected", [
+        ("i64", I64),
+        ("i32", I32),
+        ("f64", F64),
+        ("void", VOID),
+        ("i64*", PointerType(I64)),
+        ("f32*", PointerType(F32)),
+        ("<4 x i64>", VectorType(I64, 4)),
+        ("<2 x f32>", VectorType(F32, 2)),
+        ("<8 x i32>*", PointerType(VectorType(I32, 8))),
+    ])
+    def test_parse(self, text, expected):
+        assert parse_type(text) is expected
+
+    @pytest.mark.parametrize("ty", [
+        I64, F32, VOID, PointerType(I64), VectorType(I64, 4),
+        PointerType(VectorType(F64, 2)),
+    ])
+    def test_round_trip(self, ty):
+        assert parse_type(str(ty)) is ty
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_type("banana")

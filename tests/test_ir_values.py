@@ -1,0 +1,160 @@
+"""Tests for values, constants and use-def chains."""
+
+import pytest
+
+from repro.ir import (
+    Argument,
+    BinaryOperator,
+    Constant,
+    GlobalArray,
+    I8,
+    I64,
+    F64,
+    constants_equal,
+    vector_of,
+)
+from repro.ir.values import VectorConstant
+
+
+class TestConstants:
+    def test_int_constant_value(self):
+        assert Constant(I64, 42).value == 42
+
+    def test_int_constant_wraps_to_width(self):
+        assert Constant(I8, 200).value == -56
+        assert Constant(I8, -129).value == 127
+
+    def test_float_constant(self):
+        const = Constant(F64, 2.5)
+        assert const.value == 2.5
+        assert isinstance(const.value, float)
+
+    def test_constant_requires_scalar_type(self):
+        with pytest.raises(ValueError):
+            Constant(vector_of(I64, 2), 0)
+
+    def test_constants_not_interned(self):
+        assert Constant(I64, 1) is not Constant(I64, 1)
+
+    def test_constants_equal_by_value(self):
+        assert constants_equal(Constant(I64, 7), Constant(I64, 7))
+        assert not constants_equal(Constant(I64, 7), Constant(I64, 8))
+        assert not constants_equal(Constant(I64, 7), Constant(I8, 7))
+
+    def test_constants_equal_rejects_non_constants(self):
+        assert not constants_equal(Constant(I64, 7), Argument(I64, "x"))
+
+
+class TestVectorConstant:
+    def test_values_wrap(self):
+        vc = VectorConstant(vector_of(I8, 2), [300, -300])
+        assert vc.values == (44, -44)
+
+    def test_length_checked(self):
+        with pytest.raises(ValueError):
+            VectorConstant(vector_of(I64, 4), [1, 2])
+
+    def test_needs_vector_type(self):
+        with pytest.raises(ValueError):
+            VectorConstant(I64, [1])
+
+    def test_short_name(self):
+        vc = VectorConstant(vector_of(I64, 2), [1, 3])
+        assert vc.short_name() == "<1, 3>"
+
+
+class TestUseDefChains:
+    def _add(self, a, b):
+        return BinaryOperator("add", a, b)
+
+    def test_operands_register_uses(self):
+        x = Argument(I64, "x")
+        y = Argument(I64, "y")
+        add = self._add(x, y)
+        assert x.num_uses == 1
+        assert x.uses[0].user is add
+        assert x.uses[0].index == 0
+        assert y.uses[0].index == 1
+
+    def test_same_value_twice_registers_two_uses(self):
+        x = Argument(I64, "x")
+        add = self._add(x, x)
+        assert x.num_uses == 2
+        assert {u.index for u in x.uses} == {0, 1}
+        assert add.operands == [x, x]
+
+    def test_users_deduplicates(self):
+        x = Argument(I64, "x")
+        add = self._add(x, x)
+        assert x.users() == [add]
+
+    def test_set_operand_moves_use(self):
+        x = Argument(I64, "x")
+        y = Argument(I64, "y")
+        z = Argument(I64, "z")
+        add = self._add(x, y)
+        add.set_operand(0, z)
+        assert x.num_uses == 0
+        assert z.num_uses == 1
+        assert add.operands[0] is z
+
+    def test_replace_all_uses_with(self):
+        x = Argument(I64, "x")
+        y = Argument(I64, "y")
+        z = Argument(I64, "z")
+        add1 = self._add(x, y)
+        add2 = self._add(y, x)
+        x.replace_all_uses_with(z)
+        assert x.num_uses == 0
+        assert z.num_uses == 2
+        assert add1.operands[0] is z
+        assert add2.operands[1] is z
+
+    def test_replace_all_uses_with_self_is_noop(self):
+        x = Argument(I64, "x")
+        self._add(x, x)
+        x.replace_all_uses_with(x)
+        assert x.num_uses == 2
+
+    def test_drop_all_references(self):
+        x = Argument(I64, "x")
+        y = Argument(I64, "y")
+        add = self._add(x, y)
+        add.drop_all_references()
+        assert x.num_uses == 0
+        assert y.num_uses == 0
+        assert add.operands == []
+
+    def test_swap_operands_keeps_use_lists_coherent(self):
+        x = Argument(I64, "x")
+        y = Argument(I64, "y")
+        add = self._add(x, y)
+        add.swap_operands()
+        assert add.operands == [y, x]
+        assert x.uses[0].index == 1
+        assert y.uses[0].index == 0
+
+    def test_swap_operands_with_identical_operands(self):
+        x = Argument(I64, "x")
+        add = self._add(x, x)
+        add.swap_operands()
+        assert add.operands == [x, x]
+        assert x.num_uses == 2
+
+
+class TestGlobalArray:
+    def test_type_is_pointer_to_element(self):
+        array = GlobalArray("A", I64, 16)
+        assert array.type.is_pointer
+        assert array.type.pointee is I64
+
+    def test_rejects_non_scalar_element(self):
+        with pytest.raises(ValueError):
+            GlobalArray("A", vector_of(I64, 2), 16)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            GlobalArray("A", I64, 0)
+
+    def test_short_name(self):
+        assert GlobalArray("A", I64, 4).short_name() == "@A"

@@ -1,0 +1,88 @@
+"""Tests for the IR verifier: it must catch every splicing mistake."""
+
+import pytest
+
+from repro.ir import (
+    BinaryOperator,
+    Constant,
+    Function,
+    I64,
+    IRBuilder,
+    Ret,
+    VerificationError,
+    verify_function,
+)
+
+
+def make_func():
+    func = Function("f", [("i", I64)])
+    block = func.add_block("entry")
+    return func, block, IRBuilder(block)
+
+
+def test_valid_function_passes():
+    func, block, builder = make_func()
+    i = func.argument("i")
+    a = builder.add(i, builder.i64(1))
+    builder.add(a, builder.i64(2))
+    builder.ret()
+    verify_function(func)
+
+
+def test_use_before_def_detected():
+    func, block, builder = make_func()
+    i = func.argument("i")
+    a = builder.add(i, builder.i64(1))
+    b = builder.add(a, builder.i64(2))
+    # Move the definition after its use.
+    block.remove(a)
+    block.append(a)
+    with pytest.raises(VerificationError, match="dominate"):
+        verify_function(func)
+
+
+def test_detached_operand_detected():
+    func, block, builder = make_func()
+    i = func.argument("i")
+    floating = BinaryOperator("add", i, Constant(I64, 1))  # never inserted
+    builder.add(floating, builder.i64(2))
+    with pytest.raises(VerificationError, match="not in the function"):
+        verify_function(func)
+
+
+def test_foreign_argument_detected():
+    func, block, builder = make_func()
+    other = Function("g", [("j", I64)])
+    builder.add(other.argument("j"), builder.i64(1))
+    with pytest.raises(VerificationError, match="another function"):
+        verify_function(func)
+
+
+def test_terminator_must_be_last():
+    func, block, builder = make_func()
+    builder.ret()
+    block.append(BinaryOperator("add", func.argument("i"),
+                                Constant(I64, 1)))
+    with pytest.raises(VerificationError, match="terminator"):
+        verify_function(func)
+
+
+def test_stale_use_entry_detected():
+    func, block, builder = make_func()
+    i = func.argument("i")
+    a = builder.add(i, builder.i64(1))
+    b = builder.add(a, builder.i64(2))
+    # Corrupt the use list by hand: bypass set_operand.
+    b.operands[0] = i
+    with pytest.raises(VerificationError):
+        verify_function(func)
+
+
+def test_use_by_detached_instruction_detected():
+    func, block, builder = make_func()
+    i = func.argument("i")
+    a = builder.add(i, builder.i64(1))
+    dangling = BinaryOperator("add", a, Constant(I64, 5))
+    assert dangling.parent is None
+    with pytest.raises(VerificationError, match="detached"):
+        verify_function(func)

@@ -1,0 +1,113 @@
+"""Tests for the kernel catalog and the synthetic benchmark suites."""
+
+import pytest
+
+from repro.interp import Interpreter, MemoryImage
+from repro.ir import verify_function, verify_module
+from repro.kernels import (
+    ALL_KERNELS,
+    EVALUATION_KERNELS,
+    Kernel,
+    kernel_by_name,
+    MOTIVATION_KERNELS,
+    SPEC_KERNELS,
+    SUITE_SPECS,
+    build_suite,
+    suite_by_name,
+)
+from repro.kernels.suites import EXECUTION_WEIGHTS, function_weight
+
+
+class TestCatalog:
+    def test_eleven_evaluation_kernels(self):
+        # Table 2: 8 SPEC-derived kernels + 3 motivation kernels
+        assert len(SPEC_KERNELS) == 8
+        assert len(MOTIVATION_KERNELS) == 3
+        assert len(EVALUATION_KERNELS) == 11
+
+    def test_lookup(self):
+        assert kernel_by_name("453.calc-z3").name == "453.calc-z3"
+        with pytest.raises(KeyError):
+            kernel_by_name("454.nope")
+
+    def test_names_unique(self):
+        names = [k.name for k in EVALUATION_KERNELS]
+        assert len(set(names)) == len(names)
+
+    def test_every_kernel_has_provenance(self):
+        for kernel in ALL_KERNELS.values():
+            assert kernel.origin
+            assert kernel.description
+
+    @pytest.mark.parametrize("kernel", list(ALL_KERNELS.values()),
+                             ids=lambda k: k.name)
+    def test_kernel_builds_verifies_and_runs(self, kernel):
+        module, func = kernel.build()
+        verify_function(func)
+        memory = MemoryImage(module)
+        memory.randomize(seed=1)
+        result = Interpreter(memory).run(func, kernel.default_args)
+        assert result.cycles > 0
+
+    def test_builds_are_independent(self):
+        kernel = EVALUATION_KERNELS[0]
+        _, f1 = kernel.build()
+        _, f2 = kernel.build()
+        assert f1 is not f2
+        # mutating one copy must not affect the other
+        f1.entry.remove(f1.entry.instructions[-1])
+        assert len(f2.entry) != len(f1.entry)
+
+
+class TestSuites:
+    def test_seven_suites(self):
+        assert len(SUITE_SPECS) == 7
+        names = {spec.name for spec in SUITE_SPECS}
+        assert "453.povray" in names
+        assert "410.bwaves" in names
+
+    def test_lookup(self):
+        assert suite_by_name("433.milc").sensitive == 2
+        with pytest.raises(KeyError):
+            suite_by_name("999.unknown")
+
+    def test_bwaves_has_no_sensitive_regions(self):
+        assert suite_by_name("410.bwaves").sensitive == 0
+
+    def test_povray_is_most_sensitive(self):
+        povray = suite_by_name("453.povray")
+        assert povray.sensitive == max(s.sensitive for s in SUITE_SPECS)
+
+    @pytest.mark.parametrize("spec", SUITE_SPECS, ids=lambda s: s.name)
+    def test_suite_builds_and_verifies(self, spec):
+        module = build_suite(spec)
+        verify_module(module)
+        assert len(module.functions) == spec.total_functions
+
+    def test_suite_generation_is_deterministic(self):
+        from repro.ir import print_module
+
+        spec = SUITE_SPECS[0]
+        assert print_module(build_suite(spec)) == print_module(
+            build_suite(spec)
+        )
+
+    def test_function_kinds_encoded_in_names(self):
+        module = build_suite(SUITE_SPECS[0])
+        kinds = {name.rsplit("_", 1)[-1] for name in module.functions}
+        assert kinds <= {"sensitive", "friendly", "scalar"}
+
+    def test_execution_weights(self):
+        assert function_weight("f3_scalar") == EXECUTION_WEIGHTS["scalar"]
+        assert function_weight("f0_sensitive") == 1
+        assert function_weight("whatever") == 1
+
+    @pytest.mark.parametrize("spec", SUITE_SPECS, ids=lambda s: s.name)
+    def test_suite_functions_execute(self, spec):
+        module = build_suite(spec)
+        memory = MemoryImage(module)
+        memory.randomize(seed=3)
+        interp = Interpreter(memory)
+        for func in module.functions.values():
+            result = interp.run(func, {"i": 8})
+            assert result.cycles > 0

@@ -1,0 +1,53 @@
+"""Lit-style golden tests: each ``tests/lit/*.c`` file declares a
+configuration (``// CONFIG:``, optionally ``// TARGET:``) and FileCheck
+directives; the runner compiles the file and checks the printed module.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.costmodel import target_by_name
+from repro.frontend import compile_kernel_source
+from repro.ir import print_module, verify_module
+from repro.opt import compile_module
+from repro.slp import VectorizerConfig
+from tests.filecheck import run_filecheck
+
+LIT_DIR = Path(__file__).parent / "lit"
+LIT_FILES = sorted(LIT_DIR.glob("*.c"))
+
+CONFIGS = {
+    "o3": VectorizerConfig.o3,
+    "slp-nr": VectorizerConfig.slp_nr,
+    "slp": VectorizerConfig.slp,
+    "lslp": VectorizerConfig.lslp,
+}
+
+
+def _header_value(source: str, key: str, default: str) -> str:
+    for line in source.splitlines():
+        marker = f"// {key}:"
+        if line.startswith(marker):
+            return line[len(marker):].strip()
+    return default
+
+
+@pytest.mark.parametrize(
+    "path", LIT_FILES, ids=lambda p: p.stem
+)
+def test_lit(path: Path):
+    source = path.read_text()
+    config = CONFIGS[_header_value(source, "CONFIG", "lslp")]()
+    target = target_by_name(
+        _header_value(source, "TARGET", "skylake-like")
+    )
+    module = compile_kernel_source(source, path.stem)
+    compile_module(module, config, target)
+    verify_module(module)
+    output = print_module(module)
+    run_filecheck(output, source)
+
+
+def test_lit_suite_is_not_empty():
+    assert len(LIT_FILES) >= 10

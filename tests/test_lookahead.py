@@ -1,0 +1,169 @@
+"""Tests for look-ahead matching and scoring — including the paper's
+Figure 7 example with its exact scores."""
+
+import pytest
+
+from repro.ir import (
+    Constant,
+    Function,
+    GlobalArray,
+    I64,
+    F64,
+    IRBuilder,
+    Module,
+)
+from repro.slp import (
+    LookAheadContext,
+    are_consecutive_or_match,
+    get_lookahead_score,
+    get_lookahead_score_max,
+)
+
+
+@pytest.fixture
+def env():
+    module = Module("m")
+    b = module.add_global(GlobalArray("B", I64, 64))
+    c = module.add_global(GlobalArray("C", I64, 64))
+    func = Function("f", [("i", I64)])
+    builder = IRBuilder(func.add_block("entry"))
+    ctx = LookAheadContext()
+    return module, func, builder, b, c, ctx
+
+
+def load_at(builder, array, index_value, offset):
+    idx = builder.add(index_value, builder.i64(offset))
+    return builder.load(builder.gep(array, idx))
+
+
+class TestTrivialMatching:
+    def test_identical_values_match(self, env):
+        module, func, builder, b, c, ctx = env
+        i = func.argument("i")
+        assert are_consecutive_or_match(i, i, ctx)
+
+    def test_constants_match_constants(self, env):
+        *_, ctx = env
+        assert are_consecutive_or_match(
+            Constant(I64, 1), Constant(I64, 99), ctx
+        )
+
+    def test_constants_of_different_types_do_not_match(self, env):
+        *_, ctx = env
+        assert not are_consecutive_or_match(
+            Constant(I64, 1), Constant(F64, 1.0), ctx
+        )
+
+    def test_consecutive_loads_match(self, env):
+        module, func, builder, b, c, ctx = env
+        i = func.argument("i")
+        l0 = load_at(builder, b, i, 0)
+        l1 = load_at(builder, b, i, 1)
+        assert are_consecutive_or_match(l0, l1, ctx)
+        # order matters: candidate must be *after* last
+        assert not are_consecutive_or_match(l1, l0, ctx)
+
+    def test_non_consecutive_loads_do_not_match(self, env):
+        module, func, builder, b, c, ctx = env
+        i = func.argument("i")
+        l0 = load_at(builder, b, i, 0)
+        l2 = load_at(builder, b, i, 2)
+        lc = load_at(builder, c, i, 1)
+        assert not are_consecutive_or_match(l0, l2, ctx)
+        assert not are_consecutive_or_match(l0, lc, ctx)
+
+    def test_same_opcode_instructions_match(self, env):
+        module, func, builder, b, c, ctx = env
+        i = func.argument("i")
+        s1 = builder.shl(i, builder.i64(1))
+        s2 = builder.shl(i, builder.i64(2))
+        a1 = builder.add(i, builder.i64(1))
+        assert are_consecutive_or_match(s1, s2, ctx)
+        assert not are_consecutive_or_match(s1, a1, ctx)
+
+    def test_instruction_vs_constant_no_match(self, env):
+        module, func, builder, b, c, ctx = env
+        i = func.argument("i")
+        s1 = builder.shl(i, builder.i64(1))
+        assert not are_consecutive_or_match(s1, Constant(I64, 1), ctx)
+
+
+class TestFigure7Scores:
+    """Reproduce the exact look-ahead calculation of Figure 7."""
+
+    def _build(self, env):
+        module, func, builder, b, c, ctx = env
+        i = func.argument("i")
+        # last lane: B[i+0] << 1
+        last = builder.shl(load_at(builder, b, i, 0), builder.i64(1))
+        # candidate 1 (light-blue): B[i+1] << 2
+        blue = builder.shl(load_at(builder, b, i, 1), builder.i64(2))
+        # candidate 2 (green): C[i+1] << 3
+        green = builder.shl(load_at(builder, c, i, 1), builder.i64(3))
+        return last, blue, green, ctx
+
+    def test_blue_candidate_scores_2(self, env):
+        last, blue, green, ctx = self._build(env)
+        # loads consecutive (1) + both constants (1) = 2, as in Fig. 7
+        assert get_lookahead_score(last, blue, 1, ctx) == 2
+
+    def test_green_candidate_scores_1(self, env):
+        last, blue, green, ctx = self._build(env)
+        # loads not consecutive (0) + both constants (1) = 1
+        assert get_lookahead_score(last, green, 1, ctx) == 1
+
+    def test_level_zero_is_trivial_match(self, env):
+        last, blue, green, ctx = self._build(env)
+        assert get_lookahead_score(last, blue, 0, ctx) == 1
+        assert get_lookahead_score(last, green, 0, ctx) == 1
+
+    def test_max_aggregation_agrees_here(self, env):
+        last, blue, green, ctx = self._build(env)
+        assert get_lookahead_score_max(last, blue, 1, ctx) == 2
+        assert get_lookahead_score_max(last, green, 1, ctx) == 1
+
+
+class TestDeepScores:
+    def test_recursion_descends_multiple_levels(self, env):
+        module, func, builder, b, c, ctx = env
+        i = func.argument("i")
+        # last: (B[i+0] << 1) + 5 ; candidate: (B[i+1] << 2) + 6
+        last = builder.add(
+            builder.shl(load_at(builder, b, i, 0), builder.i64(1)),
+            builder.i64(5),
+        )
+        cand = builder.add(
+            builder.shl(load_at(builder, b, i, 1), builder.i64(2)),
+            builder.i64(6),
+        )
+        # level 1: (shl vs shl: 1) + (5 vs 6: 1) = 2
+        assert get_lookahead_score(last, cand, 1, ctx) == 2
+        # level 2: shl recurses -> (loads consecutive 1 + consts 1) + consts 1
+        assert get_lookahead_score(last, cand, 2, ctx) == 3
+
+    def test_different_opcodes_stop_recursion(self, env):
+        module, func, builder, b, c, ctx = env
+        i = func.argument("i")
+        shl = builder.shl(i, builder.i64(1))
+        add = builder.add(i, builder.i64(1))
+        assert get_lookahead_score(shl, add, 4, ctx) == 0
+
+    def test_loads_are_leaves(self, env):
+        module, func, builder, b, c, ctx = env
+        i = func.argument("i")
+        l0 = load_at(builder, b, i, 0)
+        l1 = load_at(builder, b, i, 1)
+        # even at deep levels, the score of a load pair is the adjacency
+        assert get_lookahead_score(l0, l1, 8, ctx) == 1
+
+    def test_sum_vs_max_aggregation_differ(self, env):
+        module, func, builder, b, c, ctx = env
+        i = func.argument("i")
+        # x + x: the sum rule counts the cross pairs, max does not
+        x = builder.shl(i, builder.i64(1))
+        last = builder.add(x, x)
+        cand = builder.add(x, x)
+        total_sum = get_lookahead_score(last, cand, 1, ctx)
+        total_max = get_lookahead_score_max(last, cand, 1, ctx)
+        assert total_sum == 4   # 2x2 identical pairings
+        assert total_max == 2   # best pairing per operand

@@ -1,0 +1,129 @@
+"""Targeted tests for smaller utilities not covered elsewhere."""
+
+import pytest
+
+from repro.experiments import FigureTable, render_series
+from repro.ir import (
+    Argument,
+    BinaryOperator,
+    Constant,
+    ensure_names,
+    Function,
+    I64,
+    IRBuilder,
+    Use,
+)
+from repro.slp import GatherNode, SLPGraph, VectorizableNode
+from tests.conftest import build_kernel
+
+
+class TestUse:
+    def test_get_and_set(self):
+        x = Argument(I64, "x")
+        y = Argument(I64, "y")
+        add = BinaryOperator("add", x, y)
+        use = x.uses[0]
+        assert isinstance(use, Use)
+        assert use.get() is x
+        z = Argument(I64, "z")
+        use.set(z)
+        assert add.operands[0] is z
+        assert x.num_uses == 0
+
+
+class TestEnsureNames:
+    def test_names_assigned_to_anonymous_values(self):
+        func = Function("f", [("i", I64)])
+        block = func.add_block("entry")
+        inst = BinaryOperator("add", func.argument("i"), Constant(I64, 1))
+        block.append(inst)  # bypass the builder: no name assigned
+        assert inst.name == ""
+        ensure_names(func)
+        assert inst.name != ""
+
+
+class TestFigureTable:
+    def test_row_for_missing_key(self):
+        table = FigureTable("F", "t", ["k", "v"])
+        table.add_row(k="a", v=1)
+        with pytest.raises(KeyError):
+            table.row_for("k", "missing")
+
+    def test_column_extraction(self):
+        table = FigureTable("F", "t", ["k", "v"])
+        table.add_row(k="a", v=1)
+        table.add_row(k="b", v=2)
+        assert table.column("v") == [1, 2]
+
+    def test_none_renders_as_dash(self):
+        table = FigureTable("F", "t", ["k", "v"])
+        table.add_row(k="a", v=None)
+        assert "-" in table.render()
+
+    def test_render_series(self):
+        text = render_series("speedups", ["SLP", "LSLP"], [1.5, 2.0])
+        assert "SLP=1.500" in text
+        assert "LSLP=2.000" in text
+
+
+class TestGraphUtilities:
+    def _graph(self):
+        module, func = build_kernel("""
+long A[64], B[64];
+void kernel(long i) {
+    A[i + 0] = B[i + 0];
+    A[i + 1] = B[i + 1];
+}
+""")
+        stores = [inst for inst in func.entry if inst.opcode == "store"]
+        loads = [inst for inst in func.entry if inst.opcode == "load"]
+        graph = SLPGraph()
+        root = VectorizableNode(stores)
+        graph.add(root)
+        child = VectorizableNode(loads)
+        graph.add(child)
+        root.children = [child]
+        graph.root = root
+        return graph, stores, loads
+
+    def test_dump_is_indented(self):
+        graph, stores, loads = self._graph()
+        dump = graph.dump()
+        lines = dump.splitlines()
+        assert lines[0].startswith("store")
+        assert lines[1].startswith("  load")
+
+    def test_existing_node_lookup(self):
+        graph, stores, loads = self._graph()
+        assert graph.existing_node(loads) is graph.nodes[1]
+        assert graph.existing_node([loads[1], loads[0]]) is None
+
+    def test_vector_instructions_deduplicated(self):
+        graph, stores, loads = self._graph()
+        insts = graph.vector_instructions()
+        assert len(insts) == 4
+        assert len({id(i) for i in insts}) == 4
+
+    def test_gather_node_is_splat(self):
+        x = Argument(I64, "x")
+        y = Argument(I64, "y")
+        assert GatherNode([x, x]).is_splat
+        assert not GatherNode([x, y]).is_splat
+
+    def test_node_requires_two_lanes(self):
+        x = Argument(I64, "x")
+        with pytest.raises(ValueError):
+            GatherNode([x])
+
+
+class TestKernelDefaults:
+    def test_default_args(self):
+        from repro.kernels import Kernel
+
+        kernel = Kernel(
+            name="t", source="long A[8];\nvoid kernel(long i) { A[i] = 1; }",
+            origin="test", description="d",
+        )
+        assert kernel.default_args == {"i": 8}
+        module, func = kernel.build()
+        assert func.name == "kernel"

@@ -1,0 +1,91 @@
+"""The paper's worked examples (Figures 2-4) with their exact costs.
+
+These are the headline qualitative results of the paper:
+
+* Figure 2 (load address mismatch): SLP cost 0 → not vectorized;
+  LSLP cost −6 → vectorized.
+* Figure 3 (opcode mismatch): SLP not profitable; LSLP cost −2.
+* Figure 4 (associativity mismatch): LSLP cost −10 via a multi-node.
+
+Known deviation (documented in EXPERIMENTS.md): on Figures 3/4 our
+vanilla-SLP cost is 0 where the paper reports +4 / −2 — a different
+account of the same outcome (vanilla SLP does not vectorize Figure 3 and
+only partially handles Figure 4; LSLP costs match the paper exactly).
+"""
+
+import pytest
+
+from repro.kernels import (
+    MOTIVATION_LOADS,
+    MOTIVATION_MULTI,
+    MOTIVATION_OPCODES,
+)
+from repro.opt import compile_function
+from repro.slp import VectorizerConfig
+
+
+def run(kernel, config):
+    _, func = kernel.build()
+    return compile_function(func, config)
+
+
+class TestFigure2:
+    def test_slp_cost_zero_not_vectorized(self):
+        result = run(MOTIVATION_LOADS, VectorizerConfig.slp())
+        assert result.report.num_vectorized == 0
+        (tree,) = result.report.trees
+        assert tree.cost == 0
+        assert not tree.vectorized
+
+    def test_slp_nr_also_fails(self):
+        result = run(MOTIVATION_LOADS, VectorizerConfig.slp_nr())
+        assert result.report.num_vectorized == 0
+
+    def test_lslp_cost_minus_6_vectorized(self):
+        result = run(MOTIVATION_LOADS, VectorizerConfig.lslp())
+        assert result.report.num_vectorized == 1
+        assert result.static_cost == -6
+
+
+class TestFigure3:
+    def test_slp_not_vectorized(self):
+        result = run(MOTIVATION_OPCODES, VectorizerConfig.slp())
+        assert result.report.num_vectorized == 0
+
+    def test_lslp_cost_minus_2_vectorized(self):
+        result = run(MOTIVATION_OPCODES, VectorizerConfig.lslp())
+        assert result.report.num_vectorized == 1
+        assert result.static_cost == -2
+
+
+class TestFigure4:
+    def test_slp_does_not_fully_vectorize(self):
+        result = run(MOTIVATION_MULTI, VectorizerConfig.slp())
+        # vanilla SLP must do strictly worse than LSLP's -10
+        assert result.static_cost > -10
+
+    def test_lslp_cost_minus_10_vectorized(self):
+        result = run(MOTIVATION_MULTI, VectorizerConfig.lslp())
+        assert result.report.num_vectorized == 1
+        assert result.static_cost == -10
+
+    def test_multi_node_is_what_makes_it_work(self):
+        result = run(
+            MOTIVATION_MULTI,
+            VectorizerConfig.lslp(multi_node_max_size=1,
+                                  name="LSLP-Multi1"),
+        )
+        assert result.static_cost > -10
+
+
+class TestConfigOrdering:
+    """LSLP must never be worse than SLP, and SLP never worse than
+    SLP-NR, on the motivation kernels' accepted cost."""
+
+    @pytest.mark.parametrize("kernel", [
+        MOTIVATION_LOADS, MOTIVATION_OPCODES, MOTIVATION_MULTI,
+    ], ids=lambda k: k.name)
+    def test_lslp_at_least_as_good_as_slp(self, kernel):
+        slp = run(kernel, VectorizerConfig.slp()).static_cost
+        lslp = run(kernel, VectorizerConfig.lslp()).static_cost
+        assert lslp <= slp

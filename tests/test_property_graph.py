@@ -1,0 +1,84 @@
+"""Property-based invariants of the SLP graph builder.
+
+For random kernels, whatever graph the builder constructs must satisfy
+the structural invariants codegen and costing depend on: every node has
+exactly VL lanes, no instruction is claimed by two nodes, children line
+up with operand counts, and multi-node rows are opcode-uniform.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import ScalarEvolution
+from repro.costmodel import skylake_like
+from repro.slp import (
+    BuildPolicy,
+    GatherNode,
+    GraphBuilder,
+    LookAheadContext,
+    MultiNode,
+    VectorizableNode,
+    collect_store_seeds,
+)
+from tests.conftest import build_kernel
+from tests.test_property_differential import kernels
+
+
+def build_graphs(source: str):
+    module, func = build_kernel(source)
+    ctx = LookAheadContext(ScalarEvolution())
+    target = skylake_like()
+    graphs = []
+    for seed in collect_store_seeds(func.entry, ctx.scev, target):
+        builder = GraphBuilder(BuildPolicy(), target, ctx)
+        graphs.append(builder.build(seed.stores))
+    return graphs
+
+
+@settings(max_examples=50, deadline=None)
+@given(source=kernels())
+def test_graph_structural_invariants(source):
+    for graph in build_graphs(source):
+        assert graph.root is not None
+        vector_length = graph.root.vector_length
+        claimed: set[int] = set()
+        seen_nodes: set[int] = set()
+        for node in graph.walk():
+            if id(node) in seen_nodes:
+                continue
+            seen_nodes.add(id(node))
+            # every node carries one value per lane
+            assert node.vector_length == vector_length
+            assert len(node.lanes) == vector_length
+            if isinstance(node, GatherNode):
+                assert not node.children
+                continue
+            # claimed instructions are unique across the graph
+            for inst in node.all_instructions():
+                assert id(inst) not in claimed, "double-claimed lane"
+                claimed.add(id(inst))
+            if isinstance(node, MultiNode):
+                assert len(node.children) == node.num_operands
+                for row in node.rows:
+                    assert len(row) == vector_length
+                    assert all(v.opcode == node.opcode for v in row)
+                # the frontier has one more group than chain rows
+                assert node.num_operands == len(node.rows) + 1
+            elif isinstance(node, VectorizableNode):
+                if node.opcode == "store":
+                    assert len(node.children) == 1
+                elif node.opcode == "load":
+                    assert node.children == []
+                else:
+                    first = node.lanes[0]
+                    assert len(node.children) == len(first.operands)
+
+
+@settings(max_examples=50, deadline=None)
+@given(source=kernels())
+def test_graph_walk_terminates_and_includes_root(source):
+    for graph in build_graphs(source):
+        nodes = list(graph.walk())
+        assert graph.root in nodes
+        assert len(nodes) < 10_000

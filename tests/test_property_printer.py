@@ -1,0 +1,59 @@
+"""Property: the textual IR round-trips for arbitrary generated
+programs — scalar, vectorized, loops, and calls."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import parse_module, print_module, verify_module
+from repro.opt import compile_function
+from repro.slp import VectorizerConfig
+from tests.conftest import build_kernel
+from tests.test_property_differential import kernels
+from tests.test_property_loops import loop_kernels
+
+
+def round_trips(module) -> None:
+    text = print_module(module)
+    reparsed = parse_module(text)
+    verify_module(reparsed)
+    assert print_module(reparsed) == text, text
+
+
+@settings(max_examples=40, deadline=None)
+@given(source=kernels())
+def test_scalar_programs_round_trip(source):
+    module, _ = build_kernel(source)
+    verify_module(module)
+    round_trips(module)
+
+
+@settings(max_examples=40, deadline=None)
+@given(source=kernels())
+def test_vectorized_programs_round_trip(source):
+    module, func = build_kernel(source)
+    compile_function(func, VectorizerConfig.lslp())
+    round_trips(module)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=loop_kernels())
+def test_loop_programs_round_trip(data):
+    source, _ = data
+    module, func = build_kernel(source)
+    verify_module(module)
+    round_trips(module)
+    # and after the full pipeline (unrolled or still a loop)
+    compile_function(func, VectorizerConfig.lslp())
+    round_trips(module)
+
+
+def test_call_programs_round_trip():
+    module, _ = build_kernel("""
+long A[64], B[64];
+long helper(long x) { return x * 3 + 1; }
+void kernel(long i) {
+    A[i] = helper(B[i]);
+}
+""")
+    round_trips(module)

@@ -1,0 +1,132 @@
+"""Property-based tests of the operand reordering engine's invariants.
+
+Whatever the reorderer decides, it must only *permute* each lane's
+operands: lane 0 stays fixed, every later lane's slot assignment is a
+permutation of that lane's original operands, and the result is
+deterministic.  Hypothesis builds random operand matrices out of loads,
+constants, arithmetic and shared (splat-able) values.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import (
+    Constant,
+    Function,
+    GlobalArray,
+    I64,
+    IRBuilder,
+    Module,
+)
+from repro.slp import (
+    ExhaustiveReorderer,
+    LookAheadContext,
+    OperandMode,
+    OperandReorderer,
+)
+
+
+class _Env:
+    """A scratch function providing a pool of values to draw from."""
+
+    def __init__(self):
+        self.module = Module("prop")
+        self.arrays = [
+            self.module.add_global(GlobalArray(name, I64, 256))
+            for name in ("P", "Q", "R")
+        ]
+        self.func = Function("f", [("i", I64)])
+        self.builder = IRBuilder(self.func.add_block("entry"))
+        self.i = self.func.argument("i")
+        self.shared = self.builder.mul(self.i, self.builder.i64(3))
+
+    def make_value(self, kind: int, array: int, offset: int, const: int):
+        builder = self.builder
+        if kind == 0:
+            return Constant(I64, const)
+        if kind == 1:
+            idx = builder.add(self.i, builder.i64(offset))
+            return builder.load(builder.gep(self.arrays[array], idx))
+        if kind == 2:
+            return builder.binop(
+                ["add", "mul", "xor", "shl"][offset % 4],
+                self.i, builder.i64(const),
+            )
+        return self.shared  # kind 3: a repeated (splat-able) value
+
+
+value_specs = st.tuples(
+    st.integers(min_value=0, max_value=3),   # kind
+    st.integers(min_value=0, max_value=2),   # array
+    st.integers(min_value=0, max_value=5),   # offset
+    st.integers(min_value=-9, max_value=9),  # constant
+)
+
+
+@st.composite
+def operand_matrices(draw):
+    slots = draw(st.integers(min_value=1, max_value=4))
+    lanes = draw(st.integers(min_value=2, max_value=4))
+    env = _Env()
+    groups = [
+        [env.make_value(*draw(value_specs)) for _ in range(lanes)]
+        for _ in range(slots)
+    ]
+    return env, groups
+
+
+def lane_multiset(groups, lane):
+    return sorted(id(group[lane]) for group in groups)
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=operand_matrices(), depth=st.integers(min_value=0, max_value=4))
+def test_reorder_is_a_per_lane_permutation(data, depth):
+    env, groups = data
+    ctx = LookAheadContext()
+    result = OperandReorderer(ctx, look_ahead_depth=depth).reorder(groups)
+    lanes = len(groups[0])
+    for lane in range(lanes):
+        assert (
+            lane_multiset(result.final_order, lane)
+            == lane_multiset(groups, lane)
+        ), f"lane {lane} lost or duplicated operands"
+    # lane 0 is stripped as-is
+    for slot, group in enumerate(groups):
+        assert result.final_order[slot][0] is group[0]
+    # one mode per slot, all valid
+    assert len(result.modes) == len(groups)
+    assert all(isinstance(mode, OperandMode) for mode in result.modes)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=operand_matrices())
+def test_reorder_is_deterministic(data):
+    env, groups = data
+    ctx = LookAheadContext()
+    first = OperandReorderer(ctx, look_ahead_depth=3).reorder(groups)
+    second = OperandReorderer(ctx, look_ahead_depth=3).reorder(groups)
+    assert [
+        [id(v) for v in row] for row in first.final_order
+    ] == [
+        [id(v) for v in row] for row in second.final_order
+    ]
+    assert first.modes == second.modes
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=operand_matrices())
+def test_exhaustive_reorder_is_also_a_permutation(data):
+    env, groups = data
+    ctx = LookAheadContext()
+    result = ExhaustiveReorderer(
+        ctx, look_ahead_depth=2, max_assignments=2000
+    ).reorder(groups)
+    lanes = len(groups[0])
+    for lane in range(lanes):
+        assert (
+            lane_multiset(result.final_order, lane)
+            == lane_multiset(groups, lane)
+        )

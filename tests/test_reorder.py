@@ -1,0 +1,244 @@
+"""Tests for the top-level operand reordering (Listing 5/6, Table 1),
+including a Figure 8 style multi-lane walkthrough."""
+
+import pytest
+
+from repro.ir import (
+    Constant,
+    Function,
+    GlobalArray,
+    I64,
+    IRBuilder,
+    Module,
+)
+from repro.slp import (
+    LookAheadContext,
+    OperandMode,
+    OperandReorderer,
+    initial_mode,
+)
+
+
+@pytest.fixture
+def env():
+    module = Module("m")
+    arrays = {
+        name: module.add_global(GlobalArray(name, I64, 64))
+        for name in "ABCDE"
+    }
+    func = Function("f", [("i", I64)])
+    builder = IRBuilder(func.add_block("entry"))
+    ctx = LookAheadContext()
+    return module, func, builder, arrays, ctx
+
+
+def load_at(builder, array, index_value, offset):
+    idx = builder.add(index_value, builder.i64(offset))
+    return builder.load(builder.gep(array, idx))
+
+
+class TestInitialMode:
+    def test_modes(self, env):
+        module, func, builder, arrays, ctx = env
+        i = func.argument("i")
+        assert initial_mode(Constant(I64, 1)) is OperandMode.CONST
+        load = load_at(builder, arrays["A"], i, 0)
+        assert initial_mode(load) is OperandMode.LOAD
+        add = builder.add(i, builder.i64(1))
+        assert initial_mode(add) is OperandMode.OPCODE
+        assert initial_mode(i) is OperandMode.SPLAT
+
+
+class TestTwoOperandReordering:
+    def test_swapped_loads_realigned(self, env):
+        """Figure 2's core: shifts swapped across lanes get realigned by
+        look-ahead on their loads."""
+        module, func, builder, arrays, ctx = env
+        i = func.argument("i")
+        b, c = arrays["B"], arrays["C"]
+        shl_b0 = builder.shl(load_at(builder, b, i, 0), builder.i64(1))
+        shl_c0 = builder.shl(load_at(builder, c, i, 0), builder.i64(2))
+        shl_c1 = builder.shl(load_at(builder, c, i, 1), builder.i64(3))
+        shl_b1 = builder.shl(load_at(builder, b, i, 1), builder.i64(4))
+
+        groups = [[shl_b0, shl_c1], [shl_c0, shl_b1]]
+        result = OperandReorderer(ctx, look_ahead_depth=2).reorder(groups)
+        assert result.final_order[0] == [shl_b0, shl_b1]
+        assert result.final_order[1] == [shl_c0, shl_c1]
+        assert result.modes == [OperandMode.OPCODE, OperandMode.OPCODE]
+
+    def test_look_ahead_zero_keeps_original_on_tie(self, env):
+        """Vanilla SLP (depth 0) cannot break the shl/shl tie (§3.1)."""
+        module, func, builder, arrays, ctx = env
+        i = func.argument("i")
+        b, c = arrays["B"], arrays["C"]
+        shl_b0 = builder.shl(load_at(builder, b, i, 0), builder.i64(1))
+        shl_c0 = builder.shl(load_at(builder, c, i, 0), builder.i64(2))
+        shl_c1 = builder.shl(load_at(builder, c, i, 1), builder.i64(3))
+        shl_b1 = builder.shl(load_at(builder, b, i, 1), builder.i64(4))
+
+        groups = [[shl_b0, shl_c1], [shl_c0, shl_b1]]
+        result = OperandReorderer(ctx, look_ahead_depth=0).reorder(groups)
+        assert result.final_order[0] == [shl_b0, shl_c1]  # unchanged
+        assert result.final_order[1] == [shl_c0, shl_b1]
+
+    def test_opcode_mismatch_fixed_without_lookahead(self, env):
+        """Listing 1: sub+load vs load+sub — the mode machinery alone
+        fixes it (this is what vanilla SLP *can* do)."""
+        module, func, builder, arrays, ctx = env
+        i = func.argument("i")
+        a, b = arrays["A"], arrays["B"]
+        sub0 = builder.sub(i, builder.i64(1))
+        load0 = load_at(builder, a, i, 0)
+        load1 = load_at(builder, a, i, 1)
+        sub1 = builder.sub(i, builder.i64(2))
+        groups = [[sub0, load1], [load0, sub1]]
+        result = OperandReorderer(ctx, look_ahead_depth=0).reorder(groups)
+        assert result.final_order[0] == [sub0, sub1]
+        assert result.final_order[1] == [load0, load1]
+
+    def test_constant_slot(self, env):
+        module, func, builder, arrays, ctx = env
+        i = func.argument("i")
+        add0 = builder.add(i, builder.i64(5))
+        add1 = builder.add(i, builder.i64(6))
+        c0 = Constant(I64, 1)
+        c1 = Constant(I64, 2)
+        groups = [[add0, c1], [c0, add1]]
+        result = OperandReorderer(ctx).reorder(groups)
+        assert result.final_order[0] == [add0, add1]
+        assert result.final_order[1] == [c0, c1]
+        assert result.modes[1] is OperandMode.CONST
+
+
+class TestFailedMode:
+    def test_failed_slot_takes_leftovers(self, env):
+        module, func, builder, arrays, ctx = env
+        i = func.argument("i")
+        a = arrays["A"]
+        load0 = load_at(builder, a, i, 0)
+        c0 = Constant(I64, 1)
+        # lane 1 has no constant: slot 1 must fail and take the leftover
+        load1 = load_at(builder, a, i, 1)
+        extra = load_at(builder, arrays["E"], i, 0)
+        groups = [[load0, extra], [c0, load1]]
+        result = OperandReorderer(ctx).reorder(groups)
+        # slot0 (LOAD) picks the consecutive load; slot1 fails -> leftover
+        assert result.final_order[0] == [load0, load1]
+        assert result.final_order[1] == [c0, extra]
+        assert result.modes[1] is OperandMode.FAILED
+
+    def test_failed_slot_does_not_steal_matches(self, env):
+        """On the lane where a slot fails it must not consume a candidate
+        another slot needs."""
+        module, func, builder, arrays, ctx = env
+        i = func.argument("i")
+        a = arrays["A"]
+        c0 = Constant(I64, 1)
+        load0 = load_at(builder, a, i, 0)
+        load1 = load_at(builder, a, i, 1)
+        opaque = builder.xor(i, builder.i64(3))
+        # slot0 starts CONST; lane1 candidates are [load1, opaque]:
+        # slot0 fails; slot1 (LOAD) must still get load1.
+        groups = [[c0, opaque], [load0, load1]]
+        result = OperandReorderer(ctx).reorder(groups)
+        assert result.modes[0] is OperandMode.FAILED
+        assert result.final_order[1] == [load0, load1]
+        assert result.final_order[0] == [c0, opaque]
+
+    def test_failed_slot_stays_failed(self, env):
+        module, func, builder, arrays, ctx = env
+        i = func.argument("i")
+        a = arrays["A"]
+        c0 = Constant(I64, 5)
+        loads = [load_at(builder, a, i, k) for k in range(3)]
+        others = [load_at(builder, arrays["B"], i, k) for k in range(3)]
+        groups = [
+            [c0, others[1], Constant(I64, 7)],   # fails at lane 1
+            [loads[0], loads[1], loads[2]],
+        ]
+        result = OperandReorderer(ctx).reorder(groups)
+        assert result.modes[0] is OperandMode.FAILED
+        assert result.final_order[1] == loads
+
+
+class TestSplatMode:
+    def test_repeat_switches_to_splat(self, env):
+        module, func, builder, arrays, ctx = env
+        i = func.argument("i")
+        r = builder.mul(i, builder.i64(3))
+        adds = [builder.add(i, builder.i64(k)) for k in range(3)]
+        groups = [[r, r, r], [adds[0], adds[1], adds[2]]]
+        result = OperandReorderer(ctx).reorder(groups)
+        assert result.final_order[0] == [r, r, r]
+        assert result.modes[0] is OperandMode.SPLAT
+
+    def test_splat_slot_prefers_exact_value(self, env):
+        module, func, builder, arrays, ctx = env
+        i = func.argument("i")
+        r = builder.mul(i, builder.i64(3))
+        other = builder.mul(i, builder.i64(4))
+        adds = [builder.add(i, builder.i64(k)) for k in range(3)]
+        # lane2 offers both another mul and r itself; splat wants r
+        groups = [[r, r, r], [adds[0], adds[1], other]]
+        result = OperandReorderer(ctx).reorder(groups)
+        assert result.final_order[0] == [r, r, r]
+        assert result.final_order[1] == [adds[0], adds[1], other]
+
+    def test_argument_lane_starts_in_splat_mode(self, env):
+        module, func, builder, arrays, ctx = env
+        i = func.argument("i")
+        adds = [builder.add(i, builder.i64(k)) for k in range(2)]
+        groups = [[i, i], [adds[0], adds[1]]]
+        result = OperandReorderer(ctx).reorder(groups)
+        assert result.modes[0] is OperandMode.SPLAT
+        assert result.final_order[0] == [i, i]
+
+
+class TestMultiNodeReordering:
+    def test_three_slot_frontier(self, env):
+        """Figure 4's multi-node frontier: [load, add, add] per lane with
+        scrambled order gets aligned across lanes."""
+        module, func, builder, arrays, ctx = env
+        i = func.argument("i")
+        a, b, c, d, e = (arrays[k] for k in "ABCDE")
+        la0 = load_at(builder, a, i, 0)
+        bc0 = builder.add(load_at(builder, b, i, 0),
+                          load_at(builder, c, i, 0))
+        de0 = builder.add(load_at(builder, d, i, 0),
+                          load_at(builder, e, i, 0))
+        de1 = builder.add(load_at(builder, d, i, 1),
+                          load_at(builder, e, i, 1))
+        bc1 = builder.add(load_at(builder, b, i, 1),
+                          load_at(builder, c, i, 1))
+        la1 = load_at(builder, a, i, 1)
+        # lane0 order: [A, B+C, D+E]; lane1 order: [D+E, B+C, A]
+        groups = [[la0, de1], [bc0, bc1], [de0, la1]]
+        result = OperandReorderer(ctx, look_ahead_depth=2).reorder(groups)
+        assert result.final_order[0] == [la0, la1]
+        assert result.final_order[1] == [bc0, bc1]
+        assert result.final_order[2] == [de0, de1]
+
+    def test_ragged_groups_rejected(self, env):
+        *_, ctx = env
+        with pytest.raises(ValueError):
+            OperandReorderer(ctx).reorder([[Constant(I64, 1)],
+                                           [Constant(I64, 2),
+                                            Constant(I64, 3)]])
+
+    def test_empty_input(self, env):
+        *_, ctx = env
+        result = OperandReorderer(ctx).reorder([])
+        assert result.final_order == []
+
+    def test_lookahead_eval_counter(self, env):
+        module, func, builder, arrays, ctx = env
+        i = func.argument("i")
+        b, c = arrays["B"], arrays["C"]
+        shl_b0 = builder.shl(load_at(builder, b, i, 0), builder.i64(1))
+        shl_c0 = builder.shl(load_at(builder, c, i, 0), builder.i64(2))
+        shl_c1 = builder.shl(load_at(builder, c, i, 1), builder.i64(3))
+        shl_b1 = builder.shl(load_at(builder, b, i, 1), builder.i64(4))
+        groups = [[shl_b0, shl_c1], [shl_c0, shl_b1]]
+        result = OperandReorderer(ctx, look_ahead_depth=2).reorder(groups)
+        assert result.lookahead_evals > 0

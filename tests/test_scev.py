@@ -1,0 +1,209 @@
+"""Tests for scalar evolution: affine expressions and adjacency queries."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import AffineExpr, ScalarEvolution
+from repro.ir import (
+    Argument,
+    Constant,
+    Function,
+    GlobalArray,
+    I64,
+    IRBuilder,
+    Module,
+)
+
+small_ints = st.integers(min_value=-1000, max_value=1000)
+
+
+@pytest.fixture
+def setup():
+    module = Module("m")
+    a = module.add_global(GlobalArray("A", I64, 64))
+    b = module.add_global(GlobalArray("B", I64, 64))
+    func = Function("f", [("i", I64), ("j", I64)])
+    builder = IRBuilder(func.add_block("entry"))
+    return module, func, builder, a, b
+
+
+class TestAffineExpr:
+    def test_constant(self):
+        expr = AffineExpr.constant(5)
+        assert expr.is_constant
+        assert expr.offset == 5
+
+    def test_symbol(self):
+        x = Argument(I64, "x")
+        expr = AffineExpr.symbol(x)
+        assert not expr.is_constant
+
+    def test_addition_merges_terms(self):
+        x = Argument(I64, "x")
+        expr = AffineExpr.symbol(x, 2) + AffineExpr.symbol(x, 3)
+        assert expr.terms[id(x)][1] == 5
+
+    def test_subtraction_cancels(self):
+        x = Argument(I64, "x")
+        expr = AffineExpr.symbol(x) - AffineExpr.symbol(x)
+        assert expr.is_constant
+        assert expr.offset == 0
+
+    def test_scaling(self):
+        x = Argument(I64, "x")
+        expr = (AffineExpr.symbol(x) + AffineExpr.constant(3)).scaled(4)
+        assert expr.offset == 12
+        assert expr.terms[id(x)][1] == 4
+
+    def test_scale_by_zero(self):
+        x = Argument(I64, "x")
+        assert AffineExpr.symbol(x).scaled(0).is_constant
+
+    def test_constant_difference(self):
+        x = Argument(I64, "x")
+        a = AffineExpr.symbol(x) + AffineExpr.constant(2)
+        b = AffineExpr.symbol(x) + AffineExpr.constant(7)
+        assert a.constant_difference(b) == 5
+        assert b.constant_difference(a) == -5
+
+    def test_difference_of_different_symbols_unknown(self):
+        x = Argument(I64, "x")
+        y = Argument(I64, "y")
+        a = AffineExpr.symbol(x)
+        b = AffineExpr.symbol(y)
+        assert a.constant_difference(b) is None
+
+    def test_difference_of_different_coeffs_unknown(self):
+        x = Argument(I64, "x")
+        a = AffineExpr.symbol(x, 2)
+        b = AffineExpr.symbol(x, 3)
+        assert a.constant_difference(b) is None
+
+    def test_str_is_readable(self):
+        x = Argument(I64, "x")
+        expr = AffineExpr.symbol(x, 3) + AffineExpr.constant(7)
+        assert "%x" in str(expr)
+        assert "7" in str(expr)
+
+    @given(small_ints, small_ints, small_ints)
+    def test_ring_properties(self, c1, c2, factor):
+        x = Argument(I64, "x")
+        a = AffineExpr.symbol(x, c1) + AffineExpr.constant(c2)
+        # (a + a) == a.scaled(2)
+        assert (a + a) == a.scaled(2)
+        # a - a == 0
+        zero = a - a
+        assert zero.is_constant and zero.offset == 0
+        # distribution of scaling over +
+        b = AffineExpr.symbol(x, 5) + AffineExpr.constant(1)
+        assert (a + b).scaled(factor) == a.scaled(factor) + b.scaled(factor)
+
+
+class TestIndexExpressions:
+    def test_constant_index(self, setup):
+        module, func, builder, a, b = setup
+        scev = ScalarEvolution()
+        expr = scev.index_expr(Constant(I64, 9))
+        assert expr.is_constant and expr.offset == 9
+
+    def test_add_and_mul(self, setup):
+        module, func, builder, a, b = setup
+        i = func.argument("i")
+        idx = builder.add(builder.mul(i, builder.i64(3)), builder.i64(2))
+        scev = ScalarEvolution()
+        expr = scev.index_expr(idx)
+        assert expr.offset == 2
+        assert expr.terms[id(i)][1] == 3
+
+    def test_shl_as_multiply(self, setup):
+        module, func, builder, a, b = setup
+        i = func.argument("i")
+        idx = builder.shl(i, builder.i64(2))
+        expr = ScalarEvolution().index_expr(idx)
+        assert expr.terms[id(i)][1] == 4
+
+    def test_sub(self, setup):
+        module, func, builder, a, b = setup
+        i = func.argument("i")
+        idx = builder.sub(i, builder.i64(1))
+        expr = ScalarEvolution().index_expr(idx)
+        assert expr.offset == -1
+
+    def test_opaque_becomes_symbol(self, setup):
+        module, func, builder, a, b = setup
+        i = func.argument("i")
+        opaque = builder.xor(i, builder.i64(5))
+        expr = ScalarEvolution().index_expr(opaque)
+        assert expr.terms[id(opaque)][1] == 1
+
+    def test_symbolic_times_symbolic_is_opaque(self, setup):
+        module, func, builder, a, b = setup
+        i = func.argument("i")
+        j = func.argument("j")
+        product = builder.mul(i, j)
+        expr = ScalarEvolution().index_expr(product)
+        assert expr.terms.keys() == {id(product)}
+
+
+class TestPointerQueries:
+    def test_consecutive_geps(self, setup):
+        module, func, builder, a, b = setup
+        i = func.argument("i")
+        p0 = builder.gep(a, builder.add(i, builder.i64(0)))
+        p1 = builder.gep(a, builder.add(i, builder.i64(1)))
+        scev = ScalarEvolution()
+        assert scev.are_consecutive(p0, p1)
+        assert not scev.are_consecutive(p1, p0)
+        assert scev.element_distance(p0, p1) == 1
+
+    def test_different_bases_not_consecutive(self, setup):
+        module, func, builder, a, b = setup
+        i = func.argument("i")
+        pa = builder.gep(a, i)
+        pb = builder.gep(b, builder.add(i, builder.i64(1)))
+        scev = ScalarEvolution()
+        assert not scev.are_consecutive(pa, pb)
+        assert scev.element_distance(pa, pb) is None
+
+    def test_nested_geps_accumulate(self, setup):
+        module, func, builder, a, b = setup
+        i = func.argument("i")
+        p0 = builder.gep(a, i)
+        p1 = builder.gep(p0, builder.i64(3))
+        scev = ScalarEvolution()
+        assert scev.element_distance(builder.gep(a, i), p1) == 3
+
+    def test_load_store_adjacency(self, setup):
+        module, func, builder, a, b = setup
+        i = func.argument("i")
+        l0 = builder.load(builder.gep(a, i))
+        l1 = builder.load(builder.gep(a, builder.add(i, builder.i64(1))))
+        scev = ScalarEvolution()
+        assert scev.accesses_consecutive(l0, l1)
+        assert not scev.accesses_consecutive(l1, l0)
+
+    def test_strided_not_consecutive(self, setup):
+        module, func, builder, a, b = setup
+        i = func.argument("i")
+        p0 = builder.gep(a, builder.mul(i, builder.i64(2)))
+        p1 = builder.gep(
+            a, builder.add(builder.mul(i, builder.i64(2)), builder.i64(2))
+        )
+        assert not ScalarEvolution().are_consecutive(p0, p1)
+
+    def test_pointer_argument_is_base(self):
+        from repro.ir import PointerType
+
+        func = Function("f", [("p", PointerType(I64))])
+        builder = IRBuilder(func.add_block("entry"))
+        p = func.argument("p")
+        g0 = builder.gep(p, builder.i64(0))
+        g1 = builder.gep(p, builder.i64(1))
+        assert ScalarEvolution().are_consecutive(g0, g1)
+
+    def test_memoization_returns_same_expr(self, setup):
+        module, func, builder, a, b = setup
+        i = func.argument("i")
+        p = builder.gep(a, i)
+        scev = ScalarEvolution()
+        assert scev.pointer(p) is scev.pointer(p)

@@ -1,0 +1,170 @@
+"""Tests for scalar operation semantics, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import I8, I64
+from repro.ir.semantics import (
+    EvaluationError,
+    eval_binop,
+    eval_cmp,
+    eval_int_binop,
+    eval_unop,
+)
+
+i64_values = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+i8_values = st.integers(min_value=-128, max_value=127)
+
+
+class TestIntegerSemantics:
+    def test_add_wraps(self):
+        assert eval_int_binop("add", 2**63 - 1, 1, 64) == -(2**63)
+
+    def test_sub_wraps(self):
+        assert eval_int_binop("sub", -(2**63), 1, 64) == 2**63 - 1
+
+    def test_mul_wraps(self):
+        assert eval_int_binop("mul", 2**32, 2**32, 64) == 0
+
+    def test_sdiv_truncates_toward_zero(self):
+        assert eval_int_binop("sdiv", 7, 2, 64) == 3
+        assert eval_int_binop("sdiv", -7, 2, 64) == -3
+        assert eval_int_binop("sdiv", 7, -2, 64) == -3
+
+    def test_srem_matches_c(self):
+        assert eval_int_binop("srem", 7, 3, 64) == 1
+        assert eval_int_binop("srem", -7, 3, 64) == -1
+        assert eval_int_binop("srem", 7, -3, 64) == 1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(EvaluationError):
+            eval_int_binop("sdiv", 1, 0, 64)
+        with pytest.raises(EvaluationError):
+            eval_int_binop("srem", 1, 0, 64)
+
+    def test_shl(self):
+        assert eval_int_binop("shl", 1, 4, 64) == 16
+
+    def test_shl_overflow_wraps(self):
+        assert eval_int_binop("shl", 1, 63, 64) == -(2**63)
+
+    def test_shift_past_width_is_zero(self):
+        assert eval_int_binop("shl", 1, 64, 64) == 0
+        assert eval_int_binop("lshr", -1, 64, 64) == 0
+
+    def test_ashr_fills_sign(self):
+        assert eval_int_binop("ashr", -8, 2, 64) == -2
+        assert eval_int_binop("ashr", -1, 100, 64) == -1
+
+    def test_lshr_is_logical(self):
+        assert eval_int_binop("lshr", -1, 1, 64) == 2**63 - 1
+
+    def test_bitwise(self):
+        assert eval_int_binop("and", 0b1100, 0b1010, 64) == 0b1000
+        assert eval_int_binop("or", 0b1100, 0b1010, 64) == 0b1110
+        assert eval_int_binop("xor", 0b1100, 0b1010, 64) == 0b0110
+
+    def test_min_max(self):
+        assert eval_int_binop("smin", -5, 3, 64) == -5
+        assert eval_int_binop("smax", -5, 3, 64) == 3
+
+    def test_unknown_opcode(self):
+        with pytest.raises(ValueError):
+            eval_int_binop("pow", 2, 3, 64)
+
+
+class TestUnaryAndCmp:
+    def test_not(self):
+        assert eval_unop("not", 0, I64) == -1
+        assert eval_unop("not", -1, I64) == 0
+
+    def test_fneg(self):
+        assert eval_unop("fneg", 2.5, None) == -2.5
+
+    def test_cmp_int(self):
+        assert eval_cmp("slt", 1, 2) == 1
+        assert eval_cmp("sge", 1, 2) == 0
+        assert eval_cmp("eq", 3, 3) == 1
+
+    def test_cmp_float(self):
+        assert eval_cmp("olt", 1.5, 2.0) == 1
+        assert eval_cmp("one", 1.5, 1.5) == 0
+
+    def test_unknown_predicate(self):
+        with pytest.raises(ValueError):
+            eval_cmp("ult", 1, 2)
+
+
+class TestFloatDispatch:
+    def test_eval_binop_dispatches_float(self):
+        from repro.ir import F64
+
+        assert eval_binop("fadd", 1.5, 2.0, F64) == 3.5
+        assert eval_binop("fmul", 3.0, 2.0, F64) == 6.0
+
+    def test_fdiv_by_zero_raises(self):
+        from repro.ir import F64
+
+        with pytest.raises(EvaluationError):
+            eval_binop("fdiv", 1.0, 0.0, F64)
+
+
+class TestProperties:
+    @given(i64_values, i64_values)
+    def test_add_commutes(self, a, b):
+        assert eval_int_binop("add", a, b, 64) == eval_int_binop(
+            "add", b, a, 64
+        )
+
+    @given(i64_values, i64_values, i64_values)
+    def test_add_associates(self, a, b, c):
+        left = eval_int_binop(
+            "add", eval_int_binop("add", a, b, 64), c, 64
+        )
+        right = eval_int_binop(
+            "add", a, eval_int_binop("add", b, c, 64), 64
+        )
+        assert left == right
+
+    @given(i64_values, i64_values)
+    def test_mul_commutes(self, a, b):
+        assert eval_int_binop("mul", a, b, 64) == eval_int_binop(
+            "mul", b, a, 64
+        )
+
+    @given(i64_values, i64_values, i64_values)
+    def test_and_associates(self, a, b, c):
+        left = eval_int_binop(
+            "and", eval_int_binop("and", a, b, 64), c, 64
+        )
+        right = eval_int_binop(
+            "and", a, eval_int_binop("and", b, c, 64), 64
+        )
+        assert left == right
+
+    @given(i8_values, i8_values)
+    def test_results_stay_in_width(self, a, b):
+        for opcode in ("add", "sub", "mul", "and", "or", "xor",
+                       "smin", "smax"):
+            result = eval_int_binop(opcode, a, b, 8)
+            assert -128 <= result <= 127
+
+    @given(i64_values, st.integers(min_value=0, max_value=200))
+    def test_shifts_stay_in_width(self, a, shift):
+        for opcode in ("shl", "lshr", "ashr"):
+            result = eval_int_binop(opcode, a, shift, 64)
+            assert -(2**63) <= result < 2**63
+
+    @given(i64_values, i64_values)
+    def test_sdiv_srem_identity(self, a, b):
+        if b == 0:
+            return
+        q = eval_int_binop("sdiv", a, b, 64)
+        r = eval_int_binop("srem", a, b, 64)
+        # a == q*b + r in wrapped arithmetic
+        qb = eval_int_binop("mul", q, b, 64)
+        assert eval_int_binop("add", qb, r, 64) == a
+
+    @given(i64_values)
+    def test_double_not_is_identity(self, a):
+        assert eval_unop("not", eval_unop("not", a, I64), I64) == a

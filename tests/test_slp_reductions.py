@@ -1,0 +1,140 @@
+"""Tests for reduction-seed vectorization (vsumsqr-style chains)."""
+
+import pytest
+
+from repro.analysis import AliasAnalysis, ScalarEvolution
+from repro.costmodel import skylake_like
+from repro.interp import compare_runs
+from repro.ir import verify_function
+from repro.opt import compile_function, run_dce
+from repro.slp import (
+    BuildPolicy,
+    LookAheadContext,
+    VectorizerConfig,
+    collect_reduction_seeds,
+    emit_reduction,
+    plan_reduction,
+)
+from tests.conftest import build_kernel
+
+FOUR_WIDE = """
+double A[64], V[64];
+void kernel(long i) {
+    A[i] = V[i]*V[i] + V[i + 1]*V[i + 1]
+         + V[i + 2]*V[i + 2] + V[i + 3]*V[i + 3];
+}
+"""
+
+
+def plan_for(source, **policy_kwargs):
+    module, func = build_kernel(source)
+    # the pipeline always CSEs before vectorizing; match it here
+    from repro.opt import run_cse
+
+    run_cse(func)
+    ctx = LookAheadContext(ScalarEvolution())
+    (seed,) = collect_reduction_seeds(func.entry)
+    plan = plan_reduction(
+        seed, BuildPolicy(**policy_kwargs), skylake_like(), ctx
+    )
+    return module, func, seed, plan, ctx
+
+
+class TestPlanning:
+    def test_four_wide_plan(self):
+        module, func, seed, plan, ctx = plan_for(FOUR_WIDE)
+        assert plan is not None
+        assert plan.vector_length == 4
+        assert plan.total_cost < 0
+
+    def test_three_wide_uses_vl2_and_is_not_profitable(self):
+        module, func, seed, plan, ctx = plan_for("""
+double A[64], V[64];
+void kernel(long i) {
+    A[i] = V[3*i]*V[3*i] + V[3*i + 1]*V[3*i + 1]
+         + V[3*i + 2]*V[3*i + 2];
+}
+""")
+        assert plan is not None
+        assert plan.vector_length == 2
+        # paper §5.2: vsumsqr's cost is identical for SLP and LSLP; in
+        # our model the VL=2 reduction is exactly break-even
+        assert plan.total_cost >= 0
+
+    def test_gather_root_plan_rejected(self):
+        module, func = build_kernel("""
+double A[64], V[64];
+void kernel(long i) {
+    A[i] = V[i] + V[i + 7] + V[i + 13] + A[i + 9];
+}
+""")
+        ctx = LookAheadContext(ScalarEvolution())
+        (seed,) = collect_reduction_seeds(func.entry)
+        plan = plan_reduction(seed, BuildPolicy(), skylake_like(), ctx)
+        assert plan is None
+
+    def test_overhead_accounting(self):
+        module, func, seed, plan, ctx = plan_for(FOUR_WIDE)
+        # log2(4)=2 steps: 2*(shuffle+vadd)=4, +1 extract, -3 scalar adds
+        assert plan.reduction_overhead == 2
+
+
+class TestEmission:
+    def test_emitted_code_is_correct(self):
+        reference = build_kernel(FOUR_WIDE)
+        module, func, seed, plan, ctx = plan_for(FOUR_WIDE)
+        assert emit_reduction(plan, AliasAnalysis(ctx.scev))
+        verify_function(func)
+        run_dce(func)
+        verify_function(func)
+        out = compare_runs(reference, (module, func), args={"i": 5})
+        assert out.equivalent, out.detail
+
+    def test_emitted_shape(self):
+        module, func, seed, plan, ctx = plan_for(FOUR_WIDE)
+        emit_reduction(plan, AliasAnalysis(ctx.scev))
+        run_dce(func)
+        ops = [inst.opcode for inst in func.entry]
+        assert ops.count("shufflevector") == 2
+        assert ops.count("extractelement") == 1
+        vector_muls = [
+            inst for inst in func.entry
+            if inst.opcode == "fmul" and inst.type.is_vector
+        ]
+        assert len(vector_muls) == 1
+
+    def test_leftover_operands_folded_scalar(self):
+        source = """
+double A[64], V[64];
+void kernel(long i) {
+    A[i] = V[i]*V[i] + V[i + 1]*V[i + 1] + V[i + 2]*V[i + 2]
+         + V[i + 3]*V[i + 3] + V[i + 4]*V[i + 4];
+}
+"""
+        reference = build_kernel(source)
+        module, func, seed, plan, ctx = plan_for(source)
+        assert plan.vector_length == 4  # 5 operands -> VL 4 + 1 leftover
+        assert emit_reduction(plan, AliasAnalysis(ctx.scev))
+        verify_function(func)
+        out = compare_runs(reference, (module, func), args={"i": 5})
+        assert out.equivalent, out.detail
+
+
+class TestVectorizerIntegration:
+    def test_pipeline_vectorizes_reduction(self):
+        module, func = build_kernel(FOUR_WIDE)
+        result = compile_function(func, VectorizerConfig.lslp())
+        verify_function(func)
+        reductions = [
+            t for t in result.report.trees if t.kind == "reduction"
+        ]
+        assert len(reductions) == 1
+        assert reductions[0].vectorized
+
+    def test_reductions_can_be_disabled(self):
+        from dataclasses import replace
+
+        module, func = build_kernel(FOUR_WIDE)
+        config = replace(VectorizerConfig.lslp(), enable_reductions=False)
+        result = compile_function(func, config)
+        assert all(t.kind != "reduction" for t in result.report.trees)

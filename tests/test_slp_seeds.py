@@ -1,0 +1,216 @@
+"""Tests for seed collection: store groups and reduction chains."""
+
+import pytest
+
+from repro.analysis import ScalarEvolution
+from repro.costmodel import skylake_like, sse_like
+from repro.slp import collect_reduction_seeds, collect_store_seeds
+from tests.conftest import build_kernel
+
+
+def store_seeds(source, target=None):
+    module, func = build_kernel(source)
+    target = target if target is not None else skylake_like()
+    return module, func, collect_store_seeds(
+        func.entry, ScalarEvolution(), target
+    )
+
+
+class TestStoreSeeds:
+    def test_two_adjacent_stores(self):
+        _, _, seeds = store_seeds("""
+long A[64], B[64];
+void kernel(long i) {
+    A[i + 0] = B[i] + 1;
+    A[i + 1] = B[i] + 2;
+}
+""")
+        assert len(seeds) == 1
+        assert seeds[0].vector_length == 2
+
+    def test_program_order_does_not_matter(self):
+        _, _, seeds = store_seeds("""
+long A[64], B[64];
+void kernel(long i) {
+    A[i + 1] = B[i] + 2;
+    A[i + 0] = B[i] + 1;
+}
+""")
+        assert len(seeds) == 1
+        # lanes are address-ordered, not program-ordered
+        scev = ScalarEvolution()
+        p0 = scev.access_pointer(seeds[0].stores[0])
+        p1 = scev.access_pointer(seeds[0].stores[1])
+        assert p1.index.constant_difference(p0.index) == -1
+
+    def test_four_wide_group_preferred(self):
+        _, _, seeds = store_seeds("""
+long A[64], B[64];
+void kernel(long i) {
+    A[i + 0] = B[i] + 1;
+    A[i + 1] = B[i] + 2;
+    A[i + 2] = B[i] + 3;
+    A[i + 3] = B[i] + 4;
+}
+""")
+        assert len(seeds) == 1
+        assert seeds[0].vector_length == 4
+
+    def test_run_of_six_chunks_into_4_plus_2(self):
+        lines = "\n".join(
+            f"    A[i + {k}] = B[i] + {k};" for k in range(6)
+        )
+        _, _, seeds = store_seeds(
+            f"long A[64], B[64];\nvoid kernel(long i) {{\n{lines}\n}}"
+        )
+        widths = sorted(s.vector_length for s in seeds)
+        assert widths == [2, 4]
+
+    def test_narrow_target_caps_width(self):
+        _, _, seeds = store_seeds("""
+long A[64], B[64];
+void kernel(long i) {
+    A[i + 0] = B[i] + 1;
+    A[i + 1] = B[i] + 2;
+    A[i + 2] = B[i] + 3;
+    A[i + 3] = B[i] + 4;
+}
+""", target=sse_like())
+        assert [s.vector_length for s in seeds] == [2, 2]
+
+    def test_different_arrays_not_grouped(self):
+        _, _, seeds = store_seeds("""
+long A[64], B[64], C[64];
+void kernel(long i) {
+    A[i] = C[i] + 1;
+    B[i] = C[i] + 2;
+}
+""")
+        assert seeds == []
+
+    def test_strided_stores_not_grouped(self):
+        _, _, seeds = store_seeds("""
+long A[64], B[64];
+void kernel(long i) {
+    A[2*i + 0] = B[i] + 1;
+    A[2*i + 2] = B[i] + 2;
+}
+""")
+        assert seeds == []
+
+    def test_different_symbolic_parts_not_grouped(self):
+        _, _, seeds = store_seeds("""
+long A[64], B[64];
+void kernel(long i, long j) {
+    A[i] = B[i] + 1;
+    A[j + 1] = B[i] + 2;
+}
+""")
+        assert seeds == []
+
+    def test_duplicate_offsets_dropped(self):
+        _, _, seeds = store_seeds("""
+long A[64], B[64];
+void kernel(long i) {
+    A[i + 0] = B[i] + 1;
+    A[i + 0] = B[i] + 2;
+    A[i + 1] = B[i] + 3;
+}
+""")
+        assert seeds == []
+
+    def test_dependent_stores_not_bundled(self):
+        _, _, seeds = store_seeds("""
+long A[64];
+void kernel(long i) {
+    A[i + 0] = A[i + 1] + 1;
+    A[i + 1] = A[i + 0] + 2;
+}
+""")
+        # the stores themselves are independent instructions, so they do
+        # bundle (dependences flow through loads, handled at tree level)
+        assert len(seeds) == 1
+
+    def test_seed_alive_tracks_deleted_stores(self):
+        module, func, seeds = store_seeds("""
+long A[64], B[64];
+void kernel(long i) {
+    A[i + 0] = B[i] + 1;
+    A[i + 1] = B[i] + 2;
+}
+""")
+        group = seeds[0]
+        assert group.alive()
+        store = group.stores[0]
+        store.parent.remove(store)
+        assert not group.alive()
+
+
+class TestReductionSeeds:
+    def test_simple_sum_chain(self):
+        module, func = build_kernel("""
+double A[64], V[64];
+void kernel(long i) {
+    A[i] = V[i]*V[i] + V[i + 1]*V[i + 1] + V[i + 2]*V[i + 2];
+}
+""")
+        seeds = collect_reduction_seeds(func.entry)
+        assert len(seeds) == 1
+        seed = seeds[0]
+        assert seed.opcode == "fadd"
+        assert len(seed.operands) == 3
+        assert len(seed.chain) == 2
+
+    def test_four_wide_chain(self):
+        module, func = build_kernel("""
+long A[64], V[64];
+void kernel(long i) {
+    A[i] = V[i] + V[i + 1] + V[i + 2] + V[i + 3];
+}
+""")
+        seeds = collect_reduction_seeds(func.entry)
+        assert len(seeds) == 1
+        assert len(seeds[0].operands) == 4
+        assert len(seeds[0].chain) == 3
+
+    def test_short_chain_ignored(self):
+        module, func = build_kernel("""
+long A[64], V[64];
+void kernel(long i) {
+    A[i] = V[i] + V[i + 1];
+}
+""")
+        assert collect_reduction_seeds(func.entry) == []
+
+    def test_chain_with_multiple_uses_not_grown_through(self):
+        module, func = build_kernel("""
+long A[64], V[64];
+void kernel(long i) {
+    long t = V[i] + V[i + 1];
+    A[i] = t + V[i + 2];
+    A[i + 63] = t;
+}
+""")
+        seeds = collect_reduction_seeds(func.entry)
+        # t has two uses, so the chain stops at it: only 2 operands
+        assert all(len(s.operands) < 3 for s in seeds)
+
+    def test_mixed_opcodes_stop_chain(self):
+        module, func = build_kernel("""
+long A[64], V[64];
+void kernel(long i) {
+    A[i] = (V[i] * V[i + 1]) + V[i + 2] + V[i + 3];
+}
+""")
+        (seed,) = collect_reduction_seeds(func.entry)
+        assert seed.opcode == "add"
+        assert len(seed.operands) == 3  # the mul is a frontier operand
+
+    def test_non_commutative_not_a_reduction(self):
+        module, func = build_kernel("""
+long A[64], V[64];
+void kernel(long i) {
+    A[i] = V[i] - V[i + 1] - V[i + 2] - V[i + 3];
+}
+""")
+        assert collect_reduction_seeds(func.entry) == []

@@ -1,0 +1,76 @@
+"""Tests for seed-width descent: a rejected wide store group is retried
+at half width (as LLVM's SLP does)."""
+
+import pytest
+
+from repro.interp import compare_runs
+from repro.ir import verify_function
+from repro.opt import compile_function
+from repro.slp import VectorizerConfig
+from tests.conftest import build_kernel
+
+# Lanes 0-1 vectorize cleanly; lanes 2-3 poison a 4-wide tree (their
+# operand loads are non-consecutive strided accesses), so only the
+# narrow retry wins.
+HALF_GOOD = """
+long A[1024], B[1024], C[1024];
+void kernel(long i) {
+    A[i + 0] = B[i + 0] - C[i + 0];
+    A[i + 1] = B[i + 1] - C[i + 1];
+    A[i + 2] = B[7*i + 64] - C[3*i + 99];
+    A[i + 3] = B[5*i + 77] - C[2*i + 88];
+}
+"""
+
+
+class TestWidthDescent:
+    def test_half_width_rescue(self):
+        module, func = build_kernel(HALF_GOOD)
+        result = compile_function(func, VectorizerConfig.lslp())
+        verify_function(func)
+        records = [t for t in result.report.trees if t.kind == "store"]
+        widths = sorted(t.vector_length for t in records)
+        assert 4 in widths       # the wide attempt happened...
+        assert not [t for t in records
+                    if t.vector_length == 4 and t.vectorized]
+        two_wide = [t for t in records
+                    if t.vector_length == 2 and t.vectorized]
+        assert two_wide          # ...and a half-width tree succeeded
+
+    def test_half_width_result_correct(self):
+        reference = build_kernel(HALF_GOOD)
+        module, func = build_kernel(HALF_GOOD)
+        compile_function(func, VectorizerConfig.lslp())
+        outcome = compare_runs(reference, (module, func), args={"i": 4})
+        assert outcome.equivalent, outcome.detail
+
+    def test_no_descent_below_two(self):
+        source = """
+long A[1024], B[1024];
+void kernel(long i) {
+    A[i + 0] = B[9*i + 3] ^ 1;
+    A[i + 1] = B[4*i + 55] ^ B[i + 200];
+}
+"""
+        module, func = build_kernel(source)
+        result = compile_function(func, VectorizerConfig.lslp())
+        widths = [t.vector_length for t in result.report.trees]
+        assert all(width >= 2 for width in widths)
+
+    def test_descent_does_not_double_vectorize(self):
+        # fully-vectorizable 4-wide group: one tree, no retries recorded
+        source = """
+long A[1024], B[1024];
+void kernel(long i) {
+    A[i + 0] = B[i + 0] ^ 1;
+    A[i + 1] = B[i + 1] ^ 1;
+    A[i + 2] = B[i + 2] ^ 1;
+    A[i + 3] = B[i + 3] ^ 1;
+}
+"""
+        module, func = build_kernel(source)
+        result = compile_function(func, VectorizerConfig.lslp())
+        records = [t for t in result.report.trees if t.kind == "store"]
+        assert len(records) == 1
+        assert records[0].vector_length == 4
+        assert records[0].vectorized
