@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import Optional, Sequence
 
 from .costmodel.targets import target_by_name
@@ -23,6 +24,9 @@ from .interp.memory import MemoryImage
 from .ir.printer import print_function, print_module
 from .kernels.catalog import ALL_KERNELS
 from .opt.pipelines import compile_function
+from .robustness.budget import Budget
+from .robustness.diagnostics import CompilerError, Remark, Severity
+from .robustness.guard import DifferentialOracle, GuardPolicy
 from .slp.vectorizer import VectorizerConfig
 
 CONFIG_FACTORIES = {
@@ -32,15 +36,66 @@ CONFIG_FACTORIES = {
     "lslp": VectorizerConfig.lslp,
 }
 
+#: LSLP defaults applied when the flags are not given explicitly
+DEFAULT_LOOK_AHEAD = 8
 
-def _config_from_args(args) -> VectorizerConfig:
+
+def _config_from_args(args, warnings: Optional[list[Remark]] = None
+                      ) -> VectorizerConfig:
     config = CONFIG_FACTORIES[args.config]()
     if args.config == "lslp":
+        depth = (args.look_ahead if args.look_ahead is not None
+                 else DEFAULT_LOOK_AHEAD)
         config = VectorizerConfig.lslp(
-            look_ahead_depth=args.look_ahead,
+            look_ahead_depth=depth,
             multi_node_max_size=args.multi_node,
         )
+    else:
+        ignored = [
+            flag for flag, value in (
+                ("--look-ahead", args.look_ahead),
+                ("--multi-node", args.multi_node),
+            ) if value is not None
+        ]
+        if ignored:
+            remark = Remark(
+                Severity.WARNING, "config",
+                f"{'/'.join(ignored)} ignored: config "
+                f"{config.name!r} does not take LSLP knobs",
+                remediation="drop the flag(s) or use --config lslp",
+            )
+            if warnings is not None:
+                warnings.append(remark)
+            print(remark.render(), file=sys.stderr)
+    budget = _budget_from_args(args)
+    if budget is not None:
+        config = replace(config, budget=budget)
     return config
+
+
+def _budget_from_args(args) -> Optional[Budget]:
+    if (args.max_lookahead_evals is None
+            and args.max_reorder_assignments is None
+            and args.max_compile_seconds is None):
+        return None
+    return Budget(
+        max_lookahead_evals=args.max_lookahead_evals,
+        max_reorder_assignments=args.max_reorder_assignments,
+        max_seconds=args.max_compile_seconds,
+    )
+
+
+def _guard_from_args(args) -> Optional[GuardPolicy]:
+    if args.no_guard:
+        return None
+    return GuardPolicy(mode="strict" if args.strict else "guarded")
+
+
+def _print_remarks(remarks, enabled: bool) -> None:
+    if not enabled:
+        return
+    for remark in remarks:
+        print(f"; {remark.render()}")
 
 
 def _add_compile_options(parser: argparse.ArgumentParser) -> None:
@@ -54,12 +109,36 @@ def _add_compile_options(parser: argparse.ArgumentParser) -> None:
         help="cost-model target (default: skylake-like)",
     )
     parser.add_argument(
-        "--look-ahead", type=int, default=8,
-        help="LSLP look-ahead depth (default: 8)",
+        "--look-ahead", type=int, default=None,
+        help=f"LSLP look-ahead depth (default: {DEFAULT_LOOK_AHEAD})",
     )
     parser.add_argument(
         "--multi-node", type=int, default=None,
         help="LSLP multi-node size limit (default: unbounded)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail fast on any pass failure instead of rolling back",
+    )
+    parser.add_argument(
+        "--no-guard", action="store_true",
+        help="disable per-pass snapshot/rollback (legacy behaviour)",
+    )
+    parser.add_argument(
+        "--remarks", action="store_true",
+        help="print structured diagnostics (rollbacks, budgets, config)",
+    )
+    parser.add_argument(
+        "--max-lookahead-evals", type=int, default=None, metavar="N",
+        help="budget: total look-ahead score evaluations per function",
+    )
+    parser.add_argument(
+        "--max-reorder-assignments", type=int, default=None, metavar="N",
+        help="budget: exhaustive-reorder assignments per multi-node",
+    )
+    parser.add_argument(
+        "--max-compile-seconds", type=float, default=None, metavar="S",
+        help="budget: wall-clock seconds of SLP work per function",
     )
 
 
@@ -74,14 +153,22 @@ def _load_module(path: str):
 
 def cmd_compile(args) -> int:
     module = _load_module(args.source)
-    config = _config_from_args(args)
+    config_remarks: list[Remark] = []
+    config = _config_from_args(args, config_remarks)
     target = target_by_name(args.target)
+    guard = _guard_from_args(args)
     if args.print_before:
         print("; --- before ---")
         print(print_module(module))
     for func in module.functions.values():
         result = compile_function(func, config, target,
-                                  verify_each=args.verify_each)
+                                  verify_each=args.verify_each,
+                                  guard=guard)
+        _print_remarks(config_remarks + result.remarks, args.remarks)
+        config_remarks = []
+        if result.rolled_back:
+            print(f"; @{func.name}: rolled back pass(es): "
+                  f"{', '.join(result.rolled_back)}", file=sys.stderr)
         if args.stats:
             stats = result.report.stats
             print(f"; @{func.name} stats: {stats.nodes} nodes, "
@@ -100,19 +187,61 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def _parse_runtime_args(pairs) -> dict[str, object]:
+    runtime_args: dict[str, object] = {}
+    for pair in pairs or []:
+        name, _, value = pair.partition("=")
+        if not name or not value:
+            raise SystemExit(f"error: malformed --arg {pair!r}; use name=N")
+        try:
+            runtime_args[name] = float(value) if "." in value else int(value)
+        except ValueError:
+            raise SystemExit(
+                f"error: malformed --arg {pair!r}; "
+                f"{value!r} is not a number"
+            )
+    return runtime_args
+
+
 def cmd_run(args) -> int:
     module = _load_module(args.source)
-    config = _config_from_args(args)
+    config_remarks: list[Remark] = []
+    config = _config_from_args(args, config_remarks)
     target = target_by_name(args.target)
     func = module.get_function(args.entry)
-    compile_function(func, config, target)
+    runtime_args = _parse_runtime_args(args.arg)
+    missing = [
+        argument.name for argument in func.arguments
+        if argument.name not in runtime_args
+    ]
+    if missing:
+        raise SystemExit(
+            f"error: @{args.entry} requires argument(s) "
+            f"{', '.join(missing)}; pass --arg NAME=VALUE"
+        )
 
-    runtime_args: dict[str, object] = {}
-    for pair in args.arg or []:
-        name, _, value = pair.partition("=")
-        if not value:
-            raise SystemExit(f"error: malformed --arg {pair!r}; use name=N")
-        runtime_args[name] = float(value) if "." in value else int(value)
+    guard = _guard_from_args(args)
+    oracle = None
+    if args.verify:
+        if guard is None:
+            raise SystemExit("error: --verify requires the guard "
+                             "(drop --no-guard)")
+        oracle = DifferentialOracle(
+            module, args=runtime_args, seeds=(args.seed,), target=target,
+        )
+    result = compile_function(func, config, target, guard=guard,
+                              oracle=oracle)
+    _print_remarks(config_remarks + result.remarks, args.remarks)
+    if args.verify:
+        if "oracle" in result.rolled_back:
+            print(f"verify: MISMATCH in @{func.name}; "
+                  f"rolled back to the scalar baseline")
+        else:
+            print(f"verify: @{func.name} scalar and {config.name} "
+                  f"outputs match (seed {args.seed})")
+    elif result.rolled_back:
+        print(f"; @{func.name}: rolled back pass(es): "
+              f"{', '.join(result.rolled_back)}", file=sys.stderr)
 
     memory = MemoryImage(module)
     memory.randomize(seed=args.seed)
@@ -209,6 +338,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print an instruction-level execution trace")
     p_run.add_argument("--trace-limit", type=int, default=200,
                        help="maximum trace lines to print")
+    p_run.add_argument("--verify", action="store_true",
+                       help="differentially execute the scalar snapshot "
+                            "and the vectorized function; on mismatch "
+                            "roll back to scalar")
     p_run.set_defaults(handler=cmd_run)
 
     p_kernels = sub.add_parser("kernels", help="list the kernel catalog")
@@ -228,7 +361,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except CompilerError as error:
+        # --strict turns rollbacks into structured, fatal diagnostics.
+        print(f"error: {error}", file=sys.stderr)
+        if error.remediation:
+            print(f"note: {error.remediation}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

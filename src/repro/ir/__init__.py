@@ -13,7 +13,13 @@ from .cfg import (
     reachable_blocks,
     reverse_post_order,
 )
-from .cloning import clone_instruction, map_value
+from .cloning import (
+    clone_function,
+    clone_instruction,
+    discard_blocks,
+    discard_body,
+    map_value,
+)
 from .controlflow import Br, CondBr, Phi
 from .builder import IRBuilder, UndefVector
 from .function import Function, Module
@@ -74,7 +80,8 @@ from .values import (
 from .verifier import VerificationError, verify_function, verify_module
 
 __all__ = [
-    "Argument", "BasicBlock", "Br", "Call", "clone_instruction", "CondBr",
+    "Argument", "BasicBlock", "Br", "Call", "clone_function",
+    "clone_instruction", "CondBr", "discard_blocks", "discard_body",
     "DominatorInfo", "map_value", "Phi", "predecessors",
     "reachable_blocks", "reverse_post_order", "BINARY_OPCODE_NAMES", "BinaryOperator",
     "Cmp", "COMMUTATIVE_OPCODES", "Constant", "constants_equal",

@@ -24,6 +24,7 @@ from .pipelines import (
     compile_function,
     compile_module,
     CompileResult,
+    GuardSpec,
     scalar_pipeline,
 )
 
@@ -32,6 +33,7 @@ __all__ = [
     "compile_function",
     "compile_module",
     "CompileResult",
+    "GuardSpec",
     "CountedLoop",
     "find_counted_loop",
     "fold_constant_branches",

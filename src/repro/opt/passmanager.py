@@ -47,11 +47,18 @@ class PassManager:
     With ``verify_each=True`` the IR verifier runs after every pass and
     failures name the offending pass — the standard way to localize a
     mis-compiling transformation.
+
+    With a ``guard`` (a :class:`repro.robustness.PassGuard`) each pass
+    runs under snapshot isolation: a pass that raises, or leaves IR the
+    verifier rejects, is rolled back and recorded as a diagnostic
+    instead of aborting the compile.  Without a guard the behaviour is
+    exactly the historical fail-fast one.
     """
 
-    def __init__(self, verify_each: bool = False):
+    def __init__(self, verify_each: bool = False, guard=None):
         self._passes: list[tuple[str, FunctionPass]] = []
         self.verify_each = verify_each
+        self.guard = guard
 
     def add(self, name: str, pass_fn: FunctionPass) -> "PassManager":
         self._passes.append((name, pass_fn))
@@ -61,11 +68,22 @@ class PassManager:
     def pass_names(self) -> list[str]:
         return [name for name, _ in self._passes]
 
+    def wrap_passes(self, wrapper: Callable[[str, FunctionPass],
+                                            FunctionPass]) -> None:
+        """Replace every registered pass with ``wrapper(name, pass_fn)``
+        (used by the fault-injection harness to instrument a pipeline)."""
+        self._passes = [
+            (name, wrapper(name, pass_fn)) for name, pass_fn in self._passes
+        ]
+
     def run_function(self, func: Function,
                      result: Optional[PipelineResult] = None
                      ) -> PipelineResult:
         result = result if result is not None else PipelineResult()
         for name, pass_fn in self._passes:
+            if self.guard is not None:
+                self.guard.run_pass(name, pass_fn, func, result)
+                continue
             start = time.perf_counter()
             changed = pass_fn(func)
             elapsed = time.perf_counter() - start

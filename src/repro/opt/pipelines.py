@@ -5,16 +5,28 @@ configuration runs the same scalar passes (the "O3" stand-in); the
 vectorizing configurations additionally run the (L)SLP pass followed by a
 cleanup DCE that removes the scalar address arithmetic the vectorizer
 leaves dead.
+
+``compile_function`` is also the guarded driver's entry point: pass
+``guard="guarded"`` (or a :class:`~repro.robustness.GuardPolicy`) for
+per-pass snapshot/rollback, ``oracle=`` a
+:class:`~repro.robustness.DifferentialOracle` for scalar-vs-vectorized
+execution checking, and ``faults=`` a
+:class:`~repro.robustness.FaultInjector` to instrument the pipeline for
+recovery testing.  Without those arguments the behaviour is exactly the
+historical fail-fast one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
 
 from ..costmodel.targets import skylake_like
 from ..costmodel.tti import TargetCostModel
 from ..ir.function import Function, Module
+from ..robustness.diagnostics import Remark
+from ..robustness.faults import FaultInjector
+from ..robustness.guard import DifferentialOracle, GuardPolicy, PassGuard
 from ..slp.vectorizer import (
     SLPVectorizer,
     VectorizationReport,
@@ -29,6 +41,9 @@ from .passmanager import PassManager, PipelineResult
 from .simplifycfg import run_simplifycfg
 from .unroll import run_unroll
 
+#: accepted values for ``compile_function``'s ``guard`` argument
+GuardSpec = Union[None, str, GuardPolicy]
+
 
 @dataclass
 class CompileResult:
@@ -40,6 +55,12 @@ class CompileResult:
     report: VectorizationReport = field(
         default_factory=lambda: VectorizationReport("", "")
     )
+    #: structured diagnostics collected by the guarded driver (rollback,
+    #: budget, miscompile and configuration remarks)
+    remarks: list[Remark] = field(default_factory=list)
+    #: names of passes whose effects were rolled back ("oracle" marks a
+    #: differential-execution rollback to the scalar reference)
+    rolled_back: list[str] = field(default_factory=list)
 
     @property
     def compile_seconds(self) -> float:
@@ -48,6 +69,11 @@ class CompileResult:
     @property
     def static_cost(self) -> int:
         return self.report.total_cost
+
+    @property
+    def fell_back_to_scalar(self) -> bool:
+        """True when vectorization was undone (slp rollback or oracle)."""
+        return "slp" in self.rolled_back or "oracle" in self.rolled_back
 
 
 class _VectorizePass:
@@ -67,7 +93,7 @@ class _VectorizePass:
         return report.num_vectorized > 0
 
 
-def scalar_pipeline(verify_each: bool = False) -> PassManager:
+def scalar_pipeline(verify_each: bool = False, guard=None) -> PassManager:
     """The scalar "O3" passes every configuration runs.
 
     Loop unrolling runs here (not in the vectorizing add-on) so that the
@@ -76,7 +102,7 @@ def scalar_pipeline(verify_each: bool = False) -> PassManager:
     after the loop transformations (§2.1).
     """
     return (
-        PassManager(verify_each=verify_each)
+        PassManager(verify_each=verify_each, guard=guard)
         .add("inline", run_inline)
         .add("constfold", run_constfold)
         .add("instcombine", run_instcombine)
@@ -93,39 +119,91 @@ def scalar_pipeline(verify_each: bool = False) -> PassManager:
 
 def build_pipeline(config: VectorizerConfig,
                    target: Optional[TargetCostModel] = None,
-                   verify_each: bool = False
+                   verify_each: bool = False,
+                   guard=None,
+                   faults: Optional[FaultInjector] = None,
                    ) -> tuple[PassManager, _VectorizePass | None]:
     """A pipeline for ``config``; also returns the report-capturing
     vectorizer pass (None for O3)."""
     target = target if target is not None else skylake_like()
-    manager = scalar_pipeline(verify_each=verify_each)
-    if not config.enabled:
-        return manager, None
-    vectorize = _VectorizePass(config, target)
-    manager.add("slp", vectorize)
-    manager.add("dce-post", run_dce)
+    if faults is not None:
+        target = faults.perturb_cost_model(target)
+    manager = scalar_pipeline(verify_each=verify_each, guard=guard)
+    vectorize = None
+    if config.enabled:
+        vectorize = _VectorizePass(config, target)
+        manager.add("slp", vectorize)
+        manager.add("dce-post", run_dce)
+    if faults is not None:
+        faults.instrument(manager)
     return manager, vectorize
+
+
+def _resolve_guard(guard: GuardSpec,
+                   oracle: Optional[DifferentialOracle]
+                   ) -> Optional[GuardPolicy]:
+    """Normalize the ``guard``/``oracle`` arguments to one policy."""
+    if isinstance(guard, GuardPolicy):
+        policy: Optional[GuardPolicy] = guard
+    elif guard is None:
+        policy = None
+    elif guard == "off":
+        return None
+    elif guard in ("guarded", "strict"):
+        policy = GuardPolicy(mode=guard)
+    else:
+        raise ValueError(
+            f"unknown guard {guard!r}; use 'off', 'guarded', 'strict' "
+            "or a GuardPolicy"
+        )
+    if oracle is not None:
+        if policy is None:
+            policy = GuardPolicy()
+        if policy.oracle is None:
+            policy = replace(policy, oracle=oracle)
+    return policy
 
 
 def compile_function(func: Function, config: VectorizerConfig,
                      target: Optional[TargetCostModel] = None,
-                     verify_each: bool = False) -> CompileResult:
+                     verify_each: bool = False,
+                     guard: GuardSpec = None,
+                     oracle: Optional[DifferentialOracle] = None,
+                     faults: Optional[FaultInjector] = None
+                     ) -> CompileResult:
     """Run the full pipeline for ``config`` over ``func`` in place."""
-    manager, vectorize = build_pipeline(config, target,
-                                        verify_each=verify_each)
+    policy = _resolve_guard(guard, oracle)
+    pass_guard = PassGuard(policy) if policy is not None else None
+    manager, vectorize = build_pipeline(
+        config, target, verify_each=verify_each, guard=pass_guard,
+        faults=faults,
+    )
     timing = manager.run_function(func)
-    result = CompileResult(func, config, timing)
+    result = CompileResult(
+        func, config, timing,
+        report=VectorizationReport(func.name, config.name),
+    )
     if vectorize is not None and vectorize.report is not None:
         result.report = vectorize.report
+    if pass_guard is not None:
+        try:
+            pass_guard.run_oracle(func)
+        finally:
+            pass_guard.finish()
+        result.remarks = pass_guard.diagnostics.remarks
+        result.rolled_back = pass_guard.rolled_back
+    result.remarks.extend(result.report.remarks)
     return result
 
 
 def compile_module(module: Module, config: VectorizerConfig,
-                   target: Optional[TargetCostModel] = None
+                   target: Optional[TargetCostModel] = None,
+                   guard: GuardSpec = None,
+                   faults: Optional[FaultInjector] = None
                    ) -> list[CompileResult]:
     """Compile every function of ``module`` under ``config``."""
     return [
-        compile_function(func, config, target)
+        compile_function(func, config, target, guard=guard, faults=faults)
         for func in module.functions.values()
     ]
 
@@ -135,5 +213,6 @@ __all__ = [
     "compile_function",
     "compile_module",
     "CompileResult",
+    "GuardSpec",
     "scalar_pipeline",
 ]

@@ -1,0 +1,141 @@
+"""Resource budgets for the vectorizer's super-linear search spaces.
+
+The exhaustive-reorder ablation is ``(slots!)^(lanes-1)`` and deep
+look-ahead grows exponentially with depth, so an adversarial kernel can
+stall a compile — the same compile-time risk goSLP bounds with its ILP
+time limit.  A :class:`Budget` caps the three resources that blow up
+(look-ahead score evaluations, exhaustive-reorder assignments, and
+per-function wall-clock); a :class:`BudgetMeter` tracks consumption for
+one function and records a :class:`BudgetEvent` the first time each cap
+is hit, so the pipeline can surface a remark instead of hanging.
+
+Exhaustion never aborts compilation: the reorderers degrade to the
+greedy single-pass policy (look-ahead depth 0 behaviour), which is
+always legal — just potentially slower code.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Resource caps for vectorizing one function; ``None`` = unlimited."""
+
+    #: total look-ahead score evaluations across the whole function
+    max_lookahead_evals: Optional[int] = None
+    #: complete assignments the exhaustive reorderer may enumerate per
+    #: multi-node (the greedy engine takes over beyond this)
+    max_reorder_assignments: Optional[int] = None
+    #: wall-clock seconds the SLP pass may spend on one function
+    max_seconds: Optional[float] = None
+
+    @staticmethod
+    def unlimited() -> "Budget":
+        return Budget()
+
+    @staticmethod
+    def default() -> "Budget":
+        """A generous cap that only trips on pathological inputs."""
+        return Budget(max_lookahead_evals=1_000_000,
+                      max_reorder_assignments=20_000,
+                      max_seconds=30.0)
+
+
+@dataclass
+class BudgetEvent:
+    """First exhaustion of one budget dimension."""
+
+    kind: str    #: "lookahead" | "reorder" | "wall-clock"
+    detail: str
+
+
+class BudgetMeter:
+    """Per-function consumption tracker for one :class:`Budget`."""
+
+    def __init__(self, budget: Optional[Budget] = None):
+        self.budget = budget if budget is not None else Budget()
+        self.lookahead_evals = 0
+        self.events: list[BudgetEvent] = []
+        self._deadline: Optional[float] = None
+        self._tripped: set[str] = set()
+
+    # ------------------------------------------------------------------
+
+    def start_function(self) -> None:
+        """Arm the wall-clock deadline for a fresh function."""
+        if self.budget.max_seconds is not None:
+            self._deadline = time.perf_counter() + self.budget.max_seconds
+
+    def charge_lookahead(self, count: int = 1) -> None:
+        self.lookahead_evals += count
+
+    # ------------------------------------------------------------------
+
+    def time_exceeded(self) -> bool:
+        if self._deadline is None:
+            return False
+        if time.perf_counter() <= self._deadline:
+            return False
+        self._note(
+            "wall-clock",
+            f"per-function compile budget of {self.budget.max_seconds}s "
+            "exceeded; remaining vectorization work skipped",
+        )
+        return True
+
+    def lookahead_allowed(self) -> bool:
+        """May another round of look-ahead scoring run?"""
+        cap = self.budget.max_lookahead_evals
+        if cap is not None and self.lookahead_evals >= cap:
+            self._note(
+                "lookahead",
+                f"look-ahead evaluation budget of {cap} exhausted after "
+                f"{self.lookahead_evals} evals; ties keep greedy order",
+            )
+            return False
+        return not self.time_exceeded()
+
+    def assignments_allowed(self, assignments: int,
+                            evals_estimate: int) -> bool:
+        """May the exhaustive reorderer enumerate ``assignments``
+        complete operand assignments (≈ ``evals_estimate`` score
+        evaluations)?  ``False`` means: use the greedy engine."""
+        cap = self.budget.max_reorder_assignments
+        if cap is not None and assignments > cap:
+            self._note(
+                "reorder",
+                f"{assignments} exhaustive-reorder assignments exceed the "
+                f"budget of {cap}; falling back to greedy reordering",
+            )
+            return False
+        eval_cap = self.budget.max_lookahead_evals
+        if eval_cap is not None and (
+            self.lookahead_evals + evals_estimate > eval_cap
+        ):
+            self._note(
+                "reorder",
+                f"exhaustive reordering would need ~{evals_estimate} "
+                f"look-ahead evals against a budget of {eval_cap}; "
+                "falling back to greedy reordering",
+            )
+            return False
+        return not self.time_exceeded()
+
+    @property
+    def exhausted(self) -> bool:
+        return bool(self.events)
+
+    # ------------------------------------------------------------------
+
+    def _note(self, kind: str, detail: str) -> None:
+        if kind in self._tripped:
+            return
+        self._tripped.add(kind)
+        self.events.append(BudgetEvent(kind, detail))
+
+
+__all__ = ["Budget", "BudgetEvent", "BudgetMeter"]

@@ -1,0 +1,140 @@
+"""Structured compiler diagnostics: error taxonomy and remark stream.
+
+Every recoverable incident in the guarded driver — a pass that raised, IR
+that failed verification, a budget that ran dry, an oracle mismatch — is
+recorded as a :class:`Remark` carrying the pass, function, phase and a
+remediation hint.  Strict mode escalates the same information as a
+:class:`CompilerError` subclass, so callers can catch one taxonomy
+whether the failure came from a transform, the verifier, or execution.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad a remark is; mirrors clang's remark/warning/error split."""
+
+    NOTE = "note"
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass
+class Remark:
+    """One structured diagnostic, cheap enough to collect unconditionally."""
+
+    severity: Severity
+    category: str          #: "rollback" | "budget" | "miscompile" | "config" | ...
+    message: str
+    function: str = ""     #: function being compiled, when known
+    pass_name: str = ""    #: pass that triggered the remark, when known
+    phase: str = ""        #: "transform" | "verify" | "oracle" | "budget"
+    remediation: str = ""  #: what a user can do about it
+
+    def render(self) -> str:
+        where = []
+        if self.function:
+            where.append(f"@{self.function}")
+        if self.pass_name:
+            where.append(f"pass {self.pass_name!r}")
+        location = f" [{', '.join(where)}]" if where else ""
+        hint = f" (hint: {self.remediation})" if self.remediation else ""
+        return (
+            f"{self.severity.value}: {self.category}{location}: "
+            f"{self.message}{hint}"
+        )
+
+
+class CompilerError(Exception):
+    """Base of the strict-mode error taxonomy.
+
+    Carries the same structured fields as a :class:`Remark` so a caller
+    catching ``CompilerError`` can attribute the failure without parsing
+    the message.
+    """
+
+    phase = "compile"
+
+    def __init__(self, message: str, *, function: str = "",
+                 pass_name: str = "", remediation: str = ""):
+        self.function = function
+        self.pass_name = pass_name
+        self.remediation = remediation
+        where = []
+        if function:
+            where.append(f"@{function}")
+        if pass_name:
+            where.append(f"pass {pass_name!r}")
+        location = f" [{', '.join(where)}]" if where else ""
+        hint = f" (hint: {remediation})" if remediation else ""
+        super().__init__(f"{self.phase}{location}: {message}{hint}")
+
+
+class PassCrashError(CompilerError):
+    """A pass raised an exception while transforming a function."""
+
+    phase = "transform"
+
+
+class InvalidIRError(CompilerError):
+    """The IR verifier rejected a function after a pass ran."""
+
+    phase = "verify"
+
+
+class MiscompileError(CompilerError):
+    """The differential oracle observed a scalar/vector output mismatch."""
+
+    phase = "oracle"
+
+
+class BudgetExceededError(CompilerError):
+    """A resource budget was exceeded and degradation was forbidden."""
+
+    phase = "budget"
+
+
+@dataclass
+class DiagnosticEngine:
+    """Collects remarks during one compilation."""
+
+    remarks: list[Remark] = field(default_factory=list)
+
+    def emit(self, severity: Severity, category: str, message: str, *,
+             function: str = "", pass_name: str = "", phase: str = "",
+             remediation: str = "") -> Remark:
+        remark = Remark(severity, category, message, function=function,
+                        pass_name=pass_name, phase=phase,
+                        remediation=remediation)
+        self.remarks.append(remark)
+        return remark
+
+    def note(self, category: str, message: str, **kw) -> Remark:
+        return self.emit(Severity.NOTE, category, message, **kw)
+
+    def warning(self, category: str, message: str, **kw) -> Remark:
+        return self.emit(Severity.WARNING, category, message, **kw)
+
+    def error(self, category: str, message: str, **kw) -> Remark:
+        return self.emit(Severity.ERROR, category, message, **kw)
+
+    def extend(self, remarks) -> None:
+        self.remarks.extend(remarks)
+
+    def render(self) -> list[str]:
+        return [remark.render() for remark in self.remarks]
+
+
+__all__ = [
+    "BudgetExceededError",
+    "CompilerError",
+    "DiagnosticEngine",
+    "InvalidIRError",
+    "MiscompileError",
+    "PassCrashError",
+    "Remark",
+    "Severity",
+]

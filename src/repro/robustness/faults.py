@@ -1,0 +1,262 @@
+"""Deterministic, seed-driven fault injection for the guarded driver.
+
+The guard's recovery claims are only as good as the failures it is
+tested against.  :class:`FaultInjector` can make any named pass raise,
+corrupt the IR *after* a pass has run (operand swap, dangling operand,
+detached instruction), or perturb cost-model queries — each reproducible
+from a seed, so a failing property-test case replays exactly.
+
+Fault kinds and who is expected to catch them:
+
+============================  =============================================
+``raise``                      pass raises → guard snapshot/rollback
+``corrupt-dangling-operand``   operand points at an instruction outside the
+                               function → post-pass IR verifier
+``corrupt-detach``             a still-used instruction removed from its
+                               block → post-pass IR verifier
+``corrupt-swap-operands``      non-commutative operands swapped: *valid*
+                               but wrong IR → differential oracle
+``corrupt-type-clobber``       an instruction's result type rewritten to a
+                               vector type → a later pass or the
+                               interpreter trips over it (guard/oracle),
+                               or it is inert metadata damage
+``perturb-cost``               cost queries jittered: legal but arbitrary
+                               vectorization decisions → nothing should
+                               break at all
+============================  =============================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, TYPE_CHECKING
+
+from ..costmodel.tti import TargetCostModel
+from ..ir.function import Function
+from ..ir.instructions import BinaryOperator, Instruction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..opt.passmanager import PassManager
+
+FAULT_KINDS = (
+    "raise",
+    "corrupt-swap-operands",
+    "corrupt-dangling-operand",
+    "corrupt-detach",
+    "corrupt-type-clobber",
+    "perturb-cost",
+)
+
+
+class InjectedFault(RuntimeError):
+    """The exception the ``raise`` fault kind throws inside a pass."""
+
+    def __init__(self, pass_name: str):
+        super().__init__(f"injected fault in pass {pass_name!r}")
+        self.pass_name = pass_name
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject: which pass, what kind."""
+
+    pass_name: str = "*"   #: exact pass name, or "*" for every pass
+    kind: str = "raise"
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    def matches(self, pass_name: str) -> bool:
+        return self.pass_name in ("*", pass_name)
+
+
+class FaultInjector:
+    """Applies a list of :class:`FaultSpec` to a pipeline, deterministically.
+
+    ``fired`` records every injection that actually happened as
+    ``(pass_name, kind)`` pairs, so tests can assert the harness
+    exercised what they meant to exercise.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] | FaultSpec,
+                 seed: int = 0):
+        if isinstance(specs, FaultSpec):
+            specs = [specs]
+        self.specs = list(specs)
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.fired: list[tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+
+    def instrument(self, manager: "PassManager") -> None:
+        """Wrap every matching pass in ``manager`` with its faults."""
+        manager.wrap_passes(self._wrap)
+
+    def perturb_cost_model(self, target: TargetCostModel,
+                           magnitude: int = 2) -> TargetCostModel:
+        """The cost model to compile with: jittered when any spec asks
+        for ``perturb-cost``, otherwise ``target`` unchanged."""
+        if any(spec.kind == "perturb-cost" for spec in self.specs):
+            self.fired.append(("<cost-model>", "perturb-cost"))
+            return PerturbedCostModel(target, seed=self.seed,
+                                      magnitude=magnitude)
+        return target
+
+    # ------------------------------------------------------------------
+
+    def _wrap(self, name: str, pass_fn):
+        specs = [
+            spec for spec in self.specs
+            if spec.matches(name) and spec.kind != "perturb-cost"
+        ]
+        if not specs:
+            return pass_fn
+
+        def faulty_pass(func: Function) -> bool:
+            changed = pass_fn(func)
+            for spec in specs:
+                self._inject(spec, name, func)
+            return changed
+
+        return faulty_pass
+
+    def _inject(self, spec: FaultSpec, name: str, func: Function) -> None:
+        if spec.kind == "raise":
+            self.fired.append((name, spec.kind))
+            raise InjectedFault(name)
+        injected = False
+        if spec.kind == "corrupt-swap-operands":
+            injected = self._swap_operands(func)
+        elif spec.kind == "corrupt-dangling-operand":
+            injected = self._dangle_operand(func)
+        elif spec.kind == "corrupt-detach":
+            injected = self._detach_instruction(func)
+        elif spec.kind == "corrupt-type-clobber":
+            injected = self._clobber_type(func)
+        if injected:
+            self.fired.append((name, spec.kind))
+
+    # ---- corruptions ---------------------------------------------------
+
+    def _swap_operands(self, func: Function) -> bool:
+        """Miscompile without breaking structural validity: swap the
+        operands of a non-commutative binary instruction, or — when the
+        function is all-commutative, the common case in this paper's
+        kernels — duplicate one operand over the other (``a op b``
+        becomes ``b op b``).  Either way the IR still verifies; only the
+        differential oracle can tell."""
+        noncomm = [
+            inst for inst in func.instructions()
+            if isinstance(inst, BinaryOperator)
+            and not inst.is_commutative
+            and inst.operands[0] is not inst.operands[1]
+        ]
+        if noncomm:
+            inst = self._rng.choice(noncomm)
+            lhs, rhs = inst.operands[0], inst.operands[1]
+            inst.set_operand(0, rhs)
+            inst.set_operand(1, lhs)
+            return True
+        comm = [
+            inst for inst in func.instructions()
+            if isinstance(inst, BinaryOperator)
+            and inst.is_used()
+            and inst.operands[0] is not inst.operands[1]
+            and inst.operands[0].type is inst.operands[1].type
+        ]
+        if not comm:
+            return False
+        inst = self._rng.choice(comm)
+        inst.set_operand(0, inst.operands[1])
+        return True
+
+    def _dangle_operand(self, func: Function) -> bool:
+        """Point one operand at an instruction that is in no function."""
+        candidates = [
+            (inst, index)
+            for inst in func.instructions()
+            for index, op in enumerate(inst.operands)
+            if isinstance(op, Instruction) and op.type.is_scalar
+        ]
+        if not candidates:
+            return False
+        inst, index = self._rng.choice(candidates)
+        original = inst.operands[index]
+        opcode = "fadd" if original.type.is_float else "add"
+        orphan = BinaryOperator(opcode, original, original)
+        inst.set_operand(index, orphan)
+        return True
+
+    def _clobber_type(self, func: Function) -> bool:
+        """Rewrite one scalar instruction's result type to a 2-lane
+        vector of itself."""
+        from ..ir.types import vector_of
+
+        candidates = [
+            inst for inst in func.instructions()
+            if inst.type.is_scalar and inst.is_used()
+        ]
+        if not candidates:
+            return False
+        inst = self._rng.choice(candidates)
+        inst.type = vector_of(inst.type, 2)
+        return True
+
+    def _detach_instruction(self, func: Function) -> bool:
+        """Remove one still-used instruction from its block."""
+        candidates = [
+            inst for inst in func.instructions()
+            if inst.is_used() and not inst.is_terminator
+        ]
+        if not candidates:
+            return False
+        inst = self._rng.choice(candidates)
+        inst.parent.remove(inst)
+        return True
+
+
+class PerturbedCostModel(TargetCostModel):
+    """Delegates to a base model with deterministic jitter on the query
+    results.  Decisions become arbitrary but stay *legal*: whatever the
+    vectorizer does under a perturbed model must still be semantics-
+    preserving, which makes this a good property-test stressor."""
+
+    def __init__(self, base: TargetCostModel, seed: int = 0,
+                 magnitude: int = 2):
+        super().__init__(base.desc)
+        self._base = base
+        self._seed = seed
+        self._magnitude = magnitude
+
+    def _jitter(self, key: str, value: int, floor: int = 0) -> int:
+        rng = random.Random(f"{self._seed}:{key}")
+        return max(floor, value + rng.randint(-self._magnitude,
+                                              self._magnitude))
+
+    def scalar_op_cost(self, opcode: str) -> int:
+        return self._jitter(f"s:{opcode}",
+                            self._base.scalar_op_cost(opcode))
+
+    def vector_op_cost(self, opcode: str, lanes: int) -> int:
+        return self._jitter(f"v:{opcode}:{lanes}",
+                            self._base.vector_op_cost(opcode, lanes))
+
+    def gather_cost(self, operands) -> int:
+        return self._jitter(f"g:{len(operands)}",
+                            self._base.gather_cost(operands))
+
+    def extract_cost_for(self, uses: int = 1) -> int:
+        return self._jitter(f"e:{uses}",
+                            self._base.extract_cost_for(uses))
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "PerturbedCostModel",
+]

@@ -28,6 +28,7 @@ from ..ir.instructions import (
 )
 from ..ir.types import vector_of
 from ..ir.values import Value
+from ..robustness.budget import BudgetMeter
 from .graph import GatherNode, MultiNode, SLPGraph, SLPNode, VectorizableNode
 from .lookahead import LookAheadContext, get_lookahead_score
 from .reorder import OperandReorderer, ReorderResult
@@ -51,6 +52,9 @@ class BuildPolicy:
     reorder_strategy: str = "greedy"
     #: SPLAT-mode detection (Listing 5 line 23); off for the ablation
     enable_splat_detection: bool = True
+    #: per-function budget meter (look-ahead evals, reorder assignments,
+    #: wall clock); ``None`` = unmetered
+    meter: Optional[BudgetMeter] = None
 
 
 @dataclass
@@ -81,6 +85,7 @@ class GraphBuilder:
                 ctx,
                 look_ahead_depth=policy.look_ahead_depth,
                 score_function=policy.score_function,
+                meter=policy.meter,
             )
         elif policy.reorder_strategy == "greedy":
             self._reorderer = OperandReorderer(
@@ -88,6 +93,7 @@ class GraphBuilder:
                 look_ahead_depth=policy.look_ahead_depth,
                 score_function=policy.score_function,  # type: ignore[arg-type]
                 enable_splat_detection=policy.enable_splat_detection,
+                meter=policy.meter,
             )
         else:
             raise ValueError(
@@ -108,6 +114,11 @@ class GraphBuilder:
         existing = self.graph.existing_node(lanes)
         if existing is not None:
             return existing
+        meter = self.policy.meter
+        if meter is not None and meter.time_exceeded():
+            # Out of compile-time budget: stop growing the graph.  A
+            # gather is always legal, merely unprofitable.
+            return self._gather(lanes)
         if not self._group_is_vectorizable(lanes):
             return self._gather(lanes)
 

@@ -17,9 +17,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from itertools import permutations
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..ir.values import Value
+from ..robustness.budget import BudgetMeter
 from .lookahead import LookAheadContext, get_lookahead_score
 from .reorder import OperandMode, OperandReorderer, ReorderResult, initial_mode
 
@@ -34,6 +35,10 @@ class ExhaustiveReorderer:
     #: falling back to the greedy single-pass engine
     max_assignments: int = 20_000
     score_function: object = field(default=get_lookahead_score)
+    #: optional budget meter; a tighter ``max_reorder_assignments`` or a
+    #: drained look-ahead allowance also force the greedy fallback, and
+    #: the fallback is recorded as a budget event (surfaced as a remark)
+    meter: Optional[BudgetMeter] = None
 
     def reorder(self, operand_groups: Sequence[Sequence[Value]]
                 ) -> ReorderResult:
@@ -44,6 +49,13 @@ class ExhaustiveReorderer:
         assignments = math.factorial(num_slots) ** max(0, lanes - 1)
         if assignments > self.max_assignments:
             return self._greedy().reorder(operand_groups)
+        if self.meter is not None:
+            # The recursive search scores ``num_slots`` pairs per
+            # internal node; internal nodes ≲ 2 × leaf assignments.
+            evals_estimate = assignments * 2 * num_slots
+            if not self.meter.assignments_allowed(assignments,
+                                                  evals_estimate):
+                return self._greedy().reorder(operand_groups)
 
         evals = 0
         best_order: list[tuple[int, ...]] = [
@@ -69,6 +81,8 @@ class ExhaustiveReorderer:
                 gained = 0
                 for slot in range(num_slots):
                     evals += 1
+                    if self.meter is not None:
+                        self.meter.charge_lookahead()
                     gained += self.score_function(
                         prev[slot], cur[slot],
                         max(1, self.look_ahead_depth), self.ctx,
@@ -93,6 +107,7 @@ class ExhaustiveReorderer:
             self.ctx,
             look_ahead_depth=self.look_ahead_depth,
             score_function=self.score_function,  # type: ignore[arg-type]
+            meter=self.meter,
         )
 
 

@@ -32,6 +32,7 @@ from typing import Callable, Optional, Sequence
 
 from ..ir.instructions import Instruction, Load
 from ..ir.values import Constant, Value
+from ..robustness.budget import BudgetMeter
 from .lookahead import (
     LookAheadContext,
     are_consecutive_or_match,
@@ -86,6 +87,9 @@ class OperandReorderer:
     #: detect repeated values and switch the slot to SPLAT mode
     #: (disable only for the ablation study)
     enable_splat_detection: bool = True
+    #: optional budget meter; when its look-ahead allowance runs out,
+    #: remaining ties keep the original order (depth-0 behaviour)
+    meter: Optional[BudgetMeter] = None
 
     def reorder(self, operand_groups: Sequence[Sequence[Value]]) -> ReorderResult:
         """Reorder ``operand_groups[slot][lane]`` (Listing 5)."""
@@ -169,6 +173,8 @@ class OperandReorderer:
             # 2. Look-ahead to choose among the matching candidates,
             # deepening one level at a time until the tie breaks.
             for level in range(1, self.look_ahead_depth + 1):
+                if self.meter is not None and not self.meter.lookahead_allowed():
+                    break  # budget dry: keep the original order
                 scores = [
                     self._score(last, candidate, level)
                     for candidate in matching
@@ -181,6 +187,8 @@ class OperandReorderer:
 
     def _score(self, last: Value, candidate: Value, level: int) -> int:
         self._evals += 1
+        if self.meter is not None:
+            self.meter.charge_lookahead()
         return self.score_function(last, candidate, level, self.ctx)
 
 

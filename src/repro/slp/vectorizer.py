@@ -26,6 +26,8 @@ from ..costmodel.targets import skylake_like
 from ..costmodel.tti import TargetCostModel
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function, Module
+from ..robustness.budget import Budget, BudgetMeter
+from ..robustness.diagnostics import Remark, Severity
 from .builder import BuildPolicy, BuildStats, GraphBuilder
 from .codegen import VectorCodeGen
 from .cost import GraphCost, compute_graph_cost
@@ -65,6 +67,9 @@ class VectorizerConfig:
     reorder_strategy: str = "greedy"
     #: SPLAT-mode detection in the reorderer (ablation knob)
     enable_splat_detection: bool = True
+    #: resource budget (look-ahead evals, reorder assignments, wall
+    #: clock); ``None`` = unlimited, the historical behaviour
+    budget: Optional[Budget] = None
 
     # ---- the paper's configurations -----------------------------------
 
@@ -110,7 +115,11 @@ class VectorizerConfig:
     def with_name(self, name: str) -> "VectorizerConfig":
         return replace(self, name=name)
 
-    def build_policy(self) -> BuildPolicy:
+    def with_budget(self, budget: Optional[Budget]) -> "VectorizerConfig":
+        return replace(self, budget=budget)
+
+    def build_policy(self, meter: Optional[BudgetMeter] = None
+                     ) -> BuildPolicy:
         return BuildPolicy(
             enable_reordering=self.enable_reordering,
             look_ahead_depth=self.look_ahead_depth,
@@ -118,6 +127,7 @@ class VectorizerConfig:
             score_function=self.score_function,
             reorder_strategy=self.reorder_strategy,
             enable_splat_detection=self.enable_splat_detection,
+            meter=meter,
         )
 
 
@@ -142,6 +152,8 @@ class VectorizationReport:
     config: str
     trees: list[TreeRecord] = field(default_factory=list)
     stats: BuildStats = field(default_factory=BuildStats)
+    #: budget / degradation remarks emitted while vectorizing
+    remarks: list[Remark] = field(default_factory=list)
 
     @property
     def vectorized_trees(self) -> list[TreeRecord]:
@@ -160,6 +172,7 @@ class VectorizationReport:
 
     def merge(self, other: "VectorizationReport") -> None:
         self.trees.extend(other.trees)
+        self.remarks.extend(other.remarks)
         self.stats.nodes += other.stats.nodes
         self.stats.multi_nodes += other.stats.multi_nodes
         self.stats.gathers += other.stats.gathers
@@ -187,39 +200,53 @@ class SLPVectorizer:
         report = VectorizationReport(func.name, self.config.name)
         if not self.config.enabled:
             return report
+        meter = BudgetMeter(self.config.budget)
+        meter.start_function()
         for block in func.blocks:
-            self._run_block(block, report)
+            self._run_block(block, report, meter)
+        for event in meter.events:
+            report.remarks.append(Remark(
+                Severity.WARNING, "budget", event.detail,
+                function=func.name, pass_name="slp", phase="budget",
+                remediation="raise the Budget caps, or accept the "
+                            "greedy/scalar degradation",
+            ))
         return report
 
     # ------------------------------------------------------------------
 
-    def _run_block(self, block: BasicBlock, report: VectorizationReport
-                   ) -> None:
+    def _run_block(self, block: BasicBlock, report: VectorizationReport,
+                   meter: Optional[BudgetMeter] = None) -> None:
         # Analyses are rebuilt per block: code generation invalidates
         # cached positions but not SCEV facts; a fresh context is cheap
         # and always sound.
+        meter = meter if meter is not None else BudgetMeter()
         ctx = LookAheadContext(ScalarEvolution())
         aa = AliasAnalysis(ctx.scev)
 
         for seed in collect_store_seeds(block, ctx.scev, self.target):
             if not seed.alive():
                 continue
-            self._vectorize_seed(seed, ctx, aa, report)
+            if meter.time_exceeded():
+                return  # remaining seeds stay scalar; remark via events
+            self._vectorize_seed(seed, ctx, aa, report, meter)
 
         if self.config.enable_reductions:
             for seed in collect_reduction_seeds(block):
                 if not seed.alive():
                     continue
-                record = self._try_reduction(seed, ctx, aa, report)
+                if meter.time_exceeded():
+                    return
+                record = self._try_reduction(seed, ctx, aa, report, meter)
                 if record is not None:
                     report.trees.append(record)
 
     def _vectorize_seed(self, seed: SeedGroup, ctx: LookAheadContext,
-                        aa: AliasAnalysis,
-                        report: VectorizationReport) -> None:
+                        aa: AliasAnalysis, report: VectorizationReport,
+                        meter: Optional[BudgetMeter] = None) -> None:
         """Try a seed group at full width; on rejection, retry each half
         (LLVM's SLP does the same width descent)."""
-        record = self._try_store_tree(seed, ctx, aa, report)
+        record = self._try_store_tree(seed, ctx, aa, report, meter)
         report.trees.append(record)
         if record.vectorized or seed.vector_length < 4:
             return
@@ -227,12 +254,13 @@ class SLPVectorizer:
         for part in (SeedGroup(seed.stores[:half]),
                      SeedGroup(seed.stores[half:])):
             if part.alive():
-                self._vectorize_seed(part, ctx, aa, report)
+                self._vectorize_seed(part, ctx, aa, report, meter)
 
     def _try_store_tree(self, seed: SeedGroup, ctx: LookAheadContext,
-                        aa: AliasAnalysis,
-                        report: VectorizationReport) -> TreeRecord:
-        builder = GraphBuilder(self.config.build_policy(), self.target, ctx)
+                        aa: AliasAnalysis, report: VectorizationReport,
+                        meter: Optional[BudgetMeter] = None) -> TreeRecord:
+        builder = GraphBuilder(self.config.build_policy(meter),
+                               self.target, ctx)
         graph = builder.build(seed.stores)
         self._absorb_stats(report, builder)
         cost = compute_graph_cost(graph, self.target)
@@ -254,10 +282,11 @@ class SLPVectorizer:
         return record
 
     def _try_reduction(self, seed: ReductionSeed, ctx: LookAheadContext,
-                       aa: AliasAnalysis,
-                       report: VectorizationReport) -> Optional[TreeRecord]:
+                       aa: AliasAnalysis, report: VectorizationReport,
+                       meter: Optional[BudgetMeter] = None
+                       ) -> Optional[TreeRecord]:
         plan = plan_reduction(
-            seed, self.config.build_policy(), self.target, ctx
+            seed, self.config.build_policy(meter), self.target, ctx
         )
         if plan is None:
             return None

@@ -19,6 +19,13 @@ from hypothesis import given, settings, strategies as st
 from repro.interp import compare_runs
 from repro.ir import verify_function
 from repro.opt import compile_function
+from repro.robustness import (
+    FAULT_KINDS,
+    DifferentialOracle,
+    FaultInjector,
+    FaultSpec,
+    GuardPolicy,
+)
 from repro.slp import VectorizerConfig
 from tests.conftest import build_kernel
 
@@ -154,6 +161,56 @@ def test_lslp_cost_never_worse_than_slp(source):
     _, lslp_func = build_kernel(source)
     lslp = compile_function(lslp_func, VectorizerConfig.lslp())
     assert lslp.static_cost <= slp.static_cost, source
+
+
+# ---------------------------------------------------------------------------
+# Randomized fault injection: the guarded driver's recovery property
+# ---------------------------------------------------------------------------
+
+PASS_NAMES = [
+    "inline", "constfold", "instcombine", "cse", "dce", "unroll",
+    "simplifycfg", "constfold-post-unroll", "instcombine-post-unroll",
+    "cse-post-unroll", "dce-post-unroll", "slp", "dce-post", "*",
+]
+
+
+@pytest.mark.faults
+@settings(max_examples=60, deadline=None)
+@given(
+    source=kernels(),
+    pass_name=st.sampled_from(PASS_NAMES),
+    kind=st.sampled_from(FAULT_KINDS),
+    fault_seed=st.integers(min_value=0, max_value=10**6),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_guarded_compile_survives_random_faults(
+    source, pass_name, kind, fault_seed, seed
+):
+    """Under any fault in any pass, for every configuration: guarded
+    compilation never raises, the surviving IR verifies, and its
+    interpreted output matches the scalar baseline."""
+    run_args = {"i": 4, "k": seed % 97 - 48}
+    reference = build_kernel(source)
+    for config in CONFIGS:
+        module, func = build_kernel(source)
+        faults = FaultInjector(FaultSpec(pass_name, kind), seed=fault_seed)
+        policy = GuardPolicy(
+            oracle=DifferentialOracle(module, args=run_args,
+                                      seeds=(seed,)),
+            oracle_reference="input",
+        )
+        result = compile_function(func, config, guard=policy,
+                                  faults=faults)
+        verify_function(func)
+        outcome = compare_runs(
+            reference, (module, func), args=run_args, seed=seed,
+        )
+        assert outcome.equivalent, (
+            f"{config.name} with {kind} in {pass_name!r} "
+            f"(fault seed {fault_seed}) broke semantics: "
+            f"{outcome.detail}\nrolled back: {result.rolled_back}\n"
+            f"{source}"
+        )
 
 
 @settings(max_examples=30, deadline=None)
