@@ -1,0 +1,109 @@
+"""Service cache — cold vs warm batch compile time and oracle overhead.
+
+Not a paper figure: this measures the PR's batch service itself.  Two
+claims are asserted:
+
+* a warm cache makes a whole-catalog batch strictly cheaper than a cold
+  one *and* performs zero vectorizer invocations, and
+* the differential oracle's argument sweeps (``verify_runs``) cost real
+  compile time — the number that decides whether promoting
+  ``oracle_reference="input"`` into the default pipeline is affordable
+  (ROADMAP open item).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.costmodel.targets import skylake_like
+from repro.experiments.reporting import FigureTable
+from repro.kernels.catalog import ALL_KERNELS
+from repro.service import CompilationService, CompileCache, job_for_kernel
+from repro.slp.vectorizer import VectorizerConfig
+
+from conftest import emit_table
+
+CONFIGS = [
+    VectorizerConfig.o3(),
+    VectorizerConfig.slp(),
+    VectorizerConfig.lslp(),
+]
+
+
+def _jobs(**overrides):
+    return [
+        job_for_kernel(kernel, config, skylake_like(), **overrides)
+        for kernel in ALL_KERNELS.values() for config in CONFIGS
+    ]
+
+
+def _timed_batch(service, jobs):
+    started = time.perf_counter()
+    batch = service.compile_batch(jobs)
+    return batch, time.perf_counter() - started
+
+
+@pytest.fixture(scope="module")
+def table():
+    table = FigureTable(
+        figure_id="ServiceCache",
+        title="batch compile: cold vs warm cache, oracle overhead",
+        columns=["batch", "seconds", "invocations", "hit rate"],
+    )
+
+    service = CompilationService(cache=CompileCache(), jobs=1)
+    cold, cold_seconds = _timed_batch(service, _jobs())
+    warm, warm_seconds = _timed_batch(service, _jobs())
+
+    oracle_service = CompilationService(cache=CompileCache(), jobs=1)
+    swept, swept_seconds = _timed_batch(
+        oracle_service, _jobs(verify_runs=3)
+    )
+
+    for name, batch, seconds in [
+        ("cold", cold, cold_seconds),
+        ("warm", warm, warm_seconds),
+        ("cold +verify-runs 3", swept, swept_seconds),
+    ]:
+        assert batch.ok
+        table.add_row(**{
+            "batch": name,
+            "seconds": round(seconds, 4),
+            "invocations": batch.stats.vectorizer_invocations,
+            "hit rate": round(batch.stats.hit_rate, 3),
+        })
+
+    overhead = swept_seconds / max(cold_seconds, 1e-9)
+    table.notes.append(
+        f"oracle sweep overhead: {overhead:.2f}x a plain cold batch "
+        f"({len(_jobs())} jobs; 3 seeded argument sets per function)"
+    )
+    table.notes.append(
+        f"warm speedup: {cold_seconds / max(warm_seconds, 1e-9):.1f}x"
+    )
+    return table
+
+
+def test_service_cache_bench(benchmark, table):
+    jobs = _jobs()
+    primed = CompilationService(cache=CompileCache(), jobs=1)
+    primed.compile_batch(jobs)
+    benchmark(lambda: primed.compile_batch(jobs))
+    emit_table(table)
+
+    cold = table.row_for("batch", "cold")
+    warm = table.row_for("batch", "warm")
+    swept = table.row_for("batch", "cold +verify-runs 3")
+
+    # warm batches never touch the vectorizer and are faster
+    assert warm["invocations"] == 0
+    assert warm["hit rate"] == 1.0
+    assert warm["seconds"] < cold["seconds"]
+
+    # cold batches and oracle sweeps do the full work
+    assert cold["invocations"] == len(jobs)
+    assert swept["invocations"] == len(jobs)
+    # the sweep costs measurably more than a plain cold compile
+    assert swept["seconds"] > cold["seconds"]

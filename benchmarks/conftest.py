@@ -5,6 +5,13 @@ saves it under ``benchmarks/output/``, and asserts the paper's
 qualitative claims.  Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Figure measurements route through the process-wide
+:class:`repro.service.CompilationService` cache, so the many figures
+that share (kernel, config) pairs — every figure's O3 baseline column,
+for one — compile each pair exactly once per session; a summary of the
+cache traffic prints at session end.  Figure 14 is the exception: it
+times compilation itself and bypasses the service.
 """
 
 from __future__ import annotations
@@ -12,6 +19,16 @@ from __future__ import annotations
 from pathlib import Path
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Print the measurement service's lifetime cache stats."""
+    from repro.experiments.runner import _MEASUREMENT_SERVICE
+
+    if _MEASUREMENT_SERVICE is None or _MEASUREMENT_SERVICE.stats.jobs == 0:
+        return
+    print("\n-- measurement service " + "-" * 40)
+    print(_MEASUREMENT_SERVICE.stats.render())
 
 
 def emit_table(table) -> str:

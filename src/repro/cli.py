@@ -1,10 +1,12 @@
-"""Command-line interface: compile, run, inspect, and reproduce.
+"""Command-line interface: compile, run, batch, inspect, and reproduce.
 
 Installed as the ``lslp`` console script::
 
     lslp compile kernel.c --config lslp          # print vectorized IR
     lslp compile kernel.c --config slp --report  # per-tree decisions
     lslp run kernel.c --arg i=8 --dump A         # interpret + dump array
+    lslp batch catalog --configs slp,lslp --jobs 4 --cache disk
+                                                 # batch-compile w/ cache
     lslp kernels                                 # list the Table 2 set
     lslp figures fig9 fig10                      # regenerate figures
 """
@@ -24,7 +26,7 @@ from .interp.memory import MemoryImage
 from .ir.printer import print_function, print_module
 from .kernels.catalog import ALL_KERNELS
 from .opt.pipelines import compile_function
-from .robustness.budget import Budget
+from .robustness.budget import Budget, ModuleMeter
 from .robustness.diagnostics import CompilerError, Remark, Severity
 from .robustness.guard import DifferentialOracle, GuardPolicy
 from .slp.vectorizer import VectorizerConfig
@@ -35,6 +37,9 @@ CONFIG_FACTORIES = {
     "slp": VectorizerConfig.slp,
     "lslp": VectorizerConfig.lslp,
 }
+
+#: friendly aliases accepted by ``lslp batch --configs``
+CONFIG_ALIASES = {"scalar": "o3", "slpnr": "slp-nr"}
 
 #: LSLP defaults applied when the flags are not given explicitly
 DEFAULT_LOOK_AHEAD = 8
@@ -74,14 +79,20 @@ def _config_from_args(args, warnings: Optional[list[Remark]] = None
 
 
 def _budget_from_args(args) -> Optional[Budget]:
+    module_evals = getattr(args, "max_module_lookahead_evals", None)
+    module_seconds = getattr(args, "max_module_seconds", None)
     if (args.max_lookahead_evals is None
             and args.max_reorder_assignments is None
-            and args.max_compile_seconds is None):
+            and args.max_compile_seconds is None
+            and module_evals is None
+            and module_seconds is None):
         return None
     return Budget(
         max_lookahead_evals=args.max_lookahead_evals,
         max_reorder_assignments=args.max_reorder_assignments,
         max_seconds=args.max_compile_seconds,
+        max_module_lookahead_evals=module_evals,
+        max_module_seconds=module_seconds,
     )
 
 
@@ -140,6 +151,17 @@ def _add_compile_options(parser: argparse.ArgumentParser) -> None:
         "--max-compile-seconds", type=float, default=None, metavar="S",
         help="budget: wall-clock seconds of SLP work per function",
     )
+    parser.add_argument(
+        "--max-module-lookahead-evals", type=int, default=None,
+        metavar="N",
+        help="budget: look-ahead evals across the whole module "
+             "(shared by all its functions)",
+    )
+    parser.add_argument(
+        "--max-module-seconds", type=float, default=None, metavar="S",
+        help="budget: wall-clock seconds of SLP work across the whole "
+             "module",
+    )
 
 
 def _load_module(path: str):
@@ -160,10 +182,13 @@ def cmd_compile(args) -> int:
     if args.print_before:
         print("; --- before ---")
         print(print_module(module))
+    module_meter = None
+    if config.budget is not None and config.budget.has_module_caps:
+        module_meter = ModuleMeter(config.budget)
     for func in module.functions.values():
         result = compile_function(func, config, target,
                                   verify_each=args.verify_each,
-                                  guard=guard)
+                                  guard=guard, module_meter=module_meter)
         _print_remarks(config_remarks + result.remarks, args.remarks)
         config_remarks = []
         if result.rolled_back:
@@ -222,23 +247,31 @@ def cmd_run(args) -> int:
 
     guard = _guard_from_args(args)
     oracle = None
+    verify_runs = max(1, args.verify_runs)
     if args.verify:
         if guard is None:
             raise SystemExit("error: --verify requires the guard "
                              "(drop --no-guard)")
-        oracle = DifferentialOracle(
-            module, args=runtime_args, seeds=(args.seed,), target=target,
+        oracle = DifferentialOracle.sweeping(
+            module, func, args=runtime_args, runs=verify_runs,
+            base_seed=args.seed, target=target,
         )
     result = compile_function(func, config, target, guard=guard,
                               oracle=oracle)
     _print_remarks(config_remarks + result.remarks, args.remarks)
     if args.verify:
         if "oracle" in result.rolled_back:
+            detail = next(
+                (r.message for r in result.remarks
+                 if r.category == "miscompile"), "",
+            )
             print(f"verify: MISMATCH in @{func.name}; "
-                  f"rolled back to the scalar baseline")
+                  f"rolled back to the scalar baseline"
+                  + (f" [{detail}]" if detail else ""))
         else:
             print(f"verify: @{func.name} scalar and {config.name} "
-                  f"outputs match (seed {args.seed})")
+                  f"outputs match ({verify_runs} run(s), "
+                  f"seeds {args.seed}..{args.seed + verify_runs - 1})")
     elif result.rolled_back:
         print(f"; @{func.name}: rolled back pass(es): "
               f"{', '.join(result.rolled_back)}", file=sys.stderr)
@@ -274,6 +307,165 @@ def cmd_run(args) -> int:
         preview = ", ".join(str(v) for v in values[:args.dump_count])
         print(f"@{name}[0:{args.dump_count}] = [{preview}]")
     return 0
+
+
+def _batch_configs(spec: str, args) -> list:
+    """Parse ``--configs a,b,c`` into VectorizerConfig instances."""
+    configs = []
+    for raw in spec.split(","):
+        name = raw.strip().lower()
+        name = CONFIG_ALIASES.get(name, name)
+        if name not in CONFIG_FACTORIES:
+            raise SystemExit(
+                f"error: unknown config {raw.strip()!r}; known: "
+                f"{', '.join(sorted(CONFIG_FACTORIES))} "
+                f"(aliases: {', '.join(sorted(CONFIG_ALIASES))})"
+            )
+        if name == "lslp":
+            depth = (args.look_ahead if args.look_ahead is not None
+                     else DEFAULT_LOOK_AHEAD)
+            config = VectorizerConfig.lslp(
+                look_ahead_depth=depth,
+                multi_node_max_size=args.multi_node,
+            )
+        else:
+            config = CONFIG_FACTORIES[name]()
+        configs.append(config)
+    if not configs:
+        raise SystemExit("error: --configs selected nothing")
+    return configs
+
+
+def _batch_jobs(args, configs) -> list:
+    """Resolve the batch source — the kernel catalog, a synthetic
+    suite, or a directory of mini-C files — into compile jobs."""
+    import os
+
+    from .kernels.suites import SUITE_SPECS, build_suite
+    from .service import job_for_kernel, job_for_module, job_for_source
+
+    target = target_by_name(args.target)
+    budget = _budget_from_args(args)
+    common = {
+        "guard": ("strict" if args.strict
+                  else "off" if args.no_guard else "guarded"),
+        "verify_runs": args.verify_runs,
+        "verify_seed": args.seed,
+    }
+
+    def with_budget(config):
+        return config.with_budget(budget) if budget is not None else config
+
+    jobs = []
+    source = args.source
+    suite_names = {spec.name for spec in SUITE_SPECS}
+    if source == "catalog":
+        for kernel in ALL_KERNELS.values():
+            for config in configs:
+                jobs.append(job_for_kernel(
+                    kernel, with_budget(config), target, **common,
+                ))
+    elif source in suite_names:
+        from .kernels.suites import suite_by_name
+
+        module = build_suite(suite_by_name(source))
+        for config in configs:
+            jobs.append(job_for_module(
+                source, module, with_budget(config), target,
+                args={"i": 8}, **common,
+            ))
+    elif os.path.isdir(source):
+        files = sorted(
+            f for f in os.listdir(source)
+            if f.endswith(".c") or f.endswith(".lslp")
+        )
+        if not files:
+            raise SystemExit(
+                f"error: no .c/.lslp kernel sources in {source!r}"
+            )
+        for filename in files:
+            path = os.path.join(source, filename)
+            try:
+                with open(path) as handle:
+                    text = handle.read()
+            except OSError as error:
+                raise SystemExit(
+                    f"error: cannot read {path}: {error}"
+                )
+            for config in configs:
+                jobs.append(job_for_source(
+                    filename, text, with_budget(config), target,
+                    args={"i": 8}, **common,
+                ))
+    else:
+        raise SystemExit(
+            f"error: batch source {source!r} is not 'catalog', a known "
+            f"suite ({', '.join(sorted(suite_names))}), or a directory"
+        )
+    return jobs
+
+
+def cmd_batch(args) -> int:
+    from .robustness.budget import Budget as _Budget
+    from .service import (
+        AdmissionPolicy,
+        CompilationService,
+        CompileCache,
+        DiskCache,
+        MemoryCache,
+    )
+
+    configs = _batch_configs(args.configs, args)
+    jobs = _batch_jobs(args, configs)
+
+    cache = None
+    if args.cache == "memory":
+        cache = CompileCache(memory=MemoryCache(args.cache_size))
+    elif args.cache == "disk":
+        cache = CompileCache(
+            memory=MemoryCache(args.cache_size),
+            disk=DiskCache(args.cache_dir),
+        )
+
+    admission = AdmissionPolicy(
+        queue_capacity=args.queue_capacity,
+        max_total_seconds=args.max_total_seconds,
+        job_budget=(_Budget.service_default()
+                    if args.service_budget else None),
+    )
+    service = CompilationService(cache=cache, jobs=args.jobs,
+                                 admission=admission)
+    batch = service.compile_batch(jobs)
+
+    for result in batch.results:
+        if args.remarks:
+            for remark in result.remarks:
+                print(f"; {remark.render()}")
+        if args.report:
+            status = (f"cached[{result.cache_tier}]" if result.cached
+                      else "degraded" if result.degraded
+                      else "error" if not result.ok
+                      else "compiled")
+            report = result.report
+            print(f"{result.job.name} [{result.job.config.name}]: "
+                  f"{report.num_vectorized} tree(s) vectorized, "
+                  f"static cost {result.static_cost} ({status})")
+        if not result.ok:
+            print(f"error: {result.job.name} "
+                  f"[{result.job.config.name}]: {result.error}",
+                  file=sys.stderr)
+
+    print(batch.stats.render())
+    if args.min_hit_rate is not None:
+        if batch.stats.hit_rate < args.min_hit_rate:
+            print(
+                f"error: cache hit rate "
+                f"{100.0 * batch.stats.hit_rate:.1f}% is below the "
+                f"required {100.0 * args.min_hit_rate:.1f}%",
+                file=sys.stderr,
+            )
+            return 1
+    return 0 if batch.ok else 1
 
 
 def cmd_kernels(_args) -> int:
@@ -342,7 +534,102 @@ def build_parser() -> argparse.ArgumentParser:
                        help="differentially execute the scalar snapshot "
                             "and the vectorized function; on mismatch "
                             "roll back to scalar")
+    p_run.add_argument("--verify-runs", type=int, default=1, metavar="N",
+                       help="replay the differential oracle over N seeded "
+                            "(memory, argument) sets and report which "
+                            "seed diverged (default: 1)")
     p_run.set_defaults(handler=cmd_run)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="batch-compile many kernels through the caching service",
+    )
+    p_batch.add_argument(
+        "source",
+        help="'catalog' (the Table 2 kernels), a suite name "
+             "(e.g. 453.povray), or a directory of .c kernel sources",
+    )
+    p_batch.add_argument(
+        "--configs", default="o3,slp-nr,slp,lslp", metavar="A,B,...",
+        help="comma-separated configurations (default: all four; "
+             "'scalar' is an alias for o3)",
+    )
+    p_batch.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="parallel compile workers (default: 1)")
+    p_batch.add_argument(
+        "--cache", choices=["off", "memory", "disk"], default="memory",
+        help="cache tiers: in-memory LRU, plus on-disk under "
+             "--cache-dir (default: memory)",
+    )
+    p_batch.add_argument("--cache-dir", default=".lslp-cache",
+                         help="on-disk cache root (default: .lslp-cache)")
+    p_batch.add_argument("--cache-size", type=int, default=256,
+                         metavar="N",
+                         help="in-memory LRU capacity (default: 256)")
+    p_batch.add_argument(
+        "--queue-capacity", type=int, default=32, metavar="N",
+        help="max jobs in flight before submission blocks (default: 32)",
+    )
+    p_batch.add_argument(
+        "--max-total-seconds", type=float, default=None, metavar="S",
+        help="service budget: once exceeded, remaining jobs compile "
+             "scalar-only",
+    )
+    p_batch.add_argument(
+        "--service-budget", action="store_true",
+        help="install the default per-job budget (function + module "
+             "caps) on jobs without one",
+    )
+    p_batch.add_argument(
+        "--target", default="skylake-like",
+        help="cost-model target (default: skylake-like)",
+    )
+    p_batch.add_argument("--look-ahead", type=int, default=None,
+                         help="LSLP look-ahead depth")
+    p_batch.add_argument("--multi-node", type=int, default=None,
+                         help="LSLP multi-node size limit")
+    p_batch.add_argument("--strict", action="store_true",
+                         help="fail a job fast on any pass failure")
+    p_batch.add_argument("--no-guard", action="store_true",
+                         help="disable per-pass snapshot/rollback")
+    p_batch.add_argument("--remarks", action="store_true",
+                         help="print structured diagnostics per job")
+    p_batch.add_argument("--report", action="store_true",
+                         help="print one summary line per job")
+    p_batch.add_argument(
+        "--verify-runs", type=int, default=0, metavar="N",
+        help="run the differential oracle N times per function with "
+             "seeded (memory, argument) sets (default: off)",
+    )
+    p_batch.add_argument("--seed", type=int, default=0,
+                         help="base seed for --verify-runs")
+    p_batch.add_argument(
+        "--min-hit-rate", type=float, default=None, metavar="F",
+        help="exit 1 unless the cache hit rate reaches F (0..1); "
+             "used by CI's warm-cache smoke",
+    )
+    p_batch.add_argument(
+        "--max-lookahead-evals", type=int, default=None, metavar="N",
+        help="budget: look-ahead score evaluations per function",
+    )
+    p_batch.add_argument(
+        "--max-reorder-assignments", type=int, default=None, metavar="N",
+        help="budget: exhaustive-reorder assignments per multi-node",
+    )
+    p_batch.add_argument(
+        "--max-compile-seconds", type=float, default=None, metavar="S",
+        help="budget: wall-clock seconds of SLP work per function",
+    )
+    p_batch.add_argument(
+        "--max-module-lookahead-evals", type=int, default=None,
+        metavar="N",
+        help="budget: look-ahead evals across one job's whole module",
+    )
+    p_batch.add_argument(
+        "--max-module-seconds", type=float, default=None, metavar="S",
+        help="budget: SLP wall-clock seconds across one job's module",
+    )
+    p_batch.set_defaults(handler=cmd_batch)
 
     p_kernels = sub.add_parser("kernels", help="list the kernel catalog")
     p_kernels.set_defaults(handler=cmd_kernels)

@@ -1,20 +1,32 @@
 """Measurement primitives shared by all figure experiments.
 
-Each measurement compiles a *fresh* copy of the workload under one
-configuration, then reports:
+Each measurement compiles the workload under one configuration, then
+reports:
 
 * **static cost** — the vectorizer's accepted tree costs (Figure 10), or
   the whole-module static issue cost (Figure 11),
 * **simulated cycles** — from interpreting the compiled code on the
   machine model (Figures 9, 12, 13),
 * **compile seconds** — wall-clock time in the pass pipeline (Figure 14).
+
+Compilation routes through a process-wide
+:class:`~repro.service.CompilationService` with an in-memory
+content-addressed cache: a figure that measures the same (kernel,
+config) twice — every figure's baseline column does — compiles it once,
+and repeated figure runs in one process reuse everything.  Cache hits
+rehydrate the printed IR through the parser; printing round-trips
+exactly (a tested property), so measured cycles and costs are identical
+to a fresh compile.  ``compile_seconds`` on a hit is the stored
+cold-compile wall time.  Pass ``service=False`` to force fresh,
+uncached compilation (the compile-time figure does its own timing and
+bypasses the service entirely).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from ..costmodel.targets import skylake_like
 from ..costmodel.tti import TargetCostModel
@@ -24,6 +36,12 @@ from ..ir.function import Module
 from ..kernels.catalog import Kernel
 from ..kernels.suites import SuiteSpec, build_suite, function_weight
 from ..opt.pipelines import compile_function, compile_module
+from ..service import (
+    CompilationService,
+    CompileCache,
+    job_for_kernel,
+    job_for_module,
+)
 from ..slp.vectorizer import VectorizerConfig
 
 #: the four configurations of the paper's §5.1, in plot order
@@ -48,6 +66,40 @@ SENSITIVITY_CONFIGS: list[VectorizerConfig] = [
 ]
 
 
+#: the process-wide measurement service (memory cache only; figures are
+#: deterministic, so entries never go stale within a process)
+_MEASUREMENT_SERVICE: Optional[CompilationService] = None
+
+#: ``service`` argument: None = default service, False = bypass,
+#: or an explicit CompilationService
+ServiceSpec = Union[None, bool, CompilationService]
+
+
+def default_service() -> CompilationService:
+    """The shared figure-measurement service (created on first use)."""
+    global _MEASUREMENT_SERVICE
+    if _MEASUREMENT_SERVICE is None:
+        _MEASUREMENT_SERVICE = CompilationService(
+            cache=CompileCache(memory_capacity=1024), jobs=1,
+            guard_default="off",
+        )
+    return _MEASUREMENT_SERVICE
+
+
+def reset_default_service() -> None:
+    """Drop the shared cache (tests that perturb global state use it)."""
+    global _MEASUREMENT_SERVICE
+    _MEASUREMENT_SERVICE = None
+
+
+def _resolve_service(service: ServiceSpec) -> Optional[CompilationService]:
+    if service is None:
+        return default_service()
+    if service is False:
+        return None
+    return service
+
+
 @dataclass
 class KernelMeasurement:
     """One kernel compiled and executed under one configuration."""
@@ -64,23 +116,44 @@ class KernelMeasurement:
 
 def measure_kernel(kernel: Kernel, config: VectorizerConfig,
                    target: Optional[TargetCostModel] = None,
-                   seed: int = 0) -> KernelMeasurement:
-    """Compile a fresh copy of ``kernel`` under ``config`` and run it."""
+                   seed: int = 0,
+                   service: ServiceSpec = None) -> KernelMeasurement:
+    """Compile ``kernel`` under ``config`` (through the measurement
+    service's cache unless ``service=False``) and run it."""
     target = target if target is not None else skylake_like()
-    module, func = kernel.build()
-    result = compile_function(func, config, target)
+    resolved = _resolve_service(service)
+    if resolved is None:
+        module, func = kernel.build()
+        result = compile_function(func, config, target)
+        report = result.report
+        static_cost = result.static_cost
+        compile_seconds = result.compile_seconds
+    else:
+        job = job_for_kernel(kernel, config, target,
+                             guard=resolved.guard_default)
+        outcome = resolved.compile_job(job)
+        if not outcome.ok:
+            raise RuntimeError(
+                f"measurement compile failed for {kernel.name} "
+                f"[{config.name}]: {outcome.error}"
+            )
+        module = outcome.module
+        func = module.get_function(kernel.entry)
+        report = outcome.report
+        static_cost = outcome.static_cost
+        compile_seconds = outcome.compile_seconds
     memory = MemoryImage(module)
     memory.randomize(seed=seed)
     execution = Interpreter(memory, target).run(func, kernel.default_args)
     return KernelMeasurement(
         kernel=kernel.name,
         config=config.name,
-        static_cost=result.static_cost,
+        static_cost=static_cost,
         cycles=execution.cycles,
-        compile_seconds=result.compile_seconds,
-        trees_vectorized=result.report.num_vectorized,
-        multi_nodes=result.report.stats.multi_nodes,
-        lookahead_evals=result.report.stats.lookahead_evals,
+        compile_seconds=compile_seconds,
+        trees_vectorized=report.num_vectorized,
+        multi_nodes=report.stats.multi_nodes,
+        lookahead_evals=report.stats.lookahead_evals,
     )
 
 
@@ -111,13 +184,29 @@ def module_static_cost(module: Module,
 
 def measure_suite(spec: SuiteSpec, config: VectorizerConfig,
                   target: Optional[TargetCostModel] = None,
-                  seed: int = 0) -> SuiteMeasurement:
-    """Compile and execute a fresh copy of one suite."""
+                  seed: int = 0,
+                  service: ServiceSpec = None) -> SuiteMeasurement:
+    """Compile (through the measurement service's cache unless
+    ``service=False``) and execute one suite."""
     target = target if target is not None else skylake_like()
-    module = build_suite(spec)
-    results = compile_module(module, config, target)
-    compile_seconds = sum(r.compile_seconds for r in results)
-    vectorized = sum(r.report.num_vectorized for r in results)
+    resolved = _resolve_service(service)
+    if resolved is None:
+        module = build_suite(spec)
+        results = compile_module(module, config, target)
+        compile_seconds = sum(r.compile_seconds for r in results)
+        vectorized = sum(r.report.num_vectorized for r in results)
+    else:
+        job = job_for_module(spec.name, build_suite(spec), config,
+                             target, guard=resolved.guard_default)
+        outcome = resolved.compile_job(job)
+        if not outcome.ok:
+            raise RuntimeError(
+                f"measurement compile failed for suite {spec.name} "
+                f"[{config.name}]: {outcome.error}"
+            )
+        module = outcome.module
+        compile_seconds = outcome.compile_seconds
+        vectorized = outcome.report.num_vectorized
 
     memory = MemoryImage(module)
     memory.randomize(seed=seed)
@@ -146,12 +235,14 @@ def geomean(values: Sequence[float]) -> float:
 
 
 __all__ = [
+    "default_service",
     "geomean",
     "KernelMeasurement",
     "measure_kernel",
     "measure_suite",
     "module_static_cost",
     "PAPER_CONFIGS",
+    "reset_default_service",
     "SENSITIVITY_CONFIGS",
     "SuiteMeasurement",
 ]

@@ -8,6 +8,7 @@ and the speedup measurement the performance experiments use.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -35,6 +36,35 @@ class DifferentialOutcome:
         if self.transformed.cycles == 0:
             return float("inf")
         return self.reference.cycles / self.transformed.cycles
+
+
+def seeded_arg_sets(func: Function,
+                    base_args: Optional[dict[str, object]] = None,
+                    runs: int = 1,
+                    base_seed: int = 0,
+                    index_range: int = 8) -> list[dict[str, object]]:
+    """``runs`` argument sets for a property-style differential sweep.
+
+    Set 0 is ``base_args`` verbatim (one run reproduces the historical
+    single-replay behaviour); later sets vary every *integer* argument
+    deterministically from the run's seed, keeping values inside
+    ``[0, index_range)`` so kernel base indices stay within the arrays
+    the catalog declares.  Float and non-numeric arguments are left
+    untouched — varying them would change rounding behaviour, which is
+    the cost model's business, not the oracle's.
+    """
+    base = dict(base_args or {})
+    sets: list[dict[str, object]] = [base]
+    for run in range(1, max(1, runs)):
+        rng = random.Random(0x1517_0000 + base_seed * 8191 + run)
+        varied = dict(base)
+        for argument in func.arguments:
+            value = varied.get(argument.name)
+            if isinstance(value, bool) or not isinstance(value, int):
+                continue
+            varied[argument.name] = rng.randrange(index_range)
+        sets.append(varied)
+    return sets
 
 
 def run_on_fresh_memory(module: Module, func: Function,
@@ -104,4 +134,5 @@ __all__ = [
     "DifferentialOutcome",
     "KernelFactory",
     "run_on_fresh_memory",
+    "seeded_arg_sets",
 ]

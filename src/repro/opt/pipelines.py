@@ -24,6 +24,7 @@ from typing import Optional, Union
 from ..costmodel.targets import skylake_like
 from ..costmodel.tti import TargetCostModel
 from ..ir.function import Function, Module
+from ..robustness.budget import ModuleMeter
 from ..robustness.diagnostics import Remark
 from ..robustness.faults import FaultInjector
 from ..robustness.guard import DifferentialOracle, GuardPolicy, PassGuard
@@ -78,14 +79,19 @@ class CompileResult:
 
 class _VectorizePass:
     """Adapter so the SLP vectorizer can sit in a PassManager and still
-    surface its report."""
+    surface its report.  ``module_meter`` (when given) shares one
+    module-scope budget across every function compiled through this
+    pipeline instance — the whole-compile admission unit batch jobs
+    use."""
 
-    def __init__(self, config: VectorizerConfig, target: TargetCostModel):
+    def __init__(self, config: VectorizerConfig, target: TargetCostModel,
+                 module_meter: Optional[ModuleMeter] = None):
         self.vectorizer = SLPVectorizer(config, target)
+        self.module_meter = module_meter
         self.report: Optional[VectorizationReport] = None
 
     def __call__(self, func: Function) -> bool:
-        report = self.vectorizer.run_function(func)
+        report = self.vectorizer.run_function(func, self.module_meter)
         if self.report is None:
             self.report = report
         else:
@@ -122,6 +128,7 @@ def build_pipeline(config: VectorizerConfig,
                    verify_each: bool = False,
                    guard=None,
                    faults: Optional[FaultInjector] = None,
+                   module_meter: Optional[ModuleMeter] = None,
                    ) -> tuple[PassManager, _VectorizePass | None]:
     """A pipeline for ``config``; also returns the report-capturing
     vectorizer pass (None for O3)."""
@@ -131,7 +138,7 @@ def build_pipeline(config: VectorizerConfig,
     manager = scalar_pipeline(verify_each=verify_each, guard=guard)
     vectorize = None
     if config.enabled:
-        vectorize = _VectorizePass(config, target)
+        vectorize = _VectorizePass(config, target, module_meter)
         manager.add("slp", vectorize)
         manager.add("dce-post", run_dce)
     if faults is not None:
@@ -169,14 +176,15 @@ def compile_function(func: Function, config: VectorizerConfig,
                      verify_each: bool = False,
                      guard: GuardSpec = None,
                      oracle: Optional[DifferentialOracle] = None,
-                     faults: Optional[FaultInjector] = None
+                     faults: Optional[FaultInjector] = None,
+                     module_meter: Optional[ModuleMeter] = None
                      ) -> CompileResult:
     """Run the full pipeline for ``config`` over ``func`` in place."""
     policy = _resolve_guard(guard, oracle)
     pass_guard = PassGuard(policy) if policy is not None else None
     manager, vectorize = build_pipeline(
         config, target, verify_each=verify_each, guard=pass_guard,
-        faults=faults,
+        faults=faults, module_meter=module_meter,
     )
     timing = manager.run_function(func)
     result = CompileResult(
@@ -199,11 +207,20 @@ def compile_function(func: Function, config: VectorizerConfig,
 def compile_module(module: Module, config: VectorizerConfig,
                    target: Optional[TargetCostModel] = None,
                    guard: GuardSpec = None,
-                   faults: Optional[FaultInjector] = None
+                   faults: Optional[FaultInjector] = None,
+                   module_meter: Optional[ModuleMeter] = None
                    ) -> list[CompileResult]:
-    """Compile every function of ``module`` under ``config``."""
+    """Compile every function of ``module`` under ``config``.
+
+    All functions share one module-scope budget meter when the config's
+    budget carries module caps — the whole-compile budget the ROADMAP
+    calls for, and the service's per-job admission unit."""
+    if (module_meter is None and config.budget is not None
+            and config.budget.has_module_caps):
+        module_meter = ModuleMeter(config.budget)
     return [
-        compile_function(func, config, target, guard=guard, faults=faults)
+        compile_function(func, config, target, guard=guard, faults=faults,
+                         module_meter=module_meter)
         for func in module.functions.values()
     ]
 

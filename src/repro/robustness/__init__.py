@@ -17,7 +17,7 @@ through:
   to prove the guard actually recovers.
 """
 
-from .budget import Budget, BudgetEvent, BudgetMeter
+from .budget import Budget, BudgetEvent, BudgetMeter, ModuleMeter
 from .diagnostics import (
     BudgetExceededError,
     CompilerError,
@@ -58,6 +58,7 @@ __all__ = [
     "InjectedFault",
     "InvalidIRError",
     "MiscompileError",
+    "ModuleMeter",
     "PassCrashError",
     "PerturbedCostModel",
     "Remark",

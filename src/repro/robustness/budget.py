@@ -32,6 +32,11 @@ class Budget:
     max_reorder_assignments: Optional[int] = None
     #: wall-clock seconds the SLP pass may spend on one function
     max_seconds: Optional[float] = None
+    #: look-ahead score evaluations across *every* function of one
+    #: compile job (module scope, shared via a :class:`ModuleMeter`)
+    max_module_lookahead_evals: Optional[int] = None
+    #: wall-clock seconds of SLP work across the whole module
+    max_module_seconds: Optional[float] = None
 
     @staticmethod
     def unlimited() -> "Budget":
@@ -44,6 +49,22 @@ class Budget:
                       max_reorder_assignments=20_000,
                       max_seconds=30.0)
 
+    @staticmethod
+    def service_default() -> "Budget":
+        """Per-job caps for batch/server workloads: the per-function
+        defaults plus a module-scope meter, the admission unit of
+        ``repro.service``."""
+        return Budget(max_lookahead_evals=1_000_000,
+                      max_reorder_assignments=20_000,
+                      max_seconds=30.0,
+                      max_module_lookahead_evals=4_000_000,
+                      max_module_seconds=120.0)
+
+    @property
+    def has_module_caps(self) -> bool:
+        return (self.max_module_lookahead_evals is not None
+                or self.max_module_seconds is not None)
+
 
 @dataclass
 class BudgetEvent:
@@ -53,11 +74,87 @@ class BudgetEvent:
     detail: str
 
 
-class BudgetMeter:
-    """Per-function consumption tracker for one :class:`Budget`."""
+class ModuleMeter:
+    """Whole-compile (module-scope) consumption, shared by the
+    :class:`BudgetMeter` of every function in one compile job.
+
+    This is the admission unit of batch/server workloads
+    (``repro.service``): one poisoned or merely enormous module exhausts
+    *its own* meter and degrades to greedy/scalar compilation, instead
+    of starving every other job in the batch.
+    """
 
     def __init__(self, budget: Optional[Budget] = None):
         self.budget = budget if budget is not None else Budget()
+        self.lookahead_evals = 0
+        self.functions_started = 0
+        self.events: list[BudgetEvent] = []
+        self._deadline: Optional[float] = None
+        self._tripped: set[str] = set()
+
+    def start_function(self) -> None:
+        """Called once per function; the first call arms the deadline."""
+        self.functions_started += 1
+        if (self._deadline is None
+                and self.budget.max_module_seconds is not None):
+            self._deadline = (time.perf_counter()
+                              + self.budget.max_module_seconds)
+
+    def charge_lookahead(self, count: int = 1) -> None:
+        self.lookahead_evals += count
+
+    def time_exceeded(self) -> bool:
+        if self._deadline is None:
+            return False
+        if time.perf_counter() <= self._deadline:
+            return False
+        self._note(
+            "module-wall-clock",
+            f"module compile budget of {self.budget.max_module_seconds}s "
+            "exceeded; remaining functions keep their scalar form",
+        )
+        return True
+
+    def evals_exceeded(self) -> bool:
+        cap = self.budget.max_module_lookahead_evals
+        if cap is None or self.lookahead_evals < cap:
+            return False
+        self._note(
+            "module-lookahead",
+            f"module look-ahead budget of {cap} exhausted after "
+            f"{self.lookahead_evals} evals across "
+            f"{self.functions_started} function(s)",
+        )
+        return True
+
+    def exceeded(self) -> bool:
+        return self.time_exceeded() or self.evals_exceeded()
+
+    @property
+    def exhausted(self) -> bool:
+        return bool(self.events)
+
+    def _note(self, kind: str, detail: str) -> None:
+        if kind in self._tripped:
+            return
+        self._tripped.add(kind)
+        self.events.append(BudgetEvent(kind, detail))
+
+
+class BudgetMeter:
+    """Per-function consumption tracker for one :class:`Budget`.
+
+    When ``module`` is given, consumption is also charged against the
+    shared :class:`ModuleMeter`, and any module-scope exhaustion stops
+    this function's vectorization exactly like a per-function cap.
+    """
+
+    def __init__(self, budget: Optional[Budget] = None,
+                 module: Optional[ModuleMeter] = None):
+        if budget is None:
+            budget = module.budget if module is not None else Budget()
+        self.budget = budget
+        self.module = module
         self.lookahead_evals = 0
         self.events: list[BudgetEvent] = []
         self._deadline: Optional[float] = None
@@ -69,13 +166,19 @@ class BudgetMeter:
         """Arm the wall-clock deadline for a fresh function."""
         if self.budget.max_seconds is not None:
             self._deadline = time.perf_counter() + self.budget.max_seconds
+        if self.module is not None:
+            self.module.start_function()
 
     def charge_lookahead(self, count: int = 1) -> None:
         self.lookahead_evals += count
+        if self.module is not None:
+            self.module.charge_lookahead(count)
 
     # ------------------------------------------------------------------
 
     def time_exceeded(self) -> bool:
+        if self._module_exceeded():
+            return True
         if self._deadline is None:
             return False
         if time.perf_counter() <= self._deadline:
@@ -84,6 +187,18 @@ class BudgetMeter:
             "wall-clock",
             f"per-function compile budget of {self.budget.max_seconds}s "
             "exceeded; remaining vectorization work skipped",
+        )
+        return True
+
+    def _module_exceeded(self) -> bool:
+        """Module-scope exhaustion, surfaced as a local event too so the
+        per-function report explains why this function stayed scalar."""
+        if self.module is None or not self.module.exceeded():
+            return False
+        self._note(
+            "module",
+            "module-level compile budget exhausted; this function keeps "
+            "its scalar form",
         )
         return True
 
@@ -138,4 +253,4 @@ class BudgetMeter:
         self.events.append(BudgetEvent(kind, detail))
 
 
-__all__ = ["Budget", "BudgetEvent", "BudgetMeter"]
+__all__ = ["Budget", "BudgetEvent", "BudgetMeter", "ModuleMeter"]

@@ -95,7 +95,11 @@ class DifferentialOracle:
     Both functions run on identically seeded random memory images; every
     observable (final array contents, return value) must agree for every
     seed.  ``args`` supplies runtime arguments (kernels typically take a
-    base index ``i``).
+    base index ``i``).  ``arg_sets``, when given, pairs one argument set
+    with each seed — a property-style sweep over both memory contents
+    *and* runtime arguments (see
+    :func:`repro.interp.differential.seeded_arg_sets`); a mismatch
+    reports exactly which seed/argument set diverged.
     """
 
     module: Module
@@ -103,28 +107,59 @@ class DifferentialOracle:
     seeds: tuple[int, ...] = (0,)
     float_tolerance: float = 1e-9
     target: Optional["TargetCostModel"] = None
+    #: one argument set per seed; None = ``args`` for every seed
+    arg_sets: Optional[tuple[dict, ...]] = None
+
+    @staticmethod
+    def sweeping(module: Module, func: Function,
+                 args: Optional[dict[str, object]] = None,
+                 runs: int = 1, base_seed: int = 0,
+                 target: Optional["TargetCostModel"] = None,
+                 float_tolerance: float = 1e-9) -> "DifferentialOracle":
+        """An oracle replaying ``runs`` seeded (memory, argument) pairs.
+
+        Run 0 reproduces the historical single-replay check (base seed,
+        given args); runs 1..N-1 draw fresh memory images and vary the
+        integer arguments deterministically per seed."""
+        from ..interp.differential import seeded_arg_sets
+
+        runs = max(1, runs)
+        return DifferentialOracle(
+            module,
+            args=args,
+            seeds=tuple(base_seed + run for run in range(runs)),
+            float_tolerance=float_tolerance,
+            target=target,
+            arg_sets=tuple(seeded_arg_sets(func, args, runs, base_seed)),
+        )
 
     def check(self, reference: Function,
               transformed: Function) -> Optional[str]:
-        """``None`` when equivalent, else a human-readable mismatch."""
+        """``None`` when equivalent, else a human-readable mismatch
+        naming the seed (and argument set) that diverged."""
         # Imported lazily: repro.interp pulls in repro.opt at package
         # import time, which would cycle back into this module.
         from ..interp.differential import compare_runs
 
-        for seed in self.seeds:
+        for run, seed in enumerate(self.seeds):
+            args = self.args
+            where = f"seed {seed}"
+            if self.arg_sets is not None:
+                args = self.arg_sets[run]
+                where = f"run {run} (seed {seed}, args {args})"
             try:
                 outcome = compare_runs(
                     (self.module, reference), (self.module, transformed),
-                    args=self.args, seed=seed, target=self.target,
+                    args=args, seed=seed, target=self.target,
                     float_tolerance=self.float_tolerance,
                 )
             except Exception as exc:
                 # Corrupt-but-valid IR can crash the interpreter
                 # (division by a swapped-in zero, runaway step limit);
                 # execution failure counts as a mismatch.
-                return f"seed {seed}: execution failed: {exc}"
+                return f"{where}: execution failed: {exc}"
             if not outcome.equivalent:
-                return f"seed {seed}: {outcome.detail}"
+                return f"{where}: {outcome.detail}"
         return None
 
 

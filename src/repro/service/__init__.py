@@ -1,0 +1,82 @@
+"""repro.service — the batch compilation service.
+
+Compiling the evaluation suite means the same kernels under the same
+four configurations, over and over — exactly the workload goSLP and
+NeuroVectorizer describe for vectorization search.  This package
+amortizes it:
+
+* :mod:`cache` — a content-addressed compile cache (source/IR × config ×
+  target × pipeline × version) with an in-memory LRU tier and an
+  optional on-disk tier under ``.lslp-cache/``.
+* :mod:`jobs` — picklable :class:`CompileJob` descriptions and the one
+  job runner both executors share.
+* :mod:`pool` — serial or multi-process fan-out with a bounded
+  submission window.
+* :mod:`admission` — per-job budgets (module scope), a service-level
+  wall budget, and graceful degradation to scalar-only compilation.
+* :mod:`metrics` — the :class:`ServiceStats` snapshot the CLI prints.
+* :mod:`service` — :class:`CompilationService`, tying it together.
+
+Quickstart::
+
+    from repro.service import (
+        CompilationService, CompileCache, job_for_kernel,
+    )
+    from repro.kernels.catalog import ALL_KERNELS
+    from repro.slp.vectorizer import VectorizerConfig
+
+    service = CompilationService(
+        cache=CompileCache.with_disk(".lslp-cache"), jobs=4,
+    )
+    batch = service.compile_batch([
+        job_for_kernel(k, VectorizerConfig.lslp())
+        for k in ALL_KERNELS.values()
+    ])
+    print(batch.stats.render())
+"""
+
+from .admission import AdmissionController, AdmissionPolicy
+from .cache import (
+    CacheEntry,
+    CompileCache,
+    compute_key,
+    DEFAULT_CACHE_DIR,
+    DiskCache,
+    MemoryCache,
+)
+from .jobs import (
+    CompileJob,
+    execute_job,
+    job_for_kernel,
+    job_for_module,
+    job_for_source,
+    JobOutcome,
+)
+from .metrics import ServiceStats, StageSeconds
+from .serde import report_from_dict, report_to_dict, report_to_json
+from .service import BatchResult, CompilationService, JobResult
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "BatchResult",
+    "CacheEntry",
+    "CompilationService",
+    "CompileCache",
+    "CompileJob",
+    "compute_key",
+    "DEFAULT_CACHE_DIR",
+    "DiskCache",
+    "execute_job",
+    "job_for_kernel",
+    "job_for_module",
+    "job_for_source",
+    "JobOutcome",
+    "JobResult",
+    "MemoryCache",
+    "report_from_dict",
+    "report_to_dict",
+    "report_to_json",
+    "ServiceStats",
+    "StageSeconds",
+]

@@ -1,0 +1,104 @@
+"""Admission control: bounded queues, service budgets, degradation.
+
+The service never lets a batch grow without bound in memory (the
+in-flight window is capped, submission applies backpressure) and never
+lets a batch monopolize the machine (a service-level wall-clock budget).
+When the budget runs out mid-batch, remaining jobs *degrade* to
+scalar-only compilation — the same "always produce legal code" posture
+the per-function budgets take — unless degradation is disabled, in
+which case they are refused with a structured error.
+
+Per-job budgets ride on the :class:`~repro.robustness.budget.Budget`
+attached to each job's config; :meth:`AdmissionController.admit` installs
+the policy's default job budget (module caps included) when a job does
+not bring its own.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..robustness.budget import Budget
+from .jobs import CompileJob
+
+#: admission decisions
+RUN = "run"
+DEGRADE = "degrade"
+REFUSE = "refuse"
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """How a service paces and bounds one batch."""
+
+    #: maximum jobs in flight (submitted, not yet finished); submission
+    #: beyond this blocks — backpressure, not unbounded buffering
+    queue_capacity: int = 32
+    #: wall-clock budget for the whole batch; None = unlimited
+    max_total_seconds: Optional[float] = None
+    #: budget installed on jobs that do not carry one (module caps are
+    #: the per-job admission unit); None = leave jobs as submitted
+    job_budget: Optional[Budget] = None
+    #: exhausted service budget degrades jobs to scalar-only instead of
+    #: refusing them
+    degrade_to_scalar: bool = True
+
+    def __post_init__(self):
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+
+
+class AdmissionController:
+    """Applies one :class:`AdmissionPolicy` across a batch."""
+
+    def __init__(self, policy: Optional[AdmissionPolicy] = None):
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self._deadline: Optional[float] = None
+
+    def start_batch(self) -> None:
+        """(Re-)arm the service-level budget for a fresh batch."""
+        if self.policy.max_total_seconds is not None:
+            self._deadline = (time.perf_counter()
+                              + self.policy.max_total_seconds)
+        else:
+            self._deadline = None
+
+    # ------------------------------------------------------------------
+
+    def budget_exhausted(self) -> bool:
+        return (self._deadline is not None
+                and time.perf_counter() > self._deadline)
+
+    def admit(self, job: CompileJob) -> tuple[str, CompileJob]:
+        """Decide one job at dispatch time.
+
+        Returns ``(decision, job)`` where the job may have been rewritten
+        — budget installed, or vectorization disabled on degradation.
+        """
+        job = self._with_job_budget(job)
+        if not self.budget_exhausted():
+            return RUN, job
+        if self.policy.degrade_to_scalar and job.config.enabled:
+            return DEGRADE, job.degraded()
+        if self.policy.degrade_to_scalar:
+            # Already scalar: nothing left to shed, let it through.
+            return RUN, job
+        return REFUSE, job
+
+    def _with_job_budget(self, job: CompileJob) -> CompileJob:
+        if self.policy.job_budget is None or job.config.budget is not None:
+            return job
+        return replace(
+            job, config=job.config.with_budget(self.policy.job_budget)
+        )
+
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "DEGRADE",
+    "REFUSE",
+    "RUN",
+]

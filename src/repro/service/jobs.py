@@ -1,0 +1,258 @@
+"""Compile jobs: the unit of work the batch service fans out.
+
+A :class:`CompileJob` is a pure-data description of one (kernel,
+configuration) compile — mini-C source text or printed IR, the
+:class:`VectorizerConfig`, the target's :class:`TargetDescription`, the
+guard mode, and the oracle's verify settings.  Everything is picklable,
+so a job can cross a process boundary to a pool worker unchanged.
+
+:func:`execute_job` is the single compilation path used by *both* the
+serial and the parallel executors (determinism by construction): it runs
+every function of the job's module through
+:func:`repro.opt.pipelines.compile_function` inside the PR 1 guard, all
+functions sharing one module-scope :class:`ModuleMeter`, and returns a
+:class:`JobOutcome` whose :class:`CacheEntry` is exactly what the cache
+stores.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+from ..costmodel.tti import TargetCostModel, TargetDescription
+from ..frontend.lower import compile_kernel_source
+from ..ir.function import Module
+from ..ir.parser import parse_module
+from ..ir.printer import print_module
+from ..kernels.catalog import Kernel
+from ..robustness.budget import Budget, ModuleMeter
+from ..robustness.guard import DifferentialOracle
+from ..slp.vectorizer import VectorizationReport, VectorizerConfig
+from .cache import CacheEntry, compute_key
+from .serde import remark_to_dict, report_to_dict
+
+#: pipeline identity folded into every cache key; bump on pass changes
+PIPELINE_NAME = "o3+slp/v1"
+
+
+@dataclass(frozen=True)
+class CompileJob:
+    """One (kernel, configuration) compile request, pure data."""
+
+    name: str
+    config: VectorizerConfig
+    #: exactly one of the two payloads is set
+    source: Optional[str] = None       #: mini-C program text
+    ir: Optional[str] = None           #: printed-IR program text
+    target_desc: TargetDescription = field(
+        default_factory=TargetDescription
+    )
+    guard: str = "guarded"             #: "off" | "guarded" | "strict"
+    #: >0 enables the differential oracle with that many seeded
+    #: (memory, argument) replays per function
+    verify_runs: int = 0
+    verify_seed: int = 0
+    #: runtime arguments for the oracle (e.g. the kernel base index)
+    args: Optional[dict[str, Any]] = None
+
+    def __post_init__(self):
+        if (self.source is None) == (self.ir is None):
+            raise ValueError(
+                "exactly one of source/ir must be provided"
+            )
+        if self.guard not in ("off", "guarded", "strict"):
+            raise ValueError(f"unknown guard mode {self.guard!r}")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def payload(self) -> tuple[str, str]:
+        if self.source is not None:
+            return "source", self.source
+        return "ir", self.ir  # type: ignore[return-value]
+
+    def cache_key(self) -> str:
+        kind, text = self.payload
+        target = TargetCostModel(self.target_desc)
+        return compute_key(
+            kind, text, self.config, target, pipeline=PIPELINE_NAME,
+            extra={
+                "guard": self.guard,
+                "verify_runs": self.verify_runs,
+                "verify_seed": self.verify_seed,
+                "args": sorted((self.args or {}).items()),
+            },
+        )
+
+    def degraded(self) -> "CompileJob":
+        """This job with vectorization disabled (admission fallback)."""
+        return replace(self, config=replace(self.config, enabled=False))
+
+
+def job_for_kernel(kernel: Kernel, config: VectorizerConfig,
+                   target: Optional[TargetCostModel] = None,
+                   **overrides: Any) -> CompileJob:
+    """A job compiling one catalog kernel under one configuration."""
+    desc = (target.desc if target is not None else TargetDescription())
+    overrides.setdefault("args", dict(kernel.default_args))
+    return CompileJob(
+        name=kernel.name, config=config, source=kernel.source,
+        target_desc=desc, **overrides,
+    )
+
+
+def job_for_source(name: str, source: str, config: VectorizerConfig,
+                   target: Optional[TargetCostModel] = None,
+                   **overrides: Any) -> CompileJob:
+    desc = (target.desc if target is not None else TargetDescription())
+    return CompileJob(name=name, config=config, source=source,
+                      target_desc=desc, **overrides)
+
+
+def job_for_module(name: str, module: Module, config: VectorizerConfig,
+                   target: Optional[TargetCostModel] = None,
+                   **overrides: Any) -> CompileJob:
+    """A job for an already-lowered module, keyed by its printed IR."""
+    desc = (target.desc if target is not None else TargetDescription())
+    return CompileJob(name=name, config=config,
+                      ir=print_module(module), target_desc=desc,
+                      **overrides)
+
+
+# ---------------------------------------------------------------------------
+# Execution (runs in pool workers and inline)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class JobOutcome:
+    """What comes back from one executed job, picklable."""
+
+    entry: Optional[CacheEntry]
+    #: wall seconds the worker spent on the job end to end (front-end +
+    #: passes + oracle), for utilization accounting
+    worker_seconds: float = 0.0
+    error: str = ""
+    #: True when the per-job module budget ran dry mid-compile
+    budget_exhausted: bool = False
+
+    def __getstate__(self):
+        # The live module (attached for inline callers) is an IR object
+        # graph; it never crosses a process boundary — workers send the
+        # printed IR inside the entry instead.
+        state = dict(self.__dict__)
+        state.pop("module", None)
+        return state
+
+
+def execute_job(job: CompileJob) -> JobOutcome:
+    """Compile every function of ``job``'s module; never raises.
+
+    The guard contains per-pass failures inside the job; this wrapper
+    contains everything else (front-end errors, strict-mode escalations)
+    so one poisoned kernel cannot take down a batch.
+    """
+    started = time.perf_counter()
+    try:
+        outcome = _execute_job_inner(job)
+    except Exception as exc:  # worker boundary: contain everything
+        return JobOutcome(
+            entry=None,
+            worker_seconds=time.perf_counter() - started,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    outcome.worker_seconds = time.perf_counter() - started
+    return outcome
+
+
+def _execute_job_inner(job: CompileJob) -> JobOutcome:
+    # Imported here (not module top) to keep worker start cheap when the
+    # pool uses the spawn start method.
+    from ..opt.pipelines import compile_function
+
+    module = _load_module(job)
+    target = TargetCostModel(job.target_desc)
+    config = job.config
+    module_meter = (
+        ModuleMeter(config.budget)
+        if config.budget is not None and config.budget.has_module_caps
+        else None
+    )
+    guard = None if job.guard == "off" else job.guard
+
+    merged = VectorizationReport(job.name, config.name)
+    remarks: list[dict[str, Any]] = []
+    rolled_back: list[str] = []
+    compile_seconds = 0.0
+    static_cost = 0
+    for func in module.functions.values():
+        oracle = _oracle_for(job, module, func, target)
+        result = compile_function(
+            func, config, target, guard=guard, oracle=oracle,
+            module_meter=module_meter,
+        )
+        merged.merge(result.report)
+        remarks.extend(remark_to_dict(r) for r in result.remarks)
+        rolled_back.extend(
+            f"{func.name}:{name}" for name in result.rolled_back
+        )
+        compile_seconds += result.compile_seconds
+        static_cost += result.static_cost
+
+    entry = CacheEntry(
+        key=job.cache_key(),
+        name=job.name,
+        config_name=config.name,
+        ir_text=print_module(module),
+        report=report_to_dict(merged),
+        remarks=remarks,
+        rolled_back=rolled_back,
+        compile_seconds=compile_seconds,
+        static_cost=static_cost,
+    )
+    outcome = JobOutcome(entry=entry)
+    outcome.budget_exhausted = (
+        module_meter is not None and module_meter.exhausted
+    )
+    # Keep the live module attached for inline (same-process) callers so
+    # they can interpret it without re-parsing; __getstate__ strips it
+    # before a process boundary.
+    outcome.module = module  # type: ignore[attr-defined]
+    return outcome
+
+
+def _load_module(job: CompileJob) -> Module:
+    if job.source is not None:
+        return compile_kernel_source(job.source, job.name)
+    return parse_module(job.ir)  # type: ignore[arg-type]
+
+
+def _oracle_for(job: CompileJob, module: Module, func,
+                target: TargetCostModel
+                ) -> Optional[DifferentialOracle]:
+    if job.verify_runs <= 0:
+        return None
+    args = job.args or {}
+    missing = [a.name for a in func.arguments if a.name not in args]
+    if missing:
+        # Without runtime arguments the oracle cannot execute the
+        # function; skip verification rather than report a spurious
+        # mismatch.
+        return None
+    return DifferentialOracle.sweeping(
+        module, func, args=args, runs=job.verify_runs,
+        base_seed=job.verify_seed, target=target,
+    )
+
+
+__all__ = [
+    "CompileJob",
+    "execute_job",
+    "job_for_kernel",
+    "job_for_module",
+    "job_for_source",
+    "JobOutcome",
+    "PIPELINE_NAME",
+]

@@ -1,0 +1,93 @@
+"""Service metrics: one structured snapshot per batch.
+
+Everything the CLI prints after ``lslp batch`` and the benchmarks graph
+lives here: cache traffic split by tier, queue/admission behaviour, and
+per-stage wall time from which worker utilization falls out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StageSeconds:
+    """Wall time spent per service stage (parent-process view, except
+    ``compile`` which sums the workers' per-job walls)."""
+
+    lookup: float = 0.0       #: cache key computation + tier lookups
+    compile: float = 0.0      #: sum of worker job walls (all workers)
+    store: float = 0.0        #: cache write-through
+    rehydrate: float = 0.0    #: parsing printed IR back to a Module
+
+
+@dataclass
+class ServiceStats:
+    """Counters for one :class:`CompilationService` batch (or lifetime,
+    for a long-lived service: batches accumulate)."""
+
+    jobs: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: jobs that actually ran the pass pipeline (== cold compiles);
+    #: a fully warm batch performs zero vectorizer invocations
+    vectorizer_invocations: int = 0
+    #: jobs compiled scalar-only because admission ran out of budget
+    degraded: int = 0
+    #: jobs refused outright (admission with degradation disabled)
+    refused: int = 0
+    #: jobs that failed outside the guard (front-end errors, strict mode)
+    errors: int = 0
+    #: jobs whose module-scope budget ran dry mid-compile
+    budget_exhausted: int = 0
+    workers: int = 1
+    queue_depth_highwater: int = 0
+    batch_seconds: float = 0.0
+    stage_seconds: StageSeconds = field(default_factory=StageSeconds)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def hit_rate(self) -> float:
+        looked_up = self.hits + self.misses
+        return self.hits / looked_up if looked_up else 0.0
+
+    @property
+    def worker_utilization(self) -> float:
+        """Busy fraction of the worker pool during the batch."""
+        available = self.workers * self.batch_seconds
+        if available <= 0:
+            return 0.0
+        return min(1.0, self.stage_seconds.compile / available)
+
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        stage = self.stage_seconds
+        lines = [
+            f"batch: {self.jobs} job(s) in {self.batch_seconds:.3f}s "
+            f"with {self.workers} worker(s)",
+            f"cache: {self.memory_hits} memory hit(s), "
+            f"{self.disk_hits} disk hit(s), {self.misses} miss(es) "
+            f"(hit rate {100.0 * self.hit_rate:.1f}%)",
+            f"vectorizer invocations: {self.vectorizer_invocations}; "
+            f"degraded: {self.degraded}; refused: {self.refused}; "
+            f"errors: {self.errors}; "
+            f"budget-exhausted: {self.budget_exhausted}",
+            f"queue depth high-water: {self.queue_depth_highwater}; "
+            f"worker utilization: "
+            f"{100.0 * self.worker_utilization:.0f}%",
+            f"stage seconds: lookup {stage.lookup:.3f}, "
+            f"compile {stage.compile:.3f}, store {stage.store:.3f}, "
+            f"rehydrate {stage.rehydrate:.3f}",
+        ]
+        return "\n".join(lines)
+
+
+__all__ = ["ServiceStats", "StageSeconds"]

@@ -1,0 +1,80 @@
+"""Parallel compilation pool with a bounded in-flight window.
+
+Both executors run :func:`repro.service.jobs.execute_job` — the serial
+path inline, the parallel path in ``concurrent.futures`` worker
+processes — so a batch compiles identically regardless of ``--jobs``.
+Submission is windowed: at most ``window`` jobs are in flight, and the
+item iterator is only advanced when a slot frees up, which is what lets
+the service apply admission decisions at dispatch time and gives the
+bounded queue its backpressure.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Callable, Iterable, Iterator, Optional
+
+from .jobs import CompileJob, execute_job, JobOutcome
+
+#: (index, job) submission items; (index, outcome) results
+SubmitItem = "tuple[int, CompileJob]"
+
+
+def run_jobs(items: Iterable[tuple[int, CompileJob]],
+             workers: int = 1,
+             window: int = 32,
+             on_depth: Optional[Callable[[int], None]] = None,
+             ) -> Iterator[tuple[int, JobOutcome]]:
+    """Execute jobs, yielding ``(index, outcome)`` as they complete.
+
+    ``on_depth`` observes the in-flight count after every submission
+    (queue-depth high-water accounting).  Worker-side exceptions are
+    already contained by :func:`execute_job`; pool-level failures (a
+    killed worker, an unpicklable result) surface as an outcome with
+    ``error`` set — a batch never raises out of this generator.
+    """
+    if workers <= 1:
+        for index, job in items:
+            if on_depth is not None:
+                on_depth(1)
+            yield index, execute_job(job)
+        return
+
+    window = max(workers, window)
+    iterator = iter(items)
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers
+    ) as pool:
+        in_flight: dict[concurrent.futures.Future, int] = {}
+
+        def fill() -> None:
+            while len(in_flight) < window:
+                try:
+                    index, job = next(iterator)
+                except StopIteration:
+                    return
+                in_flight[pool.submit(execute_job, job)] = index
+                if on_depth is not None:
+                    on_depth(len(in_flight))
+
+        fill()
+        while in_flight:
+            done, _ = concurrent.futures.wait(
+                in_flight,
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+            for future in done:
+                index = in_flight.pop(future)
+                try:
+                    outcome = future.result()
+                except Exception as exc:
+                    outcome = JobOutcome(
+                        entry=None,
+                        error=f"worker failed: "
+                              f"{type(exc).__name__}: {exc}",
+                    )
+                yield index, outcome
+            fill()
+
+
+__all__ = ["run_jobs"]

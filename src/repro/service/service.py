@@ -1,0 +1,282 @@
+"""The batch compilation service: cache + pool + admission + metrics.
+
+:class:`CompilationService` is the front door batch workloads use
+(``lslp batch``, the figure runner, the benchmarks):
+
+1. every job's content hash is looked up in the
+   :class:`~repro.service.cache.CompileCache` (memory LRU, then disk);
+2. misses fan out to the :mod:`~repro.service.pool` under the
+   :class:`~repro.service.admission.AdmissionController`'s bounded
+   window and service budget;
+3. completed compiles are written through to every cache tier (degraded
+   compiles are *not* cached — they are not the true artifact for their
+   key);
+4. a :class:`~repro.service.metrics.ServiceStats` snapshot accumulates
+   cache traffic, queue depth, per-stage wall time and utilization.
+
+The service is deterministic by construction: hits return the bytes the
+cold compile produced, and serial/parallel execution share one job
+runner, so a batch's reports are byte-identical across ``--jobs``
+settings and cache temperatures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from ..ir.function import Module
+from ..ir.parser import parse_module
+from ..robustness.diagnostics import Remark, Severity
+from ..slp.vectorizer import VectorizationReport
+from .admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    DEGRADE,
+    REFUSE,
+    RUN,
+)
+from .cache import CacheEntry, CompileCache
+from .jobs import CompileJob, JobOutcome
+from .metrics import ServiceStats
+from .pool import run_jobs
+from .serde import remark_from_dict, report_from_dict, report_to_json
+
+
+@dataclass
+class JobResult:
+    """One job's artifact as returned to service callers."""
+
+    job: CompileJob
+    entry: Optional[CacheEntry] = None
+    #: "" (cold compile), "memory" or "disk"
+    cache_tier: str = ""
+    degraded: bool = False
+    error: str = ""
+    _module: Optional[Module] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return self.error == "" and self.entry is not None
+
+    @property
+    def cached(self) -> bool:
+        return self.cache_tier != ""
+
+    @property
+    def ir_text(self) -> str:
+        return self.entry.ir_text if self.entry is not None else ""
+
+    @property
+    def compile_seconds(self) -> float:
+        return self.entry.compile_seconds if self.entry else 0.0
+
+    @property
+    def static_cost(self) -> int:
+        return self.entry.static_cost if self.entry else 0
+
+    @property
+    def report(self) -> VectorizationReport:
+        if self.entry is None:
+            return VectorizationReport(self.job.name,
+                                       self.job.config.name)
+        return report_from_dict(self.entry.report)
+
+    @property
+    def report_json(self) -> str:
+        """Canonical bytes for determinism comparisons."""
+        return report_to_json(self.report)
+
+    @property
+    def remarks(self) -> list[Remark]:
+        if self.entry is None:
+            return []
+        return [remark_from_dict(r) for r in self.entry.remarks]
+
+    @property
+    def rolled_back(self) -> list[str]:
+        return list(self.entry.rolled_back) if self.entry else []
+
+    @property
+    def module(self) -> Module:
+        """The compiled module — live after a cold inline compile,
+        rehydrated from the printed IR otherwise."""
+        if self._module is None:
+            if self.entry is None:
+                raise RuntimeError(
+                    f"job {self.job.name!r} has no artifact: {self.error}"
+                )
+            self._module = parse_module(self.entry.ir_text)
+        return self._module
+
+
+@dataclass
+class BatchResult:
+    """All results of one batch, in submission order, plus the stats
+    delta for just this batch."""
+
+    results: list[JobResult]
+    stats: ServiceStats
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def errors(self) -> list[JobResult]:
+        return [r for r in self.results if not r.ok]
+
+
+class CompilationService:
+    """A long-lived batch compiler with caching and admission control."""
+
+    def __init__(self, cache: Optional[CompileCache] = None,
+                 jobs: int = 1,
+                 admission: Optional[AdmissionPolicy] = None,
+                 guard_default: str = "guarded"):
+        self.cache = cache
+        self.jobs = max(1, jobs)
+        self.admission = AdmissionController(admission)
+        self.guard_default = guard_default
+        #: lifetime counters; ``compile_batch`` also returns per-batch
+        self.stats = ServiceStats(workers=self.jobs)
+
+    # ------------------------------------------------------------------
+
+    def compile_job(self, job: CompileJob) -> JobResult:
+        """Single-job convenience: one-element batch, same semantics."""
+        return self.compile_batch([job]).results[0]
+
+    def compile_batch(self, jobs: Sequence[CompileJob]) -> BatchResult:
+        batch = ServiceStats(workers=self.jobs)
+        started = time.perf_counter()
+        self.admission.start_batch()
+        batch.jobs = len(jobs)
+
+        results: list[Optional[JobResult]] = [None] * len(jobs)
+        misses: list[tuple[int, CompileJob]] = []
+
+        # ---- stage 1: cache lookups, in submission order -------------
+        for index, job in enumerate(jobs):
+            lookup_started = time.perf_counter()
+            entry, tier = self._lookup(job)
+            batch.stage_seconds.lookup += (
+                time.perf_counter() - lookup_started
+            )
+            if entry is not None:
+                if tier == "memory":
+                    batch.memory_hits += 1
+                else:
+                    batch.disk_hits += 1
+                results[index] = JobResult(job, entry, cache_tier=tier)
+            else:
+                batch.misses += 1
+                misses.append((index, job))
+
+        # ---- stage 2: compile misses through admission + pool --------
+        degraded_indices: set[int] = set()
+
+        def dispatch() -> Iterator[tuple[int, CompileJob]]:
+            """Admission at dispatch time: the pool's bounded window
+            only pulls the next item when a slot frees, so the budget
+            check sees the batch's true elapsed time."""
+            for index, job in misses:
+                decision, admitted = self.admission.admit(job)
+                if decision == REFUSE:
+                    batch.refused += 1
+                    results[index] = JobResult(
+                        job,
+                        error="refused: service compile budget "
+                              "exhausted before this job was admitted",
+                    )
+                    continue
+                if decision == DEGRADE:
+                    batch.degraded += 1
+                    degraded_indices.add(index)
+                yield index, admitted
+
+        def observe_depth(depth: int) -> None:
+            batch.queue_depth_highwater = max(
+                batch.queue_depth_highwater, depth
+            )
+
+        window = self.admission.policy.queue_capacity
+        for index, outcome in run_jobs(dispatch(), workers=self.jobs,
+                                       window=window,
+                                       on_depth=observe_depth):
+            results[index] = self._absorb(jobs[index], outcome, batch,
+                                          index in degraded_indices)
+
+        batch.batch_seconds = time.perf_counter() - started
+        self._accumulate(batch)
+        return BatchResult([r for r in results if r is not None], batch)
+
+    # ------------------------------------------------------------------
+
+    def _lookup(self, job: CompileJob
+                ) -> tuple[Optional[CacheEntry], str]:
+        if self.cache is None:
+            return None, ""
+        return self.cache.get(job.cache_key())
+
+    def _absorb(self, job: CompileJob, outcome: JobOutcome,
+                batch: ServiceStats, degraded: bool) -> JobResult:
+        batch.stage_seconds.compile += outcome.worker_seconds
+        batch.vectorizer_invocations += 1
+        if outcome.error:
+            batch.errors += 1
+            return JobResult(job, error=outcome.error,
+                             degraded=degraded)
+        if outcome.budget_exhausted:
+            batch.budget_exhausted += 1
+        entry = outcome.entry
+        assert entry is not None
+        if degraded:
+            entry.remarks.append({
+                "severity": Severity.WARNING.value,
+                "category": "admission",
+                "message": "service compile budget exhausted; this job "
+                           "was compiled scalar-only",
+                "function": "", "pass_name": "", "phase": "admission",
+                "remediation": "raise --max-total-seconds or shrink "
+                               "the batch",
+            })
+        elif self.cache is not None:
+            # Degraded artifacts are not the true compile for their key;
+            # only full-fidelity results are cached.
+            store_started = time.perf_counter()
+            self.cache.put(entry.key, entry)
+            batch.stage_seconds.store += (
+                time.perf_counter() - store_started
+            )
+            batch.stores += 1
+        return JobResult(
+            job, entry, degraded=degraded,
+            _module=getattr(outcome, "module", None),
+        )
+
+    def _accumulate(self, batch: ServiceStats) -> None:
+        life = self.stats
+        life.jobs += batch.jobs
+        life.memory_hits += batch.memory_hits
+        life.disk_hits += batch.disk_hits
+        life.misses += batch.misses
+        life.stores += batch.stores
+        life.vectorizer_invocations += batch.vectorizer_invocations
+        life.degraded += batch.degraded
+        life.refused += batch.refused
+        life.errors += batch.errors
+        life.budget_exhausted += batch.budget_exhausted
+        life.queue_depth_highwater = max(life.queue_depth_highwater,
+                                         batch.queue_depth_highwater)
+        life.batch_seconds += batch.batch_seconds
+        life.stage_seconds.lookup += batch.stage_seconds.lookup
+        life.stage_seconds.compile += batch.stage_seconds.compile
+        life.stage_seconds.store += batch.stage_seconds.store
+        life.stage_seconds.rehydrate += batch.stage_seconds.rehydrate
+
+
+__all__ = ["BatchResult", "CompilationService", "JobResult"]

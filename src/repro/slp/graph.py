@@ -15,6 +15,7 @@ The graph is a DAG of *nodes*, each holding one value per SIMD lane:
 
 from __future__ import annotations
 
+import re
 from typing import Iterator, Optional, Sequence
 
 from ..ir.instructions import Instruction
@@ -175,7 +176,13 @@ class SLPGraph:
 
     def dump(self) -> str:
         """Readable multi-line description of the graph (for debugging
-        and the walkthrough example)."""
+        and the walkthrough example).
+
+        Unnamed values (stores, mainly) print as ``%<hex-id>`` handles;
+        those are process-specific, so they are canonicalized to
+        ``%u0, %u1, ...`` in first-appearance order — two compiles of
+        the same kernel dump byte-identical text, which the compile
+        cache and the batch-determinism guarantees rely on."""
         lines: list[str] = []
 
         def visit(node: SLPNode, depth: int) -> None:
@@ -185,7 +192,17 @@ class SLPGraph:
 
         if self.root is not None:
             visit(self.root, 0)
-        return "\n".join(lines)
+        text = "\n".join(lines)
+
+        renames: dict[str, str] = {}
+
+        def stable(match: "re.Match[str]") -> str:
+            token = match.group(0)
+            if token not in renames:
+                renames[token] = f"%u{len(renames)}"
+            return renames[token]
+
+        return re.sub(r"%<[0-9a-f]+>", stable, text)
 
 
 __all__ = [

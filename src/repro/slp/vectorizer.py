@@ -26,7 +26,7 @@ from ..costmodel.targets import skylake_like
 from ..costmodel.tti import TargetCostModel
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function, Module
-from ..robustness.budget import Budget, BudgetMeter
+from ..robustness.budget import Budget, BudgetMeter, ModuleMeter
 from ..robustness.diagnostics import Remark, Severity
 from .builder import BuildPolicy, BuildStats, GraphBuilder
 from .codegen import VectorCodeGen
@@ -190,17 +190,24 @@ class SLPVectorizer:
 
     # ------------------------------------------------------------------
 
-    def run_module(self, module: Module) -> VectorizationReport:
+    def run_module(self, module: Module,
+                   module_meter: Optional[ModuleMeter] = None
+                   ) -> VectorizationReport:
+        if (module_meter is None and self.config.budget is not None
+                and self.config.budget.has_module_caps):
+            module_meter = ModuleMeter(self.config.budget)
         report = VectorizationReport("<module>", self.config.name)
         for func in module.functions.values():
-            report.merge(self.run_function(func))
+            report.merge(self.run_function(func, module_meter))
         return report
 
-    def run_function(self, func: Function) -> VectorizationReport:
+    def run_function(self, func: Function,
+                     module_meter: Optional[ModuleMeter] = None
+                     ) -> VectorizationReport:
         report = VectorizationReport(func.name, self.config.name)
         if not self.config.enabled:
             return report
-        meter = BudgetMeter(self.config.budget)
+        meter = BudgetMeter(self.config.budget, module=module_meter)
         meter.start_function()
         for block in func.blocks:
             self._run_block(block, report, meter)
