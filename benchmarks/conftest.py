@@ -12,23 +12,47 @@ that share (kernel, config) pairs — every figure's O3 baseline column,
 for one — compile each pair exactly once per session; a summary of the
 cache traffic prints at session end.  Figure 14 is the exception: it
 times compilation itself and bypasses the service.
+
+Observability stays off by default so the compile-time benches measure
+the unobserved path.  Set ``LSLP_BENCH_TRACE=1`` to record a span trace
+of the whole session into ``benchmarks/output/trace.json``
+(Perfetto-loadable).  The session footer (service cache stats + any
+published metrics + trace summary) comes from
+:func:`repro.obs.reporting.stats_footer` and goes to stdout only — the
+``output/*.txt`` table artifacts stay byte-stable.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 
 
-def pytest_sessionfinish(session, exitstatus):
-    """Print the measurement service's lifetime cache stats."""
-    from repro.experiments.runner import _MEASUREMENT_SERVICE
+def pytest_sessionstart(session):
+    """Opt-in session tracing (``LSLP_BENCH_TRACE=1``)."""
+    if os.environ.get("LSLP_BENCH_TRACE"):
+        from repro.obs import tracing
 
-    if _MEASUREMENT_SERVICE is None or _MEASUREMENT_SERVICE.stats.jobs == 0:
-        return
-    print("\n-- measurement service " + "-" * 40)
-    print(_MEASUREMENT_SERVICE.stats.render())
+        tracing.install()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Print the shared observability footer; export the opt-in trace."""
+    from repro.experiments.runner import _MEASUREMENT_SERVICE
+    from repro.obs import tracing
+    from repro.obs.reporting import stats_footer
+
+    footer = stats_footer(service=_MEASUREMENT_SERVICE)
+    if footer:
+        print("\n" + footer)
+    tracer = tracing.uninstall()
+    if tracer is not None and tracer.spans:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        path = OUTPUT_DIR / "trace.json"
+        path.write_text(tracer.to_chrome() + "\n")
+        print(f"trace written to {path}")
 
 
 def emit_table(table) -> str:

@@ -18,6 +18,7 @@ import sys
 from dataclasses import replace
 from typing import Optional, Sequence
 
+from . import obs
 from .costmodel.targets import target_by_name
 from .experiments.figures import ALL_FIGURES
 from .frontend.lower import compile_kernel_source
@@ -25,6 +26,7 @@ from .interp.interpreter import Interpreter
 from .interp.memory import MemoryImage
 from .ir.printer import print_function, print_module
 from .kernels.catalog import ALL_KERNELS
+from .obs.tracing import span
 from .opt.pipelines import compile_function
 from .robustness.budget import Budget, ModuleMeter
 from .robustness.diagnostics import CompilerError, Remark, Severity
@@ -67,10 +69,12 @@ def _config_from_args(args, warnings: Optional[list[Remark]] = None
                 Severity.WARNING, "config",
                 f"{'/'.join(ignored)} ignored: config "
                 f"{config.name!r} does not take LSLP knobs",
+                pass_name="driver", phase="config",
                 remediation="drop the flag(s) or use --config lslp",
             )
             if warnings is not None:
                 warnings.append(remark)
+            obs.records.emit_remark(remark)
             print(remark.render(), file=sys.stderr)
     budget = _budget_from_args(args)
     if budget is not None:
@@ -107,6 +111,106 @@ def _print_remarks(remarks, enabled: bool) -> None:
         return
     for remark in remarks:
         print(f"; {remark.render()}")
+
+
+class _ObsSession:
+    """Enables the observability pillars a command asked for and writes
+    their artifacts when the command finishes.
+
+    With none of ``--trace-out``/``--remarks-out``/``--stats``/
+    ``--dump-slp-graph`` given, constructing and finishing a session is
+    a no-op: every pillar stays disabled and the compile runs exactly
+    the unobserved path.
+    """
+
+    def __init__(self, args):
+        self.trace_out = getattr(args, "trace_out", None)
+        self.remarks_out = getattr(args, "remarks_out", None)
+        self.stats_mode = getattr(args, "stats", None)
+        self.graph_out = getattr(args, "dump_slp_graph", None)
+        self.tracer = None
+        self.sink = None
+        self.graphs = None
+        if self.trace_out:
+            self.tracer = obs.tracing.install()
+        if self.remarks_out:
+            try:
+                stream = open(self.remarks_out, "w")
+            except OSError as error:
+                raise SystemExit(
+                    f"error: cannot write {self.remarks_out}: {error}"
+                )
+            self.sink = obs.JsonlSink(stream)
+            obs.records.set_sink(self.sink)
+        if self.graph_out:
+            self.graphs = []
+            obs.records.set_graph_sink(self.graphs)
+        if self.stats_mode:
+            obs.metrics.set_publishing(True)
+
+    # ------------------------------------------------------------------
+
+    def finish(self, profile=None) -> None:
+        """Write every requested artifact and disable the pillars.
+
+        ``profile`` (an :class:`repro.obs.InterpProfile`) is rendered to
+        stdout before the stats block so that with ``--stats=json`` the
+        canonical stats JSON is the **last** stdout line.
+        """
+        if self.tracer is not None:
+            obs.tracing.uninstall()
+            try:
+                with open(self.trace_out, "w") as handle:
+                    handle.write(self.tracer.to_chrome())
+            except OSError as error:
+                raise SystemExit(
+                    f"error: cannot write {self.trace_out}: {error}"
+                )
+        if self.sink is not None:
+            obs.records.set_sink(None)
+            self.sink.close()
+        if self.graphs is not None:
+            obs.records.set_graph_sink(None)
+            dot = "\n".join(text for _, _, text in self.graphs)
+            if not self.graphs:
+                print("; --dump-slp-graph: no SLP graphs were built",
+                      file=sys.stderr)
+            try:
+                with open(self.graph_out, "w") as handle:
+                    handle.write(dot + ("\n" if dot else ""))
+            except OSError as error:
+                raise SystemExit(
+                    f"error: cannot write {self.graph_out}: {error}"
+                )
+        if profile is not None:
+            print(profile.render())
+        if self.stats_mode:
+            registry = obs.metrics.registry()
+            if self.stats_mode == "json":
+                print(registry.to_json())
+            else:
+                print(registry.render())
+            obs.metrics.set_publishing(False)
+            obs.metrics.reset()
+
+
+def _add_obs_options(parser: argparse.ArgumentParser,
+                     graphs: bool = False) -> None:
+    """The observability flags shared by compile/run/batch."""
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write a Chrome trace_event JSON span trace (load it in "
+             "Perfetto or chrome://tracing)",
+    )
+    parser.add_argument(
+        "--remarks-out", metavar="FILE.jsonl", default=None,
+        help="stream every optimization decision and remark as JSONL",
+    )
+    if graphs:
+        parser.add_argument(
+            "--dump-slp-graph", metavar="FILE.dot", default=None,
+            help="write every built SLP graph as Graphviz DOT",
+        )
 
 
 def _add_compile_options(parser: argparse.ArgumentParser) -> None:
@@ -174,6 +278,7 @@ def _load_module(path: str):
 
 
 def cmd_compile(args) -> int:
+    session = _ObsSession(args)
     module = _load_module(args.source)
     config_remarks: list[Remark] = []
     config = _config_from_args(args, config_remarks)
@@ -209,6 +314,7 @@ def cmd_compile(args) -> int:
                       f"cost {tree.cost}: {status}")
     print(f"; --- after {config.name} ---")
     print(print_module(module))
+    session.finish()
     return 0
 
 
@@ -229,6 +335,7 @@ def _parse_runtime_args(pairs) -> dict[str, object]:
 
 
 def cmd_run(args) -> int:
+    session = _ObsSession(args)
     module = _load_module(args.source)
     config_remarks: list[Remark] = []
     config = _config_from_args(args, config_remarks)
@@ -287,10 +394,18 @@ def cmd_run(args) -> int:
         trace.append(f"  {print_instruction(inst)}{shown}")
 
     interpreter = Interpreter(memory, target)
-    result = interpreter.run(
-        func, runtime_args,
-        on_retire=record if args.trace else None,
-    )
+    profile = obs.InterpProfile() if args.profile_interp else None
+    with span("interp.run", function=args.entry, config=config.name):
+        result = interpreter.run(
+            func, runtime_args,
+            on_retire=record if args.trace else None,
+            profile=profile,
+        )
+    # Published here (not inside the interpreter) so oracle replays do
+    # not pollute the count: ``interp.cycles`` is exactly the cycle
+    # figure the line below reports.
+    obs.metrics.add("interp.cycles", result.cycles)
+    obs.metrics.add("interp.instructions", result.instructions_retired)
     if args.trace:
         limit = args.trace_limit
         for line in trace[:limit]:
@@ -306,6 +421,7 @@ def cmd_run(args) -> int:
         values = memory.get_array(name)
         preview = ", ".join(str(v) for v in values[:args.dump_count])
         print(f"@{name}[0:{args.dump_count}] = [{preview}]")
+    session.finish(profile=profile)
     return 0
 
 
@@ -415,6 +531,7 @@ def cmd_batch(args) -> int:
         MemoryCache,
     )
 
+    session = _ObsSession(args)
     configs = _batch_configs(args.configs, args)
     jobs = _batch_jobs(args, configs)
 
@@ -456,6 +573,7 @@ def cmd_batch(args) -> int:
                   file=sys.stderr)
 
     print(batch.stats.render())
+    session.finish()
     if args.min_hit_rate is not None:
         if batch.stats.hit_rate < args.min_hit_rate:
             print(
@@ -504,18 +622,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_compile = sub.add_parser("compile", help="compile and print IR")
     _add_compile_options(p_compile)
+    _add_obs_options(p_compile, graphs=True)
     p_compile.add_argument("--print-before", action="store_true",
                            help="also print the IR before vectorization")
     p_compile.add_argument("--report", action="store_true",
                            help="print per-tree vectorization decisions")
-    p_compile.add_argument("--stats", action="store_true",
-                           help="print graph-builder statistics")
+    p_compile.add_argument(
+        "--stats", nargs="?", const="text", default=None,
+        choices=("text", "json"),
+        help="print per-function graph-builder statistics plus the "
+             "metrics registry (=json: one canonical-JSON line)",
+    )
     p_compile.add_argument("--verify-each", action="store_true",
                            help="run the IR verifier after every pass")
     p_compile.set_defaults(handler=cmd_compile)
 
     p_run = sub.add_parser("run", help="compile then interpret")
     _add_compile_options(p_run)
+    _add_obs_options(p_run, graphs=True)
+    p_run.add_argument(
+        "--stats", nargs="?", const="text", default=None,
+        choices=("text", "json"),
+        help="print the metrics registry after the run "
+             "(=json: one canonical-JSON line, printed last)",
+    )
+    p_run.add_argument(
+        "--profile-interp", action="store_true",
+        help="print per-instruction/per-opcode cycle attribution "
+             "(the hot-instruction histogram)",
+    )
     p_run.add_argument("--entry", default="kernel",
                        help="function to execute (default: kernel)")
     p_run.add_argument("--arg", action="append", metavar="NAME=VALUE",
@@ -603,6 +738,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_batch.add_argument("--seed", type=int, default=0,
                          help="base seed for --verify-runs")
+    _add_obs_options(p_batch)
+    p_batch.add_argument(
+        "--stats", nargs="?", const="text", default=None,
+        choices=("text", "json"),
+        help="print the metrics registry (cache/service counters) "
+             "after the batch (=json: one canonical-JSON line)",
+    )
     p_batch.add_argument(
         "--min-hit-rate", type=float, default=None, metavar="F",
         help="exit 1 unless the cache hit rate reaches F (0..1); "

@@ -35,6 +35,7 @@ from ..interp.memory import MemoryImage
 from ..ir.function import Module
 from ..kernels.catalog import Kernel
 from ..kernels.suites import SuiteSpec, build_suite, function_weight
+from ..obs.tracing import span
 from ..opt.pipelines import compile_function, compile_module
 from ..service import (
     CompilationService,
@@ -120,6 +121,14 @@ def measure_kernel(kernel: Kernel, config: VectorizerConfig,
                    service: ServiceSpec = None) -> KernelMeasurement:
     """Compile ``kernel`` under ``config`` (through the measurement
     service's cache unless ``service=False``) and run it."""
+    with span("measure.kernel", kernel=kernel.name, config=config.name):
+        return _measure_kernel(kernel, config, target, seed, service)
+
+
+def _measure_kernel(kernel: Kernel, config: VectorizerConfig,
+                    target: Optional[TargetCostModel],
+                    seed: int,
+                    service: ServiceSpec) -> KernelMeasurement:
     target = target if target is not None else skylake_like()
     resolved = _resolve_service(service)
     if resolved is None:
@@ -188,6 +197,14 @@ def measure_suite(spec: SuiteSpec, config: VectorizerConfig,
                   service: ServiceSpec = None) -> SuiteMeasurement:
     """Compile (through the measurement service's cache unless
     ``service=False``) and execute one suite."""
+    with span("measure.suite", suite=spec.name, config=config.name):
+        return _measure_suite(spec, config, target, seed, service)
+
+
+def _measure_suite(spec: SuiteSpec, config: VectorizerConfig,
+                   target: Optional[TargetCostModel],
+                   seed: int,
+                   service: ServiceSpec) -> SuiteMeasurement:
     target = target if target is not None else skylake_like()
     resolved = _resolve_service(service)
     if resolved is None:

@@ -15,6 +15,7 @@ from ..ir.builder import IRBuilder
 from ..ir.function import Function, Module
 from ..ir.types import F32, F64, I1, I32, I64, Type, VOID
 from ..ir.values import Constant, GlobalArray, Value
+from ..obs.tracing import span
 from .ast_nodes import (
     ArrayDecl,
     BinaryExpr,
@@ -67,18 +68,23 @@ _CMP_PREDICATES = {
 def lower_program(source: Union[str, Program],
                   module_name: str = "kernel") -> Module:
     """Compile kernel-language source (or a parsed Program) to a Module."""
-    program = parse_program(source) if isinstance(source, str) else source
-    module = Module(module_name)
-    unsigned_arrays = {
-        decl.name: decl.ctype.unsigned for decl in program.arrays
-    }
-    for decl in program.arrays:
-        elem = ir_type(decl.ctype)
-        if elem.is_void:
-            raise LowerError(f"array @{decl.name} cannot be void")
-        module.add_global(GlobalArray(decl.name, elem, decl.size))
-    for func_decl in program.functions:
-        _FunctionLowering(module, func_decl, unsigned_arrays).run()
+    if isinstance(source, str):
+        with span("frontend.parse", module=module_name):
+            program = parse_program(source)
+    else:
+        program = source
+    with span("frontend.lower", module=module_name):
+        module = Module(module_name)
+        unsigned_arrays = {
+            decl.name: decl.ctype.unsigned for decl in program.arrays
+        }
+        for decl in program.arrays:
+            elem = ir_type(decl.ctype)
+            if elem.is_void:
+                raise LowerError(f"array @{decl.name} cannot be void")
+            module.add_global(GlobalArray(decl.name, elem, decl.size))
+        for func_decl in program.functions:
+            _FunctionLowering(module, func_decl, unsigned_arrays).run()
     return module
 
 

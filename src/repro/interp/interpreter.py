@@ -81,7 +81,8 @@ class Interpreter:
     def run(self, func: Function,
             args: Optional[dict[str, object]] = None,
             step_limit: int = DEFAULT_STEP_LIMIT,
-            on_retire=None, _depth: int = 0) -> ExecutionResult:
+            on_retire=None, profile=None,
+            _depth: int = 0) -> ExecutionResult:
         """Execute ``func``; ``args`` maps argument names to runtime
         values (ints/floats, or :class:`Pointer` for pointer args).
 
@@ -90,6 +91,9 @@ class Interpreter:
         cannot hang the process.  ``on_retire(inst, value)`` — when given
         — is called for every retired instruction with the value it
         produced (None for stores/branches), enabling execution traces.
+        ``profile`` — an :class:`repro.obs.InterpProfile` — receives
+        ``record(inst, cycles)`` for every retired instruction, giving
+        per-instruction cycle attribution.
         """
         env: dict[int, object] = {}
         for argument in func.arguments:
@@ -118,16 +122,22 @@ class Interpreter:
                 ]
                 for phi, value in staged:
                     env[id(phi)] = value
-                    result.cycles += self.target.issue_cost(phi)
+                    cost = self.target.issue_cost(phi)
+                    result.cycles += cost
                     result.instructions_retired += 1
                     result.opcode_counts[phi.opcode] += 1
+                    if profile is not None:
+                        profile.record(phi, cost)
                     if on_retire is not None:
                         on_retire(phi, value)
 
             for inst in block.instructions[len(phis):]:
-                result.cycles += self.target.issue_cost(inst)
+                cost = self.target.issue_cost(inst)
+                result.cycles += cost
                 result.instructions_retired += 1
                 result.opcode_counts[inst.opcode] += 1
+                if profile is not None:
+                    profile.record(inst, cost)
                 if result.instructions_retired > step_limit:
                     raise InterpreterError(
                         f"step limit {step_limit} exceeded in @{func.name}"
@@ -152,7 +162,9 @@ class Interpreter:
                     next_block = inst.on_true if taken else inst.on_false
                     break
                 if isinstance(inst, Call):
-                    value = self._execute_call(inst, env, result, _depth)
+                    value = self._execute_call(
+                        inst, env, result, _depth, profile
+                    )
                 else:
                     value = self._execute(inst, env)
                 env[id(inst)] = value
@@ -163,7 +175,7 @@ class Interpreter:
         return result
 
     def _execute_call(self, inst: Call, env: dict[int, object],
-                      result: ExecutionResult, depth: int):
+                      result: ExecutionResult, depth: int, profile=None):
         if depth >= self.MAX_CALL_DEPTH:
             raise InterpreterError(
                 f"call depth limit exceeded calling @{inst.callee.name}"
@@ -173,7 +185,8 @@ class Interpreter:
             for argument, operand in zip(inst.callee.arguments,
                                          inst.operands)
         }
-        inner = self.run(inst.callee, call_args, _depth=depth + 1)
+        inner = self.run(inst.callee, call_args, profile=profile,
+                         _depth=depth + 1)
         result.cycles += inner.cycles
         result.instructions_retired += inner.instructions_retired
         result.opcode_counts.update(inner.opcode_counts)

@@ -1,0 +1,33 @@
+"""Canonicalization of process-specific value handles in printed text.
+
+Unnamed IR values print as ``%<hex-id>`` handles derived from object
+identity; those differ between processes, which would break
+byte-stability guarantees (the compile cache, batch determinism, golden
+tests, profile histograms).  :func:`canonicalize_handles` renames them
+to ``%u0, %u1, ...`` in first-appearance order — the same scheme
+:meth:`repro.slp.graph.SLPGraph.dump` has always used, factored here so
+the DOT exporter and the interpreter profiler share it.
+"""
+
+from __future__ import annotations
+
+import re
+
+_HANDLE = re.compile(r"%<[0-9a-f]+>")
+
+
+def canonicalize_handles(text: str) -> str:
+    """Rename ``%<hex-id>`` handles to stable ``%uN`` ids, in
+    first-appearance order."""
+    renames: dict[str, str] = {}
+
+    def stable(match: "re.Match[str]") -> str:
+        token = match.group(0)
+        if token not in renames:
+            renames[token] = f"%u{len(renames)}"
+        return renames[token]
+
+    return _HANDLE.sub(stable, text)
+
+
+__all__ = ["canonicalize_handles"]

@@ -1,0 +1,208 @@
+"""Named counters/gauges/histograms: pillar 2 of the observability layer.
+
+An LLVM ``-stats``-style registry: every subsystem publishes into one
+process-wide :class:`MetricsRegistry` under dotted names
+(``slp.trees_built``, ``lookahead.evals``, ``cache.disk_hits``,
+``interp.cycles``...), and the CLI renders the whole registry as text or
+canonical JSON after a command.
+
+Publication is **off by default** and guarded by one module-level flag:
+the :func:`add`/:func:`set_gauge`/:func:`observe` helpers that
+instrumented code calls are a single flag check when disabled.  The
+registry itself always exists, so tests can drive it directly; call
+:func:`reset` between compiles for isolation (the test suite does this
+automatically).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+
+def _canonical_json(data: Any) -> str:
+    """Sorted keys, compact separators (mirrors service.serde, kept
+    local so ``repro.obs`` stays import-cycle-free below the SLP layer)."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing tally."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+@dataclass
+class Gauge:
+    """A last-write-wins value."""
+
+    name: str
+    value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+@dataclass
+class Histogram:
+    """Summary statistics over observed samples (no buckets: count,
+    sum, min, max — enough for compile-time and cycle distributions)."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def snapshot(self) -> dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "sum": 0, "min": 0, "max": 0}
+        return {"count": self.count, "sum": self.total,
+                "min": self.min, "max": self.max}
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """All named metrics of one process (or one CLI invocation)."""
+
+    def __init__(self):
+        self._metrics: dict[str, Metric] = {}
+
+    # ------------------------------------------------------------------
+
+    def _get(self, name: str, cls) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    def snapshot(self) -> dict[str, Any]:
+        """Name-sorted view of every metric's current value."""
+        return {
+            name: self._metrics[name].snapshot()
+            for name in sorted(self._metrics)
+        }
+
+    def render(self) -> str:
+        """LLVM ``-stats``-style text block, name-sorted."""
+        lines = ["== lslp stats =="]
+        for name, value in self.snapshot().items():
+            if isinstance(value, dict):
+                detail = (f"count={value['count']} sum={value['sum']} "
+                          f"min={value['min']} max={value['max']}")
+                lines.append(f"{name}: {detail}")
+            else:
+                lines.append(f"{value:>12} {name}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """One canonical-JSON line (sorted keys, compact separators)."""
+        return _canonical_json(self.snapshot())
+
+
+#: the process-wide registry; always present, published-into on demand
+_REGISTRY = MetricsRegistry()
+
+#: one module-level flag guards all instrumented-code publication
+_PUBLISH = False
+
+
+def registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def publishing() -> bool:
+    return _PUBLISH
+
+
+def set_publishing(on: bool) -> None:
+    global _PUBLISH
+    _PUBLISH = bool(on)
+
+
+def reset() -> None:
+    """Drop every metric (between-compile/test isolation)."""
+    _REGISTRY.reset()
+
+
+# ---------------------------------------------------------------------------
+# Guarded publication helpers for instrumented code (hot-path safe)
+# ---------------------------------------------------------------------------
+
+
+def add(name: str, n: int = 1) -> None:
+    if _PUBLISH:
+        _REGISTRY.counter(name).inc(n)
+
+
+def set_gauge(name: str, value: float) -> None:
+    if _PUBLISH:
+        _REGISTRY.gauge(name).set(value)
+
+
+def observe(name: str, value: float) -> None:
+    if _PUBLISH:
+        _REGISTRY.histogram(name).observe(value)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "add",
+    "observe",
+    "publishing",
+    "registry",
+    "reset",
+    "set_gauge",
+    "set_publishing",
+]

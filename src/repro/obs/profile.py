@@ -1,0 +1,123 @@
+"""Interpreter profiling: pillar 4 of the observability layer.
+
+:class:`InterpProfile` attributes simulated cycles to opcodes and to
+individual retired instructions, so a figure-style speedup can be
+*explained* — "the scalar loop spends 60% of its cycles in these eight
+loads" — instead of just reported.  Pass one to
+:meth:`repro.interp.Interpreter.run` (``profile=``) or use
+``lslp run --profile-interp``.
+
+Per-instruction keys are the printed instruction text, canonicalized
+through the same ``%u0, %u1, ...`` handle renaming as
+:meth:`repro.slp.graph.SLPGraph.dump`, so two runs of the same kernel
+produce byte-identical histograms.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional
+
+from .canon import canonicalize_handles
+
+
+@dataclass
+class HotInstruction:
+    """One row of the hot-instruction histogram."""
+
+    text: str    #: canonicalized printed instruction
+    count: int   #: times retired
+    cycles: int  #: total simulated cycles charged
+
+
+class InterpProfile:
+    """Per-opcode and per-instruction cycle attribution for one or more
+    interpreter runs."""
+
+    def __init__(self):
+        self.opcode_cycles: Counter = Counter()
+        self.opcode_counts: Counter = Counter()
+        #: id(inst) -> [inst, count, cycles]; text rendered lazily
+        self._instructions: dict[int, list] = {}
+
+    # ------------------------------------------------------------------
+
+    def record(self, inst, cycles: int) -> None:
+        """Charge one retired instruction (the interpreter's hook)."""
+        self.opcode_cycles[inst.opcode] += cycles
+        self.opcode_counts[inst.opcode] += 1
+        entry = self._instructions.get(id(inst))
+        if entry is None:
+            self._instructions[id(inst)] = [inst, 1, cycles]
+        else:
+            entry[1] += 1
+            entry[2] += cycles
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_cycles(self) -> int:
+        """Sum of every charged cycle; equals the interpreter's
+        reported cycle count for the profiled runs (tested)."""
+        return sum(self.opcode_cycles.values())
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.opcode_counts.values())
+
+    def hot_instructions(self, limit: Optional[int] = None
+                         ) -> list[HotInstruction]:
+        """Instructions by descending cycle total (ties: by text), with
+        identical printed instructions merged."""
+        from ..ir.printer import print_instruction
+
+        merged: dict[str, HotInstruction] = {}
+        for inst, count, cycles in self._instructions.values():
+            text = canonicalize_handles(print_instruction(inst))
+            row = merged.get(text)
+            if row is None:
+                merged[text] = HotInstruction(text, count, cycles)
+            else:
+                row.count += count
+                row.cycles += cycles
+        rows = sorted(merged.values(),
+                      key=lambda r: (-r.cycles, r.text))
+        return rows[:limit] if limit is not None else rows
+
+    def render(self, limit: int = 10) -> str:
+        """The hot-instruction histogram plus the per-opcode summary."""
+        lines = ["== interp profile =="]
+        lines.append(f"{self.total_cycles} cycles over "
+                     f"{self.total_instructions} retired instruction(s)")
+        total = self.total_cycles or 1
+        lines.append("hot instructions:")
+        for row in self.hot_instructions(limit):
+            share = 100.0 * row.cycles / total
+            lines.append(f"  {row.cycles:>8} cyc {share:5.1f}%  "
+                         f"x{row.count:<6} {row.text}")
+        lines.append("cycles by opcode:")
+        for opcode in sorted(self.opcode_cycles,
+                             key=lambda op: (-self.opcode_cycles[op], op)):
+            lines.append(f"  {self.opcode_cycles[opcode]:>8} cyc  "
+                         f"x{self.opcode_counts[opcode]:<6} {opcode}")
+        return "\n".join(lines)
+
+    def to_dict(self, limit: Optional[int] = None) -> dict:
+        """JSON-ready snapshot (stats export / artifact attachment)."""
+        return {
+            "total_cycles": self.total_cycles,
+            "total_instructions": self.total_instructions,
+            "opcodes": {
+                op: {"count": self.opcode_counts[op],
+                     "cycles": self.opcode_cycles[op]}
+                for op in sorted(self.opcode_cycles)
+            },
+            "hot_instructions": [
+                {"text": r.text, "count": r.count, "cycles": r.cycles}
+                for r in self.hot_instructions(limit)
+            ],
+        }
+
+
+__all__ = ["HotInstruction", "InterpProfile"]

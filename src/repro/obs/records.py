@@ -1,0 +1,197 @@
+"""Streaming optimization records: pillar 3 of the observability layer.
+
+Every vectorization decision — a seed found, a group formed or rejected
+with its cost delta, an operand reordering, a degrade-to-scalar budget
+event — and every structured :class:`~repro.robustness.Remark` streams
+through one process-wide :class:`RecordSink` as a JSON-serializable
+dict.  ``lslp ... --remarks-out FILE.jsonl`` installs a
+:class:`JsonlSink` so each record becomes one canonical-JSON line,
+LLVM's ``-fsave-optimization-record`` equivalent.
+
+Producers stay decoupled: :class:`~repro.robustness.DiagnosticEngine`
+remains the remark API and simply forwards here; the vectorizer calls
+:func:`emit` directly for decision records.  A record always carries
+``function``/``pass``/``config`` context, defaulted from the ambient
+context the vectorizer pushes per function (so deep layers like the
+operand reorderer need not thread names through).
+
+Emission is **zero-cost when disabled**: with no sink installed,
+:func:`emit` is one global load and a ``None`` check.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional, TextIO
+
+#: known record types and the extra keys each must carry
+RECORD_SCHEMA: dict[str, tuple[str, ...]] = {
+    "seed": ("kind", "vector_length"),
+    "group": ("kind", "vector_length", "cost", "vectorized",
+              "schedulable"),
+    "reorder": ("slots", "lanes", "evals", "strategy"),
+    "degrade": ("kind", "detail"),
+    "remark": ("severity", "category", "message"),
+}
+
+#: keys every record carries regardless of type
+COMMON_KEYS: tuple[str, ...] = ("type", "function", "pass")
+
+
+class ListSink:
+    """Collects records in memory (tests, the walkthrough)."""
+
+    def __init__(self):
+        self.records: list[dict[str, Any]] = []
+
+    def emit(self, record: dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Writes one canonical-JSON line per record to a text stream."""
+
+    def __init__(self, stream: TextIO):
+        self.stream = stream
+        self.emitted = 0
+
+    def emit(self, record: dict[str, Any]) -> None:
+        self.stream.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+        )
+        self.stream.write("\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        self.stream.close()
+
+
+#: the process-wide sink; ``None`` = record streaming disabled
+_SINK: Optional[Any] = None
+
+#: ambient producer context (function/pass/config), pushed per compile
+_CONTEXT: dict[str, str] = {}
+
+
+def set_sink(sink: Optional[Any]) -> Optional[Any]:
+    """Install (or clear, with ``None``) the record sink; returns the
+    previous one."""
+    global _SINK
+    previous, _SINK = _SINK, sink
+    return previous
+
+
+def active_sink() -> Optional[Any]:
+    return _SINK
+
+
+def push_context(**kv: str) -> dict[str, str]:
+    """Merge ``kv`` into the ambient context; returns the previous
+    context for :func:`restore_context`."""
+    global _CONTEXT
+    previous = _CONTEXT
+    _CONTEXT = dict(previous, **kv)
+    return previous
+
+
+def restore_context(previous: dict[str, str]) -> None:
+    global _CONTEXT
+    _CONTEXT = previous
+
+
+def emit(type_: str, **fields: Any) -> Optional[dict[str, Any]]:
+    """Stream one record; no-op (one flag check) without a sink.
+
+    ``function``/``pass``/``config`` default from the ambient context;
+    explicit keyword values win.
+    """
+    sink = _SINK
+    if sink is None:
+        return None
+    record: dict[str, Any] = {
+        "type": type_,
+        "function": _CONTEXT.get("function", ""),
+        "pass": _CONTEXT.get("pass", ""),
+    }
+    if "config" in _CONTEXT:
+        record["config"] = _CONTEXT["config"]
+    record.update(fields)
+    sink.emit(record)
+    return record
+
+
+def emit_remark(remark) -> None:
+    """Forward one :class:`~repro.robustness.Remark` as a record
+    (:class:`DiagnosticEngine` calls this on every emission)."""
+    if _SINK is None:
+        return
+    emit(
+        "remark",
+        severity=remark.severity.value,
+        category=remark.category,
+        message=remark.message,
+        function=remark.function or _CONTEXT.get("function", ""),
+        phase=remark.phase,
+        remediation=remark.remediation,
+        **{"pass": remark.pass_name or _CONTEXT.get("pass", "")},
+    )
+
+
+def validate_record(record: dict[str, Any]) -> list[str]:
+    """Schema check for one record; returns human-readable errors."""
+    errors: list[str] = []
+    for key in COMMON_KEYS:
+        if key not in record:
+            errors.append(f"missing common key {key!r}")
+    type_ = record.get("type")
+    if type_ not in RECORD_SCHEMA:
+        errors.append(f"unknown record type {type_!r}")
+        return errors
+    for key in RECORD_SCHEMA[type_]:
+        if key not in record:
+            errors.append(f"{type_} record missing key {key!r}")
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# SLP-graph capture (``lslp run --dump-slp-graph``)
+# ---------------------------------------------------------------------------
+
+#: when set, the vectorizer appends ``(function, kind, dot_text)`` here
+_GRAPH_SINK: Optional[list] = None
+
+
+def set_graph_sink(sink: Optional[list]) -> Optional[list]:
+    global _GRAPH_SINK
+    previous, _GRAPH_SINK = _GRAPH_SINK, sink
+    return previous
+
+
+def capture_graph(kind: str, graph) -> None:
+    """Record one built SLP graph as DOT text (no-op without a sink)."""
+    sink = _GRAPH_SINK
+    if sink is None:
+        return
+    function = _CONTEXT.get("function", "")
+    name = f"{function or 'kernel'}/{kind}{len(sink)}"
+    sink.append((function, kind, graph.to_dot(name)))
+
+
+__all__ = [
+    "COMMON_KEYS",
+    "JsonlSink",
+    "ListSink",
+    "RECORD_SCHEMA",
+    "active_sink",
+    "capture_graph",
+    "emit",
+    "emit_remark",
+    "push_context",
+    "restore_context",
+    "set_graph_sink",
+    "set_sink",
+    "validate_record",
+]

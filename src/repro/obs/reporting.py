@@ -1,0 +1,49 @@
+"""Shared reporters built on the observability layer.
+
+:func:`stats_footer` renders the uniform footer every benchmark script
+emits at session end (replacing the ad-hoc ``ServiceStats`` printing
+the bench harness used to do): the measurement service's lifetime cache
+stats, the metrics registry when anything was published, and a trace
+summary when a tracer is active.  The footer goes to *stdout only* — it
+never touches the ``benchmarks/output/*.txt`` table artifacts, which
+therefore stay byte-stable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import metrics, tracing
+
+#: visual delimiter shared by every bench footer
+FOOTER_RULE = "-- measurement service " + "-" * 40
+
+
+def stats_footer(service=None,
+                 registry: Optional[metrics.MetricsRegistry] = None,
+                 tracer: Optional[tracing.Tracer] = None) -> str:
+    """One uniform footer block; empty string when nothing to report.
+
+    ``service`` is a :class:`~repro.service.CompilationService` (or
+    anything with a ``.stats.render()``); ``registry`` defaults to the
+    process registry; ``tracer`` defaults to the active tracer.
+    """
+    sections: list[str] = []
+    if service is not None and service.stats.jobs > 0:
+        sections.append(FOOTER_RULE)
+        sections.append(service.stats.render())
+    registry = registry if registry is not None else metrics.registry()
+    if len(registry) > 0:
+        sections.append(registry.render())
+    tracer = tracer if tracer is not None else tracing.active()
+    if tracer is not None and tracer.spans:
+        roots = len(tracer.roots)
+        sections.append(
+            f"trace: {len(tracer.spans)} span(s), {roots} root(s); "
+            f"deepest nesting "
+            f"{max(s.depth for s in tracer.spans) + 1}"
+        )
+    return "\n".join(sections)
+
+
+__all__ = ["FOOTER_RULE", "stats_footer"]

@@ -1,0 +1,176 @@
+"""Schema validation for observability artifacts.
+
+CI's trace-smoke step runs ``lslp run`` with ``--trace-out`` /
+``--remarks-out`` / ``--stats=json`` and then::
+
+    python -m repro.obs.validate --trace t.json --remarks r.jsonl
+
+which fails (exit 1) on malformed Chrome trace JSON, an *empty* span
+tree, schema-violating JSONL records, or — with ``--require-record
+group`` — a missing record type.  The same checks back the
+``tests/test_obs.py`` round-trip tests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Optional, Sequence
+
+from .records import validate_record
+
+#: keys every Chrome complete ("X") event must carry
+_EVENT_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+
+def validate_chrome_trace(text: str,
+                          require_spans: Sequence[str] = ()
+                          ) -> list[str]:
+    """Errors in a Chrome ``trace_event`` JSON document ('' = valid)."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return [f"trace is not valid JSON: {exc}"]
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        return ["trace has no 'traceEvents' key"]
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' is not a list"]
+    errors: list[str] = []
+    if not events:
+        errors.append("span tree is empty (no trace events)")
+    names = set()
+    for index, event in enumerate(events):
+        missing = [k for k in _EVENT_KEYS if k not in event]
+        if missing:
+            errors.append(f"event {index} missing {missing}")
+            continue
+        if event["ph"] != "X":
+            errors.append(f"event {index} is not a complete event")
+        names.add(event["name"])
+    for wanted in require_spans:
+        if not any(name == wanted or name.startswith(wanted + ".")
+                   for name in names):
+            errors.append(f"no span named (or under) {wanted!r}")
+    return errors
+
+
+def validate_remarks_jsonl(text: str,
+                           require_records: Sequence[str] = ()
+                           ) -> list[str]:
+    """Errors in a remark/decision JSONL stream ('' = valid)."""
+    errors: list[str] = []
+    seen: set[str] = set()
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        errors.append("remark stream is empty")
+    for number, line in enumerate(lines, 1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {number} is not valid JSON: {exc}")
+            continue
+        for problem in validate_record(record):
+            errors.append(f"line {number}: {problem}")
+        seen.add(record.get("type", ""))
+    for wanted in require_records:
+        if wanted not in seen:
+            errors.append(f"no {wanted!r} record in the stream")
+    return errors
+
+
+def validate_stats_json(text: str,
+                        require_metrics: Sequence[str] = ()
+                        ) -> list[str]:
+    """Errors in a metrics snapshot JSON document ('' = valid)."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return [f"stats is not valid JSON: {exc}"]
+    if not isinstance(data, dict):
+        return ["stats snapshot is not an object"]
+    errors = []
+    for wanted in require_metrics:
+        if wanted not in data:
+            errors.append(f"no metric named {wanted!r}")
+    return errors
+
+
+def _read(path: str) -> Optional[str]:
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError:
+        return None
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.validate",
+        description="validate observability artifacts (CI trace-smoke)",
+    )
+    parser.add_argument("--trace", metavar="FILE",
+                        help="Chrome trace JSON to validate")
+    parser.add_argument("--remarks", metavar="FILE",
+                        help="remark/decision JSONL to validate")
+    parser.add_argument("--stats", metavar="FILE",
+                        help="metrics snapshot JSON to validate")
+    parser.add_argument("--require-span", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless a span NAME (or NAME.*) exists")
+    parser.add_argument("--require-record", action="append", default=[],
+                        metavar="TYPE",
+                        help="fail unless a record of TYPE exists")
+    parser.add_argument("--require-metric", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless the stats carry metric NAME")
+    args = parser.parse_args(argv)
+
+    failures = 0
+
+    def check(label: str, path: Optional[str], errors) -> None:
+        nonlocal failures
+        if path is None:
+            return
+        if errors is None:
+            print(f"{label}: cannot read {path}", file=sys.stderr)
+            failures += 1
+            return
+        if errors:
+            for error in errors:
+                print(f"{label}: {error}", file=sys.stderr)
+            failures += len(errors)
+        else:
+            print(f"{label}: ok ({path})")
+
+    if args.trace:
+        text = _read(args.trace)
+        check("trace", args.trace,
+              None if text is None
+              else validate_chrome_trace(text, args.require_span))
+    if args.remarks:
+        text = _read(args.remarks)
+        check("remarks", args.remarks,
+              None if text is None
+              else validate_remarks_jsonl(text, args.require_record))
+    if args.stats:
+        text = _read(args.stats)
+        check("stats", args.stats,
+              None if text is None
+              else validate_stats_json(text, args.require_metric))
+    if not (args.trace or args.remarks or args.stats):
+        parser.error("nothing to validate; pass --trace/--remarks/--stats")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())
+
+
+__all__ = [
+    "main",
+    "validate_chrome_trace",
+    "validate_remarks_jsonl",
+    "validate_stats_json",
+]

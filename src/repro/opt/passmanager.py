@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..ir.function import Function, Module
+from ..obs.tracing import span
 
 #: A function pass: transforms ``func`` in place, returns True if it
 #: changed anything.
@@ -81,22 +82,28 @@ class PassManager:
                      ) -> PipelineResult:
         result = result if result is not None else PipelineResult()
         for name, pass_fn in self._passes:
-            if self.guard is not None:
-                self.guard.run_pass(name, pass_fn, func, result)
-                continue
-            start = time.perf_counter()
-            changed = pass_fn(func)
-            elapsed = time.perf_counter() - start
-            result.timings.append(PassTiming(name, elapsed, changed))
-            if self.verify_each:
-                from ..ir.verifier import VerificationError, verify_function
+            # One span per pass ("opt.<name>"); a no-op flag check when
+            # tracing is disabled.
+            with span(f"opt.{name}", function=func.name):
+                if self.guard is not None:
+                    self.guard.run_pass(name, pass_fn, func, result)
+                    continue
+                start = time.perf_counter()
+                changed = pass_fn(func)
+                elapsed = time.perf_counter() - start
+                result.timings.append(PassTiming(name, elapsed, changed))
+                if self.verify_each:
+                    from ..ir.verifier import (
+                        VerificationError,
+                        verify_function,
+                    )
 
-                try:
-                    verify_function(func)
-                except VerificationError as error:
-                    raise VerificationError(
-                        f"IR invalid after pass {name!r}: {error}"
-                    ) from error
+                    try:
+                        verify_function(func)
+                    except VerificationError as error:
+                        raise VerificationError(
+                            f"IR invalid after pass {name!r}: {error}"
+                        ) from error
         return result
 
     def run_module(self, module: Module) -> PipelineResult:

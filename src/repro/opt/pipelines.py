@@ -24,6 +24,7 @@ from typing import Optional, Union
 from ..costmodel.targets import skylake_like
 from ..costmodel.tti import TargetCostModel
 from ..ir.function import Function, Module
+from ..obs.tracing import span
 from ..robustness.budget import ModuleMeter
 from ..robustness.diagnostics import Remark
 from ..robustness.faults import FaultInjector
@@ -186,20 +187,26 @@ def compile_function(func: Function, config: VectorizerConfig,
         config, target, verify_each=verify_each, guard=pass_guard,
         faults=faults, module_meter=module_meter,
     )
-    timing = manager.run_function(func)
-    result = CompileResult(
-        func, config, timing,
-        report=VectorizationReport(func.name, config.name),
-    )
-    if vectorize is not None and vectorize.report is not None:
-        result.report = vectorize.report
-    if pass_guard is not None:
-        try:
-            pass_guard.run_oracle(func)
-        finally:
-            pass_guard.finish()
-        result.remarks = pass_guard.diagnostics.remarks
-        result.rolled_back = pass_guard.rolled_back
+    with span("compile.function", function=func.name,
+              config=config.name):
+        timing = manager.run_function(func)
+        result = CompileResult(
+            func, config, timing,
+            report=VectorizationReport(func.name, config.name),
+        )
+        if vectorize is not None and vectorize.report is not None:
+            result.report = vectorize.report
+        if pass_guard is not None:
+            try:
+                if pass_guard.policy.oracle is not None:
+                    with span("oracle.verify", function=func.name):
+                        pass_guard.run_oracle(func)
+                else:
+                    pass_guard.run_oracle(func)
+            finally:
+                pass_guard.finish()
+            result.remarks = pass_guard.diagnostics.remarks
+            result.rolled_back = pass_guard.rolled_back
     result.remarks.extend(result.report.remarks)
     return result
 

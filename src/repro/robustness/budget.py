@@ -20,6 +20,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs import metrics as _metrics
+from ..obs import records as _records
+
 
 @dataclass(frozen=True)
 class Budget:
@@ -139,6 +142,11 @@ class ModuleMeter:
             return
         self._tripped.add(kind)
         self.events.append(BudgetEvent(kind, detail))
+        # Publish the degradation into the observability layer (both
+        # helpers are single flag checks when the layer is off).
+        _metrics.add("budget.exhaustions")
+        _metrics.add(f"budget.exhausted.{kind}")
+        _records.emit("degrade", kind=kind, detail=detail)
 
 
 class BudgetMeter:
@@ -251,6 +259,11 @@ class BudgetMeter:
             return
         self._tripped.add(kind)
         self.events.append(BudgetEvent(kind, detail))
+        # Publish the degradation into the observability layer (both
+        # helpers are single flag checks when the layer is off).
+        _metrics.add("budget.exhaustions")
+        _metrics.add(f"budget.exhausted.{kind}")
+        _records.emit("degrade", kind=kind, detail=detail)
 
 
 __all__ = ["Budget", "BudgetEvent", "BudgetMeter", "ModuleMeter"]

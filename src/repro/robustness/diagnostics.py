@@ -13,6 +13,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from ..obs import records as _records
+
 
 class Severity(enum.Enum):
     """How bad a remark is; mirrors clang's remark/warning/error split."""
@@ -99,7 +101,13 @@ class BudgetExceededError(CompilerError):
 
 @dataclass
 class DiagnosticEngine:
-    """Collects remarks during one compilation."""
+    """Collects remarks during one compilation.
+
+    This stays the producer API for structured diagnostics; every
+    emission is *also* streamed through :mod:`repro.obs.records` when a
+    record sink is installed (``--remarks-out``), so remarks reach the
+    JSONL stream without the in-memory list being the only artifact.
+    """
 
     remarks: list[Remark] = field(default_factory=list)
 
@@ -110,6 +118,7 @@ class DiagnosticEngine:
                         pass_name=pass_name, phase=phase,
                         remediation=remediation)
         self.remarks.append(remark)
+        _records.emit_remark(remark)
         return remark
 
     def note(self, category: str, message: str, **kw) -> Remark:

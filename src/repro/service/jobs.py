@@ -27,7 +27,9 @@ from ..ir.function import Module
 from ..ir.parser import parse_module
 from ..ir.printer import print_module
 from ..kernels.catalog import Kernel
+from ..obs.tracing import span
 from ..robustness.budget import Budget, ModuleMeter
+from ..robustness.diagnostics import Remark, Severity
 from ..robustness.guard import DifferentialOracle
 from ..slp.vectorizer import VectorizationReport, VectorizerConfig
 from .cache import CacheEntry, compute_key
@@ -188,11 +190,13 @@ def _execute_job_inner(job: CompileJob) -> JobOutcome:
     compile_seconds = 0.0
     static_cost = 0
     for func in module.functions.values():
-        oracle = _oracle_for(job, module, func, target)
-        result = compile_function(
-            func, config, target, guard=guard, oracle=oracle,
-            module_meter=module_meter,
-        )
+        oracle = _oracle_for(job, module, func, target, remarks)
+        with span("job.compile", job=job.name, function=func.name,
+                  config=config.name):
+            result = compile_function(
+                func, config, target, guard=guard, oracle=oracle,
+                module_meter=module_meter,
+            )
         merged.merge(result.report)
         remarks.extend(remark_to_dict(r) for r in result.remarks)
         rolled_back.extend(
@@ -230,7 +234,8 @@ def _load_module(job: CompileJob) -> Module:
 
 
 def _oracle_for(job: CompileJob, module: Module, func,
-                target: TargetCostModel
+                target: TargetCostModel,
+                remarks: Optional[list[dict[str, Any]]] = None
                 ) -> Optional[DifferentialOracle]:
     if job.verify_runs <= 0:
         return None
@@ -239,7 +244,21 @@ def _oracle_for(job: CompileJob, module: Module, func,
     if missing:
         # Without runtime arguments the oracle cannot execute the
         # function; skip verification rather than report a spurious
-        # mismatch.
+        # mismatch — but say so, instead of silently not verifying.
+        if remarks is not None:
+            remarks.append(remark_to_dict(Remark(
+                severity=Severity.WARNING,
+                category="oracle",
+                message=(
+                    "differential verification skipped: no runtime "
+                    "value for argument(s) "
+                    + ", ".join(f"%{name}" for name in missing)
+                ),
+                function=func.name,
+                pass_name="oracle",
+                phase="oracle",
+                remediation="pass --arg NAME=VALUE for every argument",
+            )))
         return None
     return DifferentialOracle.sweeping(
         module, func, args=args, runs=job.verify_runs,

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs import metrics as _metrics
+
 
 @dataclass
 class StageSeconds:
@@ -65,6 +67,27 @@ class ServiceStats:
         if available <= 0:
             return 0.0
         return min(1.0, self.stage_seconds.compile / available)
+
+    # ------------------------------------------------------------------
+
+    def publish(self) -> None:
+        """Push this snapshot's counters into the global observability
+        metrics registry (a no-op unless publishing is enabled)."""
+        if not _metrics.publishing():
+            return
+        _metrics.add("service.jobs", self.jobs)
+        _metrics.add("cache.memory_hits", self.memory_hits)
+        _metrics.add("cache.disk_hits", self.disk_hits)
+        _metrics.add("cache.misses", self.misses)
+        _metrics.add("cache.stores", self.stores)
+        _metrics.add("service.vectorizer_invocations",
+                     self.vectorizer_invocations)
+        _metrics.add("service.degraded", self.degraded)
+        _metrics.add("service.refused", self.refused)
+        _metrics.add("service.errors", self.errors)
+        _metrics.add("service.budget_exhausted", self.budget_exhausted)
+        _metrics.set_gauge("service.queue_depth_highwater",
+                           self.queue_depth_highwater)
 
     # ------------------------------------------------------------------
 

@@ -28,6 +28,7 @@ from typing import Iterator, Optional, Sequence
 
 from ..ir.function import Module
 from ..ir.parser import parse_module
+from ..obs.tracing import span
 from ..robustness.diagnostics import Remark, Severity
 from ..slp.vectorizer import VectorizationReport
 from .admission import (
@@ -160,21 +161,23 @@ class CompilationService:
         misses: list[tuple[int, CompileJob]] = []
 
         # ---- stage 1: cache lookups, in submission order -------------
-        for index, job in enumerate(jobs):
-            lookup_started = time.perf_counter()
-            entry, tier = self._lookup(job)
-            batch.stage_seconds.lookup += (
-                time.perf_counter() - lookup_started
-            )
-            if entry is not None:
-                if tier == "memory":
-                    batch.memory_hits += 1
+        with span("service.lookup", jobs=len(jobs)):
+            for index, job in enumerate(jobs):
+                lookup_started = time.perf_counter()
+                entry, tier = self._lookup(job)
+                batch.stage_seconds.lookup += (
+                    time.perf_counter() - lookup_started
+                )
+                if entry is not None:
+                    if tier == "memory":
+                        batch.memory_hits += 1
+                    else:
+                        batch.disk_hits += 1
+                    results[index] = JobResult(job, entry,
+                                               cache_tier=tier)
                 else:
-                    batch.disk_hits += 1
-                results[index] = JobResult(job, entry, cache_tier=tier)
-            else:
-                batch.misses += 1
-                misses.append((index, job))
+                    batch.misses += 1
+                    misses.append((index, job))
 
         # ---- stage 2: compile misses through admission + pool --------
         degraded_indices: set[int] = set()
@@ -204,14 +207,18 @@ class CompilationService:
             )
 
         window = self.admission.policy.queue_capacity
-        for index, outcome in run_jobs(dispatch(), workers=self.jobs,
-                                       window=window,
-                                       on_depth=observe_depth):
-            results[index] = self._absorb(jobs[index], outcome, batch,
-                                          index in degraded_indices)
+        with span("service.compile", misses=len(misses),
+                  workers=self.jobs):
+            for index, outcome in run_jobs(dispatch(), workers=self.jobs,
+                                           window=window,
+                                           on_depth=observe_depth):
+                results[index] = self._absorb(jobs[index], outcome,
+                                              batch,
+                                              index in degraded_indices)
 
         batch.batch_seconds = time.perf_counter() - started
         self._accumulate(batch)
+        batch.publish()
         return BatchResult([r for r in results if r is not None], batch)
 
     # ------------------------------------------------------------------
@@ -240,7 +247,8 @@ class CompilationService:
                 "category": "admission",
                 "message": "service compile budget exhausted; this job "
                            "was compiled scalar-only",
-                "function": "", "pass_name": "", "phase": "admission",
+                "function": job.name, "pass_name": "admission",
+                "phase": "admission",
                 "remediation": "raise --max-total-seconds or shrink "
                                "the batch",
             })
@@ -248,7 +256,8 @@ class CompilationService:
             # Degraded artifacts are not the true compile for their key;
             # only full-fidelity results are cached.
             store_started = time.perf_counter()
-            self.cache.put(entry.key, entry)
+            with span("service.store", job=job.name):
+                self.cache.put(entry.key, entry)
             batch.stage_seconds.store += (
                 time.perf_counter() - store_started
             )

@@ -28,6 +28,7 @@ from ..ir.instructions import (
 )
 from ..ir.types import vector_of
 from ..ir.values import Value
+from ..obs import records as _records
 from ..robustness.budget import BudgetMeter
 from .graph import GatherNode, MultiNode, SLPGraph, SLPNode, VectorizableNode
 from .lookahead import LookAheadContext, get_lookahead_score
@@ -239,6 +240,15 @@ class GraphBuilder:
         self.stats.reorders += 1
         result = self._reorderer.reorder(operand_groups)
         self.stats.lookahead_evals += result.lookahead_evals
+        if _records.active_sink() is not None:
+            _records.emit(
+                "reorder",
+                slots=len(operand_groups),
+                lanes=len(operand_groups[0]) if operand_groups else 0,
+                evals=result.lookahead_evals,
+                strategy=self.policy.reorder_strategy,
+                modes=[mode.value for mode in result.modes],
+            )
         return result
 
     # ---- gathering and legality -----------------------------------------------

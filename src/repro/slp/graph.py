@@ -15,11 +15,11 @@ The graph is a DAG of *nodes*, each holding one value per SIMD lane:
 
 from __future__ import annotations
 
-import re
 from typing import Iterator, Optional, Sequence
 
 from ..ir.instructions import Instruction
 from ..ir.values import Value
+from ..obs.canon import canonicalize_handles
 
 
 class SLPNode:
@@ -192,17 +192,45 @@ class SLPGraph:
 
         if self.root is not None:
             visit(self.root, 0)
-        text = "\n".join(lines)
+        return canonicalize_handles("\n".join(lines))
 
-        renames: dict[str, str] = {}
+    def to_dot(self, name: str = "slp") -> str:
+        """Graphviz DOT rendering of the graph (same canonicalized
+        ``%uN`` id-handles as :meth:`dump`, so two compiles of the same
+        kernel export byte-identical DOT).
 
-        def stable(match: "re.Match[str]") -> str:
-            token = match.group(0)
-            if token not in renames:
-                renames[token] = f"%u{len(renames)}"
-            return renames[token]
-
-        return re.sub(r"%<[0-9a-f]+>", stable, text)
+        Node shapes mirror the node taxonomy: boxes for vectorizable
+        groups, double boxes ("box3d") for LSLP multi-nodes, dashed
+        ellipses for gathers.  Edges run parent → operand child in
+        operand order.  Load with ``dot -Tpng`` / ``xdot`` to debug
+        multi-node and look-ahead decisions visually.
+        """
+        lines = [f'digraph "{name}" {{',
+                 "  rankdir=TB;",
+                 '  node [fontname="monospace", fontsize=10];']
+        ids: dict[int, str] = {}
+        order: list[SLPNode] = list(self.walk())
+        for number, node in enumerate(order):
+            ids[id(node)] = f"n{number}"
+        for node in order:
+            if node.is_gather:
+                shape = 'shape=ellipse, style=dashed'
+            elif node.is_multi_node:
+                shape = 'shape=box3d'
+            else:
+                shape = 'shape=box'
+            label = node.describe().replace("\\", "\\\\").replace('"', '\\"')
+            lines.append(
+                f'  {ids[id(node)]} [label="{label}", {shape}];'
+            )
+        for node in order:
+            for slot, child in enumerate(node.children):
+                lines.append(
+                    f'  {ids[id(node)]} -> {ids[id(child)]} '
+                    f'[label="{slot}"];'
+                )
+        lines.append("}")
+        return canonicalize_handles("\n".join(lines))
 
 
 __all__ = [

@@ -26,6 +26,9 @@ from ..costmodel.targets import skylake_like
 from ..costmodel.tti import TargetCostModel
 from ..ir.basicblock import BasicBlock
 from ..ir.function import Function, Module
+from ..obs import metrics as _metrics
+from ..obs import records as _records
+from ..obs.tracing import span
 from ..robustness.budget import Budget, BudgetMeter, ModuleMeter
 from ..robustness.diagnostics import Remark, Severity
 from .builder import BuildPolicy, BuildStats, GraphBuilder
@@ -209,8 +212,19 @@ class SLPVectorizer:
             return report
         meter = BudgetMeter(self.config.budget, module=module_meter)
         meter.start_function()
-        for block in func.blocks:
-            self._run_block(block, report, meter)
+        # Ambient record context: deep layers (builder, reorderer,
+        # budget meters) emit decision records without threading names.
+        context = _records.push_context(
+            function=func.name, config=self.config.name,
+            **{"pass": "slp"},
+        )
+        try:
+            with span("slp.function", function=func.name,
+                      config=self.config.name):
+                for block in func.blocks:
+                    self._run_block(block, report, meter)
+        finally:
+            _records.restore_context(context)
         for event in meter.events:
             report.remarks.append(Remark(
                 Severity.WARNING, "budget", event.detail,
@@ -218,6 +232,7 @@ class SLPVectorizer:
                 remediation="raise the Budget caps, or accept the "
                             "greedy/scalar degradation",
             ))
+        self._publish_metrics(report, meter)
         return report
 
     # ------------------------------------------------------------------
@@ -236,6 +251,9 @@ class SLPVectorizer:
                 continue
             if meter.time_exceeded():
                 return  # remaining seeds stay scalar; remark via events
+            _metrics.add("slp.seeds")
+            _records.emit("seed", kind="store", block=block.name,
+                          vector_length=seed.vector_length)
             self._vectorize_seed(seed, ctx, aa, report, meter)
 
         if self.config.enable_reductions:
@@ -244,6 +262,9 @@ class SLPVectorizer:
                     continue
                 if meter.time_exceeded():
                     return
+                _metrics.add("slp.seeds")
+                _records.emit("seed", kind="reduction", block=block.name,
+                              vector_length=len(seed.operands))
                 record = self._try_reduction(seed, ctx, aa, report, meter)
                 if record is not None:
                     report.trees.append(record)
@@ -268,9 +289,12 @@ class SLPVectorizer:
                         meter: Optional[BudgetMeter] = None) -> TreeRecord:
         builder = GraphBuilder(self.config.build_policy(meter),
                                self.target, ctx)
-        graph = builder.build(seed.stores)
+        with span("slp.build_graph", vl=seed.vector_length):
+            graph = builder.build(seed.stores)
         self._absorb_stats(report, builder)
-        cost = compute_graph_cost(graph, self.target)
+        _records.capture_graph("store", graph)
+        with span("slp.cost"):
+            cost = compute_graph_cost(graph, self.target)
         record = TreeRecord(
             kind="store",
             vector_length=seed.vector_length,
@@ -280,23 +304,28 @@ class SLPVectorizer:
             description=graph.dump(),
         )
         if graph.root is None or graph.root.is_gather:
+            self._emit_group(record, reason="gather-root")
             return record
         codegen = VectorCodeGen(graph, aa)
         record.schedulable = codegen.can_schedule()
         if record.schedulable and cost.total < self.config.cost_threshold:
-            codegen.run()
+            with span("slp.codegen", vl=seed.vector_length):
+                codegen.run()
             record.vectorized = True
+        self._emit_group(record)
         return record
 
     def _try_reduction(self, seed: ReductionSeed, ctx: LookAheadContext,
                        aa: AliasAnalysis, report: VectorizationReport,
                        meter: Optional[BudgetMeter] = None
                        ) -> Optional[TreeRecord]:
-        plan = plan_reduction(
-            seed, self.config.build_policy(meter), self.target, ctx
-        )
+        with span("slp.build_graph", kind="reduction"):
+            plan = plan_reduction(
+                seed, self.config.build_policy(meter), self.target, ctx
+            )
         if plan is None:
             return None
+        _records.capture_graph("reduction", plan.graph)
         record = TreeRecord(
             kind="reduction",
             vector_length=plan.vector_length,
@@ -306,10 +335,51 @@ class SLPVectorizer:
             description=plan.graph.dump(),
         )
         if plan.total_cost < self.config.cost_threshold:
-            record.vectorized = emit_reduction(plan, aa)
+            with span("slp.codegen", vl=plan.vector_length):
+                record.vectorized = emit_reduction(plan, aa)
             if not record.vectorized:
                 record.schedulable = False
+        self._emit_group(record)
         return record
+
+    @staticmethod
+    def _emit_group(record: TreeRecord, reason: str = "") -> None:
+        """Stream one group-formation decision (the ``-Rpass``-style
+        record figure analyses key off): kind, width, the cost *delta*
+        versus scalar (negative = profitable), and the verdict."""
+        if _records.active_sink() is None:
+            return
+        if not reason:
+            if record.vectorized:
+                reason = "profitable"
+            elif not record.schedulable:
+                reason = "unschedulable"
+            else:
+                reason = "cost"
+        _records.emit(
+            "group",
+            kind=record.kind,
+            vector_length=record.vector_length,
+            cost=record.cost,
+            vectorized=record.vectorized,
+            schedulable=record.schedulable,
+            reason=reason,
+        )
+
+    def _publish_metrics(self, report: VectorizationReport,
+                         meter: BudgetMeter) -> None:
+        """Publish this function's tallies into the metrics registry
+        (one flag check when publication is off)."""
+        if not _metrics.publishing():
+            return
+        stats = report.stats
+        _metrics.add("slp.trees_built", len(report.trees))
+        _metrics.add("slp.groups_vectorized", report.num_vectorized)
+        _metrics.add("slp.nodes", stats.nodes)
+        _metrics.add("slp.multi_nodes", stats.multi_nodes)
+        _metrics.add("slp.gathers", stats.gathers)
+        _metrics.add("reorder.reorders", stats.reorders)
+        _metrics.add("lookahead.evals", stats.lookahead_evals)
 
     @staticmethod
     def _absorb_stats(report: VectorizationReport,

@@ -8,6 +8,17 @@ from repro.frontend import compile_kernel_source
 from repro.ir import Function, IRBuilder, Module, verify_function
 
 
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    """Leave the observability layer disabled and empty around every
+    test, whatever order tests run in (pytest-randomly safe)."""
+    import repro.obs
+
+    repro.obs.reset()
+    yield
+    repro.obs.reset()
+
+
 @pytest.fixture
 def module():
     return Module("test")
