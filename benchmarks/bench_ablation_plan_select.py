@@ -1,0 +1,44 @@
+"""Ablation — candidate-plan selection vs greedy first-fit.
+
+The plan/select/apply pipeline enumerates half-width plans eagerly, so a
+selector can prefer them over a (barely) profitable full-width tree.
+The overlapping-seed kernels are engineered so the legacy greedy driver
+commits the gather-heavy VL4 tree while selection keeps the cheaper
+halves: -6 vs -4 on overlap-shared-half, -12 vs -4 on
+overlap-disjoint-halves.
+"""
+
+import pytest
+
+from repro.experiments.figures import ablation_plan_select
+from repro.kernels import OVERLAP_KERNELS
+
+from conftest import emit_table
+
+
+def build_table():
+    return ablation_plan_select()
+
+
+def test_ablation_plan_select(benchmark):
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    emit_table(table)
+
+    cost = {
+        (row["kernel"], row["plan-select"]): row["static-cost"]
+        for row in table.rows
+    }
+    strict_wins = 0
+    for kernel in OVERLAP_KERNELS:
+        legacy = cost[(kernel.name, "legacy")]
+        greedy = cost[(kernel.name, "greedy-savings")]
+        exhaustive = cost[(kernel.name, "exhaustive")]
+        # selection never loses to greedy first-fit, and exhaustive
+        # search never loses to the greedy selector
+        assert greedy <= legacy
+        assert exhaustive <= greedy
+        if greedy < legacy:
+            strict_wins += 1
+    # the acceptance bar: selection strictly beats the legacy driver on
+    # at least one overlapping-seed kernel
+    assert strict_wins >= 1

@@ -14,6 +14,7 @@ Installed as the ``lslp`` console script::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
 from typing import Optional, Sequence
@@ -31,7 +32,7 @@ from .opt.pipelines import compile_function
 from .robustness.budget import Budget, ModuleMeter
 from .robustness.diagnostics import CompilerError, Remark, Severity
 from .robustness.guard import DifferentialOracle, GuardPolicy
-from .slp.vectorizer import VectorizerConfig
+from .slp.vectorizer import PLAN_SELECT_MODES, VectorizerConfig
 
 CONFIG_FACTORIES = {
     "o3": VectorizerConfig.o3,
@@ -79,6 +80,9 @@ def _config_from_args(args, warnings: Optional[list[Remark]] = None
     budget = _budget_from_args(args)
     if budget is not None:
         config = replace(config, budget=budget)
+    plan_select = getattr(args, "plan_select", "legacy")
+    if plan_select != "legacy":
+        config = replace(config, plan_select=plan_select)
     return config
 
 
@@ -128,9 +132,11 @@ class _ObsSession:
         self.remarks_out = getattr(args, "remarks_out", None)
         self.stats_mode = getattr(args, "stats", None)
         self.graph_out = getattr(args, "dump_slp_graph", None)
+        self.plan_out = getattr(args, "plan_dump", None)
         self.tracer = None
         self.sink = None
         self.graphs = None
+        self.plans = None
         if self.trace_out:
             self.tracer = obs.tracing.install()
         if self.remarks_out:
@@ -145,6 +151,9 @@ class _ObsSession:
         if self.graph_out:
             self.graphs = []
             obs.records.set_graph_sink(self.graphs)
+        if self.plan_out:
+            self.plans = []
+            obs.records.set_plan_sink(self.plans)
         if self.stats_mode:
             obs.metrics.set_publishing(True)
 
@@ -182,6 +191,22 @@ class _ObsSession:
                 raise SystemExit(
                     f"error: cannot write {self.graph_out}: {error}"
                 )
+        if self.plans is not None:
+            obs.records.set_plan_sink(None)
+            if not self.plans:
+                print("; --plan-dump: no candidate plans were built",
+                      file=sys.stderr)
+            lines = [
+                json.dumps(entry, sort_keys=True, separators=(",", ":"))
+                for entry in self.plans
+            ]
+            try:
+                with open(self.plan_out, "w") as handle:
+                    handle.write("\n".join(lines) + ("\n" if lines else ""))
+            except OSError as error:
+                raise SystemExit(
+                    f"error: cannot write {self.plan_out}: {error}"
+                )
         if profile is not None:
             print(profile.render())
         if self.stats_mode:
@@ -211,6 +236,11 @@ def _add_obs_options(parser: argparse.ArgumentParser,
             "--dump-slp-graph", metavar="FILE.dot", default=None,
             help="write every built SLP graph as Graphviz DOT",
         )
+        parser.add_argument(
+            "--plan-dump", metavar="FILE.jsonl", default=None,
+            help="write every enumerated candidate plan (with its "
+                 "selection outcome) as canonical JSONL",
+        )
 
 
 def _add_compile_options(parser: argparse.ArgumentParser) -> None:
@@ -230,6 +260,13 @@ def _add_compile_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--multi-node", type=int, default=None,
         help="LSLP multi-node size limit (default: unbounded)",
+    )
+    parser.add_argument(
+        "--plan-select", choices=PLAN_SELECT_MODES, default="legacy",
+        help="candidate-plan selection policy: 'legacy' reproduces the "
+             "greedy first-fit driver byte-for-byte (default); "
+             "'greedy-savings' and 'exhaustive' weigh overlapping "
+             "plans by projected savings",
     )
     parser.add_argument(
         "--strict", action="store_true",
@@ -446,6 +483,9 @@ def _batch_configs(spec: str, args) -> list:
             )
         else:
             config = CONFIG_FACTORIES[name]()
+        plan_select = getattr(args, "plan_select", "legacy")
+        if plan_select != "legacy":
+            config = replace(config, plan_select=plan_select)
         configs.append(config)
     if not configs:
         raise SystemExit("error: --configs selected nothing")
@@ -723,6 +763,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="LSLP look-ahead depth")
     p_batch.add_argument("--multi-node", type=int, default=None,
                          help="LSLP multi-node size limit")
+    p_batch.add_argument(
+        "--plan-select", choices=PLAN_SELECT_MODES, default="legacy",
+        help="candidate-plan selection policy applied to every job "
+             "(default: legacy greedy first-fit)",
+    )
     p_batch.add_argument("--strict", action="store_true",
                          help="fail a job fast on any pass failure")
     p_batch.add_argument("--no-guard", action="store_true",

@@ -7,14 +7,16 @@ the qualitative claims (who wins, where, by roughly what factor).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional, Sequence
 
 from ..costmodel.targets import skylake_like
 from ..costmodel.tti import TargetCostModel
 from ..kernels.catalog import EVALUATION_KERNELS, Kernel
+from ..kernels.overlap import OVERLAP_KERNELS
 from ..kernels.suites import SUITE_SPECS, SuiteSpec
 from ..opt.pipelines import compile_function
-from ..slp.vectorizer import VectorizerConfig
+from ..slp.vectorizer import PLAN_SELECT_MODES, VectorizerConfig
 from .reporting import FigureTable
 from .runner import (
     PAPER_CONFIGS,
@@ -286,6 +288,48 @@ def _best_compile_time(kernel: Kernel, config: VectorizerConfig,
     return best
 
 
+# ---------------------------------------------------------------------------
+# Ablation — candidate-plan selection on overlapping seeds
+# ---------------------------------------------------------------------------
+
+
+def ablation_plan_select(kernels: Optional[Sequence[Kernel]] = None,
+                         target: Optional[TargetCostModel] = None
+                         ) -> FigureTable:
+    """Plan-selection ablation: greedy first-fit (``legacy``) vs
+    savings-driven selection on kernels whose candidate plans overlap.
+
+    The legacy driver commits the first profitable tree per seed group;
+    ``greedy-savings``/``exhaustive`` weigh the eagerly-enumerated
+    half-width plans against the full tree and keep whichever set of
+    non-conflicting plans projects the lower total cost."""
+    target = target if target is not None else skylake_like()
+    table = FigureTable(
+        "Ablation plan-select",
+        "Candidate-plan selection vs greedy first-fit, overlapping seeds",
+        ["kernel", "plan-select", "static-cost", "vectorized-trees"],
+    )
+    for kernel in (kernels if kernels is not None else OVERLAP_KERNELS):
+        for mode in PLAN_SELECT_MODES:
+            config = replace(VectorizerConfig.lslp(), plan_select=mode)
+            _, func = kernel.build()
+            result = compile_function(func, config, target)
+            trees = ", ".join(
+                f"VL{t.vector_length}:{t.cost}"
+                for t in result.report.trees if t.vectorized
+            ) or "none"
+            table.add_row(kernel=kernel.name, **{
+                "plan-select": mode,
+                "static-cost": result.static_cost,
+                "vectorized-trees": trees,
+            })
+    table.notes.append(
+        "legacy reproduces the paper's greedy driver byte-for-byte; the "
+        "selection modes only differ where profitable plans overlap"
+    )
+    return table
+
+
 ALL_FIGURES = {
     "table2": table2_kernels,
     "fig9": fig9_speedup,
@@ -294,10 +338,12 @@ ALL_FIGURES = {
     "fig12": fig12_suite_speedup,
     "fig13": fig13_sensitivity,
     "fig14": fig14_compile_time,
+    "ablation-plan-select": ablation_plan_select,
 }
 
 
 __all__ = [
+    "ablation_plan_select",
     "ALL_FIGURES",
     "fig9_speedup",
     "fig10_static_cost",

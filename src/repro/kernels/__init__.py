@@ -31,6 +31,11 @@ from .extended import (
     MULT_SU2_LIB,
     VSUMSQR_LIB,
 )
+from .overlap import (
+    OVERLAP_DISJOINT_HALVES,
+    OVERLAP_KERNELS,
+    OVERLAP_SHARED_HALF,
+)
 from .suites import build_suite, suite_by_name, SuiteSpec, SUITE_SPECS
 
 __all__ = [
@@ -53,6 +58,9 @@ __all__ = [
     "MOTIVATION_OPCODES",
     "MULT_SU2",
     "MULT_SU2_LIB",
+    "OVERLAP_DISJOINT_HALVES",
+    "OVERLAP_KERNELS",
+    "OVERLAP_SHARED_HALF",
     "QUARTIC_CYLINDER",
     "SPEC_KERNELS",
     "suite_by_name",

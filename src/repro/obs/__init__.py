@@ -40,6 +40,7 @@ def reset() -> None:
     tracing.uninstall()
     records.set_sink(None)
     records.set_graph_sink(None)
+    records.set_plan_sink(None)
     records.restore_context({})
     metrics.set_publishing(False)
     metrics.reset()
@@ -49,6 +50,7 @@ def enabled() -> bool:
     """True when any pillar is actively collecting."""
     return (tracing.active() is not None
             or records.active_sink() is not None
+            or records.active_plan_sink() is not None
             or metrics.publishing())
 
 

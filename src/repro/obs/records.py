@@ -32,6 +32,12 @@ RECORD_SCHEMA: dict[str, tuple[str, ...]] = {
     "reorder": ("slots", "lanes", "evals", "strategy"),
     "degrade": ("kind", "detail"),
     "remark": ("severity", "category", "message"),
+    # plan/select/apply pipeline (repro.slp.plan): one "plan" record per
+    # enumerated candidate, then exactly one "select" or "reject" per
+    # candidate once the applier has spoken
+    "plan": ("plan_id", "kind", "vector_length", "cost", "schedulable"),
+    "select": ("plan_id", "mode"),
+    "reject": ("plan_id", "mode", "reason"),
 }
 
 #: keys every record carries regardless of type
@@ -180,18 +186,53 @@ def capture_graph(kind: str, graph) -> None:
     sink.append((function, kind, graph.to_dot(name)))
 
 
+# ---------------------------------------------------------------------------
+# Plan capture (``lslp ... --plan-dump``)
+# ---------------------------------------------------------------------------
+
+#: when set, the plan layer appends one dict per enumerated TreePlan,
+#: annotated with its selection outcome
+_PLAN_SINK: Optional[list] = None
+
+
+def set_plan_sink(sink: Optional[list]) -> Optional[list]:
+    global _PLAN_SINK
+    previous, _PLAN_SINK = _PLAN_SINK, sink
+    return previous
+
+
+def active_plan_sink() -> Optional[list]:
+    return _PLAN_SINK
+
+
+def capture_plan(entry: dict) -> None:
+    """Record one plan-dump entry (no-op without a sink); ambient
+    function/config context is filled in like :func:`emit` does."""
+    sink = _PLAN_SINK
+    if sink is None:
+        return
+    entry = dict(entry)
+    entry.setdefault("function", _CONTEXT.get("function", ""))
+    if "config" in _CONTEXT:
+        entry.setdefault("config", _CONTEXT["config"])
+    sink.append(entry)
+
+
 __all__ = [
     "COMMON_KEYS",
     "JsonlSink",
     "ListSink",
     "RECORD_SCHEMA",
+    "active_plan_sink",
     "active_sink",
     "capture_graph",
+    "capture_plan",
     "emit",
     "emit_remark",
     "push_context",
     "restore_context",
     "set_graph_sink",
+    "set_plan_sink",
     "set_sink",
     "validate_record",
 ]

@@ -40,6 +40,10 @@ class Budget:
     max_module_lookahead_evals: Optional[int] = None
     #: wall-clock seconds of SLP work across the whole module
     max_module_seconds: Optional[float] = None
+    #: candidate subsets the exhaustive plan selector may enumerate per
+    #: block (the greedy selection stands beyond this); ``None`` uses
+    #: the selector's built-in default cap
+    max_select_subsets: Optional[int] = None
 
     @staticmethod
     def unlimited() -> "Budget":
@@ -164,11 +168,25 @@ class BudgetMeter:
         self.budget = budget
         self.module = module
         self.lookahead_evals = 0
+        self.select_subsets = 0
         self.events: list[BudgetEvent] = []
         self._deadline: Optional[float] = None
         self._tripped: set[str] = set()
 
     # ------------------------------------------------------------------
+
+    def phase_meter(self) -> "BudgetMeter":
+        """A meter for an analysis-only phase (candidate planning).
+
+        Same caps and the already-armed wall-clock deadline, but its own
+        counters, events and *no* module charging: planning runs before
+        the apply phase and must not perturb its budget accounting — the
+        apply phase's trips, remarks and module-admission behaviour stay
+        exactly as if planning never happened.
+        """
+        clone = BudgetMeter(self.budget)
+        clone._deadline = self._deadline
+        return clone
 
     def start_function(self) -> None:
         """Arm the wall-clock deadline for a fresh function."""
@@ -244,6 +262,23 @@ class BudgetMeter:
                 f"exhaustive reordering would need ~{evals_estimate} "
                 f"look-ahead evals against a budget of {eval_cap}; "
                 "falling back to greedy reordering",
+            )
+            return False
+        return not self.time_exceeded()
+
+    def charge_select(self, count: int = 1) -> None:
+        self.select_subsets += count
+
+    def select_allowed(self) -> bool:
+        """May the exhaustive plan selector visit another candidate
+        subset?  ``False`` means: keep the best subset found so far."""
+        cap = self.budget.max_select_subsets
+        if cap is not None and self.select_subsets >= cap:
+            self._note(
+                "select",
+                f"plan-selection budget of {cap} candidate subsets "
+                f"exhausted after {self.select_subsets}; keeping the "
+                "greedy selection",
             )
             return False
         return not self.time_exceeded()

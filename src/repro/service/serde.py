@@ -19,13 +19,17 @@ from ..slp.vectorizer import TreeRecord, VectorizationReport
 
 
 def tree_to_dict(tree: TreeRecord) -> dict[str, Any]:
+    # Graph dumps are only serialized for trees that were actually
+    # vectorized: rejected trees (gather roots above all) dominate most
+    # reports, and their dumps were dead weight in every batch-service
+    # artifact.  In-memory records still render lazily on access.
     return {
         "kind": tree.kind,
         "vector_length": tree.vector_length,
         "cost": tree.cost,
         "vectorized": tree.vectorized,
         "schedulable": tree.schedulable,
-        "description": tree.description,
+        "description": tree.description if tree.vectorized else "",
     }
 
 

@@ -4,11 +4,12 @@ The paper's contribution lives here: graph construction with multi-node
 formation (:mod:`builder`), look-ahead operand reordering (:mod:`reorder`,
 :mod:`lookahead`), graph costing (:mod:`cost`), vector code generation
 (:mod:`codegen`), seeds (:mod:`seeds`), reductions (:mod:`reductions`),
-and the top-level pass (:mod:`vectorizer`).
+the plan/select/apply decomposition (:mod:`plan`), and the top-level
+pass (:mod:`vectorizer`).
 """
 
 from .builder import BuildPolicy, BuildStats, GraphBuilder
-from .codegen import CodegenError, VectorCodeGen
+from .codegen import ApplyCheck, CodegenError, VectorCodeGen
 from .cost import GraphCost, NodeCost, compute_graph_cost
 from .exhaustive import ExhaustiveReorderer
 from .graph import GatherNode, MultiNode, SLPGraph, SLPNode, VectorizableNode
@@ -17,6 +18,15 @@ from .lookahead import (
     are_consecutive_or_match,
     get_lookahead_score,
     get_lookahead_score_max,
+)
+from .plan import (
+    PLAN_SELECT_MODES,
+    Applier,
+    BlockPlan,
+    Planner,
+    Selection,
+    Selector,
+    TreePlan,
 )
 from .reductions import ReductionPlan, emit_reduction, plan_reduction
 from .reorder import OperandMode, OperandReorderer, ReorderResult, initial_mode
@@ -34,7 +44,10 @@ from .vectorizer import (
 )
 
 __all__ = [
+    "Applier",
+    "ApplyCheck",
     "are_consecutive_or_match",
+    "BlockPlan",
     "BuildPolicy",
     "BuildStats",
     "CodegenError",
@@ -54,11 +67,16 @@ __all__ = [
     "NodeCost",
     "OperandMode",
     "OperandReorderer",
+    "PLAN_SELECT_MODES",
     "plan_reduction",
+    "Planner",
     "ReductionPlan",
     "ReductionSeed",
     "ReorderResult",
     "SeedGroup",
+    "Selection",
+    "Selector",
+    "TreePlan",
     "SLPGraph",
     "SLPNode",
     "SLPVectorizer",

@@ -18,6 +18,7 @@ checked this is legal.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 from ..analysis.aliasing import AliasAnalysis
@@ -39,6 +40,15 @@ from .graph import GatherNode, MultiNode, SLPGraph, SLPNode, VectorizableNode
 
 class CodegenError(RuntimeError):
     """Internal invariant violation during vector code emission."""
+
+
+@dataclass(frozen=True)
+class ApplyCheck:
+    """Verdict of the mutation-free can-apply analysis."""
+
+    ok: bool
+    #: "", "gather-root", "empty-tree" or "unschedulable"
+    reason: str = ""
 
 
 class VectorCodeGen:
@@ -69,6 +79,20 @@ class VectorCodeGen:
         if not tree:
             return False
         return TreeScheduler(self.aa).tree_is_schedulable(tree)
+
+    def analyze(self) -> ApplyCheck:
+        """Full can-apply analysis without mutating anything: the same
+        gates :meth:`emit` enforces, but as a verdict with a reason (the
+        planner records it on each candidate)."""
+        root = self.graph.root
+        if root is None or root.is_gather:
+            return ApplyCheck(False, "gather-root")
+        tree = self.full_tree()
+        if not tree:
+            return ApplyCheck(False, "empty-tree")
+        if not TreeScheduler(self.aa).tree_is_schedulable(tree):
+            return ApplyCheck(False, "unschedulable")
+        return ApplyCheck(True)
 
     def run(self) -> None:
         """Emit vector code and erase the replaced scalars (store roots)."""
@@ -273,4 +297,4 @@ class VectorCodeGen:
                 )
 
 
-__all__ = ["CodegenError", "VectorCodeGen"]
+__all__ = ["ApplyCheck", "CodegenError", "VectorCodeGen"]

@@ -28,6 +28,19 @@ class NodeCost:
     def total(self) -> int:
         return self.savings + self.gather + self.extracts
 
+    def to_dict(self) -> dict:
+        """JSON-serializable breakdown; node handles are canonicalized
+        per-entry so dumps are byte-stable across processes."""
+        from ..obs.canon import canonicalize_handles
+
+        return {
+            "node": canonicalize_handles(self.node.describe()),
+            "savings": self.savings,
+            "gather": self.gather,
+            "extracts": self.extracts,
+            "total": self.total,
+        }
+
 
 @dataclass
 class GraphCost:
@@ -39,6 +52,13 @@ class GraphCost:
     def add(self, entry: NodeCost) -> None:
         self.entries.append(entry)
         self.total += entry.total
+
+    def to_dict(self) -> dict:
+        """Serializable form attached to plans (``--plan-dump``)."""
+        return {
+            "total": self.total,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
 
 
 def compute_graph_cost(graph: SLPGraph, target: TargetCostModel,

@@ -1,0 +1,894 @@
+"""Plan/select/apply: the SLP pipeline as explicit, inspectable phases.
+
+The historical vectorizer was greedy and in-place: ``_try_store_tree``
+built one graph per seed, costed it, and immediately mutated the IR, so
+overlapping seeds, width choices and policy choices were decided
+first-come-first-served.  goSLP (PAPERS.md) showed that lifting those
+local decisions into a global selection problem recovers real speedups;
+this module performs that inversion in three layers:
+
+* :class:`Planner` enumerates immutable :class:`TreePlan` candidates per
+  block — the full-width seed *and* both halves eagerly (recursively,
+  down to VL2), plus reduction plans and, optionally, the same seed
+  under alternative build policies — without touching the IR.
+* :class:`Selector` resolves conflicts between plans that claim the same
+  stores/instructions and picks the subset with the best total cost.
+  The default ``legacy`` mode defers entirely to the applier's greedy
+  first-fit (reproducing the historical pipeline byte-for-byte);
+  ``greedy-savings`` and ``exhaustive`` are opt-in and budget-metered.
+* :class:`Applier` materializes the chosen plans through
+  :class:`~repro.slp.codegen.VectorCodeGen` in deterministic order,
+  rebuilding and re-checking each tree at apply time (an earlier
+  application can invalidate a plan-time verdict).
+
+Byte-stability contract: in ``legacy`` mode the applier re-runs the
+historical greedy loop *exactly* — same seed iteration, same graph
+builds charged to the same function meter, same records, same report —
+while the planner runs beforehand on its own analysis context and its
+own phase-scoped budget meter, so planning never perturbs what the
+legacy path produces.
+
+Every candidate's fate is observable: ``plan`` records at enumeration,
+``select``/``reject`` records after reconciliation, ``plan.*`` metrics,
+and full plan dumps through :func:`repro.obs.records.capture_plan`
+(the CLI's ``--plan-dump``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional
+
+from ..analysis.aliasing import AliasAnalysis
+from ..ir.basicblock import BasicBlock
+from ..obs import metrics as _metrics
+from ..obs import records as _records
+from ..obs.tracing import span
+from ..robustness.budget import BudgetMeter
+from ..robustness.diagnostics import Remark, Severity
+from .builder import BuildPolicy, BuildStats, GraphBuilder
+from .codegen import VectorCodeGen
+from .cost import GraphCost, compute_graph_cost
+from .graph import SLPGraph
+from .lookahead import LookAheadContext
+from .seeds import SeedGroup, collect_reduction_seeds
+
+#: accepted ``VectorizerConfig.plan_select`` values
+PLAN_SELECT_MODES: tuple[str, ...] = (
+    "legacy", "greedy-savings", "exhaustive",
+)
+
+#: named build-policy overrides the planner can enumerate per seed
+#: (``VectorizerConfig.plan_policy_variants``); informational candidates
+#: that are never applied
+POLICY_VARIANTS: dict[str, dict] = {
+    "slp-nr": dict(enable_reordering=False, look_ahead_depth=0,
+                   multi_node_max_size=1),
+    "slp": dict(enable_reordering=True, look_ahead_depth=0,
+                multi_node_max_size=1),
+    "lslp": dict(enable_reordering=True, look_ahead_depth=8,
+                 multi_node_max_size=None),
+}
+
+#: subsets the exhaustive selector may visit when no explicit
+#: ``Budget.max_select_subsets`` cap is set
+DEFAULT_SELECT_SUBSETS = 4096
+
+
+def claimed_ids(graph: SLPGraph,
+                extra: Iterable = ()) -> frozenset[int]:
+    """Identity set of every scalar instruction a graph's application
+    erases (vectorized lanes plus ``extra`` — a reduction's chain).
+    Two plans conflict exactly when these sets intersect."""
+    ids: set[int] = set()
+    for node in graph.walk():
+        if not node.is_gather:
+            ids.update(id(inst) for inst in node.all_instructions())
+    ids.update(id(inst) for inst in extra)
+    return frozenset(ids)
+
+
+@dataclass(frozen=True)
+class TreePlan:
+    """One immutable, costed vectorization candidate.
+
+    Also the (renamed) ``ReductionPlan`` of :mod:`repro.slp.reductions`:
+    reduction plans carry a nonzero ``reduction_overhead`` and claim
+    their chain instructions in addition to the tree.
+    """
+
+    kind: str                     #: "store" or "reduction"
+    vector_length: int
+    #: the :class:`~repro.slp.seeds.SeedGroup` or
+    #: :class:`~repro.slp.seeds.ReductionSeed` this plan covers
+    seed: object
+    graph: SLPGraph
+    tree_cost: GraphCost
+    #: horizontal-reduction cost delta (reduction plans only)
+    reduction_overhead: int = 0
+    plan_id: int = -1
+    block: str = ""
+    #: build policy: "default" (the config's own) or a
+    #: :data:`POLICY_VARIANTS` name
+    policy: str = "default"
+    #: plan id of the full-width plan this half descends from
+    parent_id: Optional[int] = None
+    schedulable: bool = False
+    #: plan-time rejection reason ("", "gather-root", "unschedulable")
+    reason: str = ""
+    stats: BuildStats = field(default_factory=BuildStats)
+    #: identity set of the scalar instructions application would erase
+    claimed: frozenset = frozenset()
+
+    @property
+    def total_cost(self) -> int:
+        return self.tree_cost.total + self.reduction_overhead
+
+    def conflicts_with(self, other: "TreePlan") -> bool:
+        return bool(self.claimed & other.claimed)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (the ``--plan-dump`` payload)."""
+        stats = self.stats
+        return {
+            "plan_id": self.plan_id,
+            "kind": self.kind,
+            "block": self.block,
+            "vector_length": self.vector_length,
+            "policy": self.policy,
+            "parent_id": self.parent_id,
+            "schedulable": self.schedulable,
+            "reason": self.reason,
+            "total_cost": self.total_cost,
+            "reduction_overhead": self.reduction_overhead,
+            "cost": self.tree_cost.to_dict(),
+            "stats": {
+                "nodes": stats.nodes,
+                "multi_nodes": stats.multi_nodes,
+                "gathers": stats.gathers,
+                "reorders": stats.reorders,
+                "lookahead_evals": stats.lookahead_evals,
+            },
+            "description": self.graph.dump(),
+        }
+
+
+class TreeRecord:
+    """Outcome of considering one seed group.
+
+    ``description`` renders lazily from the captured graph on first
+    access: most recorded trees — gather-root rejects above all — are
+    never inspected, and eagerly dumping every graph made batch-service
+    reports carry dead weight.  Laziness is safe because
+    :meth:`SLPGraph.dump` names values by ``name`` or identity and
+    canonicalizes handles per-string, so the text is identical whenever
+    it is rendered.
+    """
+
+    __slots__ = ("kind", "vector_length", "cost", "vectorized",
+                 "schedulable", "_description", "_graph")
+
+    def __init__(self, kind: str, vector_length: int, cost: int,
+                 vectorized: bool, schedulable: bool,
+                 description: Optional[str] = None,
+                 graph: Optional[SLPGraph] = None):
+        self.kind = kind
+        self.vector_length = vector_length
+        self.cost = cost
+        self.vectorized = vectorized
+        self.schedulable = schedulable
+        self._description = description
+        self._graph = None if description is not None else graph
+
+    @property
+    def description(self) -> str:
+        if self._description is None:
+            graph, self._graph = self._graph, None
+            self._description = graph.dump() if graph is not None else ""
+        return self._description
+
+    def _key(self):
+        return (self.kind, self.vector_length, self.cost, self.vectorized,
+                self.schedulable, self.description)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TreeRecord):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TreeRecord(kind={self.kind!r}, "
+                f"vector_length={self.vector_length}, cost={self.cost}, "
+                f"vectorized={self.vectorized}, "
+                f"schedulable={self.schedulable})")
+
+
+@dataclass
+class BlockPlan:
+    """Every candidate the planner enumerated for one block."""
+
+    block: str
+    #: plan id → plan, in enumeration (pre-)order
+    plans: dict[int, TreePlan] = field(default_factory=dict)
+    #: plan ids of the top-level (full-width, default-policy) store plans
+    roots: list[int] = field(default_factory=list)
+    #: plan ids of the reduction plans
+    reductions: list[int] = field(default_factory=list)
+    #: full-width plan id → (left-half id, right-half id)
+    children: dict[int, tuple[int, int]] = field(default_factory=dict)
+    #: plan id → (outcome, reason) filled in by :func:`record_outcomes`
+    outcomes: dict[int, tuple[str, str]] = field(default_factory=dict)
+
+    def add(self, plan: TreePlan) -> None:
+        self.plans[plan.plan_id] = plan
+
+
+@dataclass(frozen=True)
+class Selection:
+    """The selector's verdict for one block."""
+
+    mode: str
+    #: chosen plan ids in ascending (deterministic apply) order
+    chosen: tuple[int, ...]
+    #: plan-time total cost of the chosen subset
+    planned_total: int
+    #: which strategy produced the winner ("first-fit" when the mode's
+    #: pick was not strictly better than the legacy-shaped one)
+    note: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Planner
+# ---------------------------------------------------------------------------
+
+
+class Planner:
+    """Enumerates :class:`TreePlan` candidates without touching the IR.
+
+    Runs on its own :class:`LookAheadContext`/:class:`AliasAnalysis`
+    (never the applier's — shared SCEV caches would let pre-mutation
+    facts leak into apply-time graph builds) and charges a phase-scoped
+    budget meter, so planning perturbs neither the legacy byte-stream
+    nor the apply phase's budget accounting.
+    """
+
+    def __init__(self, config, target, ids: Optional[itertools.count] = None):
+        self.config = config
+        self.target = target
+        self.ids = ids if ids is not None else itertools.count()
+
+    def plan_block(self, block: BasicBlock, seeds: list[SeedGroup],
+                   ctx: LookAheadContext, aa: AliasAnalysis,
+                   meter: BudgetMeter) -> BlockPlan:
+        block_plan = BlockPlan(block=block.name)
+        with span("slp.plan", block=block.name):
+            for seed in seeds:
+                if not seed.alive():
+                    continue
+                if meter.time_exceeded():
+                    break
+                root_id = self._plan_store_family(
+                    block_plan, block, seed, ctx, aa, meter, parent=None
+                )
+                block_plan.roots.append(root_id)
+                for policy in self.config.plan_policy_variants:
+                    if meter.time_exceeded():
+                        break
+                    self._plan_store(block_plan, block, seed, ctx, aa,
+                                     meter, parent=None, policy=policy)
+            if self.config.enable_reductions:
+                for seed in collect_reduction_seeds(block):
+                    if not seed.alive():
+                        continue
+                    if meter.time_exceeded():
+                        break
+                    self._plan_reduction(block_plan, block, seed, ctx, aa,
+                                         meter)
+        _metrics.add("plan.candidates", len(block_plan.plans))
+        return block_plan
+
+    # ------------------------------------------------------------------
+
+    def _plan_store_family(self, block_plan: BlockPlan, block: BasicBlock,
+                           seed: SeedGroup, ctx: LookAheadContext,
+                           aa: AliasAnalysis, meter: BudgetMeter,
+                           parent: Optional[int]) -> int:
+        """Plan ``seed`` at full width and, eagerly, both halves — not
+        only on rejection, unlike the legacy width descent — so the
+        selector can weigh half-plans against an accepted full plan."""
+        plan = self._plan_store(block_plan, block, seed, ctx, aa, meter,
+                                parent=parent, policy="default")
+        if seed.vector_length >= 4 and not meter.time_exceeded():
+            half = seed.vector_length // 2
+            left = self._plan_store_family(
+                block_plan, block, SeedGroup(seed.stores[:half]),
+                ctx, aa, meter, parent=plan.plan_id,
+            )
+            right = self._plan_store_family(
+                block_plan, block, SeedGroup(seed.stores[half:]),
+                ctx, aa, meter, parent=plan.plan_id,
+            )
+            block_plan.children[plan.plan_id] = (left, right)
+        return plan.plan_id
+
+    def _plan_store(self, block_plan: BlockPlan, block: BasicBlock,
+                    seed: SeedGroup, ctx: LookAheadContext,
+                    aa: AliasAnalysis, meter: BudgetMeter,
+                    parent: Optional[int], policy: str) -> TreePlan:
+        builder = GraphBuilder(self._policy(policy, meter), self.target,
+                               ctx)
+        with span("slp.plan_graph", vl=seed.vector_length, policy=policy):
+            graph = builder.build(seed.stores)
+        cost = compute_graph_cost(graph, self.target)
+        if graph.root is None or graph.root.is_gather:
+            schedulable, reason = False, "gather-root"
+        else:
+            check = VectorCodeGen(graph, aa).analyze()
+            schedulable, reason = check.ok, check.reason
+        plan = TreePlan(
+            kind="store",
+            vector_length=seed.vector_length,
+            seed=seed,
+            graph=graph,
+            tree_cost=cost,
+            plan_id=next(self.ids),
+            block=block.name,
+            policy=policy,
+            parent_id=parent,
+            schedulable=schedulable,
+            reason=reason,
+            stats=builder.stats,
+            claimed=claimed_ids(graph),
+        )
+        block_plan.add(plan)
+        _emit_plan_record(plan)
+        return plan
+
+    def _plan_reduction(self, block_plan: BlockPlan, block: BasicBlock,
+                        seed, ctx: LookAheadContext, aa: AliasAnalysis,
+                        meter: BudgetMeter) -> None:
+        # Deferred import: reductions.py builds on TreePlan from here.
+        from .reductions import plan_reduction
+
+        with span("slp.plan_graph", kind="reduction"):
+            plan = plan_reduction(seed, self.config.build_policy(meter),
+                                  self.target, ctx)
+        if plan is None:
+            return
+        codegen = VectorCodeGen(plan.graph, aa,
+                                extra_claimed=tuple(seed.chain))
+        schedulable = codegen.can_schedule()
+        plan = replace(
+            plan,
+            plan_id=next(self.ids),
+            block=block.name,
+            schedulable=schedulable,
+            reason="" if schedulable else "unschedulable",
+        )
+        block_plan.add(plan)
+        block_plan.reductions.append(plan.plan_id)
+        _emit_plan_record(plan)
+
+    def _policy(self, name: str, meter: BudgetMeter) -> BuildPolicy:
+        if name == "default":
+            return self.config.build_policy(meter)
+        overrides = POLICY_VARIANTS[name]
+        return BuildPolicy(
+            enable_reordering=overrides["enable_reordering"],
+            look_ahead_depth=overrides["look_ahead_depth"],
+            multi_node_max_size=overrides["multi_node_max_size"],
+            score_function=self.config.score_function,
+            reorder_strategy=self.config.reorder_strategy,
+            enable_splat_detection=self.config.enable_splat_detection,
+            meter=meter,
+        )
+
+
+def _emit_plan_record(plan: TreePlan) -> None:
+    if _records.active_sink() is None:
+        return
+    _records.emit(
+        "plan",
+        plan_id=plan.plan_id,
+        kind=plan.kind,
+        block=plan.block,
+        vector_length=plan.vector_length,
+        cost=plan.total_cost,
+        schedulable=plan.schedulable,
+        policy=plan.policy,
+        parent_id=plan.parent_id,
+        reason=plan.reason,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Selector
+# ---------------------------------------------------------------------------
+
+
+class Selector:
+    """Picks a non-conflicting subset of the block's candidates.
+
+    ``legacy`` never reaches here (the vectorizer skips selection and
+    lets the applier's greedy first-fit decide).  The other modes pick
+    among default-policy store plans only — policy variants are
+    informational, and reductions are still handled by the applier's
+    legacy loop because their seeds are collected on post-store IR.
+
+    A mode's pick replaces the legacy shape only when its plan-time
+    total is *strictly* better than the simulated first-fit total;
+    otherwise the first-fit subset is kept, so selection can only
+    deviate when the savings model says it wins.
+    """
+
+    def __init__(self, config):
+        if config.plan_select not in PLAN_SELECT_MODES:
+            raise ValueError(
+                f"unknown plan-select mode {config.plan_select!r}; "
+                f"use one of {', '.join(PLAN_SELECT_MODES)}"
+            )
+        self.mode = config.plan_select
+        self.threshold = config.cost_threshold
+
+    def select(self, block_plan: BlockPlan,
+               meter: BudgetMeter) -> Selection:
+        with span("slp.select", mode=self.mode, block=block_plan.block):
+            return self._select(block_plan, meter)
+
+    # ------------------------------------------------------------------
+
+    def _acceptable(self, plan: TreePlan) -> bool:
+        return plan.schedulable and plan.total_cost < self.threshold
+
+    def _select(self, block_plan: BlockPlan,
+                meter: BudgetMeter) -> Selection:
+        candidates = [
+            plan for _, plan in sorted(block_plan.plans.items())
+            if plan.kind == "store" and plan.policy == "default"
+            and self._acceptable(plan)
+        ]
+        _metrics.add("plan.select_candidates", len(candidates))
+        first_fit = self._first_fit(block_plan)
+        ff_total = sum(plan.total_cost for plan in first_fit)
+        chosen = self._greedy(candidates)
+        if self.mode == "exhaustive":
+            chosen = self._exhaustive(candidates, meter, chosen)
+        total = sum(plan.total_cost for plan in chosen)
+        note = self.mode
+        if total >= ff_total:
+            chosen, total, note = first_fit, ff_total, "first-fit"
+        chosen_ids = tuple(sorted(plan.plan_id for plan in chosen))
+        return Selection(mode=self.mode, chosen=chosen_ids,
+                         planned_total=total, note=note)
+
+    def _first_fit(self, block_plan: BlockPlan) -> list[TreePlan]:
+        """Simulate the legacy width descent on plan-time verdicts:
+        take the full width when acceptable, else recurse into halves."""
+        picked: list[TreePlan] = []
+
+        def visit(plan_id: int) -> None:
+            plan = block_plan.plans[plan_id]
+            if self._acceptable(plan):
+                picked.append(plan)
+                return
+            kids = block_plan.children.get(plan_id)
+            if kids is not None:
+                visit(kids[0])
+                visit(kids[1])
+
+        for root in block_plan.roots:
+            visit(root)
+        return picked
+
+    def _greedy(self, candidates: list[TreePlan]) -> list[TreePlan]:
+        """Best-savings-first greedy over non-conflicting plans."""
+        ordered = sorted(candidates,
+                         key=lambda p: (p.total_cost, p.plan_id))
+        picked: list[TreePlan] = []
+        claimed: frozenset[int] = frozenset()
+        for plan in ordered:
+            if claimed & plan.claimed:
+                continue
+            picked.append(plan)
+            claimed = claimed | plan.claimed
+        return picked
+
+    def _exhaustive(self, candidates: list[TreePlan],
+                    meter: BudgetMeter,
+                    incumbent: list[TreePlan]) -> list[TreePlan]:
+        """Branch-and-enumerate every non-conflicting subset, seeded
+        with the greedy incumbent; budget-metered so adversarial
+        conflict sets degrade to the greedy answer."""
+        best = list(incumbent)
+        best_total = sum(plan.total_cost for plan in best)
+        limit = (DEFAULT_SELECT_SUBSETS
+                 if meter.budget.max_select_subsets is None else None)
+        state = {"visited": 0, "stopped": False}
+
+        def dfs(index: int, chosen: list[TreePlan],
+                claimed: frozenset[int], total: int) -> None:
+            nonlocal best, best_total
+            if state["stopped"]:
+                return
+            state["visited"] += 1
+            meter.charge_select()
+            if ((limit is not None and state["visited"] > limit)
+                    or not meter.select_allowed()):
+                state["stopped"] = True
+                return
+            if total < best_total:
+                best, best_total = list(chosen), total
+            for i in range(index, len(candidates)):
+                plan = candidates[i]
+                if claimed & plan.claimed:
+                    continue
+                chosen.append(plan)
+                dfs(i + 1, chosen, claimed | plan.claimed,
+                    total + plan.total_cost)
+                chosen.pop()
+                if state["stopped"]:
+                    return
+
+        dfs(0, [], frozenset(), 0)
+        return best
+
+
+# ---------------------------------------------------------------------------
+# Applier
+# ---------------------------------------------------------------------------
+
+
+class Applier:
+    """Materializes plans; in ``legacy`` mode this *is* the historical
+    greedy pipeline, instruction for instruction.
+
+    Every tree is rebuilt on the current IR at apply time — plan-time
+    graphs are never emitted, because an earlier application can
+    invalidate lanes, change gather contents, or shift costs.  The
+    rebuild uses the applier's own analysis context and charges the
+    function meter, which is exactly what the legacy pipeline did.
+    """
+
+    def __init__(self, config, target):
+        self.config = config
+        self.target = target
+        #: store-identity sets of every applied store tree
+        self.applied_stores: list[frozenset[int]] = []
+        #: (reduction root id, vector length) of every applied reduction
+        self.applied_reductions: list[tuple[int, int]] = []
+
+    def apply(self, block: BasicBlock, block_plan: BlockPlan,
+              selection: Optional[Selection], seeds: list[SeedGroup],
+              ctx: LookAheadContext, aa: AliasAnalysis, report,
+              meter: BudgetMeter) -> None:
+        self._block = block
+        self._ctx = ctx
+        self._aa = aa
+        self._report = report
+        self._meter = meter
+        if selection is None:
+            self._apply_legacy(block, seeds)
+        else:
+            self._apply_selected(block, block_plan, selection, seeds)
+
+    # ---- legacy first-fit (byte-for-byte historical behaviour) -------
+
+    def _apply_legacy(self, block: BasicBlock,
+                      seeds: list[SeedGroup]) -> None:
+        for index, seed in enumerate(seeds):
+            if not seed.alive():
+                continue
+            if self._meter.time_exceeded():
+                self._abort_remark(block, seeds[index:])
+                return
+            _metrics.add("slp.seeds")
+            _records.emit("seed", kind="store", block=block.name,
+                          vector_length=seed.vector_length)
+            self._vectorize_seed(seed)
+        self._apply_reductions(block)
+
+    def _apply_reductions(self, block: BasicBlock) -> None:
+        """The historical reduction loop: seeds are collected on the
+        *post-store* IR in every mode, because store vectorization both
+        consumes and exposes reduction chains."""
+        if not self.config.enable_reductions:
+            return
+        remaining = collect_reduction_seeds(block)
+        for index, seed in enumerate(remaining):
+            if not seed.alive():
+                continue
+            if self._meter.time_exceeded():
+                self._abort_remark(block, [],
+                                   reductions=remaining[index:])
+                return
+            _metrics.add("slp.seeds")
+            _records.emit("seed", kind="reduction", block=block.name,
+                          vector_length=len(seed.operands))
+            record = self._try_reduction(seed)
+            if record is not None:
+                self._report.trees.append(record)
+
+    def _vectorize_seed(self, seed: SeedGroup) -> None:
+        """Try a seed group at full width; on rejection, retry each half
+        (LLVM's SLP does the same width descent)."""
+        record = self._try_store_tree(seed)
+        self._report.trees.append(record)
+        if record.vectorized or seed.vector_length < 4:
+            return
+        half = seed.vector_length // 2
+        for part in (SeedGroup(seed.stores[:half]),
+                     SeedGroup(seed.stores[half:])):
+            if part.alive():
+                self._vectorize_seed(part)
+
+    def _try_store_tree(self, seed: SeedGroup) -> TreeRecord:
+        builder = GraphBuilder(self.config.build_policy(self._meter),
+                               self.target, self._ctx)
+        with span("slp.build_graph", vl=seed.vector_length):
+            graph = builder.build(seed.stores)
+        _absorb_stats(self._report.stats, builder.stats)
+        _records.capture_graph("store", graph)
+        with span("slp.cost"):
+            cost = compute_graph_cost(graph, self.target)
+        record = TreeRecord(
+            kind="store",
+            vector_length=seed.vector_length,
+            cost=cost.total,
+            vectorized=False,
+            schedulable=False,
+            graph=graph,
+        )
+        if graph.root is None or graph.root.is_gather:
+            _emit_group(record, reason="gather-root")
+            return record
+        codegen = VectorCodeGen(graph, self._aa)
+        record.schedulable = codegen.can_schedule()
+        if record.schedulable and cost.total < self.config.cost_threshold:
+            with span("slp.codegen", vl=seed.vector_length):
+                codegen.run()
+            record.vectorized = True
+            self.applied_stores.append(
+                frozenset(id(store) for store in seed.stores)
+            )
+        _emit_group(record)
+        return record
+
+    def _try_reduction(self, seed) -> Optional[TreeRecord]:
+        from .reductions import emit_reduction, plan_reduction
+
+        with span("slp.build_graph", kind="reduction"):
+            plan = plan_reduction(
+                seed, self.config.build_policy(self._meter), self.target,
+                self._ctx,
+            )
+        if plan is None:
+            return None
+        _records.capture_graph("reduction", plan.graph)
+        record = TreeRecord(
+            kind="reduction",
+            vector_length=plan.vector_length,
+            cost=plan.total_cost,
+            vectorized=False,
+            schedulable=True,
+            graph=plan.graph,
+        )
+        if plan.total_cost < self.config.cost_threshold:
+            with span("slp.codegen", vl=plan.vector_length):
+                record.vectorized = emit_reduction(plan, self._aa)
+            if not record.vectorized:
+                record.schedulable = False
+            else:
+                self.applied_reductions.append(
+                    (id(seed.root), plan.vector_length)
+                )
+        _emit_group(record)
+        return record
+
+    # ---- selected-plan application -----------------------------------
+
+    def _apply_selected(self, block: BasicBlock, block_plan: BlockPlan,
+                        selection: Selection,
+                        seeds: list[SeedGroup]) -> None:
+        for seed in seeds:
+            if not seed.alive():
+                continue
+            _metrics.add("slp.seeds")
+            _records.emit("seed", kind="store", block=block.name,
+                          vector_length=seed.vector_length)
+        for plan_id in selection.chosen:
+            plan = block_plan.plans[plan_id]
+            if self._meter.time_exceeded():
+                self._abort_remark(block, seeds)
+                return
+            if not plan.seed.alive():
+                continue
+            record = self._try_store_tree(plan.seed)
+            if record.vectorized:
+                self._report.trees.append(record)
+            # On apply-time divergence the record is dropped: the sweep
+            # below re-attempts the family first-fit and produces the
+            # canonical records for whatever it decides.
+        for index, seed in enumerate(seeds):
+            if self._meter.time_exceeded():
+                self._abort_remark(block, seeds[index:])
+                return
+            self._sweep(seed)
+        self._apply_reductions(block)
+
+    def _sweep(self, seed: SeedGroup) -> None:
+        """First-fit over everything selection left on the table: a
+        still-alive family gets the legacy width descent; a partially
+        applied family descends to its still-alive halves."""
+        if seed.alive():
+            self._vectorize_seed(seed)
+            return
+        if seed.vector_length < 4:
+            return
+        half = seed.vector_length // 2
+        for part in (SeedGroup(seed.stores[:half]),
+                     SeedGroup(seed.stores[half:])):
+            self._sweep(part)
+
+    # ---- budget-degrade reporting ------------------------------------
+
+    def _abort_remark(self, block: BasicBlock,
+                      remaining: list[SeedGroup],
+                      reductions: Optional[list] = None) -> None:
+        """The seed loop aborted on ``time_exceeded`` mid-list: say so
+        explicitly (function/pass context included) instead of leaving
+        the skipped seeds silently scalar."""
+        stores_left = sum(1 for seed in remaining if seed.alive())
+        if reductions is not None:
+            reductions_left = sum(1 for s in reductions if s.alive())
+        elif self.config.enable_reductions:
+            reductions_left = sum(
+                1 for s in collect_reduction_seeds(block) if s.alive()
+            )
+        else:
+            reductions_left = 0
+        total = stores_left + reductions_left
+        if total == 0:
+            return
+        parts = []
+        if stores_left:
+            parts.append(f"{stores_left} store seed group(s)")
+        if reductions_left:
+            parts.append(f"{reductions_left} reduction seed(s)")
+        detail = (
+            f"compile-time budget exhausted in block {block.name!r}: "
+            + " and ".join(parts) + " left scalar"
+        )
+        self._report.remarks.append(Remark(
+            Severity.WARNING, "budget", detail,
+            function=self._report.function, pass_name="slp",
+            phase="budget",
+            remediation="raise the Budget caps, or accept the "
+                        "greedy/scalar degradation",
+        ))
+        _metrics.add("budget.seeds_left_scalar", total)
+        _records.emit("degrade", kind="seed-abort", detail=detail,
+                      block=block.name)
+
+
+# ---------------------------------------------------------------------------
+# Outcome reconciliation
+# ---------------------------------------------------------------------------
+
+
+def record_outcomes(block_plan: BlockPlan, applier: Applier, mode: str,
+                    cost_threshold: int) -> None:
+    """Classify every enumerated plan against what the applier actually
+    did, stream ``select``/``reject`` records, bump ``plan.*`` metrics,
+    and feed the plan sink (``--plan-dump``)."""
+    sink_active = _records.active_sink() is not None
+    plan_sink = _records.active_plan_sink() is not None
+    applied = 0
+    for plan_id, plan in block_plan.plans.items():
+        outcome, reason = _classify(plan, applier, cost_threshold)
+        block_plan.outcomes[plan_id] = (outcome, reason)
+        if outcome == "applied":
+            applied += 1
+        if sink_active:
+            if outcome == "applied":
+                _records.emit(
+                    "select", plan_id=plan_id, mode=mode,
+                    kind=plan.kind, vector_length=plan.vector_length,
+                    cost=plan.total_cost, block=block_plan.block,
+                )
+            else:
+                _records.emit(
+                    "reject", plan_id=plan_id, mode=mode, reason=reason,
+                    kind=plan.kind, vector_length=plan.vector_length,
+                    cost=plan.total_cost, block=block_plan.block,
+                )
+        if plan_sink:
+            entry = plan.to_dict()
+            entry["outcome"] = outcome
+            entry["reason"] = reason or entry["reason"]
+            entry["mode"] = mode
+            _records.capture_plan(entry)
+    _metrics.add("plan.selected", applied)
+    _metrics.add("plan.rejected", len(block_plan.plans) - applied)
+
+
+def _classify(plan: TreePlan, applier: Applier,
+              cost_threshold: int) -> tuple[str, str]:
+    if plan.policy != "default":
+        return "rejected", "policy-variant"
+    if plan.kind == "reduction":
+        key = (id(plan.seed.root), plan.vector_length)
+        if key in applier.applied_reductions:
+            return "applied", ""
+        if not plan.schedulable:
+            return "rejected", plan.reason or "unschedulable"
+        if plan.total_cost >= cost_threshold:
+            return "rejected", "cost"
+        return "rejected", "stale"
+    key = frozenset(id(store) for store in plan.seed.stores)
+    if key in applier.applied_stores:
+        return "applied", ""
+    if not plan.schedulable:
+        return "rejected", plan.reason or "unschedulable"
+    if plan.total_cost >= cost_threshold:
+        return "rejected", "cost"
+    for applied in applier.applied_stores:
+        if key < applied:
+            return "rejected", "covered"
+    for applied in applier.applied_stores:
+        if key & applied:
+            return "rejected", "conflict"
+    return "rejected", "not-selected"
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers (the historical vectorizer's, relocated)
+# ---------------------------------------------------------------------------
+
+
+def _emit_group(record: TreeRecord, reason: str = "") -> None:
+    """Stream one group-formation decision (the ``-Rpass``-style record
+    figure analyses key off): kind, width, the cost *delta* versus
+    scalar (negative = profitable), and the verdict."""
+    if _records.active_sink() is None:
+        return
+    if not reason:
+        if record.vectorized:
+            reason = "profitable"
+        elif not record.schedulable:
+            reason = "unschedulable"
+        else:
+            reason = "cost"
+    _records.emit(
+        "group",
+        kind=record.kind,
+        vector_length=record.vector_length,
+        cost=record.cost,
+        vectorized=record.vectorized,
+        schedulable=record.schedulable,
+        reason=reason,
+    )
+
+
+def _absorb_stats(into: BuildStats, stats: BuildStats) -> None:
+    into.nodes += stats.nodes
+    into.multi_nodes += stats.multi_nodes
+    into.gathers += stats.gathers
+    into.reorders += stats.reorders
+    into.lookahead_evals += stats.lookahead_evals
+
+
+__all__ = [
+    "Applier",
+    "BlockPlan",
+    "claimed_ids",
+    "DEFAULT_SELECT_SUBSETS",
+    "PLAN_SELECT_MODES",
+    "Planner",
+    "POLICY_VARIANTS",
+    "record_outcomes",
+    "Selection",
+    "Selector",
+    "TreePlan",
+    "TreeRecord",
+]

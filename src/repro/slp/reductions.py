@@ -10,7 +10,6 @@ leftover operands that did not fit the vector width.  The paper's
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Optional
 
 from ..analysis.aliasing import AliasAnalysis
@@ -19,30 +18,20 @@ from ..ir.builder import IRBuilder
 from ..ir.values import Value
 from .builder import BuildPolicy, GraphBuilder
 from .codegen import VectorCodeGen
-from .cost import GraphCost, compute_graph_cost
-from .graph import SLPGraph
+from .cost import compute_graph_cost
 from .lookahead import LookAheadContext
+from .plan import TreePlan, claimed_ids
 from .seeds import ReductionSeed
 
-
-@dataclass
-class ReductionPlan:
-    """A costed, ready-to-emit reduction vectorization."""
-
-    seed: ReductionSeed
-    graph: SLPGraph
-    vector_length: int
-    tree_cost: GraphCost
-    reduction_overhead: int
-
-    @property
-    def total_cost(self) -> int:
-        return self.tree_cost.total + self.reduction_overhead
+#: reduction plans are ordinary :class:`TreePlan` candidates (kind
+#: "reduction") since the plan/select/apply refactor; the old name stays
+#: as an alias
+ReductionPlan = TreePlan
 
 
 def plan_reduction(seed: ReductionSeed, policy: BuildPolicy,
                    target: TargetCostModel,
-                   ctx: LookAheadContext) -> Optional[ReductionPlan]:
+                   ctx: LookAheadContext) -> Optional[TreePlan]:
     """Build and cost a vectorization plan for one reduction seed."""
     elem = seed.root.type
     if not elem.is_scalar:
@@ -58,7 +47,16 @@ def plan_reduction(seed: ReductionSeed, policy: BuildPolicy,
     tree_cost = compute_graph_cost(graph, target,
                                    extra_claimed=seed.chain)
     overhead = _reduction_overhead(seed, vl, target)
-    return ReductionPlan(seed, graph, vl, tree_cost, overhead)
+    return TreePlan(
+        kind="reduction",
+        vector_length=vl,
+        seed=seed,
+        graph=graph,
+        tree_cost=tree_cost,
+        reduction_overhead=overhead,
+        stats=builder.stats,
+        claimed=claimed_ids(graph, extra=seed.chain),
+    )
 
 
 def _reduction_overhead(seed: ReductionSeed, vl: int,
@@ -78,7 +76,7 @@ def _reduction_overhead(seed: ReductionSeed, vl: int,
     return vector_side - scalar_removed
 
 
-def emit_reduction(plan: ReductionPlan, aa: AliasAnalysis) -> bool:
+def emit_reduction(plan: TreePlan, aa: AliasAnalysis) -> bool:
     """Emit vector + horizontal-reduction code for ``plan``.
 
     Returns False when the tree cannot be scheduled (nothing is

@@ -11,12 +11,29 @@ paper's four appear as factory methods:
   look-ahead reordering), with the depth and multi-node size knobs the
   Figure 13 sensitivity study sweeps.
 
-:class:`SLPVectorizer` drives the seed loop: collect seeds, build the
-graph, cost it, and generate vector code for profitable trees.
+:class:`SLPVectorizer` drives each block through the three phases of
+:mod:`repro.slp.plan`:
+
+1. **plan** — enumerate immutable :class:`~repro.slp.plan.TreePlan`
+   candidates (full width, both halves eagerly, reductions, optional
+   policy variants) without touching the IR, on an isolated analysis
+   context and a phase-scoped budget meter;
+2. **select** — resolve conflicts between overlapping candidates.  The
+   default ``plan_select="legacy"`` skips selection entirely and lets
+   the applier's greedy first-fit decide, reproducing the historical
+   pipeline byte-for-byte; ``"greedy-savings"``/``"exhaustive"`` pick
+   the best non-conflicting subset by plan-time total cost;
+3. **apply** — materialize trees through ``VectorCodeGen`` in
+   deterministic order, rebuilding and re-checking each on the current
+   IR.
+
+Afterwards every candidate's fate (applied, or rejected with a reason)
+is reconciled into ``select``/``reject`` records and the plan sink.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -31,18 +48,18 @@ from ..obs import records as _records
 from ..obs.tracing import span
 from ..robustness.budget import Budget, BudgetMeter, ModuleMeter
 from ..robustness.diagnostics import Remark, Severity
-from .builder import BuildPolicy, BuildStats, GraphBuilder
-from .codegen import VectorCodeGen
-from .cost import GraphCost, compute_graph_cost
-from .graph import SLPGraph
+from .builder import BuildPolicy, BuildStats
 from .lookahead import LookAheadContext, get_lookahead_score
-from .reductions import emit_reduction, plan_reduction
-from .seeds import (
-    ReductionSeed,
-    SeedGroup,
-    collect_reduction_seeds,
-    collect_store_seeds,
+from .plan import (
+    PLAN_SELECT_MODES,
+    Applier,
+    Planner,
+    Selection,
+    Selector,
+    TreeRecord,
+    record_outcomes,
 )
+from .seeds import collect_store_seeds
 
 
 @dataclass(frozen=True)
@@ -73,6 +90,14 @@ class VectorizerConfig:
     #: resource budget (look-ahead evals, reorder assignments, wall
     #: clock); ``None`` = unlimited, the historical behaviour
     budget: Optional[Budget] = None
+    #: plan-selection mode: "legacy" (default) reproduces the greedy
+    #: first-fit byte-for-byte; "greedy-savings"/"exhaustive" pick the
+    #: best non-conflicting candidate subset by plan-time cost
+    plan_select: str = "legacy"
+    #: extra build policies ("slp-nr", "slp", "lslp") the planner
+    #: enumerates per seed for comparison; informational only, never
+    #: applied
+    plan_policy_variants: tuple[str, ...] = ()
 
     # ---- the paper's configurations -----------------------------------
 
@@ -121,6 +146,9 @@ class VectorizerConfig:
     def with_budget(self, budget: Optional[Budget]) -> "VectorizerConfig":
         return replace(self, budget=budget)
 
+    def with_plan_select(self, mode: str) -> "VectorizerConfig":
+        return replace(self, plan_select=mode)
+
     def build_policy(self, meter: Optional[BudgetMeter] = None
                      ) -> BuildPolicy:
         return BuildPolicy(
@@ -132,19 +160,6 @@ class VectorizerConfig:
             enable_splat_detection=self.enable_splat_detection,
             meter=meter,
         )
-
-
-@dataclass
-class TreeRecord:
-    """Outcome of considering one seed group."""
-
-    kind: str                      #: "store" or "reduction"
-    vector_length: int
-    cost: int
-    vectorized: bool
-    schedulable: bool
-    #: graph structure snapshot (for diagnostics / the walkthrough)
-    description: str = ""
 
 
 @dataclass
@@ -190,6 +205,11 @@ class SLPVectorizer:
                  target: Optional[TargetCostModel] = None):
         self.config = config if config is not None else VectorizerConfig.lslp()
         self.target = target if target is not None else skylake_like()
+        if self.config.plan_select not in PLAN_SELECT_MODES:
+            raise ValueError(
+                f"unknown plan-select mode {self.config.plan_select!r}; "
+                f"use one of {', '.join(PLAN_SELECT_MODES)}"
+            )
 
     # ------------------------------------------------------------------
 
@@ -212,6 +232,9 @@ class SLPVectorizer:
             return report
         meter = BudgetMeter(self.config.budget, module=module_meter)
         meter.start_function()
+        #: function-scope plan ids, so records stay unambiguous across
+        #: blocks
+        plan_ids = itertools.count()
         # Ambient record context: deep layers (builder, reorderer,
         # budget meters) emit decision records without threading names.
         context = _records.push_context(
@@ -222,7 +245,7 @@ class SLPVectorizer:
             with span("slp.function", function=func.name,
                       config=self.config.name):
                 for block in func.blocks:
-                    self._run_block(block, report, meter)
+                    self._run_block(block, report, meter, plan_ids)
         finally:
             _records.restore_context(context)
         for event in meter.events:
@@ -238,133 +261,42 @@ class SLPVectorizer:
     # ------------------------------------------------------------------
 
     def _run_block(self, block: BasicBlock, report: VectorizationReport,
-                   meter: Optional[BudgetMeter] = None) -> None:
-        # Analyses are rebuilt per block: code generation invalidates
-        # cached positions but not SCEV facts; a fresh context is cheap
-        # and always sound.
+                   meter: Optional[BudgetMeter] = None,
+                   plan_ids: Optional[itertools.count] = None) -> None:
         meter = meter if meter is not None else BudgetMeter()
+
+        # Apply-phase analyses are rebuilt per block: code generation
+        # invalidates cached positions but not SCEV facts; a fresh
+        # context is cheap and always sound.  Seeds are collected with
+        # the *apply* context so its caches populate exactly as the
+        # historical pipeline's did.
         ctx = LookAheadContext(ScalarEvolution())
         aa = AliasAnalysis(ctx.scev)
+        seeds = collect_store_seeds(block, ctx.scev, self.target)
 
-        for seed in collect_store_seeds(block, ctx.scev, self.target):
-            if not seed.alive():
-                continue
-            if meter.time_exceeded():
-                return  # remaining seeds stay scalar; remark via events
-            _metrics.add("slp.seeds")
-            _records.emit("seed", kind="store", block=block.name,
-                          vector_length=seed.vector_length)
-            self._vectorize_seed(seed, ctx, aa, report, meter)
+        # Phase 1 — plan.  Isolated analysis context (shared SCEV caches
+        # would leak pre-mutation facts into apply-time builds) and a
+        # phase-scoped meter (planning must not perturb apply-phase
+        # budget accounting).
+        plan_ctx = LookAheadContext(ScalarEvolution())
+        plan_aa = AliasAnalysis(plan_ctx.scev)
+        planner = Planner(self.config, self.target, ids=plan_ids)
+        block_plan = planner.plan_block(block, seeds, plan_ctx, plan_aa,
+                                        meter.phase_meter())
 
-        if self.config.enable_reductions:
-            for seed in collect_reduction_seeds(block):
-                if not seed.alive():
-                    continue
-                if meter.time_exceeded():
-                    return
-                _metrics.add("slp.seeds")
-                _records.emit("seed", kind="reduction", block=block.name,
-                              vector_length=len(seed.operands))
-                record = self._try_reduction(seed, ctx, aa, report, meter)
-                if record is not None:
-                    report.trees.append(record)
+        # Phase 2 — select.  Legacy mode defers to the applier's greedy
+        # first-fit; selection charges the function meter.
+        selection: Optional[Selection] = None
+        if self.config.plan_select != "legacy":
+            selection = Selector(self.config).select(block_plan, meter)
 
-    def _vectorize_seed(self, seed: SeedGroup, ctx: LookAheadContext,
-                        aa: AliasAnalysis, report: VectorizationReport,
-                        meter: Optional[BudgetMeter] = None) -> None:
-        """Try a seed group at full width; on rejection, retry each half
-        (LLVM's SLP does the same width descent)."""
-        record = self._try_store_tree(seed, ctx, aa, report, meter)
-        report.trees.append(record)
-        if record.vectorized or seed.vector_length < 4:
-            return
-        half = seed.vector_length // 2
-        for part in (SeedGroup(seed.stores[:half]),
-                     SeedGroup(seed.stores[half:])):
-            if part.alive():
-                self._vectorize_seed(part, ctx, aa, report, meter)
-
-    def _try_store_tree(self, seed: SeedGroup, ctx: LookAheadContext,
-                        aa: AliasAnalysis, report: VectorizationReport,
-                        meter: Optional[BudgetMeter] = None) -> TreeRecord:
-        builder = GraphBuilder(self.config.build_policy(meter),
-                               self.target, ctx)
-        with span("slp.build_graph", vl=seed.vector_length):
-            graph = builder.build(seed.stores)
-        self._absorb_stats(report, builder)
-        _records.capture_graph("store", graph)
-        with span("slp.cost"):
-            cost = compute_graph_cost(graph, self.target)
-        record = TreeRecord(
-            kind="store",
-            vector_length=seed.vector_length,
-            cost=cost.total,
-            vectorized=False,
-            schedulable=False,
-            description=graph.dump(),
-        )
-        if graph.root is None or graph.root.is_gather:
-            self._emit_group(record, reason="gather-root")
-            return record
-        codegen = VectorCodeGen(graph, aa)
-        record.schedulable = codegen.can_schedule()
-        if record.schedulable and cost.total < self.config.cost_threshold:
-            with span("slp.codegen", vl=seed.vector_length):
-                codegen.run()
-            record.vectorized = True
-        self._emit_group(record)
-        return record
-
-    def _try_reduction(self, seed: ReductionSeed, ctx: LookAheadContext,
-                       aa: AliasAnalysis, report: VectorizationReport,
-                       meter: Optional[BudgetMeter] = None
-                       ) -> Optional[TreeRecord]:
-        with span("slp.build_graph", kind="reduction"):
-            plan = plan_reduction(
-                seed, self.config.build_policy(meter), self.target, ctx
-            )
-        if plan is None:
-            return None
-        _records.capture_graph("reduction", plan.graph)
-        record = TreeRecord(
-            kind="reduction",
-            vector_length=plan.vector_length,
-            cost=plan.total_cost,
-            vectorized=False,
-            schedulable=True,
-            description=plan.graph.dump(),
-        )
-        if plan.total_cost < self.config.cost_threshold:
-            with span("slp.codegen", vl=plan.vector_length):
-                record.vectorized = emit_reduction(plan, aa)
-            if not record.vectorized:
-                record.schedulable = False
-        self._emit_group(record)
-        return record
-
-    @staticmethod
-    def _emit_group(record: TreeRecord, reason: str = "") -> None:
-        """Stream one group-formation decision (the ``-Rpass``-style
-        record figure analyses key off): kind, width, the cost *delta*
-        versus scalar (negative = profitable), and the verdict."""
-        if _records.active_sink() is None:
-            return
-        if not reason:
-            if record.vectorized:
-                reason = "profitable"
-            elif not record.schedulable:
-                reason = "unschedulable"
-            else:
-                reason = "cost"
-        _records.emit(
-            "group",
-            kind=record.kind,
-            vector_length=record.vector_length,
-            cost=record.cost,
-            vectorized=record.vectorized,
-            schedulable=record.schedulable,
-            reason=reason,
-        )
+        # Phase 3 — apply, then reconcile what actually happened with
+        # what was planned.
+        applier = Applier(self.config, self.target)
+        applier.apply(block, block_plan, selection, seeds, ctx, aa,
+                      report, meter)
+        record_outcomes(block_plan, applier, self.config.plan_select,
+                        self.config.cost_threshold)
 
     def _publish_metrics(self, report: VectorizationReport,
                          meter: BudgetMeter) -> None:
@@ -381,18 +313,9 @@ class SLPVectorizer:
         _metrics.add("reorder.reorders", stats.reorders)
         _metrics.add("lookahead.evals", stats.lookahead_evals)
 
-    @staticmethod
-    def _absorb_stats(report: VectorizationReport,
-                      builder: GraphBuilder) -> None:
-        stats = builder.stats
-        report.stats.nodes += stats.nodes
-        report.stats.multi_nodes += stats.multi_nodes
-        report.stats.gathers += stats.gathers
-        report.stats.reorders += stats.reorders
-        report.stats.lookahead_evals += stats.lookahead_evals
-
 
 __all__ = [
+    "PLAN_SELECT_MODES",
     "SLPVectorizer",
     "TreeRecord",
     "VectorizationReport",
