@@ -83,17 +83,22 @@ def _config_from_args(args, warnings: Optional[list[Remark]] = None
     plan_select = getattr(args, "plan_select", "legacy")
     if plan_select != "legacy":
         config = replace(config, plan_select=plan_select)
+    weight = getattr(args, "reg_pressure_weight", 0)
+    if weight:
+        config = replace(config, reg_pressure_weight=weight)
     return config
 
 
 def _budget_from_args(args) -> Optional[Budget]:
     module_evals = getattr(args, "max_module_lookahead_evals", None)
     module_seconds = getattr(args, "max_module_seconds", None)
+    select_subsets = getattr(args, "max_select_subsets", None)
     if (args.max_lookahead_evals is None
             and args.max_reorder_assignments is None
             and args.max_compile_seconds is None
             and module_evals is None
-            and module_seconds is None):
+            and module_seconds is None
+            and select_subsets is None):
         return None
     return Budget(
         max_lookahead_evals=args.max_lookahead_evals,
@@ -101,6 +106,7 @@ def _budget_from_args(args) -> Optional[Budget]:
         max_seconds=args.max_compile_seconds,
         max_module_lookahead_evals=module_evals,
         max_module_seconds=module_seconds,
+        max_select_subsets=select_subsets,
     )
 
 
@@ -266,7 +272,15 @@ def _add_compile_options(parser: argparse.ArgumentParser) -> None:
         help="candidate-plan selection policy: 'legacy' reproduces the "
              "greedy first-fit driver byte-for-byte (default); "
              "'greedy-savings' and 'exhaustive' weigh overlapping "
-             "plans by projected savings",
+             "plans by projected savings per block; 'module-greedy' "
+             "and 'module-exhaustive' pool every block of every "
+             "function and spend one shared selection budget where "
+             "the projected savings are largest",
+    )
+    parser.add_argument(
+        "--reg-pressure-weight", type=int, default=0, metavar="W",
+        help="selection-time penalty per live vector register beyond "
+             "the target's register file (default: 0 = pressure-blind)",
     )
     parser.add_argument(
         "--strict", action="store_true",
@@ -302,6 +316,12 @@ def _add_compile_options(parser: argparse.ArgumentParser) -> None:
         "--max-module-seconds", type=float, default=None, metavar="S",
         help="budget: wall-clock seconds of SLP work across the whole "
              "module",
+    )
+    parser.add_argument(
+        "--max-select-subsets", type=int, default=None, metavar="N",
+        help="budget: candidates/subsets the plan selector may "
+             "consider; one shared pool across the whole module under "
+             "the module-* selection modes",
     )
 
 
@@ -483,9 +503,15 @@ def _batch_configs(spec: str, args) -> list:
             )
         else:
             config = CONFIG_FACTORIES[name]()
-        plan_select = getattr(args, "plan_select", "legacy")
-        if plan_select != "legacy":
-            config = replace(config, plan_select=plan_select)
+        # Applied unconditionally: the batch default is greedy-savings,
+        # so `--plan-select=legacy` must still override it back.
+        config = replace(
+            config,
+            plan_select=getattr(args, "plan_select", "greedy-savings"),
+        )
+        weight = getattr(args, "reg_pressure_weight", 0)
+        if weight:
+            config = replace(config, reg_pressure_weight=weight)
         configs.append(config)
     if not configs:
         raise SystemExit("error: --configs selected nothing")
@@ -574,6 +600,11 @@ def cmd_batch(args) -> int:
     session = _ObsSession(args)
     configs = _batch_configs(args.configs, args)
     jobs = _batch_jobs(args, configs)
+    if session.plans is not None:
+        # Plans ride each JobOutcome (pool workers cannot stream into
+        # this process's sink); the service re-emits them into the sink
+        # in submission order once the batch completes.
+        jobs = [replace(job, capture_plans=True) for job in jobs]
 
     cache = None
     if args.cache == "memory":
@@ -764,9 +795,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--multi-node", type=int, default=None,
                          help="LSLP multi-node size limit")
     p_batch.add_argument(
-        "--plan-select", choices=PLAN_SELECT_MODES, default="legacy",
+        "--plan-select", choices=PLAN_SELECT_MODES,
+        default="greedy-savings",
         help="candidate-plan selection policy applied to every job "
-             "(default: legacy greedy first-fit)",
+             "(default: greedy-savings — the batch-service default; "
+             "pass 'legacy' for the paper-faithful greedy first-fit, "
+             "or a module-* mode for module-wide selection)",
+    )
+    p_batch.add_argument(
+        "--reg-pressure-weight", type=int, default=0, metavar="W",
+        help="selection-time penalty per live vector register beyond "
+             "the target's register file (default: 0)",
+    )
+    p_batch.add_argument(
+        "--plan-dump", metavar="FILE.jsonl", default=None,
+        help="write every candidate plan (with its selection outcome) "
+             "as canonical JSONL, in job-submission order; cache hits "
+             "contribute no plans — use --cache off for a full dump",
     )
     p_batch.add_argument("--strict", action="store_true",
                          help="fail a job fast on any pass failure")
@@ -815,6 +860,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument(
         "--max-module-seconds", type=float, default=None, metavar="S",
         help="budget: SLP wall-clock seconds across one job's module",
+    )
+    p_batch.add_argument(
+        "--max-select-subsets", type=int, default=None, metavar="N",
+        help="budget: plan-selection candidates/subsets per job, "
+             "shared across the job's whole module under the module-* "
+             "selection modes",
     )
     p_batch.set_defaults(handler=cmd_batch)
 

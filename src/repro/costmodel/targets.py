@@ -21,7 +21,9 @@ def skylake_like() -> TargetCostModel:
 def sse_like() -> TargetCostModel:
     """A 128-bit target: fewer lanes for wide element types."""
     return TargetCostModel(
-        TargetDescription(name="sse-like", max_vector_bits=128)
+        TargetDescription(
+            name="sse-like", max_vector_bits=128, vector_registers=8
+        )
     )
 
 
@@ -38,6 +40,18 @@ def expensive_shuffle() -> TargetCostModel:
             extract_cost=3,
             shuffle_cost=3,
         )
+    )
+
+
+def few_registers() -> TargetCostModel:
+    """An AVX2-class machine with a tiny vector register file.
+
+    Any non-trivial tree over-subscribes registers, so selection with a
+    positive ``--reg-pressure-weight`` rejects plans the per-tree cost
+    model alone would accept.  Used by the register-pressure tests.
+    """
+    return TargetCostModel(
+        TargetDescription(name="few-registers", vector_registers=1)
     )
 
 
@@ -59,6 +73,7 @@ _REGISTRY = {
     "skylake-like": skylake_like,
     "sse-like": sse_like,
     "expensive-shuffle": expensive_shuffle,
+    "few-registers": few_registers,
     "scalar-only": scalar_only,
 }
 
@@ -75,6 +90,7 @@ def target_by_name(name: str) -> TargetCostModel:
 
 __all__ = [
     "expensive_shuffle",
+    "few_registers",
     "scalar_only",
     "skylake_like",
     "sse_like",

@@ -56,6 +56,10 @@ class TargetDescription:
     #: multipliers for expensive operations
     division_cost: int = 8
     vector_division_cost: int = 14
+    #: architectural vector registers available to one function
+    #: (AVX2 = 16 ymm registers); the plan selector penalizes plans whose
+    #: live-register estimate exceeds this (see :mod:`repro.slp.pressure`)
+    vector_registers: int = 16
     #: per-opcode overrides: opcode -> (scalar cost, vector cost)
     opcode_costs: dict = field(default_factory=dict)
 

@@ -13,9 +13,11 @@ from typing import Optional, Sequence
 from ..costmodel.targets import skylake_like
 from ..costmodel.tti import TargetCostModel
 from ..kernels.catalog import EVALUATION_KERNELS, Kernel
+from ..kernels.modulewide import MODULE_SELECT_BUDGET, MODULEWIDE_KERNELS
 from ..kernels.overlap import OVERLAP_KERNELS
 from ..kernels.suites import SUITE_SPECS, SuiteSpec
-from ..opt.pipelines import compile_function
+from ..opt.pipelines import compile_function, compile_module
+from ..robustness.budget import Budget
 from ..slp.vectorizer import PLAN_SELECT_MODES, VectorizerConfig
 from .reporting import FigureTable
 from .runner import (
@@ -330,6 +332,51 @@ def ablation_plan_select(kernels: Optional[Sequence[Kernel]] = None,
     return table
 
 
+def ablation_module_select(kernels: Optional[Sequence[Kernel]] = None,
+                           target: Optional[TargetCostModel] = None,
+                           select_budget: int = MODULE_SELECT_BUDGET
+                           ) -> FigureTable:
+    """Module-selection ablation: per-block vs module-wide selection
+    under one shared plan-selection budget.
+
+    Every mode runs with ``Budget.max_select_subsets=select_budget``
+    shared across the whole module.  Per-block ``greedy-savings``
+    spends it block-by-block in program order and starves the payoff
+    blocks of the module-wide kernels; ``module-greedy`` sorts the
+    pooled candidates by projected savings and spends the same budget
+    where it matters (goSLP's global packing)."""
+    target = target if target is not None else skylake_like()
+    budget = Budget(max_select_subsets=select_budget)
+    table = FigureTable(
+        "Ablation module-select",
+        f"Per-block vs module-wide plan selection, "
+        f"{select_budget} shared selection-budget units",
+        ["kernel", "plan-select", "static-cost", "vectorized-trees"],
+    )
+    modes = ("legacy", "greedy-savings", "module-greedy",
+             "module-exhaustive")
+    for kernel in (kernels if kernels is not None
+                   else MODULEWIDE_KERNELS):
+        for mode in modes:
+            config = replace(VectorizerConfig.lslp(), plan_select=mode,
+                             budget=budget)
+            module, _ = kernel.build()
+            results = compile_module(module, config)
+            cost = sum(r.static_cost for r in results)
+            vectorized = sum(r.report.num_vectorized for r in results)
+            table.add_row(kernel=kernel.name, **{
+                "plan-select": mode,
+                "static-cost": cost,
+                "vectorized-trees": vectorized,
+            })
+    table.notes.append(
+        "one shared max_select_subsets budget per compile; per-block "
+        "modes spend it in block order, module-* modes spend it on the "
+        "highest projected savings anywhere in the module"
+    )
+    return table
+
+
 ALL_FIGURES = {
     "table2": table2_kernels,
     "fig9": fig9_speedup,
@@ -339,10 +386,12 @@ ALL_FIGURES = {
     "fig13": fig13_sensitivity,
     "fig14": fig14_compile_time,
     "ablation-plan-select": ablation_plan_select,
+    "ablation-module-select": ablation_module_select,
 }
 
 
 __all__ = [
+    "ablation_module_select",
     "ablation_plan_select",
     "ALL_FIGURES",
     "fig9_speedup",

@@ -31,6 +31,13 @@ from .extended import (
     MULT_SU2_LIB,
     VSUMSQR_LIB,
 )
+from .modulewide import (
+    MODULE_BUDGET_SKEW,
+    MODULE_BUDGET_TWIN,
+    MODULE_CROSS_BLOCK,
+    MODULE_SELECT_BUDGET,
+    MODULEWIDE_KERNELS,
+)
 from .overlap import (
     OVERLAP_DISJOINT_HALVES,
     OVERLAP_KERNELS,
@@ -52,6 +59,11 @@ __all__ = [
     "Kernel",
     "kernel_by_name",
     "MESH1",
+    "MODULE_BUDGET_SKEW",
+    "MODULE_BUDGET_TWIN",
+    "MODULE_CROSS_BLOCK",
+    "MODULE_SELECT_BUDGET",
+    "MODULEWIDE_KERNELS",
     "MOTIVATION_KERNELS",
     "MOTIVATION_LOADS",
     "MOTIVATION_MULTI",

@@ -1,0 +1,137 @@
+"""Module-wide kernels: where per-block selection spends the shared
+budget in the wrong place.
+
+Per-block ``greedy-savings`` walks blocks in program order and spends
+the one shared selection budget (``Budget.max_select_subsets``, metered
+through the :class:`~repro.robustness.budget.ModuleMeter`) wherever a
+block happens to come first.  These kernels put a *decoy* — a clean,
+unambiguous seed family whose candidates soak up selection budget
+without needing any — ahead of one or more *payoff* bodies built on the
+:mod:`repro.kernels.overlap` recipe (full VL4 tree barely profitable at
+−4, the clean VL2 half −6).  Per-block selection runs dry before it
+reaches the payoff block and degrades to greedy first-fit there;
+``module-greedy`` sorts the pooled candidates by projected savings, so
+the payoff halves are considered (and picked) before the budget runs
+out — goSLP's global packing, demonstrated on a budget the local flow
+wastes.
+
+The suite drives ``benchmarks/bench_ablation_module_select.py`` and the
+module-selection property tests; like the overlap kernels it is **not**
+part of ``ALL_KERNELS`` (these are selection microbenchmarks, not paper
+workloads).
+
+``MODULE_SELECT_BUDGET`` is the shared ``max_select_subsets`` value the
+ablation uses: large enough that module-greedy reaches every payoff
+half, small enough that per-block selection starves.
+"""
+
+from __future__ import annotations
+
+from .catalog import Kernel
+
+#: the shared plan-selection budget (``Budget.max_select_subsets``)
+#: under which the module-greedy-vs-per-block gap below materializes
+MODULE_SELECT_BUDGET = 5
+
+#: a clean VL4 seed family: full width and both halves are all
+#: acceptable, so per-block selection charges the shared budget for
+#: every one of them before the payoff function is even planned
+_DECOY = """
+long D[1024], E[8192], F[16384];
+void decoy(long i) {
+    D[i + 0] = (E[i + 0] << 1) + (F[i + 0] << 2);
+    D[i + 1] = (E[i + 1] << 1) + (F[i + 1] << 2);
+    D[i + 2] = (E[i + 2] << 1) + (F[i + 2] << 2);
+    D[i + 3] = (E[i + 3] << 1) + (F[i + 3] << 2);
+}
+"""
+
+#: the overlap-shared-half payoff body: the VL4 tree is (barely)
+#: profitable at -4, the clean VL2 half alone is -6
+_PAYOFF_BODY = """
+    {A}[{i} + 0] = ({B}[{i} + 0] << 1) + ({C}[{i} + 0] << 2);
+    {A}[{i} + 1] = ({B}[{i} + 1] << 1) + ({C}[{i} + 1] << 2);
+    {A}[{i} + 2] = ({B}[7*{i} + 40] << 1) + ({C}[9*{i} + 80] << 2);
+    {A}[{i} + 3] = ({B}[3*{i} + 60] << 1) + ({C}[5*{i} + 20] << 2);
+"""
+
+
+def _payoff(arrays: tuple[str, str, str], index: str = "i") -> str:
+    a, b, c = arrays
+    return _PAYOFF_BODY.format(A=a, B=b, C=c, i=index)
+
+
+MODULE_BUDGET_SKEW = Kernel(
+    name="module-budget-skew",
+    origin="module-select ablation (goSLP global packing, PAPERS.md)",
+    description=(
+        "Two functions: a clean decoy seed family first, then an "
+        "overlapping-seed payoff.  Per-block greedy-savings spends the "
+        "shared selection budget on the decoy's candidates and leaves "
+        "the payoff block at first-fit (-4); module-greedy considers "
+        "the payoff's -6 half before the budget runs dry."
+    ),
+    source=_DECOY + """
+long A[1024], B[8192], C[16384];
+void kernel(long i) {
+""" + _payoff(("A", "B", "C")) + """}
+""",
+)
+
+MODULE_BUDGET_TWIN = Kernel(
+    name="module-budget-twin",
+    origin="module-select ablation (goSLP global packing, PAPERS.md)",
+    description=(
+        "A decoy followed by two payoff functions: module-greedy picks "
+        "both -6 halves from the pooled candidates; per-block "
+        "greedy-savings reaches at most the first payoff before the "
+        "shared budget is gone."
+    ),
+    source=_DECOY + """
+long A[1024], B[8192], C[16384];
+void pay_one(long i) {
+""" + _payoff(("A", "B", "C")) + """}
+
+long G[1024], H[8192], K[16384];
+void kernel(long i) {
+""" + _payoff(("G", "H", "K")) + """}
+""",
+)
+
+MODULE_CROSS_BLOCK = Kernel(
+    name="module-cross-block",
+    origin="module-select ablation (goSLP global packing, PAPERS.md)",
+    description=(
+        "One function, two blocks: the decoy seeds sit in the entry "
+        "block, the payoff stores inside a loop body.  Selection "
+        "budget is spent per block in program order; module-wide "
+        "pooling reaches the loop body's -6 half first."
+    ),
+    source="""
+long D[1024], E[8192], F[16384];
+long A[1024], B[8192], C[16384];
+void kernel(long i) {
+    D[i + 0] = (E[i + 0] << 1) + (F[i + 0] << 2);
+    D[i + 1] = (E[i + 1] << 1) + (F[i + 1] << 2);
+    D[i + 2] = (E[i + 2] << 1) + (F[i + 2] << 2);
+    D[i + 3] = (E[i + 3] << 1) + (F[i + 3] << 2);
+    for (long j = i; j < i + 1; j = j + 1) {
+""" + _payoff(("A", "B", "C"), index="j") + """    }
+}
+""",
+)
+
+#: the module-wide selection workloads (excluded from ``ALL_KERNELS``)
+MODULEWIDE_KERNELS: list[Kernel] = [
+    MODULE_BUDGET_SKEW,
+    MODULE_BUDGET_TWIN,
+    MODULE_CROSS_BLOCK,
+]
+
+__all__ = [
+    "MODULE_BUDGET_SKEW",
+    "MODULE_BUDGET_TWIN",
+    "MODULE_CROSS_BLOCK",
+    "MODULE_SELECT_BUDGET",
+    "MODULEWIDE_KERNELS",
+]

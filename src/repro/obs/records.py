@@ -38,6 +38,9 @@ RECORD_SCHEMA: dict[str, tuple[str, ...]] = {
     "plan": ("plan_id", "kind", "vector_length", "cost", "schedulable"),
     "select": ("plan_id", "mode"),
     "reject": ("plan_id", "mode", "reason"),
+    # module-scope selection (the module-* --plan-select modes): exactly
+    # one per compile job, summarizing the pooled candidate set
+    "module_select": ("mode", "candidates", "selected"),
 }
 
 #: keys every record carries regardless of type

@@ -19,7 +19,7 @@ historical fail-fast one.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 from ..costmodel.targets import skylake_like
 from ..costmodel.tti import TargetCostModel
@@ -30,6 +30,8 @@ from ..robustness.diagnostics import Remark
 from ..robustness.faults import FaultInjector
 from ..robustness.guard import DifferentialOracle, GuardPolicy, PassGuard
 from ..slp.vectorizer import (
+    MODULE_SELECT_MODES,
+    ModuleVectorizationDriver,
     SLPVectorizer,
     VectorizationReport,
     VectorizerConfig,
@@ -215,27 +217,142 @@ def compile_module(module: Module, config: VectorizerConfig,
                    target: Optional[TargetCostModel] = None,
                    guard: GuardSpec = None,
                    faults: Optional[FaultInjector] = None,
-                   module_meter: Optional[ModuleMeter] = None
+                   module_meter: Optional[ModuleMeter] = None,
+                   oracles: Optional[
+                       Callable[[Function], Optional[DifferentialOracle]]
+                   ] = None
                    ) -> list[CompileResult]:
     """Compile every function of ``module`` under ``config``.
 
     All functions share one module-scope budget meter when the config's
     budget carries module caps — the whole-compile budget the ROADMAP
-    calls for, and the service's per-job admission unit."""
+    calls for, and the service's per-job admission unit.  The module-*
+    plan-select modes take the two-phase driver
+    (:func:`compile_module_planned`); ``oracles`` optionally maps each
+    function to its differential oracle."""
     if (module_meter is None and config.budget is not None
             and config.budget.has_module_caps):
         module_meter = ModuleMeter(config.budget)
+    if config.enabled and config.plan_select in MODULE_SELECT_MODES:
+        return compile_module_planned(
+            module, config, target, guard=guard, faults=faults,
+            module_meter=module_meter, oracles=oracles,
+        )
     return [
         compile_function(func, config, target, guard=guard, faults=faults,
-                         module_meter=module_meter)
+                         module_meter=module_meter,
+                         oracle=oracles(func) if oracles else None)
         for func in module.functions.values()
     ]
+
+
+class _ApplyModulePass:
+    """Adapter running one function's module-scope apply phase inside a
+    PassManager, so the pass guard's snapshot/rollback (and its oracle
+    reference capture on the "slp" pass) cover it exactly like the
+    per-block vectorizer pass."""
+
+    def __init__(self, driver: ModuleVectorizationDriver):
+        self.driver = driver
+        self.report: Optional[VectorizationReport] = None
+
+    def __call__(self, func: Function) -> bool:
+        self.report = self.driver.apply_function(func)
+        return self.report.num_vectorized > 0
+
+
+def compile_module_planned(module: Module, config: VectorizerConfig,
+                           target: Optional[TargetCostModel] = None,
+                           guard: GuardSpec = None,
+                           faults: Optional[FaultInjector] = None,
+                           module_meter: Optional[ModuleMeter] = None,
+                           oracles: Optional[
+                               Callable[[Function],
+                                        Optional[DifferentialOracle]]
+                           ] = None
+                           ) -> list[CompileResult]:
+    """The two-phase guarded compile for the module-* plan-select modes.
+
+    Phase 1 runs the scalar "O3" pipeline over *every* function, then
+    plans each one read-only, pooling candidates module-wide.  Phase 2
+    is one module-scope selection spending the shared
+    ``max_select_subsets`` budget where projected savings are largest.
+    Phase 3 applies each function's share of the verdicts inside the
+    same per-function :class:`PassGuard` that guarded its scalar passes,
+    so rollback and the differential oracle behave exactly as in
+    :func:`compile_function` — the oracle's "pre-slp" reference is
+    captured when the apply pass starts, i.e. after scalar optimization
+    but before any vector code exists.
+    """
+    target = target if target is not None else skylake_like()
+    if faults is not None:
+        target = faults.perturb_cost_model(target)
+    if (module_meter is None and config.budget is not None
+            and config.budget.has_module_caps):
+        module_meter = ModuleMeter(config.budget)
+    driver = ModuleVectorizationDriver(config, target, module_meter)
+
+    # Phase 1: scalar passes, then read-only planning, per function.
+    staged: list[tuple[Function, PipelineResult,
+                       Optional[PassGuard]]] = []
+    for func in module.functions.values():
+        policy = _resolve_guard(
+            guard, oracles(func) if oracles is not None else None
+        )
+        pass_guard = PassGuard(policy) if policy is not None else None
+        manager = scalar_pipeline(guard=pass_guard)
+        if faults is not None:
+            faults.instrument(manager)
+        with span("compile.scalar", function=func.name,
+                  config=config.name):
+            timing = manager.run_function(func)
+        driver.plan_function(func)
+        staged.append((func, timing, pass_guard))
+
+    # Phase 2: one module-wide selection over the pooled candidates.
+    driver.select()
+
+    # Phase 3: materialize per function, guarded, in planning order.
+    results: list[CompileResult] = []
+    for func, timing, pass_guard in staged:
+        vectorize = _ApplyModulePass(driver)
+        manager = (
+            PassManager(guard=pass_guard)
+            .add("slp", vectorize)
+            .add("dce-post", run_dce)
+        )
+        if faults is not None:
+            faults.instrument(manager)
+        with span("compile.function", function=func.name,
+                  config=config.name):
+            manager.run_function(func, result=timing)
+            result = CompileResult(
+                func, config, timing,
+                report=VectorizationReport(func.name, config.name),
+            )
+            if vectorize.report is not None:
+                result.report = vectorize.report
+            if pass_guard is not None:
+                try:
+                    if pass_guard.policy.oracle is not None:
+                        with span("oracle.verify", function=func.name):
+                            pass_guard.run_oracle(func)
+                    else:
+                        pass_guard.run_oracle(func)
+                finally:
+                    pass_guard.finish()
+                result.remarks = pass_guard.diagnostics.remarks
+                result.rolled_back = pass_guard.rolled_back
+        result.remarks.extend(result.report.remarks)
+        results.append(result)
+    return results
 
 
 __all__ = [
     "build_pipeline",
     "compile_function",
     "compile_module",
+    "compile_module_planned",
     "CompileResult",
     "GuardSpec",
     "scalar_pipeline",

@@ -40,9 +40,12 @@ class Budget:
     max_module_lookahead_evals: Optional[int] = None
     #: wall-clock seconds of SLP work across the whole module
     max_module_seconds: Optional[float] = None
-    #: candidate subsets the exhaustive plan selector may enumerate per
-    #: block (the greedy selection stands beyond this); ``None`` uses
-    #: the selector's built-in default cap
+    #: candidates/subsets the plan selector may consider.  Per function
+    #: when no module meter is shared; with a module meter (module-scope
+    #: compiles, the batch service, the module-* selection modes) this
+    #: is *one shared selection budget* across every function of the
+    #: job.  ``None`` leaves greedy selection unmetered and gives the
+    #: exhaustive DFS its built-in default cap.
     max_select_subsets: Optional[int] = None
 
     @staticmethod
@@ -70,7 +73,8 @@ class Budget:
     @property
     def has_module_caps(self) -> bool:
         return (self.max_module_lookahead_evals is not None
-                or self.max_module_seconds is not None)
+                or self.max_module_seconds is not None
+                or self.max_select_subsets is not None)
 
 
 @dataclass
@@ -94,6 +98,7 @@ class ModuleMeter:
     def __init__(self, budget: Optional[Budget] = None):
         self.budget = budget if budget is not None else Budget()
         self.lookahead_evals = 0
+        self.select_subsets = 0
         self.functions_started = 0
         self.events: list[BudgetEvent] = []
         self._deadline: Optional[float] = None
@@ -109,6 +114,25 @@ class ModuleMeter:
 
     def charge_lookahead(self, count: int = 1) -> None:
         self.lookahead_evals += count
+
+    def charge_select(self, count: int = 1) -> None:
+        self.select_subsets += count
+
+    def select_allowed(self) -> bool:
+        """May the plan selector consider another candidate/subset
+        anywhere in the module?  This is the shared selection budget the
+        module-scope modes spend globally."""
+        cap = self.budget.max_select_subsets
+        if cap is not None and self.select_subsets >= cap:
+            self._note(
+                "module-select",
+                f"module plan-selection budget of {cap} candidate "
+                f"subsets exhausted after {self.select_subsets} across "
+                f"{self.functions_started} function(s); remaining "
+                "blocks keep the greedy first-fit selection",
+            )
+            return False
+        return True
 
     def time_exceeded(self) -> bool:
         if self._deadline is None:
@@ -268,10 +292,20 @@ class BudgetMeter:
 
     def charge_select(self, count: int = 1) -> None:
         self.select_subsets += count
+        if self.module is not None:
+            self.module.charge_select(count)
 
     def select_allowed(self) -> bool:
-        """May the exhaustive plan selector visit another candidate
-        subset?  ``False`` means: keep the best subset found so far."""
+        """May the plan selector consider another candidate/subset?
+        ``False`` means: keep what selection has so far (the greedy
+        incumbent, or the legacy first-fit shape)."""
+        if self.module is not None and not self.module.select_allowed():
+            self._note(
+                "module-select",
+                "module-level plan-selection budget exhausted; this "
+                "function keeps the greedy first-fit selection",
+            )
+            return False
         cap = self.budget.max_select_subsets
         if cap is not None and self.select_subsets >= cap:
             self._note(

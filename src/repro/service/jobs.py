@@ -58,6 +58,10 @@ class CompileJob:
     verify_seed: int = 0
     #: runtime arguments for the oracle (e.g. the kernel base index)
     args: Optional[dict[str, Any]] = None
+    #: capture plan-dump entries into :attr:`JobOutcome.plans`.  Pure
+    #: observability — excluded from the cache key, because the compiled
+    #: artifact is identical with or without capture.
+    capture_plans: bool = False
 
     def __post_init__(self):
         if (self.source is None) == (self.ir is None):
@@ -139,6 +143,9 @@ class JobOutcome:
     error: str = ""
     #: True when the per-job module budget ran dry mid-compile
     budget_exhausted: bool = False
+    #: plan-dump entries (``CompileJob.capture_plans``), in the
+    #: deterministic plan order the compile produced them
+    plans: list[dict[str, Any]] = field(default_factory=list)
 
     def __getstate__(self):
         # The live module (attached for inline callers) is an IR object
@@ -172,7 +179,9 @@ def execute_job(job: CompileJob) -> JobOutcome:
 def _execute_job_inner(job: CompileJob) -> JobOutcome:
     # Imported here (not module top) to keep worker start cheap when the
     # pool uses the spawn start method.
-    from ..opt.pipelines import compile_function
+    from ..obs import records as _records
+    from ..opt.pipelines import compile_function, compile_module_planned
+    from ..slp.vectorizer import MODULE_SELECT_MODES
 
     module = _load_module(job)
     target = TargetCostModel(job.target_desc)
@@ -189,21 +198,58 @@ def _execute_job_inner(job: CompileJob) -> JobOutcome:
     rolled_back: list[str] = []
     compile_seconds = 0.0
     static_cost = 0
-    for func in module.functions.values():
-        oracle = _oracle_for(job, module, func, target, remarks)
-        with span("job.compile", job=job.name, function=func.name,
-                  config=config.name):
-            result = compile_function(
-                func, config, target, guard=guard, oracle=oracle,
-                module_meter=module_meter,
-            )
-        merged.merge(result.report)
-        remarks.extend(remark_to_dict(r) for r in result.remarks)
-        rolled_back.extend(
-            f"{func.name}:{name}" for name in result.rolled_back
-        )
-        compile_seconds += result.compile_seconds
-        static_cost += result.static_cost
+
+    # Plan capture rides the outcome: pool workers cannot stream into
+    # the submitting process's sink, so the job collects entries locally
+    # and the service re-emits them in submission order (identical for
+    # the serial and parallel executors by construction).
+    captured: list[dict[str, Any]] = []
+    previous_sink = (
+        _records.set_plan_sink(captured) if job.capture_plans else None
+    )
+    try:
+        if (config.enabled
+                and config.plan_select in MODULE_SELECT_MODES):
+            with span("job.compile", job=job.name, config=config.name):
+                results = compile_module_planned(
+                    module, config, target, guard=guard,
+                    module_meter=module_meter,
+                    oracles=lambda func: _oracle_for(
+                        job, module, func, target, remarks
+                    ),
+                )
+            for result in results:
+                merged.merge(result.report)
+                remarks.extend(
+                    remark_to_dict(r) for r in result.remarks
+                )
+                rolled_back.extend(
+                    f"{result.function.name}:{name}"
+                    for name in result.rolled_back
+                )
+                compile_seconds += result.compile_seconds
+                static_cost += result.static_cost
+        else:
+            for func in module.functions.values():
+                oracle = _oracle_for(job, module, func, target, remarks)
+                with span("job.compile", job=job.name,
+                          function=func.name, config=config.name):
+                    result = compile_function(
+                        func, config, target, guard=guard, oracle=oracle,
+                        module_meter=module_meter,
+                    )
+                merged.merge(result.report)
+                remarks.extend(
+                    remark_to_dict(r) for r in result.remarks
+                )
+                rolled_back.extend(
+                    f"{func.name}:{name}" for name in result.rolled_back
+                )
+                compile_seconds += result.compile_seconds
+                static_cost += result.static_cost
+    finally:
+        if job.capture_plans:
+            _records.set_plan_sink(previous_sink)
 
     entry = CacheEntry(
         key=job.cache_key(),
@@ -217,6 +263,7 @@ def _execute_job_inner(job: CompileJob) -> JobOutcome:
         static_cost=static_cost,
     )
     outcome = JobOutcome(entry=entry)
+    outcome.plans = captured
     outcome.budget_exhausted = (
         module_meter is not None and module_meter.exhausted
     )

@@ -28,6 +28,7 @@ from typing import Iterator, Optional, Sequence
 
 from ..ir.function import Module
 from ..ir.parser import parse_module
+from ..obs import records as _records
 from ..obs.tracing import span
 from ..robustness.diagnostics import Remark, Severity
 from ..slp.vectorizer import VectorizationReport
@@ -55,6 +56,10 @@ class JobResult:
     cache_tier: str = ""
     degraded: bool = False
     error: str = ""
+    #: plan-dump entries captured by the worker
+    #: (``CompileJob.capture_plans``), in deterministic plan order;
+    #: empty for cache hits — plans are not part of the cached artifact
+    plans: list[dict] = field(default_factory=list)
     _module: Optional[Module] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
@@ -219,7 +224,17 @@ class CompilationService:
         batch.batch_seconds = time.perf_counter() - started
         self._accumulate(batch)
         batch.publish()
-        return BatchResult([r for r in results if r is not None], batch)
+        ordered = [r for r in results if r is not None]
+        # Re-emit captured plans into the submitting process's sink in
+        # submission order: pool workers cannot stream into it, and
+        # completion order varies with --jobs, so emission is deferred
+        # until every result is in — the plan dump is byte-identical
+        # across serial and parallel executors by construction.
+        if _records.active_plan_sink() is not None:
+            for result in ordered:
+                for entry in result.plans:
+                    _records.capture_plan(entry)
+        return BatchResult(ordered, batch)
 
     # ------------------------------------------------------------------
 
@@ -264,6 +279,7 @@ class CompilationService:
             batch.stores += 1
         return JobResult(
             job, entry, degraded=degraded,
+            plans=list(outcome.plans),
             _module=getattr(outcome, "module", None),
         )
 

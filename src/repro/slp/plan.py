@@ -52,12 +52,20 @@ from .codegen import VectorCodeGen
 from .cost import GraphCost, compute_graph_cost
 from .graph import SLPGraph
 from .lookahead import LookAheadContext
+from .pressure import estimate_registers, register_excess
 from .seeds import SeedGroup, collect_reduction_seeds
+
+#: module-scope selection modes: candidates from every block of every
+#: function are pooled into a :class:`ModulePlan` and one shared
+#: selection budget is spent where the projected savings are largest
+MODULE_SELECT_MODES: tuple[str, ...] = (
+    "module-greedy", "module-exhaustive",
+)
 
 #: accepted ``VectorizerConfig.plan_select`` values
 PLAN_SELECT_MODES: tuple[str, ...] = (
     "legacy", "greedy-savings", "exhaustive",
-)
+) + MODULE_SELECT_MODES
 
 #: named build-policy overrides the planner can enumerate per seed
 #: (``VectorizerConfig.plan_policy_variants``); informational candidates
@@ -108,6 +116,9 @@ class TreePlan:
     #: horizontal-reduction cost delta (reduction plans only)
     reduction_overhead: int = 0
     plan_id: int = -1
+    #: the function this plan's block belongs to; with ``block`` and
+    #: ``plan_id`` this is the plan's stable module-wide identity
+    function: str = ""
     block: str = ""
     #: build policy: "default" (the config's own) or a
     #: :data:`POLICY_VARIANTS` name
@@ -120,10 +131,24 @@ class TreePlan:
     stats: BuildStats = field(default_factory=BuildStats)
     #: identity set of the scalar instructions application would erase
     claimed: frozenset = frozenset()
+    #: serialized claim set: stable ``"block#index"`` keys for the
+    #: claimed instructions, comparable across processes (unlike the
+    #: ``id()``-based ``claimed`` set)
+    claim_keys: tuple[str, ...] = ()
+    #: Sethi–Ullman estimate of live vector registers at the tree's
+    #: widest point (:mod:`repro.slp.pressure`)
+    reg_pressure: int = 0
+    #: live registers beyond the target's vector register file
+    reg_excess: int = 0
 
     @property
     def total_cost(self) -> int:
         return self.tree_cost.total + self.reduction_overhead
+
+    def selection_cost(self, reg_pressure_weight: int) -> int:
+        """The cost the selector ranks by: the plan's total cost plus
+        the register-pressure penalty (``weight * excess``)."""
+        return self.total_cost + reg_pressure_weight * self.reg_excess
 
     def conflicts_with(self, other: "TreePlan") -> bool:
         return bool(self.claimed & other.claimed)
@@ -134,6 +159,7 @@ class TreePlan:
         return {
             "plan_id": self.plan_id,
             "kind": self.kind,
+            "function": self.function,
             "block": self.block,
             "vector_length": self.vector_length,
             "policy": self.policy,
@@ -142,6 +168,9 @@ class TreePlan:
             "reason": self.reason,
             "total_cost": self.total_cost,
             "reduction_overhead": self.reduction_overhead,
+            "reg_pressure": self.reg_pressure,
+            "reg_excess": self.reg_excess,
+            "claimed": list(self.claim_keys),
             "cost": self.tree_cost.to_dict(),
             "stats": {
                 "nodes": stats.nodes,
@@ -209,6 +238,9 @@ class BlockPlan:
     """Every candidate the planner enumerated for one block."""
 
     block: str
+    #: owning function (module-scope selection keys blocks by
+    #: ``(function, block)``)
+    function: str = ""
     #: plan id → plan, in enumeration (pre-)order
     plans: dict[int, TreePlan] = field(default_factory=dict)
     #: plan ids of the top-level (full-width, default-policy) store plans
@@ -236,6 +268,10 @@ class Selection:
     #: which strategy produced the winner ("first-fit" when the mode's
     #: pick was not strictly better than the legacy-shaped one)
     note: str = ""
+    #: plan ids that were acceptable on raw cost but rejected once the
+    #: register-pressure penalty was applied; the applier's sweep must
+    #: not resurrect them
+    pressure_rejected: tuple[int, ...] = ()
 
 
 # ---------------------------------------------------------------------------
@@ -253,15 +289,24 @@ class Planner:
     nor the apply phase's budget accounting.
     """
 
-    def __init__(self, config, target, ids: Optional[itertools.count] = None):
+    def __init__(self, config, target, ids: Optional[itertools.count] = None,
+                 function: str = ""):
         self.config = config
         self.target = target
         self.ids = ids if ids is not None else itertools.count()
+        self.function = function
+        self._positions: dict[int, int] = {}
 
     def plan_block(self, block: BasicBlock, seeds: list[SeedGroup],
                    ctx: LookAheadContext, aa: AliasAnalysis,
                    meter: BudgetMeter) -> BlockPlan:
-        block_plan = BlockPlan(block=block.name)
+        block_plan = BlockPlan(block=block.name, function=self.function)
+        # Stable per-block instruction positions: the serialized claim
+        # keys ("block#index") survive process boundaries, unlike the
+        # id()-based conflict sets.
+        self._positions = {
+            id(inst): index for index, inst in enumerate(block)
+        }
         with span("slp.plan", block=block.name):
             for seed in seeds:
                 if not seed.alive():
@@ -326,6 +371,8 @@ class Planner:
         else:
             check = VectorCodeGen(graph, aa).analyze()
             schedulable, reason = check.ok, check.reason
+        claimed = claimed_ids(graph)
+        pressure, excess = self._pressure(graph)
         plan = TreePlan(
             kind="store",
             vector_length=seed.vector_length,
@@ -333,13 +380,17 @@ class Planner:
             graph=graph,
             tree_cost=cost,
             plan_id=next(self.ids),
+            function=self.function,
             block=block.name,
             policy=policy,
             parent_id=parent,
             schedulable=schedulable,
             reason=reason,
             stats=builder.stats,
-            claimed=claimed_ids(graph),
+            claimed=claimed,
+            claim_keys=self._claim_keys(block.name, claimed),
+            reg_pressure=pressure,
+            reg_excess=excess,
         )
         block_plan.add(plan)
         _emit_plan_record(plan)
@@ -359,16 +410,39 @@ class Planner:
         codegen = VectorCodeGen(plan.graph, aa,
                                 extra_claimed=tuple(seed.chain))
         schedulable = codegen.can_schedule()
+        pressure, excess = self._pressure(plan.graph)
         plan = replace(
             plan,
             plan_id=next(self.ids),
+            function=self.function,
             block=block.name,
             schedulable=schedulable,
             reason="" if schedulable else "unschedulable",
+            claim_keys=self._claim_keys(block.name, plan.claimed),
+            reg_pressure=pressure,
+            reg_excess=excess,
         )
         block_plan.add(plan)
         block_plan.reductions.append(plan.plan_id)
         _emit_plan_record(plan)
+
+    def _claim_keys(self, block_name: str,
+                    claimed: frozenset) -> tuple[str, ...]:
+        """Serialized, cross-process-stable claim set for a plan."""
+        positions = self._positions
+        return tuple(sorted(
+            f"{block_name}#{positions[key]}"
+            for key in claimed if key in positions
+        ))
+
+    def _pressure(self, graph: SLPGraph) -> tuple[int, int]:
+        pressure = estimate_registers(graph)
+        excess = register_excess(pressure,
+                                 self.target.desc.vector_registers)
+        if excess > 0:
+            _metrics.add("pressure.over_subscribed")
+            _metrics.add("pressure.excess_registers", excess)
+        return pressure, excess
 
     def _policy(self, name: str, meter: BudgetMeter) -> BuildPolicy:
         if name == "default":
@@ -430,6 +504,7 @@ class Selector:
             )
         self.mode = config.plan_select
         self.threshold = config.cost_threshold
+        self.weight = config.reg_pressure_weight
 
     def select(self, block_plan: BlockPlan,
                meter: BudgetMeter) -> Selection:
@@ -441,6 +516,9 @@ class Selector:
     def _acceptable(self, plan: TreePlan) -> bool:
         return plan.schedulable and plan.total_cost < self.threshold
 
+    def _cost(self, plan: TreePlan) -> int:
+        return plan.selection_cost(self.weight)
+
     def _select(self, block_plan: BlockPlan,
                 meter: BudgetMeter) -> Selection:
         candidates = [
@@ -449,89 +527,368 @@ class Selector:
             and self._acceptable(plan)
         ]
         _metrics.add("plan.select_candidates", len(candidates))
+        eligible, pressure_rejected = split_by_pressure(
+            candidates, self.weight, self.threshold
+        )
         first_fit = self._first_fit(block_plan)
-        ff_total = sum(plan.total_cost for plan in first_fit)
-        chosen = self._greedy(candidates)
-        if self.mode == "exhaustive":
-            chosen = self._exhaustive(candidates, meter, chosen)
-        total = sum(plan.total_cost for plan in chosen)
-        note = self.mode
-        if total >= ff_total:
+        ff_total = sum(self._cost(plan) for plan in first_fit)
+        chosen = greedy_subset(eligible, self._cost, meter)
+        if chosen is not None and self.mode == "exhaustive":
+            chosen = exhaustive_subsets(
+                eligible, meter, chosen, self._cost,
+                _default_limit_state(meter),
+            )
+        if chosen is None:
+            # Selection budget ran dry before the greedy pass finished:
+            # keep the legacy-shaped subset rather than a partial pick.
             chosen, total, note = first_fit, ff_total, "first-fit"
+        else:
+            total = sum(self._cost(plan) for plan in chosen)
+            note = self.mode
+            if total >= ff_total:
+                chosen, total, note = first_fit, ff_total, "first-fit"
         chosen_ids = tuple(sorted(plan.plan_id for plan in chosen))
+        # A plan that still ended up chosen (the first-fit fallback is
+        # pressure-blind by design) must not be blocked at apply time.
+        pressure_rejected = tuple(
+            pid for pid in pressure_rejected if pid not in chosen_ids
+        )
         return Selection(mode=self.mode, chosen=chosen_ids,
-                         planned_total=total, note=note)
+                         planned_total=total, note=note,
+                         pressure_rejected=pressure_rejected)
 
     def _first_fit(self, block_plan: BlockPlan) -> list[TreePlan]:
-        """Simulate the legacy width descent on plan-time verdicts:
-        take the full width when acceptable, else recurse into halves."""
-        picked: list[TreePlan] = []
+        return first_fit_subset(block_plan, self._acceptable)
 
-        def visit(plan_id: int) -> None:
-            plan = block_plan.plans[plan_id]
-            if self._acceptable(plan):
-                picked.append(plan)
-                return
-            kids = block_plan.children.get(plan_id)
-            if kids is not None:
-                visit(kids[0])
-                visit(kids[1])
 
-        for root in block_plan.roots:
-            visit(root)
-        return picked
+# ---------------------------------------------------------------------------
+# Selection primitives (shared by the per-block and module selectors)
+# ---------------------------------------------------------------------------
 
-    def _greedy(self, candidates: list[TreePlan]) -> list[TreePlan]:
-        """Best-savings-first greedy over non-conflicting plans."""
-        ordered = sorted(candidates,
-                         key=lambda p: (p.total_cost, p.plan_id))
-        picked: list[TreePlan] = []
-        claimed: frozenset[int] = frozenset()
-        for plan in ordered:
+
+def first_fit_subset(block_plan: BlockPlan, acceptable) -> list[TreePlan]:
+    """Simulate the legacy width descent on plan-time verdicts: take
+    the full width when acceptable, else recurse into halves."""
+    picked: list[TreePlan] = []
+
+    def visit(plan_id: int) -> None:
+        plan = block_plan.plans[plan_id]
+        if acceptable(plan):
+            picked.append(plan)
+            return
+        kids = block_plan.children.get(plan_id)
+        if kids is not None:
+            visit(kids[0])
+            visit(kids[1])
+
+    for root in block_plan.roots:
+        visit(root)
+    return picked
+
+
+def split_by_pressure(candidates: list[TreePlan], weight: int,
+                      threshold: int
+                      ) -> tuple[list[TreePlan], tuple[int, ...]]:
+    """Partition raw-acceptable candidates into those still worth
+    applying under the register-pressure penalty and the plan ids the
+    penalty pushed over the cost threshold."""
+    if weight == 0:
+        return candidates, ()
+    eligible: list[TreePlan] = []
+    rejected: list[int] = []
+    for plan in candidates:
+        if plan.selection_cost(weight) < threshold:
+            eligible.append(plan)
+        else:
+            rejected.append(plan.plan_id)
+    if rejected:
+        _metrics.add("pressure.rejected", len(rejected))
+    return eligible, tuple(rejected)
+
+
+def greedy_subset(candidates: list[TreePlan], cost, meter: BudgetMeter
+                  ) -> Optional[list[TreePlan]]:
+    """Best-savings-first greedy over non-conflicting plans.
+
+    Each candidate considered charges one unit of the selection budget;
+    ``None`` (caller falls back to the legacy first-fit shape) when the
+    budget runs dry mid-pass — with no ``max_select_subsets`` cap the
+    behaviour is exactly the historical unmetered greedy."""
+    ordered = sorted(candidates, key=lambda p: (cost(p), p.plan_id))
+    picked: list[TreePlan] = []
+    claimed: frozenset[int] = frozenset()
+    for plan in ordered:
+        meter.charge_select()
+        if not meter.select_allowed():
+            return None
+        if claimed & plan.claimed:
+            continue
+        picked.append(plan)
+        claimed = claimed | plan.claimed
+    return picked
+
+
+def _default_limit_state(meter: BudgetMeter) -> dict:
+    """Mutable visit-count state for :func:`exhaustive_subsets`; the
+    built-in cap applies only when no explicit budget cap is set.  The
+    module selector passes one shared state across every block so the
+    default cap stays module-wide."""
+    limit = (DEFAULT_SELECT_SUBSETS
+             if meter.budget.max_select_subsets is None else None)
+    return {"visited": 0, "limit": limit}
+
+
+def exhaustive_subsets(candidates: list[TreePlan], meter: BudgetMeter,
+                       incumbent: list[TreePlan], cost,
+                       limit_state: dict) -> list[TreePlan]:
+    """Branch-and-enumerate every non-conflicting subset, seeded with
+    the greedy incumbent; budget-metered so adversarial conflict sets
+    degrade to the greedy answer."""
+    best = list(incumbent)
+    best_total = sum(cost(plan) for plan in best)
+    limit = limit_state["limit"]
+    stopped = False
+
+    def dfs(index: int, chosen: list[TreePlan],
+            claimed: frozenset[int], total: int) -> None:
+        nonlocal best, best_total, stopped
+        if stopped:
+            return
+        limit_state["visited"] += 1
+        meter.charge_select()
+        if ((limit is not None and limit_state["visited"] > limit)
+                or not meter.select_allowed()):
+            stopped = True
+            return
+        if total < best_total:
+            best, best_total = list(chosen), total
+        for i in range(index, len(candidates)):
+            plan = candidates[i]
             if claimed & plan.claimed:
                 continue
-            picked.append(plan)
-            claimed = claimed | plan.claimed
-        return picked
-
-    def _exhaustive(self, candidates: list[TreePlan],
-                    meter: BudgetMeter,
-                    incumbent: list[TreePlan]) -> list[TreePlan]:
-        """Branch-and-enumerate every non-conflicting subset, seeded
-        with the greedy incumbent; budget-metered so adversarial
-        conflict sets degrade to the greedy answer."""
-        best = list(incumbent)
-        best_total = sum(plan.total_cost for plan in best)
-        limit = (DEFAULT_SELECT_SUBSETS
-                 if meter.budget.max_select_subsets is None else None)
-        state = {"visited": 0, "stopped": False}
-
-        def dfs(index: int, chosen: list[TreePlan],
-                claimed: frozenset[int], total: int) -> None:
-            nonlocal best, best_total
-            if state["stopped"]:
+            chosen.append(plan)
+            dfs(i + 1, chosen, claimed | plan.claimed,
+                total + cost(plan))
+            chosen.pop()
+            if stopped:
                 return
-            state["visited"] += 1
+
+    dfs(0, [], frozenset(), 0)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Module-scope selection (goSLP-style global packing)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FunctionPlan:
+    """Every block plan the planner enumerated for one function."""
+
+    function: str
+    blocks: list[BlockPlan] = field(default_factory=list)
+
+
+@dataclass
+class ModulePlan:
+    """Phase-1 output of the module-scoped flow: the pooled candidate
+    plans of every block of every function in a compile job.  Plan ids
+    come from one module-wide counter, so ``(function, block, plan_id)``
+    is a stable identity."""
+
+    functions: list[FunctionPlan] = field(default_factory=list)
+
+    def all_blocks(self):
+        for fplan in self.functions:
+            for block_plan in fplan.blocks:
+                yield fplan.function, block_plan
+
+    @property
+    def candidate_count(self) -> int:
+        return sum(
+            len(block_plan.plans) for _, block_plan in self.all_blocks()
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable phase summary (observability payload)."""
+        return {
+            "functions": [
+                {
+                    "function": fplan.function,
+                    "blocks": [
+                        {"block": bp.block, "plans": sorted(bp.plans)}
+                        for bp in fplan.blocks
+                    ],
+                }
+                for fplan in self.functions
+            ],
+        }
+
+
+class _ModuleEntry:
+    """Per-block selection state inside the module selector."""
+
+    __slots__ = ("function", "block_plan", "eligible",
+                 "pressure_rejected", "first_fit", "picks", "claimed")
+
+    def __init__(self, function: str, block_plan: BlockPlan,
+                 eligible: list[TreePlan],
+                 pressure_rejected: tuple[int, ...],
+                 first_fit: list[TreePlan]):
+        self.function = function
+        self.block_plan = block_plan
+        self.eligible = eligible
+        self.pressure_rejected = pressure_rejected
+        self.first_fit = first_fit
+        self.picks: list[TreePlan] = []
+        self.claimed: frozenset[int] = frozenset()
+
+
+class ModuleSelector:
+    """Module-scope selection: phase 2 of the two-phase flow.
+
+    Every block's eligible candidates are pooled and considered in one
+    global best-savings order, so a tight shared selection budget
+    (``Budget.max_select_subsets`` metered through the module meter) is
+    spent on the highest-projected-savings plans anywhere in the module
+    — goSLP's global packing, where the per-block flow would spend the
+    same budget on whichever block happens to come first.
+
+    ``module-greedy`` stops at the global greedy pass;
+    ``module-exhaustive`` then refines blocks one at a time (best
+    projected savings first) with the subset DFS, all charged to the
+    same shared meter.  Per block, the module pick replaces the
+    legacy-shaped first-fit subset only when strictly better, so with
+    an unlimited budget ``module-greedy`` selects exactly what
+    per-block ``greedy-savings`` would — never worse, by construction.
+    """
+
+    def __init__(self, config):
+        if config.plan_select not in MODULE_SELECT_MODES:
+            raise ValueError(
+                f"not a module plan-select mode "
+                f"{config.plan_select!r}; use one of "
+                f"{', '.join(MODULE_SELECT_MODES)}"
+            )
+        self.mode = config.plan_select
+        self.threshold = config.cost_threshold
+        self.weight = config.reg_pressure_weight
+
+    # ------------------------------------------------------------------
+
+    def _acceptable(self, plan: TreePlan) -> bool:
+        return plan.schedulable and plan.total_cost < self.threshold
+
+    def _cost(self, plan: TreePlan) -> int:
+        return plan.selection_cost(self.weight)
+
+    def select(self, module_plan: ModulePlan, meter: BudgetMeter
+               ) -> dict[tuple[str, str], Selection]:
+        """Selection verdicts keyed by ``(function, block)``."""
+        with span("slp.module_select", mode=self.mode):
+            return self._select(module_plan, meter)
+
+    def _select(self, module_plan: ModulePlan, meter: BudgetMeter
+                ) -> dict[tuple[str, str], Selection]:
+        entries: list[_ModuleEntry] = []
+        for function, block_plan in module_plan.all_blocks():
+            candidates = [
+                plan for _, plan in sorted(block_plan.plans.items())
+                if plan.kind == "store" and plan.policy == "default"
+                and self._acceptable(plan)
+            ]
+            eligible, pressure_rejected = split_by_pressure(
+                candidates, self.weight, self.threshold
+            )
+            entries.append(_ModuleEntry(
+                function, block_plan, eligible, pressure_rejected,
+                first_fit_subset(block_plan, self._acceptable),
+            ))
+
+        # One global pool, best projected savings first; plan ids come
+        # from one module-wide counter, so the tie-break is stable.
+        pool = [(entry, plan) for entry in entries
+                for plan in entry.eligible]
+        pool.sort(key=lambda item: (self._cost(item[1]),
+                                    item[1].plan_id))
+        budget_dry = False
+        for entry, plan in pool:
             meter.charge_select()
-            if ((limit is not None and state["visited"] > limit)
-                    or not meter.select_allowed()):
-                state["stopped"] = True
-                return
-            if total < best_total:
-                best, best_total = list(chosen), total
-            for i in range(index, len(candidates)):
-                plan = candidates[i]
-                if claimed & plan.claimed:
-                    continue
-                chosen.append(plan)
-                dfs(i + 1, chosen, claimed | plan.claimed,
-                    total + plan.total_cost)
-                chosen.pop()
-                if state["stopped"]:
-                    return
+            if not meter.select_allowed():
+                budget_dry = True
+                break
+            if entry.claimed & plan.claimed:
+                continue
+            entry.picks.append(plan)
+            entry.claimed = entry.claimed | plan.claimed
 
-        dfs(0, [], frozenset(), 0)
-        return best
+        if self.mode == "module-exhaustive" and not budget_dry:
+            budget_dry = self._refine(entries, meter)
+
+        selections: dict[tuple[str, str], Selection] = {}
+        selected = 0
+        for entry in entries:
+            selection = self._verdict(entry)
+            selected += len(selection.chosen)
+            key = (entry.function, entry.block_plan.block)
+            selections[key] = selection
+
+        _metrics.add("plan.module.functions", len(module_plan.functions))
+        _metrics.add("plan.module.blocks", len(entries))
+        _metrics.add("plan.module.candidates", len(pool))
+        _metrics.add("plan.module.selected", selected)
+        if budget_dry:
+            _metrics.add("plan.module.budget_stopped")
+        _records.emit(
+            "module_select", mode=self.mode,
+            functions=len(module_plan.functions), blocks=len(entries),
+            candidates=len(pool), selected=selected,
+            budget_exhausted=budget_dry,
+        )
+        return selections
+
+    def _refine(self, entries: list[_ModuleEntry],
+                meter: BudgetMeter) -> bool:
+        """``module-exhaustive``: per-block subset DFS on top of the
+        global greedy picks, most promising block first, all charged to
+        the one shared meter (and one shared default visit cap)."""
+        limit_state = _default_limit_state(meter)
+        order = sorted(
+            range(len(entries)),
+            key=lambda i: (sum(self._cost(p) for p in entries[i].picks),
+                           i),
+        )
+        for index in order:
+            entry = entries[index]
+            if not entry.eligible:
+                continue
+            if not meter.select_allowed():
+                return True
+            entry.picks = exhaustive_subsets(
+                entry.eligible, meter, entry.picks, self._cost,
+                limit_state,
+            )
+        return False
+
+    def _verdict(self, entry: _ModuleEntry) -> Selection:
+        """Per-block verdict: the module pick must be *strictly* better
+        than the legacy-shaped first-fit subset, mirroring the
+        per-block selector's rule (a budget-starved block therefore
+        degrades to exactly the legacy shape)."""
+        total = sum(self._cost(plan) for plan in entry.picks)
+        ff_total = sum(self._cost(plan) for plan in entry.first_fit)
+        chosen, note = entry.picks, self.mode
+        if total >= ff_total:
+            chosen, total, note = entry.first_fit, ff_total, "first-fit"
+        chosen_ids = tuple(sorted(plan.plan_id for plan in chosen))
+        pressure_rejected = tuple(
+            pid for pid in entry.pressure_rejected
+            if pid not in chosen_ids
+        )
+        return Selection(mode=self.mode, chosen=chosen_ids,
+                         planned_total=total, note=note,
+                         pressure_rejected=pressure_rejected)
 
 
 # ---------------------------------------------------------------------------
@@ -567,6 +924,16 @@ class Applier:
         self._aa = aa
         self._report = report
         self._meter = meter
+        # Store sets whose plans selection rejected on register
+        # pressure: the (pressure-blind) sweep must not resurrect them.
+        self._blocked: frozenset[frozenset[int]] = frozenset()
+        if selection is not None and selection.pressure_rejected:
+            self._blocked = frozenset(
+                frozenset(id(store)
+                          for store in block_plan.plans[pid].seed.stores)
+                for pid in selection.pressure_rejected
+                if block_plan.plans[pid].kind == "store"
+            )
         if selection is None:
             self._apply_legacy(block, seeds)
         else:
@@ -612,9 +979,15 @@ class Applier:
     def _vectorize_seed(self, seed: SeedGroup) -> None:
         """Try a seed group at full width; on rejection, retry each half
         (LLVM's SLP does the same width descent)."""
-        record = self._try_store_tree(seed)
-        self._report.trees.append(record)
-        if record.vectorized or seed.vector_length < 4:
+        if (self._blocked
+                and frozenset(id(s) for s in seed.stores)
+                in self._blocked):
+            vectorized = False  # pressure-rejected at selection time
+        else:
+            record = self._try_store_tree(seed)
+            self._report.trees.append(record)
+            vectorized = record.vectorized
+        if vectorized or seed.vector_length < 4:
             return
         half = seed.vector_length // 2
         for part in (SeedGroup(seed.stores[:half]),
@@ -777,15 +1150,22 @@ class Applier:
 
 
 def record_outcomes(block_plan: BlockPlan, applier: Applier, mode: str,
-                    cost_threshold: int) -> None:
+                    cost_threshold: int,
+                    selection: Optional[Selection] = None) -> None:
     """Classify every enumerated plan against what the applier actually
     did, stream ``select``/``reject`` records, bump ``plan.*`` metrics,
     and feed the plan sink (``--plan-dump``)."""
     sink_active = _records.active_sink() is not None
     plan_sink = _records.active_plan_sink() is not None
+    pressure_rejected = (
+        frozenset(selection.pressure_rejected)
+        if selection is not None else frozenset()
+    )
     applied = 0
     for plan_id, plan in block_plan.plans.items():
         outcome, reason = _classify(plan, applier, cost_threshold)
+        if outcome != "applied" and plan_id in pressure_rejected:
+            reason = "reg-pressure"
         block_plan.outcomes[plan_id] = (outcome, reason)
         if outcome == "applied":
             applied += 1
@@ -883,6 +1263,10 @@ __all__ = [
     "BlockPlan",
     "claimed_ids",
     "DEFAULT_SELECT_SUBSETS",
+    "FunctionPlan",
+    "MODULE_SELECT_MODES",
+    "ModulePlan",
+    "ModuleSelector",
     "PLAN_SELECT_MODES",
     "Planner",
     "POLICY_VARIANTS",

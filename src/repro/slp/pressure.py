@@ -1,0 +1,64 @@
+"""Register-pressure estimation for candidate plans (``repro.slp.pressure``).
+
+The per-tree TTI cost (:mod:`repro.slp.cost`) prices instructions but
+not *registers*: a plan whose tree keeps many vector temporaries live at
+once can be "profitable" on paper and still spill on a machine with a
+small vector register file.  goSLP's ILP formulation prices packs
+globally for the same reason.  This module gives the plan selector the
+missing signal — a cheap, deterministic upper-bound estimate of how many
+vector registers one tree needs at its widest point.
+
+The estimate is the classic Sethi–Ullman labeling, adapted to the SLP
+graph's DAG shape:
+
+* a leaf (gather) materializes into one vector register;
+* an interior node evaluates its children one after another in the
+  order that minimizes overlap — children are visited in decreasing
+  register need, so child ``i`` (0-based) holds its result while the
+  remaining, needier siblings have already been folded into one register
+  each, giving ``need = max_i(need_i + i)``;
+* a node reachable through more than one parent is materialized once;
+  later visits only need the one register already holding it.
+
+The result is compared against the target's architectural register file
+(:attr:`repro.costmodel.tti.TargetDescription.vector_registers`) and the
+*excess* — live registers beyond the file — is what the selector
+penalizes via ``VectorizerConfig.reg_pressure_weight``.
+"""
+
+from __future__ import annotations
+
+from .graph import SLPGraph, SLPNode
+
+
+def estimate_registers(graph: SLPGraph) -> int:
+    """Estimated vector registers live at once while materializing
+    ``graph``; 0 for an empty graph."""
+    if graph.root is None:
+        return 0
+    memo: dict[int, int] = {}
+
+    def need(node: SLPNode) -> int:
+        key = id(node)
+        if key in memo:
+            # Shared subtree: already materialized, one register holds it.
+            return 1
+        if not node.children:
+            memo[key] = 1
+            return 1
+        child_needs = sorted(
+            (need(child) for child in node.children), reverse=True
+        )
+        result = max(n + i for i, n in enumerate(child_needs))
+        memo[key] = result
+        return result
+
+    return need(graph.root)
+
+
+def register_excess(pressure: int, vector_registers: int) -> int:
+    """Live registers beyond the target's register file (>= 0)."""
+    return max(0, pressure - vector_registers)
+
+
+__all__ = ["estimate_registers", "register_excess"]

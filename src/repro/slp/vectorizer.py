@@ -51,8 +51,12 @@ from ..robustness.diagnostics import Remark, Severity
 from .builder import BuildPolicy, BuildStats
 from .lookahead import LookAheadContext, get_lookahead_score
 from .plan import (
+    MODULE_SELECT_MODES,
     PLAN_SELECT_MODES,
     Applier,
+    FunctionPlan,
+    ModulePlan,
+    ModuleSelector,
     Planner,
     Selection,
     Selector,
@@ -92,12 +96,19 @@ class VectorizerConfig:
     budget: Optional[Budget] = None
     #: plan-selection mode: "legacy" (default) reproduces the greedy
     #: first-fit byte-for-byte; "greedy-savings"/"exhaustive" pick the
-    #: best non-conflicting candidate subset by plan-time cost
+    #: best non-conflicting candidate subset by plan-time cost per
+    #: block; "module-greedy"/"module-exhaustive" pool every block of
+    #: every function and spend one shared selection budget where the
+    #: projected savings are largest
     plan_select: str = "legacy"
     #: extra build policies ("slp-nr", "slp", "lslp") the planner
     #: enumerates per seed for comparison; informational only, never
     #: applied
     plan_policy_variants: tuple[str, ...] = ()
+    #: selection-time penalty per vector register a plan needs beyond
+    #: the target's register file (repro.slp.pressure); 0 disables the
+    #: pressure term entirely
+    reg_pressure_weight: int = 0
 
     # ---- the paper's configurations -----------------------------------
 
@@ -219,6 +230,18 @@ class SLPVectorizer:
         if (module_meter is None and self.config.budget is not None
                 and self.config.budget.has_module_caps):
             module_meter = ModuleMeter(self.config.budget)
+        if (self.config.enabled
+                and self.config.plan_select in MODULE_SELECT_MODES):
+            driver = ModuleVectorizationDriver(self.config, self.target,
+                                               module_meter)
+            funcs = list(module.functions.values())
+            for func in funcs:
+                driver.plan_function(func)
+            driver.select()
+            report = VectorizationReport("<module>", self.config.name)
+            for func in funcs:
+                report.merge(driver.apply_function(func))
+            return report
         report = VectorizationReport("<module>", self.config.name)
         for func in module.functions.values():
             report.merge(self.run_function(func, module_meter))
@@ -230,6 +253,14 @@ class SLPVectorizer:
         report = VectorizationReport(func.name, self.config.name)
         if not self.config.enabled:
             return report
+        if self.config.plan_select in MODULE_SELECT_MODES:
+            # A lone function is its own module: candidates from all of
+            # its blocks are pooled and selected in one pass.
+            driver = ModuleVectorizationDriver(self.config, self.target,
+                                               module_meter)
+            driver.plan_function(func)
+            driver.select()
+            return driver.apply_function(func)
         meter = BudgetMeter(self.config.budget, module=module_meter)
         meter.start_function()
         #: function-scope plan ids, so records stay unambiguous across
@@ -249,12 +280,7 @@ class SLPVectorizer:
         finally:
             _records.restore_context(context)
         for event in meter.events:
-            report.remarks.append(Remark(
-                Severity.WARNING, "budget", event.detail,
-                function=func.name, pass_name="slp", phase="budget",
-                remediation="raise the Budget caps, or accept the "
-                            "greedy/scalar degradation",
-            ))
+            report.remarks.append(_budget_remark(func.name, event))
         self._publish_metrics(report, meter)
         return report
 
@@ -296,25 +322,201 @@ class SLPVectorizer:
         applier.apply(block, block_plan, selection, seeds, ctx, aa,
                       report, meter)
         record_outcomes(block_plan, applier, self.config.plan_select,
-                        self.config.cost_threshold)
+                        self.config.cost_threshold, selection)
 
     def _publish_metrics(self, report: VectorizationReport,
                          meter: BudgetMeter) -> None:
-        """Publish this function's tallies into the metrics registry
-        (one flag check when publication is off)."""
-        if not _metrics.publishing():
+        _publish_report_metrics(report)
+
+
+def _publish_report_metrics(report: VectorizationReport) -> None:
+    """Publish one function's tallies into the metrics registry (one
+    flag check when publication is off)."""
+    if not _metrics.publishing():
+        return
+    stats = report.stats
+    _metrics.add("slp.trees_built", len(report.trees))
+    _metrics.add("slp.groups_vectorized", report.num_vectorized)
+    _metrics.add("slp.nodes", stats.nodes)
+    _metrics.add("slp.multi_nodes", stats.multi_nodes)
+    _metrics.add("slp.gathers", stats.gathers)
+    _metrics.add("reorder.reorders", stats.reorders)
+    _metrics.add("lookahead.evals", stats.lookahead_evals)
+
+
+def _budget_remark(function: str, event) -> Remark:
+    return Remark(
+        Severity.WARNING, "budget", event.detail,
+        function=function, pass_name="slp", phase="budget",
+        remediation="raise the Budget caps, or accept the "
+                    "greedy/scalar degradation",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Module-scoped two-phase driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _PlannedBlock:
+    """One block's phase-1 state, held until the apply phase."""
+
+    block: BasicBlock
+    seeds: list
+    block_plan: object
+    ctx: LookAheadContext
+    aa: AliasAnalysis
+
+
+@dataclass
+class _PlannedFunction:
+    func: Function
+    report: VectorizationReport
+    meter: BudgetMeter
+    blocks: list[_PlannedBlock] = field(default_factory=list)
+
+
+class ModuleVectorizationDriver:
+    """The two-phase, module-scoped plan/select/apply flow.
+
+    Phase 1 (:meth:`plan_function`, once per function) enumerates
+    candidates for every block read-only, pooling them into one
+    :class:`~repro.slp.plan.ModulePlan` with module-wide plan ids.
+    Phase 2 (:meth:`select`) runs the module-scope selector over the
+    pooled candidates, spending the one shared selection budget where
+    projected savings are largest.  :meth:`apply_function` then
+    materializes one function's share of the verdicts — callable per
+    function so a guarded pipeline (``repro.opt.pipelines``) can wrap
+    each function's apply in its own pass guard.
+
+    Seeds and apply-phase analysis contexts are captured at plan time;
+    the applier re-checks liveness and rebuilds every tree on the
+    current IR, so cross-function ordering cannot invalidate a verdict
+    silently.
+    """
+
+    def __init__(self, config: VectorizerConfig,
+                 target: Optional[TargetCostModel] = None,
+                 module_meter: Optional[ModuleMeter] = None):
+        if config.plan_select not in MODULE_SELECT_MODES:
+            raise ValueError(
+                f"not a module plan-select mode {config.plan_select!r};"
+                f" use one of {', '.join(MODULE_SELECT_MODES)}"
+            )
+        self.config = config
+        self.target = target if target is not None else skylake_like()
+        if (module_meter is None and config.budget is not None
+                and config.budget.has_module_caps):
+            module_meter = ModuleMeter(config.budget)
+        self.module_meter = module_meter
+        self.module_plan = ModulePlan()
+        self._plan_ids = itertools.count()
+        self._planned: dict[str, _PlannedFunction] = {}
+        self._selections: Optional[dict] = None
+        self._select_events: list = []
+
+    # ------------------------------------------------------------------
+
+    def plan_function(self, func: Function) -> None:
+        """Phase 1 for one function: enumerate every block's candidates
+        without touching the IR."""
+        report = VectorizationReport(func.name, self.config.name)
+        meter = BudgetMeter(self.config.budget, module=self.module_meter)
+        meter.start_function()
+        planned = _PlannedFunction(func, report, meter)
+        fplan = FunctionPlan(func.name)
+        context = _records.push_context(
+            function=func.name, config=self.config.name,
+            **{"pass": "slp"},
+        )
+        try:
+            with span("slp.module_plan", function=func.name,
+                      config=self.config.name):
+                for block in func.blocks:
+                    # Apply-phase analyses, captured now, used in phase
+                    # 3; the planner gets its own isolated context, as
+                    # in the per-block flow.
+                    ctx = LookAheadContext(ScalarEvolution())
+                    aa = AliasAnalysis(ctx.scev)
+                    seeds = collect_store_seeds(block, ctx.scev,
+                                                self.target)
+                    plan_ctx = LookAheadContext(ScalarEvolution())
+                    plan_aa = AliasAnalysis(plan_ctx.scev)
+                    planner = Planner(self.config, self.target,
+                                      ids=self._plan_ids,
+                                      function=func.name)
+                    block_plan = planner.plan_block(
+                        block, seeds, plan_ctx, plan_aa,
+                        meter.phase_meter(),
+                    )
+                    planned.blocks.append(
+                        _PlannedBlock(block, seeds, block_plan, ctx, aa)
+                    )
+                    fplan.blocks.append(block_plan)
+        finally:
+            _records.restore_context(context)
+        self._planned[func.name] = planned
+        self.module_plan.functions.append(fplan)
+
+    def select(self) -> None:
+        """Phase 2: one module-scope selection over the pooled
+        candidates (idempotent)."""
+        if self._selections is not None:
             return
-        stats = report.stats
-        _metrics.add("slp.trees_built", len(report.trees))
-        _metrics.add("slp.groups_vectorized", report.num_vectorized)
-        _metrics.add("slp.nodes", stats.nodes)
-        _metrics.add("slp.multi_nodes", stats.multi_nodes)
-        _metrics.add("slp.gathers", stats.gathers)
-        _metrics.add("reorder.reorders", stats.reorders)
-        _metrics.add("lookahead.evals", stats.lookahead_evals)
+        select_meter = BudgetMeter(self.config.budget,
+                                   module=self.module_meter)
+        self._selections = ModuleSelector(self.config).select(
+            self.module_plan, select_meter
+        )
+        self._select_events = list(select_meter.events)
+
+    def apply_function(self, func: Function) -> VectorizationReport:
+        """Phase 3 for one function: materialize its share of the
+        module selection in deterministic plan order."""
+        self.select()
+        planned = self._planned[func.name]
+        report, meter = planned.report, planned.meter
+        context = _records.push_context(
+            function=func.name, config=self.config.name,
+            **{"pass": "slp"},
+        )
+        try:
+            with span("slp.function", function=func.name,
+                      config=self.config.name):
+                for pb in planned.blocks:
+                    selection = self._selections.get(
+                        (func.name, pb.block.name)
+                    )
+                    if selection is None:
+                        selection = Selection(
+                            mode=self.config.plan_select, chosen=(),
+                            planned_total=0, note="first-fit",
+                        )
+                    applier = Applier(self.config, self.target)
+                    applier.apply(pb.block, pb.block_plan, selection,
+                                  pb.seeds, pb.ctx, pb.aa, report,
+                                  meter)
+                    record_outcomes(pb.block_plan, applier,
+                                    self.config.plan_select,
+                                    self.config.cost_threshold,
+                                    selection)
+        finally:
+            _records.restore_context(context)
+        for event in meter.events:
+            report.remarks.append(_budget_remark(func.name, event))
+        # Module-scope selection events surface once, on the first
+        # function whose apply phase runs.
+        for event in self._select_events:
+            report.remarks.append(_budget_remark(func.name, event))
+        self._select_events = []
+        _publish_report_metrics(report)
+        return report
 
 
 __all__ = [
+    "MODULE_SELECT_MODES",
+    "ModuleVectorizationDriver",
     "PLAN_SELECT_MODES",
     "SLPVectorizer",
     "TreeRecord",

@@ -1,0 +1,370 @@
+"""Module-wide plan selection and register-pressure costing.
+
+Four guarantees:
+
+* **Never worse**: without budget caps ``module-greedy`` matches
+  per-block ``greedy-savings`` exactly (candidates from different
+  blocks never conflict, so pooling cannot change the picks); under a
+  shared ``max_select_subsets`` budget the module-wide kernels show
+  where global ordering strictly wins.
+* **Determinism**: the module phase produces byte-identical reports,
+  IR and plan-dump streams whether the batch runs serially or across
+  pool workers.
+* **Pressure**: the Sethi–Ullman penalty rejects over-subscribed plans
+  on small-register-file targets, the rejection is visible in the plan
+  dump as ``reg-pressure``, and the apply-phase sweep never resurrects
+  a pressure-rejected plan.
+* **Cache keys**: configs differing only in ``plan_select`` or
+  ``reg_pressure_weight`` never share a cache entry; the pure
+  observability ``capture_plans`` flag never splits one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+
+from repro.costmodel.targets import few_registers, skylake_like
+from repro.interp import compare_runs
+from repro.ir import verify_function
+from repro.kernels import (
+    ALL_KERNELS,
+    MODULE_SELECT_BUDGET,
+    MODULEWIDE_KERNELS,
+    OVERLAP_KERNELS,
+)
+from repro.obs import metrics, records
+from repro.obs.records import ListSink
+from repro.opt.pipelines import compile_module
+from repro.robustness import Budget
+from repro.service import CompilationService, job_for_kernel
+from repro.slp import VectorizerConfig
+from repro.slp.pressure import register_excess
+from tests.conftest import build_kernel
+from tests.test_property_differential import kernels
+
+MODULE_MODES = ("module-greedy", "module-exhaustive")
+SELECT_BUDGET = Budget(max_select_subsets=MODULE_SELECT_BUDGET)
+
+
+def _config(mode, budget=None, weight=0):
+    config = replace(VectorizerConfig.lslp(), plan_select=mode)
+    if budget is not None:
+        config = replace(config, budget=budget)
+    if weight:
+        config = replace(config, reg_pressure_weight=weight)
+    return config
+
+
+def _compile(kernel, mode, budget=None, target=None, weight=0):
+    module, _ = kernel.build()
+    results = compile_module(module, _config(mode, budget, weight),
+                             target)
+    cost = sum(r.static_cost for r in results)
+    vectorized = sum(r.report.num_vectorized for r in results)
+    return module, cost, vectorized
+
+
+# ---------------------------------------------------------------------------
+# Never worse than per-block selection
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(source=kernels())
+def test_module_selection_never_worse_property(source):
+    """With no budget, pooling cannot lose to per-block selection —
+    candidates in different blocks never conflict, so the module-wide
+    greedy pass makes the same picks."""
+    total = {}
+    for mode in ("greedy-savings",) + MODULE_MODES:
+        module = build_kernel(source)[0]
+        results = compile_module(module, _config(mode))
+        total[mode] = sum(r.static_cost for r in results)
+    assert total["module-greedy"] <= total["greedy-savings"], source
+    assert total["module-exhaustive"] <= total["module-greedy"], source
+
+
+@pytest.mark.parametrize(
+    "kernel",
+    list(ALL_KERNELS.values())[:4] + OVERLAP_KERNELS,
+    ids=lambda k: k.name,
+)
+def test_module_matches_per_block_without_budget(kernel):
+    _, per_block, _ = _compile(kernel, "greedy-savings")
+    for mode in MODULE_MODES:
+        _, cost, _ = _compile(kernel, mode)
+        assert cost == per_block
+
+
+@pytest.mark.parametrize("kernel", MODULEWIDE_KERNELS,
+                         ids=lambda k: k.name)
+def test_module_selection_wins_under_shared_budget(kernel):
+    """The acceptance bar: one shared selection budget, spent in block
+    order by per-block greedy-savings and by projected savings by the
+    module selector — the module-wide kernels are built so the global
+    ordering strictly wins."""
+    _, legacy, _ = _compile(kernel, "legacy", SELECT_BUDGET)
+    _, greedy, _ = _compile(kernel, "greedy-savings", SELECT_BUDGET)
+    _, module, _ = _compile(kernel, "module-greedy", SELECT_BUDGET)
+    _, exhaustive, _ = _compile(kernel, "module-exhaustive",
+                                SELECT_BUDGET)
+    assert greedy <= legacy
+    assert module < greedy
+    assert exhaustive <= module
+
+
+@pytest.mark.parametrize("kernel", MODULEWIDE_KERNELS,
+                         ids=lambda k: k.name)
+def test_module_selection_preserves_semantics(kernel):
+    reference = build_kernel(kernel.source)
+    for mode in MODULE_MODES:
+        module, _, _ = _compile(kernel, mode, SELECT_BUDGET)
+        for func in module.functions.values():
+            verify_function(func)
+        outcome = compare_runs(
+            reference, (module, module.get_function(kernel.entry)),
+            args=dict(kernel.default_args), seed=7,
+        )
+        assert outcome.equivalent, outcome.detail
+
+
+# ---------------------------------------------------------------------------
+# Determinism: serial and parallel module phases are byte-identical
+# ---------------------------------------------------------------------------
+
+
+def _module_jobs():
+    return [
+        job_for_kernel(kernel, _config("module-greedy", SELECT_BUDGET),
+                       capture_plans=True)
+        for kernel in MODULEWIDE_KERNELS
+    ]
+
+
+def _fingerprint(batch):
+    return [
+        (r.job.name, r.report_json, r.ir_text, r.static_cost,
+         json.dumps(r.plans, sort_keys=True))
+        for r in batch.results
+    ]
+
+
+def test_module_phase_serial_parallel_identical():
+    serial = CompilationService(jobs=1).compile_batch(_module_jobs())
+    parallel = CompilationService(jobs=4).compile_batch(_module_jobs())
+    assert _fingerprint(serial) == _fingerprint(parallel)
+
+
+def test_batch_plan_dump_reemitted_in_submission_order():
+    """Worker-captured plan entries reach the active plan sink after
+    the batch, in submission order — so ``--plan-dump`` through the
+    pool is byte-identical to a serial run."""
+    streams = []
+    for jobs in (1, 4):
+        sink: list[dict] = []
+        records.set_plan_sink(sink)
+        try:
+            batch = CompilationService(jobs=jobs).compile_batch(
+                _module_jobs()
+            )
+        finally:
+            records.set_plan_sink(None)
+        expected = [entry for r in batch.results for entry in r.plans]
+        assert sink == expected
+        assert sink, "module mode must dump candidate plans"
+        streams.append(json.dumps(sink, sort_keys=True))
+    assert streams[0] == streams[1]
+
+
+# ---------------------------------------------------------------------------
+# Observability: every candidate's verdict is visible
+# ---------------------------------------------------------------------------
+
+
+def test_module_dump_covers_every_candidate_with_verdict():
+    kernel = MODULEWIDE_KERNELS[0]
+    plans: list[dict] = []
+    records.set_plan_sink(plans)
+    try:
+        _compile(kernel, "module-greedy", SELECT_BUDGET)
+    finally:
+        records.set_plan_sink(None)
+    assert plans
+    seen = set()
+    for entry in plans:
+        assert entry["mode"] == "module-greedy"
+        assert entry["outcome"] in ("applied", "rejected")
+        assert entry["reason"] is not None
+        key = (entry["function"], entry["block"], entry["plan_id"])
+        assert key not in seen, f"duplicate verdict for {key}"
+        seen.add(key)
+    applied = [e for e in plans if e["outcome"] == "applied"]
+    assert applied, kernel.name
+
+
+def test_module_select_record_and_metrics():
+    sink = ListSink()
+    records.set_sink(sink)
+    metrics.set_publishing(True)
+    try:
+        _compile(MODULEWIDE_KERNELS[0], "module-greedy", SELECT_BUDGET)
+        snap = metrics.registry().snapshot()
+    finally:
+        metrics.set_publishing(False)
+        records.set_sink(None)
+    selects = [r for r in sink.records
+               if r["type"] == "module_select"]
+    assert len(selects) == 1
+    assert selects[0]["mode"] == "module-greedy"
+    assert selects[0]["candidates"] >= selects[0]["selected"] > 0
+    assert snap["plan.module.functions"] == 2
+    assert snap["plan.module.candidates"] > 0
+    assert snap["plan.module.selected"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Register pressure
+# ---------------------------------------------------------------------------
+
+
+def test_register_excess_is_clamped():
+    assert register_excess(3, 16) == 0
+    assert register_excess(3, 3) == 0
+    assert register_excess(3, 1) == 2
+
+
+@pytest.mark.parametrize("mode", ("greedy-savings",) + MODULE_MODES)
+def test_pressure_rejection_on_small_register_file(mode):
+    """On a one-register target with a heavy penalty, every plan whose
+    estimate exceeds the file is rejected with an explicit
+    ``reg-pressure`` verdict and the sweep leaves the block scalar."""
+    kernel = OVERLAP_KERNELS[0]
+    plans: list[dict] = []
+    records.set_plan_sink(plans)
+    try:
+        _, cost, vectorized = _compile(kernel, mode,
+                                       target=few_registers(),
+                                       weight=100)
+    finally:
+        records.set_plan_sink(None)
+    assert cost == 0 and vectorized == 0
+    reasons = {e["reason"] for e in plans
+               if e["outcome"] == "rejected"}
+    assert "reg-pressure" in reasons
+    for entry in plans:
+        assert entry["reg_excess"] == register_excess(
+            entry["reg_pressure"], few_registers().desc.vector_registers
+        )
+
+
+def test_pressure_weight_zero_is_pressure_blind():
+    kernel = OVERLAP_KERNELS[0]
+    _, cost, vectorized = _compile(kernel, "greedy-savings",
+                                   target=few_registers())
+    assert cost < 0 and vectorized > 0
+
+
+def test_pressure_excess_zero_on_big_register_file():
+    plans: list[dict] = []
+    records.set_plan_sink(plans)
+    try:
+        _compile(OVERLAP_KERNELS[0], "greedy-savings",
+                 target=skylake_like(), weight=100)
+    finally:
+        records.set_plan_sink(None)
+    assert plans
+    for entry in plans:
+        assert entry["reg_pressure"] >= 1
+        assert entry["reg_excess"] == 0
+        assert entry["reason"] != "reg-pressure"
+
+
+# ---------------------------------------------------------------------------
+# Cache keys
+# ---------------------------------------------------------------------------
+
+
+def test_cache_key_covers_selection_knobs():
+    kernel = list(ALL_KERNELS.values())[0]
+    base = job_for_kernel(kernel, VectorizerConfig.lslp())
+    keys = {base.cache_key()}
+    for mode in ("greedy-savings", "exhaustive") + MODULE_MODES:
+        job = job_for_kernel(
+            kernel, replace(VectorizerConfig.lslp(), plan_select=mode)
+        )
+        key = job.cache_key()
+        assert key not in keys, f"{mode} shares a cache entry"
+        keys.add(key)
+    weighted = job_for_kernel(
+        kernel, replace(VectorizerConfig.lslp(), reg_pressure_weight=2)
+    )
+    assert weighted.cache_key() not in keys
+
+
+def test_cache_key_ignores_plan_capture():
+    kernel = list(ALL_KERNELS.values())[0]
+    config = _config("module-greedy", SELECT_BUDGET)
+    plain = job_for_kernel(kernel, config)
+    captured = job_for_kernel(kernel, config, capture_plans=True)
+    assert plain.cache_key() == captured.cache_key()
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+
+def test_cli_batch_defaults_to_greedy_savings():
+    """The batch service promotes greedy-savings to its default;
+    ``lslp compile`` keeps the paper-faithful legacy driver."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    assert parser.parse_args(
+        ["batch", "catalog"]
+    ).plan_select == "greedy-savings"
+    assert parser.parse_args(
+        ["compile", "k.c"]
+    ).plan_select == "legacy"
+    # and legacy stays one flag away for the batch path
+    assert parser.parse_args(
+        ["batch", "catalog", "--plan-select", "legacy"]
+    ).plan_select == "legacy"
+
+
+def test_cli_batch_module_greedy_plan_dump(tmp_path, capsys):
+    from repro.cli import main
+
+    (tmp_path / "skew.c").write_text(MODULEWIDE_KERNELS[0].source)
+    dump = tmp_path / "plans.jsonl"
+    rc = main([
+        "batch", str(tmp_path), "--configs", "lslp",
+        "--plan-select", "module-greedy",
+        "--max-select-subsets", str(MODULE_SELECT_BUDGET),
+        "--plan-dump", str(dump), "--cache", "off",
+    ])
+    capsys.readouterr()
+    assert rc == 0
+    entries = [json.loads(line)
+               for line in dump.read_text().splitlines()]
+    assert entries, "batch --plan-dump produced no plans"
+    assert {e["mode"] for e in entries} == {"module-greedy"}
+    assert {e["function"] for e in entries} == {"decoy", "kernel"}
+    assert all("outcome" in e and "reg_pressure" in e
+               for e in entries)
+
+
+def test_cli_compile_accepts_module_mode_and_pressure(tmp_path,
+                                                      capsys):
+    from repro.cli import main
+
+    path = tmp_path / "k.c"
+    path.write_text(OVERLAP_KERNELS[0].source)
+    rc = main(["compile", str(path), "--plan-select", "module-greedy",
+               "--reg-pressure-weight", "1", "--report"])
+    capsys.readouterr()
+    assert rc == 0
