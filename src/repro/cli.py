@@ -587,15 +587,76 @@ def _batch_jobs(args, configs) -> list:
     return jobs
 
 
+def _batch_report_document(jobs, batch) -> dict:
+    """The structured final report ``--report-out`` writes: per-job
+    outcome (retries, ladder rung, structured error), batch counters,
+    breaker states, and the lost-job count CI asserts is zero."""
+    import dataclasses as _dataclasses
+    import hashlib as _hashlib
+
+    per_job = []
+    for result in batch.results:
+        if result.error_info is not None and \
+                result.error_info.kind == "refused":
+            status = "refused"
+        elif not result.ok:
+            status = "error"
+        elif result.cached:
+            status = f"cached[{result.cache_tier}]"
+        elif result.degraded:
+            status = "degraded"
+        else:
+            status = "compiled"
+        ir_sha = ""
+        if result.entry is not None:
+            ir_sha = _hashlib.sha256(
+                result.entry.ir_text.encode("utf-8")
+            ).hexdigest()
+        per_job.append({
+            "name": result.job.name,
+            "config": result.job.config.name,
+            "status": status,
+            "cache_tier": result.cache_tier,
+            "attempts": result.attempts,
+            "rung": result.rung,
+            "error": (result.error_info.to_dict()
+                      if result.error_info is not None else None),
+            "ir_sha256": ir_sha,
+            "static_cost": result.static_cost,
+        })
+    stats = _dataclasses.asdict(batch.stats)
+    return {
+        "schema": 1,
+        "ok": batch.ok,
+        "submitted": len(jobs),
+        "completed": len(batch.results),
+        "lost_jobs": len(jobs) - len(batch.results),
+        "jobs": per_job,
+        "stats": stats,
+        "breaker": batch.breaker_states,
+    }
+
+
+def _write_batch_report(path: str, jobs, batch) -> None:
+    document = _batch_report_document(jobs, batch)
+    with open(path, "w") as handle:
+        json.dump(document, handle, sort_keys=True, indent=1)
+        handle.write("\n")
+
+
 def cmd_batch(args) -> int:
     from .robustness.budget import Budget as _Budget
+    from .robustness.faults import ServiceFaultPlan
     from .service import (
         AdmissionPolicy,
         CompilationService,
         CompileCache,
         DiskCache,
         MemoryCache,
+        ResiliencePolicy,
+        RetryPolicy,
     )
+    from .service.resilience import BreakerPolicy
 
     session = _ObsSession(args)
     configs = _batch_configs(args.configs, args)
@@ -606,13 +667,21 @@ def cmd_batch(args) -> int:
         # in submission order once the batch completes.
         jobs = [replace(job, capture_plans=True) for job in jobs]
 
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = ServiceFaultPlan.parse(args.chaos, args.chaos_seed)
+        except ValueError as error:
+            raise SystemExit(f"error: --chaos: {error}")
+        jobs = [replace(job, chaos=chaos) for job in jobs]
+
     cache = None
     if args.cache == "memory":
         cache = CompileCache(memory=MemoryCache(args.cache_size))
     elif args.cache == "disk":
         cache = CompileCache(
             memory=MemoryCache(args.cache_size),
-            disk=DiskCache(args.cache_dir),
+            disk=DiskCache(args.cache_dir, fault_plan=chaos),
         )
 
     admission = AdmissionPolicy(
@@ -621,9 +690,33 @@ def cmd_batch(args) -> int:
         job_budget=(_Budget.service_default()
                     if args.service_budget else None),
     )
+    resilience = ResiliencePolicy(
+        retry=RetryPolicy(max_retries=args.max_retries,
+                          backoff_base=args.retry_backoff,
+                          seed=args.chaos_seed),
+        job_timeout=args.job_timeout,
+        breaker=BreakerPolicy(failure_threshold=args.breaker_threshold),
+        ladder=not args.no_ladder,
+    )
     service = CompilationService(cache=cache, jobs=args.jobs,
-                                 admission=admission)
-    batch = service.compile_batch(jobs)
+                                 admission=admission,
+                                 resilience=resilience)
+    try:
+        batch = service.compile_batch(jobs)
+    except BaseException:
+        # The service is built to never raise; if something still gets
+        # out, leave a (partial) report behind rather than nothing.
+        if args.report_out:
+            from .service.service import BatchResult as _BatchResult
+            from .service.metrics import ServiceStats as _ServiceStats
+            _write_batch_report(
+                args.report_out, jobs,
+                _BatchResult([], _ServiceStats(workers=args.jobs)),
+            )
+        raise
+
+    if args.report_out:
+        _write_batch_report(args.report_out, jobs, batch)
 
     for result in batch.results:
         if args.remarks:
@@ -866,6 +959,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="budget: plan-selection candidates/subsets per job, "
              "shared across the job's whole module under the module-* "
              "selection modes",
+    )
+    p_batch.add_argument(
+        "--job-timeout", type=float, default=None, metavar="S",
+        help="per-job wall-clock deadline; an expired job's worker is "
+             "killed and the job retries under a shrunken budget, then "
+             "degrades (default: no deadline)",
+    )
+    p_batch.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retry-budget units per job for crashes/timeouts "
+             "(default: 2; 0 disables retries)",
+    )
+    p_batch.add_argument(
+        "--retry-backoff", type=float, default=0.05, metavar="S",
+        help="first-retry backoff in seconds; doubles per attempt with "
+             "deterministic jitter (default: 0.05)",
+    )
+    p_batch.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive full-fidelity failures that trip a config "
+             "shard's circuit breaker (default: 3; 0 disables it)",
+    )
+    p_batch.add_argument(
+        "--no-ladder", action="store_true",
+        help="surface exhausted retries as errors instead of stepping "
+             "down the degradation ladder",
+    )
+    p_batch.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="inject service faults: comma list of "
+             "site[:rate[:seconds]] with sites worker-kill, "
+             "worker-hang, cache-corrupt, cache-enospc, cache-slow "
+             "(e.g. 'worker-kill:0.3,cache-corrupt:0.5')",
+    )
+    p_batch.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="N",
+        help="seed for --chaos fault decisions and retry jitter; the "
+             "same seed replays the same faults (default: 0)",
+    )
+    p_batch.add_argument(
+        "--report-out", default=None, metavar="FILE",
+        help="write a structured JSON batch report (per-job outcome, "
+             "retries, ladder rung, breaker states, lost-job count)",
     )
     p_batch.set_defaults(handler=cmd_batch)
 

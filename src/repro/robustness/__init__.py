@@ -33,7 +33,11 @@ from .faults import (
     FaultInjector,
     FaultSpec,
     InjectedFault,
+    InjectedServiceFault,
     PerturbedCostModel,
+    SERVICE_FAULT_SITES,
+    ServiceFaultPlan,
+    ServiceFaultSpec,
 )
 from .guard import (
     DifferentialOracle,
@@ -56,11 +60,15 @@ __all__ = [
     "FunctionSnapshot",
     "GuardPolicy",
     "InjectedFault",
+    "InjectedServiceFault",
     "InvalidIRError",
     "MiscompileError",
     "ModuleMeter",
     "PassCrashError",
     "PerturbedCostModel",
     "Remark",
+    "SERVICE_FAULT_SITES",
+    "ServiceFaultPlan",
+    "ServiceFaultSpec",
     "Severity",
 ]

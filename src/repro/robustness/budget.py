@@ -70,6 +70,19 @@ class Budget:
                       max_module_lookahead_evals=4_000_000,
                       max_module_seconds=120.0)
 
+    @staticmethod
+    def reduced() -> "Budget":
+        """The degradation ladder's *reduced* rung: tight caps a job
+        retried after a timeout or repeated crashes compiles under —
+        small enough that even an adversarial module finishes fast,
+        while keeping vectorization on for the common shapes."""
+        return Budget(max_lookahead_evals=100_000,
+                      max_reorder_assignments=2_000,
+                      max_seconds=5.0,
+                      max_module_lookahead_evals=200_000,
+                      max_module_seconds=10.0,
+                      max_select_subsets=64)
+
     @property
     def has_module_caps(self) -> bool:
         return (self.max_module_lookahead_evals is not None

@@ -24,6 +24,26 @@ Fault kinds and who is expected to catch them:
                                vectorization decisions → nothing should
                                break at all
 ============================  =============================================
+
+Beyond the pass pipeline, the batch service has its own failure
+surface.  :class:`ServiceFaultPlan` (built via
+:meth:`FaultInjector.for_service`) injects *service* fault sites,
+seeded deterministically per job cache key so a chaos batch replays
+exactly:
+
+============================  =============================================
+``worker-kill``                the worker process exits mid-job →
+                               pool rebuild + retry/backoff
+``worker-hang``                the worker sleeps past any deadline →
+                               per-job timeout, kill, retry
+``cache-corrupt``              the disk-cache write lands truncated →
+                               the corruption-tolerant read misses and
+                               recompiles
+``cache-enospc``               the disk-cache write raises ``ENOSPC`` →
+                               degrade to memory-only caching
+``cache-slow``                 disk-cache reads stall → latency, not
+                               failure; nothing should break
+============================  =============================================
 """
 
 from __future__ import annotations
@@ -55,6 +75,100 @@ class InjectedFault(RuntimeError):
     def __init__(self, pass_name: str):
         super().__init__(f"injected fault in pass {pass_name!r}")
         self.pass_name = pass_name
+
+
+#: service-level fault sites (:class:`ServiceFaultPlan`)
+SERVICE_FAULT_SITES = (
+    "worker-kill",
+    "worker-hang",
+    "cache-corrupt",
+    "cache-enospc",
+    "cache-slow",
+)
+
+
+class InjectedServiceFault(RuntimeError):
+    """Raised at a service fault site when the process cannot actually
+    be killed (the serial, in-process executor)."""
+
+    def __init__(self, site: str):
+        super().__init__(f"injected service fault at site {site!r}")
+        self.site = site
+
+
+@dataclass(frozen=True)
+class ServiceFaultSpec:
+    """One service fault site to arm.
+
+    ``rate`` is the per-job firing probability, decided by a hash of
+    ``(seed, site, job key)`` — the same job fires identically in every
+    run.  ``max_fires`` bounds which *attempts* of a job fire (default
+    1: the first attempt fails, the retry succeeds, which is what lets
+    chaos batches assert byte-identical recovered artifacts).
+    ``seconds`` parameterizes the duration sites (hang length, cache
+    read delay)."""
+
+    site: str
+    rate: float = 1.0
+    max_fires: int = 1
+    seconds: float = 30.0
+
+    def __post_init__(self):
+        if self.site not in SERVICE_FAULT_SITES:
+            raise ValueError(f"unknown service fault site {self.site!r}")
+        if not (0.0 <= self.rate <= 1.0):
+            raise ValueError(f"rate {self.rate!r} outside [0, 1]")
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """A picklable set of armed service fault sites.
+
+    Pure data: it crosses the process boundary inside each
+    :class:`~repro.service.jobs.CompileJob` and is consulted by the
+    worker (``worker-kill``/``worker-hang``) and by the parent-side
+    disk cache (``cache-*``).  Firing decisions are deterministic per
+    ``(seed, site, job key, attempt)`` and independent of scheduling.
+    """
+
+    specs: tuple[ServiceFaultSpec, ...]
+    seed: int = 0
+
+    def _spec(self, site: str) -> Optional[ServiceFaultSpec]:
+        for spec in self.specs:
+            if spec.site == site:
+                return spec
+        return None
+
+    def fires(self, site: str, key: str, attempt: int = 0) -> bool:
+        spec = self._spec(site)
+        if spec is None or attempt >= spec.max_fires:
+            return False
+        return (random.Random(f"{self.seed}:{site}:{key}").random()
+                < spec.rate)
+
+    def duration(self, site: str) -> float:
+        spec = self._spec(site)
+        return spec.seconds if spec is not None else 0.0
+
+    @staticmethod
+    def parse(text: str, seed: int = 0) -> "ServiceFaultPlan":
+        """Parse ``site[:rate[:seconds]]`` comma lists — the CLI's
+        ``--chaos worker-kill:0.3,cache-corrupt:0.5`` surface."""
+        specs = []
+        for raw in text.split(","):
+            raw = raw.strip()
+            if not raw:
+                continue
+            parts = raw.split(":")
+            site = parts[0]
+            rate = float(parts[1]) if len(parts) > 1 else 1.0
+            seconds = float(parts[2]) if len(parts) > 2 else 30.0
+            specs.append(ServiceFaultSpec(site=site, rate=rate,
+                                          seconds=seconds))
+        if not specs:
+            raise ValueError(f"no fault sites in {text!r}")
+        return ServiceFaultPlan(specs=tuple(specs), seed=seed)
 
 
 @dataclass(frozen=True)
@@ -94,6 +208,15 @@ class FaultInjector:
     def instrument(self, manager: "PassManager") -> None:
         """Wrap every matching pass in ``manager`` with its faults."""
         manager.wrap_passes(self._wrap)
+
+    @staticmethod
+    def for_service(specs: "Sequence[ServiceFaultSpec] | ServiceFaultSpec",
+                    seed: int = 0) -> ServiceFaultPlan:
+        """A :class:`ServiceFaultPlan` arming the service fault sites;
+        the service-layer sibling of instrumenting a pass manager."""
+        if isinstance(specs, ServiceFaultSpec):
+            specs = [specs]
+        return ServiceFaultPlan(specs=tuple(specs), seed=seed)
 
     def perturb_cost_model(self, target: TargetCostModel,
                            magnitude: int = 2) -> TargetCostModel:
@@ -258,5 +381,9 @@ __all__ = [
     "FaultInjector",
     "FaultSpec",
     "InjectedFault",
+    "InjectedServiceFault",
     "PerturbedCostModel",
+    "SERVICE_FAULT_SITES",
+    "ServiceFaultPlan",
+    "ServiceFaultSpec",
 ]

@@ -14,6 +14,10 @@ amortizes it:
   submission window.
 * :mod:`admission` — per-job budgets (module scope), a service-level
   wall budget, and graceful degradation to scalar-only compilation.
+* :mod:`resilience` — retry/backoff policy, the degradation ladder
+  (full → reduced → scalar → refuse), and the per-config-shard circuit
+  breaker that keep a long-lived service alive through worker crashes,
+  hangs and cache I/O faults.
 * :mod:`metrics` — the :class:`ServiceStats` snapshot the CLI prints.
 * :mod:`service` — :class:`CompilationService`, tying it together.
 
@@ -51,8 +55,17 @@ from .jobs import (
     job_for_module,
     job_for_source,
     JobOutcome,
+    mark_pool_worker,
 )
 from .metrics import ServiceStats, StageSeconds
+from .pool import PoolEvent, run_jobs
+from .resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    JobError,
+    ResiliencePolicy,
+    RetryPolicy,
+)
 from .serde import report_from_dict, report_to_dict, report_to_json
 from .service import BatchResult, CompilationService, JobResult
 
@@ -60,7 +73,9 @@ __all__ = [
     "AdmissionController",
     "AdmissionPolicy",
     "BatchResult",
+    "BreakerPolicy",
     "CacheEntry",
+    "CircuitBreaker",
     "CompilationService",
     "CompileCache",
     "CompileJob",
@@ -71,12 +86,18 @@ __all__ = [
     "job_for_kernel",
     "job_for_module",
     "job_for_source",
+    "JobError",
     "JobOutcome",
     "JobResult",
+    "mark_pool_worker",
     "MemoryCache",
+    "PoolEvent",
     "report_from_dict",
     "report_to_dict",
     "report_to_json",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "run_jobs",
     "ServiceStats",
     "StageSeconds",
 ]

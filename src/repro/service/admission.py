@@ -22,6 +22,7 @@ from typing import Optional
 
 from ..robustness.budget import Budget
 from .jobs import CompileJob
+from .resilience import job_at_rung, RUNG_SCALAR
 
 #: admission decisions
 RUN = "run"
@@ -81,7 +82,9 @@ class AdmissionController:
         if not self.budget_exhausted():
             return RUN, job
         if self.policy.degrade_to_scalar and job.config.enabled:
-            return DEGRADE, job.degraded()
+            # Admission shedding is the degradation ladder's scalar
+            # rung — one definition of "scalar-only" service-wide.
+            return DEGRADE, job_at_rung(job, RUNG_SCALAR)
         if self.policy.degrade_to_scalar:
             # Already scalar: nothing left to shed, let it through.
             return RUN, job

@@ -23,6 +23,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -30,6 +31,7 @@ from typing import Any, Optional
 
 from .. import __version__ as REPRO_VERSION
 from ..costmodel.tti import TargetCostModel
+from ..robustness.faults import ServiceFaultPlan
 from ..slp.vectorizer import VectorizerConfig
 from .serde import canonical_json
 
@@ -97,6 +99,13 @@ def compute_key(payload_kind: str, payload: str,
 # ---------------------------------------------------------------------------
 
 
+def _content_checksum(data: dict[str, Any]) -> str:
+    """SHA-256 over an entry's canonical JSON, checksum field excluded."""
+    blob = json.dumps({k: v for k, v in data.items() if k != "checksum"},
+                      sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 @dataclass
 class CacheEntry:
     """One compiled artifact: printed IR + diagnostics, JSON-friendly."""
@@ -113,8 +122,13 @@ class CacheEntry:
     schema: int = CACHE_SCHEMA
 
     def to_json(self) -> str:
-        return json.dumps(dataclasses.asdict(self), sort_keys=True,
-                          indent=1)
+        data = dataclasses.asdict(self)
+        # An end-to-end integrity checksum: the rehydrate check catches
+        # structural damage, but a flipped bit deep inside the IR text
+        # can still parse — the checksum is what turns *any* on-disk
+        # corruption into a miss instead of a silently stale artifact.
+        data["checksum"] = _content_checksum(data)
+        return json.dumps(data, sort_keys=True, indent=1)
 
     @staticmethod
     def from_json(text: str) -> "CacheEntry":
@@ -123,6 +137,11 @@ class CacheEntry:
             raise ValueError(
                 f"cache schema {data.get('schema')!r} != {CACHE_SCHEMA}"
             )
+        # The checksum is mandatory: a flipped bit in the *field name*
+        # would otherwise silently disarm verification.
+        checksum = data.pop("checksum", None)
+        if checksum != _content_checksum(data):
+            raise ValueError("cache entry checksum mismatch")
         field_names = {f.name for f in dataclasses.fields(CacheEntry)}
         return CacheEntry(**{k: v for k, v in data.items()
                              if k in field_names})
@@ -177,21 +196,46 @@ class DiskCache:
     best-effort and reports a miss.
     """
 
-    def __init__(self, root: os.PathLike | str = DEFAULT_CACHE_DIR):
+    def __init__(self, root: os.PathLike | str = DEFAULT_CACHE_DIR,
+                 fault_plan: Optional[ServiceFaultPlan] = None):
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        #: armed chaos sites (``cache-corrupt``/``cache-enospc``/
+        #: ``cache-slow``), deterministic per key; ``faults_fired``
+        #: records what actually fired so chaos runs can assert
+        #: coverage
+        self.fault_plan = fault_plan
+        self.faults_fired: list[tuple[str, str]] = []
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _fires(self, site: str, key: str) -> bool:
+        if self.fault_plan is None or not self.fault_plan.fires(site, key):
+            return False
+        self.faults_fired.append((site, key))
+        return True
+
     def get(self, key: str) -> Optional[CacheEntry]:
+        if self._fires("cache-slow", key):
+            time.sleep(min(self.fault_plan.duration("cache-slow"), 1.0))
         path = self._path(key)
         try:
             text = path.read_text()
         except OSError:
             self.misses += 1
+            return None
+        except UnicodeDecodeError:
+            # Bit rot can make the file unreadable as UTF-8 before it
+            # is unreadable as JSON; same treatment as any corruption.
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
             return None
         try:
             entry = CacheEntry.from_json(text)
@@ -213,12 +257,19 @@ class DiskCache:
 
     def put(self, key: str, entry: CacheEntry) -> None:
         path = self._path(key)
+        text = entry.to_json()
+        if self._fires("cache-corrupt", key):
+            # A torn write: the rename is atomic but the payload is
+            # garbage.  The next read must degrade to a miss.
+            text = text[:max(8, len(text) // 3)]
         try:
+            if self._fires("cache-enospc", key):
+                raise OSError(28, "No space left on device (injected)")
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
                 with os.fdopen(fd, "w") as handle:
-                    handle.write(entry.to_json())
+                    handle.write(text)
                 os.replace(tmp, path)
             finally:
                 if os.path.exists(tmp):

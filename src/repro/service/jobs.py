@@ -17,7 +17,9 @@ stores.
 
 from __future__ import annotations
 
+import os
 import time
+import traceback as _traceback
 from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
@@ -30,9 +32,15 @@ from ..kernels.catalog import Kernel
 from ..obs.tracing import span
 from ..robustness.budget import Budget, ModuleMeter
 from ..robustness.diagnostics import Remark, Severity
+from ..robustness.faults import InjectedServiceFault, ServiceFaultPlan
 from ..robustness.guard import DifferentialOracle
 from ..slp.vectorizer import VectorizationReport, VectorizerConfig
 from .cache import CacheEntry, compute_key
+from .resilience import (
+    ERROR_COMPILE,
+    ERROR_WORKER_CRASHED,
+    JobError,
+)
 from .serde import remark_to_dict, report_to_dict
 
 #: pipeline identity folded into every cache key; bump on pass changes
@@ -62,6 +70,12 @@ class CompileJob:
     #: observability — excluded from the cache key, because the compiled
     #: artifact is identical with or without capture.
     capture_plans: bool = False
+    #: 0-based execution attempt (the pool stamps retries); excluded
+    #: from the cache key — every attempt compiles the same artifact
+    attempt: int = 0
+    #: armed service fault sites (chaos testing); excluded from the
+    #: cache key for the same reason as ``capture_plans``
+    chaos: Optional[ServiceFaultPlan] = None
 
     def __post_init__(self):
         if (self.source is None) == (self.ir is None):
@@ -141,8 +155,13 @@ class JobOutcome:
     #: passes + oracle), for utilization accounting
     worker_seconds: float = 0.0
     error: str = ""
+    #: structured failure detail (kind, cache key, functions, attempt,
+    #: truncated traceback) when ``error`` is set
+    error_info: Optional[JobError] = None
     #: True when the per-job module budget ran dry mid-compile
     budget_exhausted: bool = False
+    #: executions this outcome took, counting pool-level retries
+    attempts: int = 1
     #: plan-dump entries (``CompileJob.capture_plans``), in the
     #: deterministic plan order the compile produced them
     plans: list[dict[str, Any]] = field(default_factory=list)
@@ -156,22 +175,82 @@ class JobOutcome:
         return state
 
 
+#: set by the pool's worker initializer: a ``worker-kill`` chaos fault
+#: really exits the process there, but only raises in-process
+_POOL_WORKER = False
+
+
+def mark_pool_worker() -> None:
+    """ProcessPoolExecutor initializer: this process is expendable."""
+    global _POOL_WORKER
+    _POOL_WORKER = True
+
+
+def _fire_worker_chaos(job: CompileJob) -> None:
+    """Worker-side chaos sites, decided per (seed, site, key, attempt)."""
+    plan = job.chaos
+    if plan is None:
+        return
+    key = job.cache_key()
+    if plan.fires("worker-kill", key, job.attempt):
+        if _POOL_WORKER:
+            os._exit(33)  # abrupt death: the parent sees a broken pool
+        raise InjectedServiceFault("worker-kill")
+    if plan.fires("worker-hang", key, job.attempt):
+        time.sleep(plan.duration("worker-hang"))
+
+
+def _failure(job: CompileJob, kind: str, message: str,
+             started: float, traceback: str = "") -> JobOutcome:
+    try:
+        key = job.cache_key()
+    except Exception:
+        key = ""
+    try:
+        functions = tuple(_load_module(job).functions)
+    except Exception:
+        functions = ()
+    error = JobError(
+        kind=kind, message=message, job_name=job.name,
+        config_name=job.config.name, cache_key=key,
+        functions=functions, attempt=job.attempt, traceback=traceback,
+    )
+    return JobOutcome(
+        entry=None,
+        worker_seconds=time.perf_counter() - started,
+        error=error.render(),
+        error_info=error,
+    )
+
+
+def _traceback_tail(limit: int = 1200) -> str:
+    text = _traceback.format_exc().strip()
+    if len(text) > limit:
+        text = "... " + text[-limit:]
+    return text.replace("\n", " | ")
+
+
 def execute_job(job: CompileJob) -> JobOutcome:
     """Compile every function of ``job``'s module; never raises.
 
     The guard contains per-pass failures inside the job; this wrapper
     contains everything else (front-end errors, strict-mode escalations)
-    so one poisoned kernel cannot take down a batch.
+    so one poisoned kernel cannot take down a batch.  Failures come back
+    with a structured :class:`JobError` so a batch report can attribute
+    them without guessing.
     """
     started = time.perf_counter()
     try:
+        _fire_worker_chaos(job)
         outcome = _execute_job_inner(job)
+    except InjectedServiceFault as fault:
+        # The in-process stand-in for a killed worker: same retryable
+        # classification as a real worker death.
+        return _failure(job, ERROR_WORKER_CRASHED, str(fault), started)
     except Exception as exc:  # worker boundary: contain everything
-        return JobOutcome(
-            entry=None,
-            worker_seconds=time.perf_counter() - started,
-            error=f"{type(exc).__name__}: {exc}",
-        )
+        return _failure(job, ERROR_COMPILE,
+                        f"{type(exc).__name__}: {exc}", started,
+                        traceback=_traceback_tail())
     outcome.worker_seconds = time.perf_counter() - started
     return outcome
 
@@ -320,5 +399,6 @@ __all__ = [
     "job_for_module",
     "job_for_source",
     "JobOutcome",
+    "mark_pool_worker",
     "PIPELINE_NAME",
 ]

@@ -38,7 +38,8 @@ class ServiceStats:
     vectorizer_invocations: int = 0
     #: jobs compiled scalar-only because admission ran out of budget
     degraded: int = 0
-    #: jobs refused outright (admission with degradation disabled)
+    #: jobs refused outright (admission with degradation disabled, or
+    #: the degradation ladder bottoming out)
     refused: int = 0
     #: jobs that failed outside the guard (front-end errors, strict mode)
     errors: int = 0
@@ -48,6 +49,28 @@ class ServiceStats:
     queue_depth_highwater: int = 0
     batch_seconds: float = 0.0
     stage_seconds: StageSeconds = field(default_factory=StageSeconds)
+    # ---- resilience (retry / deadline / ladder / breaker) ------------
+    #: pool-level retry attempts scheduled (crashes, timeouts)
+    retries: int = 0
+    #: jobs that ultimately produced an artifact after >= 1 retry
+    retry_succeeded: int = 0
+    #: per-job deadlines that expired (each kills + rebuilds the pool)
+    timeouts: int = 0
+    #: executor rebuilds after a broken pool or a deadline kill
+    pool_rebuilds: int = 0
+    #: ladder steps down to the *reduced* rung (budgets tightened,
+    #: exhaustive selection stripped)
+    degrade_reduced: int = 0
+    #: ladder steps down to the *scalar* rung
+    degrade_scalar: int = 0
+    #: jobs the ladder refused after every rung failed
+    degrade_refused: int = 0
+    #: circuit-breaker transitions and probes
+    breaker_opened: int = 0
+    breaker_closed: int = 0
+    breaker_probes: int = 0
+    #: full-fidelity dispatches shed because a shard's breaker was open
+    breaker_shed: int = 0
 
     # ------------------------------------------------------------------
 
@@ -86,6 +109,17 @@ class ServiceStats:
         _metrics.add("service.refused", self.refused)
         _metrics.add("service.errors", self.errors)
         _metrics.add("service.budget_exhausted", self.budget_exhausted)
+        _metrics.add("service.retry.attempts", self.retries)
+        _metrics.add("service.retry.succeeded", self.retry_succeeded)
+        _metrics.add("service.timeouts", self.timeouts)
+        _metrics.add("service.pool_rebuilds", self.pool_rebuilds)
+        _metrics.add("service.degrade.reduced", self.degrade_reduced)
+        _metrics.add("service.degrade.scalar", self.degrade_scalar)
+        _metrics.add("service.degrade.refused", self.degrade_refused)
+        _metrics.add("service.breaker.opened", self.breaker_opened)
+        _metrics.add("service.breaker.closed", self.breaker_closed)
+        _metrics.add("service.breaker.probes", self.breaker_probes)
+        _metrics.add("service.breaker.shed", self.breaker_shed)
         _metrics.set_gauge("service.queue_depth_highwater",
                            self.queue_depth_highwater)
 
@@ -110,6 +144,22 @@ class ServiceStats:
             f"compile {stage.compile:.3f}, store {stage.store:.3f}, "
             f"rehydrate {stage.rehydrate:.3f}",
         ]
+        if (self.retries or self.timeouts or self.pool_rebuilds
+                or self.degrade_reduced or self.degrade_scalar
+                or self.degrade_refused or self.breaker_opened):
+            lines.append(
+                f"resilience: {self.retries} retry(ies) "
+                f"({self.retry_succeeded} recovered), "
+                f"{self.timeouts} timeout(s), "
+                f"{self.pool_rebuilds} pool rebuild(s); "
+                f"ladder: {self.degrade_reduced} reduced, "
+                f"{self.degrade_scalar} scalar, "
+                f"{self.degrade_refused} refused; "
+                f"breaker: {self.breaker_opened} opened, "
+                f"{self.breaker_closed} closed, "
+                f"{self.breaker_probes} probe(s), "
+                f"{self.breaker_shed} shed"
+            )
         return "\n".join(lines)
 
 

@@ -1,4 +1,4 @@
-"""The batch compilation service: cache + pool + admission + metrics.
+"""The batch compilation service: cache + pool + admission + resilience.
 
 :class:`CompilationService` is the front door batch workloads use
 (``lslp batch``, the figure runner, the benchmarks):
@@ -7,17 +7,26 @@
    :class:`~repro.service.cache.CompileCache` (memory LRU, then disk);
 2. misses fan out to the :mod:`~repro.service.pool` under the
    :class:`~repro.service.admission.AdmissionController`'s bounded
-   window and service budget;
-3. completed compiles are written through to every cache tier (degraded
-   compiles are *not* cached — they are not the true artifact for their
-   key);
-4. a :class:`~repro.service.metrics.ServiceStats` snapshot accumulates
-   cache traffic, queue depth, per-stage wall time and utilization.
+   window and service budget; the pool retries crashed/timed-out jobs
+   under the :class:`~repro.service.resilience.RetryPolicy`;
+3. jobs whose retries are exhausted step down the **degradation
+   ladder** (full → reduced → scalar → refuse) in bounded rounds, each
+   step recorded as a remark and a ``service.degrade.*`` metric; a
+   per-config-shard :class:`~repro.service.resilience.CircuitBreaker`
+   routes jobs straight down the ladder after repeated full-fidelity
+   failures until a half-open probe succeeds;
+4. completed compiles are written through to every cache tier (degraded
+   compiles — admission *or* ladder — are never cached: they are not
+   the true artifact for their key);
+5. a :class:`~repro.service.metrics.ServiceStats` snapshot accumulates
+   cache traffic, queue depth, retry/breaker/ladder activity, per-stage
+   wall time and utilization.
 
 The service is deterministic by construction: hits return the bytes the
-cold compile produced, and serial/parallel execution share one job
-runner, so a batch's reports are byte-identical across ``--jobs``
-settings and cache temperatures.
+cold compile produced, serial/parallel execution share one job runner,
+and retried jobs recompile the identical artifact (the attempt number
+is outside the cache key), so a batch's reports are byte-identical
+across ``--jobs`` settings, cache temperatures, and seeded chaos.
 """
 
 from __future__ import annotations
@@ -37,12 +46,26 @@ from .admission import (
     AdmissionPolicy,
     DEGRADE,
     REFUSE,
-    RUN,
 )
 from .cache import CacheEntry, CompileCache
 from .jobs import CompileJob, JobOutcome
 from .metrics import ServiceStats
-from .pool import run_jobs
+from .pool import PoolEvent, run_jobs
+from .resilience import (
+    CircuitBreaker,
+    ERROR_COMPILE,
+    ERROR_REFUSED,
+    is_retryable,
+    job_at_rung,
+    JobError,
+    next_rung,
+    ResiliencePolicy,
+    ROUTE_PROBE,
+    ROUTE_SHED,
+    RUNG_FULL,
+    RUNG_NAMES,
+    RUNG_REFUSE,
+)
 from .serde import remark_from_dict, report_from_dict, report_to_json
 
 
@@ -56,6 +79,12 @@ class JobResult:
     cache_tier: str = ""
     degraded: bool = False
     error: str = ""
+    #: structured failure detail when ``error`` is set
+    error_info: Optional[JobError] = None
+    #: executions the artifact took, counting pool-level retries
+    attempts: int = 1
+    #: the degradation-ladder rung the artifact was produced at
+    rung: str = RUNG_NAMES[RUNG_FULL]
     #: plan-dump entries captured by the worker
     #: (``CompileJob.capture_plans``), in deterministic plan order;
     #: empty for cache hits — plans are not part of the cached artifact
@@ -71,6 +100,10 @@ class JobResult:
     @property
     def cached(self) -> bool:
         return self.cache_tier != ""
+
+    @property
+    def retried(self) -> bool:
+        return self.attempts > 1
 
     @property
     def ir_text(self) -> str:
@@ -126,6 +159,8 @@ class BatchResult:
 
     results: list[JobResult]
     stats: ServiceStats
+    #: per-config-shard circuit-breaker state after the batch
+    breaker_states: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -136,16 +171,39 @@ class BatchResult:
         return [r for r in self.results if not r.ok]
 
 
+@dataclass
+class _Pending:
+    """One cache miss on its way through the ladder rounds."""
+
+    index: int
+    job: CompileJob          #: the admitted, full-fidelity job
+    rung: int = RUNG_FULL    #: rung the next dispatch runs at
+    probe: bool = False      #: this dispatch is a half-open probe
+    #: why the job is below FULL ("timeout", "worker-lost", "breaker"),
+    #: newest last — surfaced in the artifact's ladder remark
+    reasons: list[str] = field(default_factory=list)
+    #: admission shed this job (kept distinct from ladder degradation
+    #: for the stats split)
+    admission_degraded: bool = False
+
+
 class CompilationService:
-    """A long-lived batch compiler with caching and admission control."""
+    """A long-lived batch compiler with caching, admission control and
+    failure resilience."""
 
     def __init__(self, cache: Optional[CompileCache] = None,
                  jobs: int = 1,
                  admission: Optional[AdmissionPolicy] = None,
+                 resilience: Optional[ResiliencePolicy] = None,
                  guard_default: str = "guarded"):
         self.cache = cache
         self.jobs = max(1, jobs)
         self.admission = AdmissionController(admission)
+        self.resilience = (resilience if resilience is not None
+                           else ResiliencePolicy())
+        #: per config-shard; lives as long as the service, so repeated
+        #: batches against a broken configuration stay shed
+        self.breaker = CircuitBreaker(self.resilience.breaker)
         self.guard_default = guard_default
         #: lifetime counters; ``compile_batch`` also returns per-batch
         self.stats = ServiceStats(workers=self.jobs)
@@ -163,7 +221,7 @@ class CompilationService:
         batch.jobs = len(jobs)
 
         results: list[Optional[JobResult]] = [None] * len(jobs)
-        misses: list[tuple[int, CompileJob]] = []
+        pending: list[_Pending] = []
 
         # ---- stage 1: cache lookups, in submission order -------------
         with span("service.lookup", jobs=len(jobs)):
@@ -182,44 +240,23 @@ class CompilationService:
                                                cache_tier=tier)
                 else:
                     batch.misses += 1
-                    misses.append((index, job))
+                    pending.append(_Pending(index, job))
 
-        # ---- stage 2: compile misses through admission + pool --------
-        degraded_indices: set[int] = set()
-
-        def dispatch() -> Iterator[tuple[int, CompileJob]]:
-            """Admission at dispatch time: the pool's bounded window
-            only pulls the next item when a slot frees, so the budget
-            check sees the batch's true elapsed time."""
-            for index, job in misses:
-                decision, admitted = self.admission.admit(job)
-                if decision == REFUSE:
-                    batch.refused += 1
-                    results[index] = JobResult(
-                        job,
-                        error="refused: service compile budget "
-                              "exhausted before this job was admitted",
-                    )
-                    continue
-                if decision == DEGRADE:
-                    batch.degraded += 1
-                    degraded_indices.add(index)
-                yield index, admitted
-
-        def observe_depth(depth: int) -> None:
-            batch.queue_depth_highwater = max(
-                batch.queue_depth_highwater, depth
-            )
-
-        window = self.admission.policy.queue_capacity
-        with span("service.compile", misses=len(misses),
+        # ---- stage 2: pool rounds over the degradation ladder --------
+        # Crashes and deadlines retry *inside* one pool run; a job whose
+        # retries are exhausted steps down one ladder rung and re-runs
+        # in the next round.  The rung count bounds the rounds.
+        with span("service.compile", misses=len(pending),
                   workers=self.jobs):
-            for index, outcome in run_jobs(dispatch(), workers=self.jobs,
-                                           window=window,
-                                           on_depth=observe_depth):
-                results[index] = self._absorb(jobs[index], outcome,
-                                              batch,
-                                              index in degraded_indices)
+            round_no = 0
+            while pending and round_no <= RUNG_REFUSE:
+                pending = self._run_round(jobs, pending, results, batch)
+                round_no += 1
+            # Defensive: the ladder is strictly descending, so this is
+            # unreachable — but never drop a job on the floor.
+            for item in pending:  # pragma: no cover
+                results[item.index] = self._refusal(
+                    item, "degradation ladder did not converge")
 
         batch.batch_seconds = time.perf_counter() - started
         self._accumulate(batch)
@@ -234,9 +271,194 @@ class CompilationService:
             for result in ordered:
                 for entry in result.plans:
                     _records.capture_plan(entry)
-        return BatchResult(ordered, batch)
+        return BatchResult(ordered, batch,
+                           breaker_states=self.breaker.snapshot())
 
     # ------------------------------------------------------------------
+
+    def _run_round(self, jobs: Sequence[CompileJob],
+                   pending: list[_Pending],
+                   results: list[Optional[JobResult]],
+                   batch: ServiceStats) -> list[_Pending]:
+        """One pool pass; returns the jobs that stepped down a rung."""
+        policy = self.resilience
+        meta: dict[int, _Pending] = {}
+        carry: list[_Pending] = []
+
+        def shard(job: CompileJob) -> str:
+            return job.config.name
+
+        def dispatch() -> Iterator[tuple[int, CompileJob]]:
+            """Admission + breaker routing at dispatch time: the pool's
+            bounded window only pulls the next item when a slot frees,
+            so both see the batch's true state."""
+            for item in pending:
+                decision, admitted = self.admission.admit(item.job)
+                if decision == REFUSE:
+                    batch.refused += 1
+                    results[item.index] = JobResult(
+                        item.job,
+                        error="refused: service compile budget "
+                              "exhausted before this job was admitted",
+                        error_info=JobError(
+                            kind=ERROR_REFUSED,
+                            message="service compile budget exhausted "
+                                    "before this job was admitted",
+                            job_name=item.job.name,
+                            config_name=item.job.config.name,
+                        ),
+                        rung=RUNG_NAMES[RUNG_REFUSE],
+                    )
+                    continue
+                item.job = admitted
+                if decision == DEGRADE:
+                    batch.degraded += 1
+                    item.admission_degraded = True
+                    # admission already rewrote the job scalar-only
+                elif item.rung == RUNG_FULL and policy.ladder:
+                    route = self.breaker.route(shard(admitted))
+                    if route == ROUTE_SHED:
+                        batch.breaker_shed += 1
+                        rung = next_rung(admitted, RUNG_FULL)
+                        self._count_rung(batch, rung)
+                        if rung >= RUNG_REFUSE:
+                            # Already scalar: there is no lower rung to
+                            # shed to while the shard is open.
+                            batch.refused += 1
+                            results[item.index] = self._refusal(
+                                item,
+                                f"circuit breaker open for shard "
+                                f"{shard(admitted)!r} and the job has "
+                                f"no lower rung",
+                            )
+                            continue
+                        item.rung = rung
+                        item.reasons.append("breaker-open")
+                    elif route == ROUTE_PROBE:
+                        item.probe = True
+                        # ``CircuitBreaker.probes`` ticks inside
+                        # route(), not record_*, so count it here.
+                        batch.breaker_probes += 1
+                meta[item.index] = item
+                yield item.index, job_at_rung(item.job, item.rung)
+
+        def observe_depth(depth: int) -> None:
+            batch.queue_depth_highwater = max(
+                batch.queue_depth_highwater, depth
+            )
+
+        def observe_event(event: PoolEvent) -> None:
+            if event.kind == "retry":
+                batch.retries += 1
+            elif event.kind == "timeout":
+                batch.timeouts += 1
+            elif event.kind == "pool-rebuild":
+                batch.pool_rebuilds += 1
+
+        window = self.admission.policy.queue_capacity
+        for index, outcome in run_jobs(
+                dispatch(), workers=self.jobs, window=window,
+                on_depth=observe_depth, retry=policy.retry,
+                job_timeout=policy.job_timeout,
+                on_event=observe_event,
+                max_pool_rebuilds=policy.max_pool_rebuilds):
+            item = meta[index]
+            fidelity = item.rung == RUNG_FULL and not item.admission_degraded
+            if outcome.error:
+                if fidelity or item.probe:
+                    self._breaker_feedback(batch, shard(item.job),
+                                           ok=False, probe=item.probe)
+                stepped = self._maybe_step_down(item, outcome, batch)
+                if stepped is not None:
+                    carry.append(stepped)
+                else:
+                    results[index] = self._failure_result(item, outcome,
+                                                          batch)
+            else:
+                if fidelity or item.probe:
+                    self._breaker_feedback(batch, shard(item.job),
+                                           ok=True, probe=item.probe)
+                results[index] = self._absorb(jobs[index], outcome,
+                                              batch, item)
+        return carry
+
+    # ------------------------------------------------------------------
+
+    def _breaker_feedback(self, batch: ServiceStats, shard: str,
+                          ok: bool, probe: bool) -> None:
+        opened, closed = self.breaker.opened, self.breaker.closed
+        if ok:
+            self.breaker.record_success(shard, probe=probe)
+        else:
+            self.breaker.record_failure(shard, probe=probe)
+        batch.breaker_opened += self.breaker.opened - opened
+        batch.breaker_closed += self.breaker.closed - closed
+
+    def _count_rung(self, batch: ServiceStats, rung: int) -> None:
+        from .resilience import RUNG_REDUCED, RUNG_SCALAR
+        if rung == RUNG_REDUCED:
+            batch.degrade_reduced += 1
+        elif rung == RUNG_SCALAR:
+            batch.degrade_scalar += 1
+        elif rung == RUNG_REFUSE:
+            batch.degrade_refused += 1
+
+    def _maybe_step_down(self, item: _Pending, outcome: JobOutcome,
+                         batch: ServiceStats) -> Optional[_Pending]:
+        """A terminal retryable failure steps one ladder rung down;
+        returns the re-queued item, or None when the failure stands."""
+        if not self.resilience.ladder:
+            return None
+        kind = (outcome.error_info.kind
+                if outcome.error_info is not None else ERROR_COMPILE)
+        if not is_retryable(kind):
+            # Compile diagnostics are deterministic; re-running the
+            # same program at a lower rung cannot un-break its syntax.
+            return None
+        rung = next_rung(item.job, item.rung)
+        self._count_rung(batch, rung)
+        if rung >= RUNG_REFUSE:
+            return None
+        item.rung = rung
+        item.probe = False
+        item.reasons.append(kind)
+        return item
+
+    def _failure_result(self, item: _Pending, outcome: JobOutcome,
+                        batch: ServiceStats) -> JobResult:
+        kind = (outcome.error_info.kind
+                if outcome.error_info is not None else ERROR_COMPILE)
+        if (self.resilience.ladder and is_retryable(kind)):
+            # The ladder bottomed out: a structured refusal, not a
+            # bare error — every rung was tried and failed.
+            batch.refused += 1
+            return self._refusal(
+                item,
+                f"degradation ladder exhausted (last failure: "
+                f"{outcome.error})",
+            )
+        batch.errors += 1
+        batch.stage_seconds.compile += outcome.worker_seconds
+        batch.vectorizer_invocations += 1
+        return JobResult(
+            item.job, error=outcome.error,
+            error_info=outcome.error_info,
+            attempts=outcome.attempts,
+            rung=RUNG_NAMES[item.rung],
+            degraded=item.rung > RUNG_FULL or item.admission_degraded,
+        )
+
+    def _refusal(self, item: _Pending, message: str) -> JobResult:
+        return JobResult(
+            item.job,
+            error=f"refused: {message}",
+            error_info=JobError(
+                kind=ERROR_REFUSED, message=message,
+                job_name=item.job.name,
+                config_name=item.job.config.name,
+            ),
+            rung=RUNG_NAMES[RUNG_REFUSE],
+        )
 
     def _lookup(self, job: CompileJob
                 ) -> tuple[Optional[CacheEntry], str]:
@@ -245,18 +467,17 @@ class CompilationService:
         return self.cache.get(job.cache_key())
 
     def _absorb(self, job: CompileJob, outcome: JobOutcome,
-                batch: ServiceStats, degraded: bool) -> JobResult:
+                batch: ServiceStats, item: _Pending) -> JobResult:
         batch.stage_seconds.compile += outcome.worker_seconds
         batch.vectorizer_invocations += 1
-        if outcome.error:
-            batch.errors += 1
-            return JobResult(job, error=outcome.error,
-                             degraded=degraded)
+        if outcome.attempts > 1:
+            batch.retry_succeeded += 1
         if outcome.budget_exhausted:
             batch.budget_exhausted += 1
         entry = outcome.entry
         assert entry is not None
-        if degraded:
+        degraded = item.admission_degraded or item.rung > RUNG_FULL
+        if item.admission_degraded:
             entry.remarks.append({
                 "severity": Severity.WARNING.value,
                 "category": "admission",
@@ -267,9 +488,24 @@ class CompilationService:
                 "remediation": "raise --max-total-seconds or shrink "
                                "the batch",
             })
+        elif item.rung > RUNG_FULL:
+            why = ", ".join(item.reasons) or "repeated failures"
+            entry.remarks.append({
+                "severity": Severity.WARNING.value,
+                "category": "resilience",
+                "message": f"degradation ladder: compiled at the "
+                           f"{RUNG_NAMES[item.rung]!r} rung after "
+                           f"{why}",
+                "function": job.name, "pass_name": "resilience",
+                "phase": "admission",
+                "remediation": "raise --job-timeout/--max-retries, or "
+                               "investigate the worker failures in the "
+                               "batch report",
+            })
         elif self.cache is not None:
-            # Degraded artifacts are not the true compile for their key;
-            # only full-fidelity results are cached.
+            # Degraded artifacts (admission or ladder) are not the true
+            # compile for their key; only full-fidelity results are
+            # cached.
             store_started = time.perf_counter()
             with span("service.store", job=job.name):
                 self.cache.put(entry.key, entry)
@@ -279,6 +515,8 @@ class CompilationService:
             batch.stores += 1
         return JobResult(
             job, entry, degraded=degraded,
+            attempts=outcome.attempts,
+            rung=RUNG_NAMES[item.rung],
             plans=list(outcome.plans),
             _module=getattr(outcome, "module", None),
         )
@@ -295,6 +533,17 @@ class CompilationService:
         life.refused += batch.refused
         life.errors += batch.errors
         life.budget_exhausted += batch.budget_exhausted
+        life.retries += batch.retries
+        life.retry_succeeded += batch.retry_succeeded
+        life.timeouts += batch.timeouts
+        life.pool_rebuilds += batch.pool_rebuilds
+        life.degrade_reduced += batch.degrade_reduced
+        life.degrade_scalar += batch.degrade_scalar
+        life.degrade_refused += batch.degrade_refused
+        life.breaker_opened += batch.breaker_opened
+        life.breaker_closed += batch.breaker_closed
+        life.breaker_probes += batch.breaker_probes
+        life.breaker_shed += batch.breaker_shed
         life.queue_depth_highwater = max(life.queue_depth_highwater,
                                          batch.queue_depth_highwater)
         life.batch_seconds += batch.batch_seconds
