@@ -1,0 +1,110 @@
+"""Backend smoke tool: per-kernel result hashes for CI diffing.
+
+Runs every catalog kernel through the selected backend and writes a
+JSON map of ``kernel-name -> sha256(result document)``.  CI runs this
+twice (``--backend auto`` and ``--backend interp``) and diffs the two
+maps: any divergence between the compiled tier and the interpreter
+fails the job.
+
+    PYTHONPATH=src python -m repro.backend.smoke \\
+        --backend auto --config lslp --out hashes.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from typing import Optional, Sequence
+
+from ..costmodel.targets import target_by_name
+from ..interp.memory import MemoryImage
+from ..kernels.catalog import EVALUATION_KERNELS
+from ..opt.pipelines import compile_function
+from ..slp.vectorizer import VectorizerConfig
+from .tiers import BACKEND_MODES, TieredExecutor
+
+_CONFIGS = {
+    "o3": VectorizerConfig.o3,
+    "slp-nr": VectorizerConfig.slp_nr,
+    "slp": VectorizerConfig.slp,
+    "lslp": VectorizerConfig.lslp,
+}
+
+
+def _canonical(value):
+    """JSON-safe canonical form; floats via repr so hashes are exact."""
+    if isinstance(value, float):
+        return f"f:{value!r}"
+    if isinstance(value, list):
+        return [_canonical(v) for v in value]
+    return value
+
+
+def result_hash(result, memory: MemoryImage) -> str:
+    document = {
+        "return": _canonical(result.return_value),
+        "cycles": result.cycles,
+        "retired": result.instructions_retired,
+        "arrays": {
+            name: _canonical(values)
+            for name, values in sorted(memory.arrays().items())
+        },
+    }
+    blob = json.dumps(document, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def run_smoke(backend: str, config_name: str, seed: int,
+              out: Optional[str]) -> dict:
+    config = _CONFIGS[config_name]()
+    target = target_by_name("skylake-like")
+    hashes: dict[str, str] = {}
+    tiers: dict[str, str] = {}
+    for kernel in EVALUATION_KERNELS:
+        module, func = kernel.build()
+        compile_function(func, config, target)
+        memory = MemoryImage(module)
+        memory.randomize(seed)
+        executor = TieredExecutor(module, memory, target,
+                                  backend=backend)
+        tier_run = executor.run(func.name, dict(kernel.default_args))
+        hashes[kernel.name] = result_hash(tier_run.result, memory)
+        tiers[kernel.name] = tier_run.tier
+    document = {
+        "backend": backend,
+        "config": config_name,
+        "seed": seed,
+        "hashes": hashes,
+        "tiers": tiers,
+        "compiled_runs": sum(1 for t in tiers.values()
+                             if t == "compiled"),
+    }
+    if out:
+        with open(out, "w") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+    return document
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.backend.smoke",
+        description="hash catalog results under one backend",
+    )
+    parser.add_argument("--backend", choices=BACKEND_MODES,
+                        default="auto")
+    parser.add_argument("--config", choices=sorted(_CONFIGS),
+                        default="lslp")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None)
+    args = parser.parse_args(argv)
+    document = run_smoke(args.backend, args.config, args.seed,
+                         args.out)
+    print(f"{document['backend']}: {len(document['hashes'])} kernels, "
+          f"{document['compiled_runs']} served compiled")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -440,6 +440,21 @@ def cmd_run(args) -> int:
         print(f"; @{func.name}: rolled back pass(es): "
               f"{', '.join(result.rolled_back)}", file=sys.stderr)
 
+    if args.verify and args.backend != "interp":
+        # The oracle above proved scalar == vectorized on the
+        # interpreter; this sweep proves the compiled tier reproduces
+        # the interpreter *exactly* (values, memory, cycle accounting).
+        from .backend.validate import cross_check
+
+        check = cross_check(
+            module, func, target, base_args=runtime_args,
+            runs=verify_runs, base_seed=args.seed,
+            backend=args.backend,
+        )
+        print(f"backend-verify: {check.render()}")
+        if not check.ok:
+            return 1
+
     memory = MemoryImage(module)
     memory.randomize(seed=args.seed)
     trace: list[str] = []
@@ -450,14 +465,39 @@ def cmd_run(args) -> int:
         shown = "" if value is None else f"  ; -> {value}"
         trace.append(f"  {print_instruction(inst)}{shown}")
 
-    interpreter = Interpreter(memory, target)
     profile = obs.InterpProfile() if args.profile_interp else None
-    with span("interp.run", function=args.entry, config=config.name):
-        result = interpreter.run(
-            func, runtime_args,
-            on_retire=record if args.trace else None,
-            profile=profile,
-        )
+    tier_note = ""
+    if args.backend == "interp":
+        interpreter = Interpreter(memory, target)
+        with span("interp.run", function=args.entry,
+                  config=config.name):
+            result = interpreter.run(
+                func, runtime_args,
+                on_retire=record if args.trace else None,
+                profile=profile,
+            )
+    else:
+        from .backend import TieredExecutor, UnsupportedConstruct
+
+        executor = TieredExecutor(module, memory, target,
+                                  backend=args.backend)
+        try:
+            tier_run = executor.run(
+                args.entry, runtime_args,
+                on_retire=record if args.trace else None,
+                profile=profile,
+            )
+        except UnsupportedConstruct as exc:
+            raise SystemExit(
+                f"error: --backend=compiled cannot serve "
+                f"@{args.entry}: {exc.construct}: {exc.detail} "
+                f"(use --backend=auto for interpreter fallback)"
+            )
+        result = tier_run.result
+        tier_note = tier_run.tier
+        if tier_run.fallback:
+            tier_note += (f" (fell back: "
+                          f"{tier_run.fallback_construct})")
     # Published here (not inside the interpreter) so oracle replays do
     # not pollute the count: ``interp.cycles`` is exactly the cycle
     # figure the line below reports.
@@ -472,6 +512,9 @@ def cmd_run(args) -> int:
     print(f"@{args.entry}({runtime_args}) under {config.name}: "
           f"{result.cycles} cycles, "
           f"{result.instructions_retired} instructions")
+    if tier_note:
+        print(f"backend: requested {args.backend}, served by "
+              f"{tier_note}")
     if result.return_value is not None:
         print(f"returned: {result.return_value}")
     for name in args.dump or []:
@@ -533,6 +576,7 @@ def _batch_jobs(args, configs) -> list:
                   else "off" if args.no_guard else "guarded"),
         "verify_runs": args.verify_runs,
         "verify_seed": args.seed,
+        "backend": getattr(args, "backend", "interp"),
     }
 
     def with_budget(config):
@@ -619,6 +663,11 @@ def _batch_report_document(jobs, batch) -> dict:
             "cache_tier": result.cache_tier,
             "attempts": result.attempts,
             "rung": result.rung,
+            "backend": result.job.backend,
+            #: backend the artifact actually carries ("interp" after a
+            #: backend shed, even when the job asked for compiled)
+            "entry_backend": (result.entry.backend
+                              if result.entry is not None else ""),
             "error": (result.error_info.to_dict()
                       if result.error_info is not None else None),
             "ir_sha256": ir_sha,
@@ -837,6 +886,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="replay the differential oracle over N seeded "
                             "(memory, argument) sets and report which "
                             "seed diverged (default: 1)")
+    p_run.add_argument(
+        "--backend", choices=["interp", "compiled", "auto"],
+        default="interp",
+        help="execution tier: the interpreter, generated Python/NumPy "
+             "code, or auto (compiled with interpreter fallback); "
+             "--verify additionally cross-checks the compiled tier "
+             "against the interpreter exactly (default: interp)",
+    )
     p_run.set_defaults(handler=cmd_run)
 
     p_batch = sub.add_parser(
@@ -855,6 +912,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_batch.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="parallel compile workers (default: 1)")
+    p_batch.add_argument(
+        "--backend", choices=["interp", "compiled", "auto"],
+        default="interp",
+        help="execution backend baked into every job: compiled/auto "
+             "store generated repro.backend source in the cache entry, "
+             "and --verify-runs sweeps additionally cross-check the "
+             "compiled tier against the interpreter (default: interp)",
+    )
     p_batch.add_argument(
         "--cache", choices=["off", "memory", "disk"], default="memory",
         help="cache tiers: in-memory LRU, plus on-disk under "

@@ -36,7 +36,9 @@ from ..slp.vectorizer import VectorizerConfig
 from .serde import canonical_json
 
 #: bump when the entry layout changes; old entries become misses
-CACHE_SCHEMA = 1
+#: (schema 2: execution-backend fields — ``backend`` and the generated
+#: ``repro.backend`` source ride the artifact)
+CACHE_SCHEMA = 2
 
 #: default on-disk location, relative to the working directory
 DEFAULT_CACHE_DIR = ".lslp-cache"
@@ -99,6 +101,14 @@ def compute_key(payload_kind: str, payload: str,
 # ---------------------------------------------------------------------------
 
 
+class StaleSchemaError(ValueError):
+    """An on-disk entry written by an older (or newer) cache schema.
+
+    Distinct from corruption: the entry is intact, just from a
+    different era.  :class:`DiskCache` treats it as a clean miss and
+    counts it under ``stale_schema`` rather than ``corrupt``."""
+
+
 def _content_checksum(data: dict[str, Any]) -> str:
     """SHA-256 over an entry's canonical JSON, checksum field excluded."""
     blob = json.dumps({k: v for k, v in data.items() if k != "checksum"},
@@ -119,6 +129,13 @@ class CacheEntry:
     rolled_back: list[str] = field(default_factory=list)
     compile_seconds: float = 0.0
     static_cost: int = 0
+    #: execution backend the artifact was produced/verified for
+    #: ("interp" | "compiled" | "auto")
+    backend: str = "interp"
+    #: flat Python/NumPy source from :mod:`repro.backend.emit`; empty
+    #: for interpreter-only artifacts.  A warm hit hands this straight
+    #: to :func:`repro.backend.runtime.load_compiled` — zero re-emits.
+    generated_source: str = ""
     schema: int = CACHE_SCHEMA
 
     def to_json(self) -> str:
@@ -134,7 +151,7 @@ class CacheEntry:
     def from_json(text: str) -> "CacheEntry":
         data = json.loads(text)
         if data.get("schema") != CACHE_SCHEMA:
-            raise ValueError(
+            raise StaleSchemaError(
                 f"cache schema {data.get('schema')!r} != {CACHE_SCHEMA}"
             )
         # The checksum is mandatory: a flipped bit in the *field name*
@@ -202,6 +219,9 @@ class DiskCache:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        #: intact entries from an older/newer schema: clean misses,
+        #: never counted as corruption
+        self.stale_schema = 0
         #: armed chaos sites (``cache-corrupt``/``cache-enospc``/
         #: ``cache-slow``), deterministic per key; ``faults_fired``
         #: records what actually fired so chaos runs can assert
@@ -242,6 +262,17 @@ class DiskCache:
             if entry.key != key:
                 raise ValueError(f"entry key {entry.key!r} != {key!r}")
             _rehydrate_check(entry)
+        except StaleSchemaError:
+            # A pre-existing cache directory from an older release: the
+            # entry is healthy, just obsolete.  Recompile (miss) and
+            # let the write-through replace the file.
+            self.stale_schema += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
         except Exception:
             # Corrupted / truncated / stale-schema entry: drop it and
             # treat the lookup as a miss — never crash a compile.
@@ -345,5 +376,6 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "DiskCache",
     "MemoryCache",
+    "StaleSchemaError",
     "target_fingerprint",
 ]

@@ -37,6 +37,8 @@ from ..robustness.guard import DifferentialOracle
 from ..slp.vectorizer import VectorizationReport, VectorizerConfig
 from .cache import CacheEntry, compute_key
 from .resilience import (
+    ERROR_BACKEND_MISMATCH,
+    ERROR_BACKEND_UNSUPPORTED,
     ERROR_COMPILE,
     ERROR_WORKER_CRASHED,
     JobError,
@@ -45,6 +47,24 @@ from .serde import remark_to_dict, report_to_dict
 
 #: pipeline identity folded into every cache key; bump on pass changes
 PIPELINE_NAME = "o3+slp/v1"
+
+#: execution backends a job may request (mirrors
+#: :data:`repro.backend.tiers.BACKEND_MODES`; kept literal so pool
+#: workers do not import the backend package for interp-only jobs)
+JOB_BACKENDS = ("interp", "compiled", "auto")
+
+
+class BackendMismatchError(Exception):
+    """Compiled tier disagreed with the interpreter: an emitter bug.
+
+    Deterministic — mapped to the permanent
+    :data:`~repro.service.resilience.ERROR_BACKEND_MISMATCH` kind, and
+    the ladder re-runs the job on the interpreter instead of retrying.
+    """
+
+
+class BackendUnsupportedError(Exception):
+    """``backend="compiled"`` hit a construct the emitter refuses."""
 
 
 @dataclass(frozen=True)
@@ -76,6 +96,11 @@ class CompileJob:
     #: armed service fault sites (chaos testing); excluded from the
     #: cache key for the same reason as ``capture_plans``
     chaos: Optional[ServiceFaultPlan] = None
+    #: execution backend the artifact targets.  ``compiled``/``auto``
+    #: emit :mod:`repro.backend` source into the cache entry, and the
+    #: oracle's differential sweeps additionally cross-check the
+    #: compiled tier against the interpreter.
+    backend: str = "interp"
 
     def __post_init__(self):
         if (self.source is None) == (self.ir is None):
@@ -84,6 +109,8 @@ class CompileJob:
             )
         if self.guard not in ("off", "guarded", "strict"):
             raise ValueError(f"unknown guard mode {self.guard!r}")
+        if self.backend not in JOB_BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}")
 
     # ------------------------------------------------------------------
 
@@ -103,6 +130,7 @@ class CompileJob:
                 "verify_runs": self.verify_runs,
                 "verify_seed": self.verify_seed,
                 "args": sorted((self.args or {}).items()),
+                "backend": self.backend,
             },
         )
 
@@ -247,6 +275,13 @@ def execute_job(job: CompileJob) -> JobOutcome:
         # The in-process stand-in for a killed worker: same retryable
         # classification as a real worker death.
         return _failure(job, ERROR_WORKER_CRASHED, str(fault), started)
+    except BackendMismatchError as exc:
+        # Compiled tier != interpreter: permanent — the ladder sheds
+        # the job to the interpreter backend instead of retrying.
+        return _failure(job, ERROR_BACKEND_MISMATCH, str(exc), started)
+    except BackendUnsupportedError as exc:
+        return _failure(job, ERROR_BACKEND_UNSUPPORTED, str(exc),
+                        started)
     except Exception as exc:  # worker boundary: contain everything
         return _failure(job, ERROR_COMPILE,
                         f"{type(exc).__name__}: {exc}", started,
@@ -330,6 +365,10 @@ def _execute_job_inner(job: CompileJob) -> JobOutcome:
         if job.capture_plans:
             _records.set_plan_sink(previous_sink)
 
+    entry_backend, generated_source = _backend_stage(
+        job, module, target, remarks
+    )
+
     entry = CacheEntry(
         key=job.cache_key(),
         name=job.name,
@@ -340,6 +379,8 @@ def _execute_job_inner(job: CompileJob) -> JobOutcome:
         rolled_back=rolled_back,
         compile_seconds=compile_seconds,
         static_cost=static_cost,
+        backend=entry_backend,
+        generated_source=generated_source,
     )
     outcome = JobOutcome(entry=entry)
     outcome.plans = captured
@@ -392,9 +433,90 @@ def _oracle_for(job: CompileJob, module: Module, func,
     )
 
 
+def _backend_stage(job: CompileJob, module: Module,
+                   target: TargetCostModel,
+                   remarks: list[dict[str, Any]]) -> tuple[str, str]:
+    """Emit + differentially validate the compiled tier.
+
+    Returns ``(entry_backend, generated_source)``.  ``compiled`` jobs
+    fail hard (:class:`BackendUnsupportedError`) when the emitter
+    refuses any function; ``auto`` jobs degrade to the interpreter with
+    a structured ``backend`` remark.  When the job carries verify runs,
+    every supported function is swept compiled-vs-interpreted with
+    *exact* comparison; any divergence raises
+    :class:`BackendMismatchError` (permanent — see the ladder).
+    """
+    if job.backend == "interp":
+        return "interp", ""
+    # Imported lazily for the same worker-start reason as the pipelines.
+    from ..backend.emit import emit_module
+    from ..backend.validate import cross_check
+
+    def fallback_remark(function: str, construct: str,
+                        detail: str) -> None:
+        remarks.append(remark_to_dict(Remark(
+            severity=Severity.NOTE,
+            category="backend",
+            message=(f"compiled tier unavailable ({construct}): "
+                     f"{detail}; runs fall back to the interpreter"),
+            function=function,
+            pass_name="backend",
+            phase="backend",
+            remediation="use --backend=interp to silence, or keep "
+                        "auto and accept interpreter speed here",
+        )))
+
+    try:
+        with span("backend.emit", job=job.name):
+            emitted = emit_module(module, target)
+    except Exception as exc:
+        if job.backend == "compiled":
+            raise BackendUnsupportedError(
+                f"emit failed for @{job.name}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        fallback_remark(job.name, "emit-error", str(exc))
+        return "interp", ""
+
+    unsupported = dict(emitted.unsupported)
+    if unsupported:
+        details = "; ".join(
+            f"@{name}: {why['construct']} ({why['detail']})"
+            for name, why in sorted(unsupported.items())
+        )
+        if job.backend == "compiled":
+            raise BackendUnsupportedError(
+                f"backend=compiled cannot serve {details}"
+            )
+        for name, why in sorted(unsupported.items()):
+            fallback_remark(name, why["construct"], why["detail"])
+
+    if job.verify_runs > 0:
+        args = job.args or {}
+        for func in module.functions.values():
+            if func.name in unsupported:
+                continue
+            if any(a.name not in args for a in func.arguments):
+                continue  # the oracle already remarked the skip
+            result = cross_check(
+                module, func, target, base_args=args,
+                runs=job.verify_runs, base_seed=job.verify_seed,
+                backend="compiled", source=emitted.source,
+            )
+            if not result.ok:
+                raise BackendMismatchError(
+                    f"@{func.name}: {result.render()}"
+                )
+
+    return job.backend, emitted.source
+
+
 __all__ = [
+    "BackendMismatchError",
+    "BackendUnsupportedError",
     "CompileJob",
     "execute_job",
+    "JOB_BACKENDS",
     "job_for_kernel",
     "job_for_module",
     "job_for_source",

@@ -71,6 +71,10 @@ class ServiceStats:
     breaker_probes: int = 0
     #: full-fidelity dispatches shed because a shard's breaker was open
     breaker_shed: int = 0
+    #: jobs re-run on the interpreter tier after a permanent backend
+    #: failure (compiled-vs-interpreter mismatch or unsupported
+    #: construct under ``backend=compiled``)
+    backend_shed: int = 0
 
     # ------------------------------------------------------------------
 
@@ -120,6 +124,7 @@ class ServiceStats:
         _metrics.add("service.breaker.closed", self.breaker_closed)
         _metrics.add("service.breaker.probes", self.breaker_probes)
         _metrics.add("service.breaker.shed", self.breaker_shed)
+        _metrics.add("service.backend_shed", self.backend_shed)
         _metrics.set_gauge("service.queue_depth_highwater",
                            self.queue_depth_highwater)
 
@@ -146,7 +151,8 @@ class ServiceStats:
         ]
         if (self.retries or self.timeouts or self.pool_rebuilds
                 or self.degrade_reduced or self.degrade_scalar
-                or self.degrade_refused or self.breaker_opened):
+                or self.degrade_refused or self.breaker_opened
+                or self.backend_shed):
             lines.append(
                 f"resilience: {self.retries} retry(ies) "
                 f"({self.retry_succeeded} recovered), "
@@ -158,7 +164,8 @@ class ServiceStats:
                 f"breaker: {self.breaker_opened} opened, "
                 f"{self.breaker_closed} closed, "
                 f"{self.breaker_probes} probe(s), "
-                f"{self.breaker_shed} shed"
+                f"{self.breaker_shed} shed; "
+                f"backend: {self.backend_shed} shed to interp"
             )
         return "\n".join(lines)
 

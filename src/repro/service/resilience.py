@@ -64,6 +64,20 @@ ERROR_POOL_IRRECOVERABLE = "pool-irrecoverable"
 ERROR_CACHE_IO = "cache-io"
 #: admission or the degradation ladder refused the job
 ERROR_REFUSED = "refused"
+#: the compiled execution tier disagreed with the interpreter on a
+#: differential sweep — an emitter bug, deterministic, never retried
+ERROR_BACKEND_MISMATCH = "backend-mismatch"
+#: ``backend="compiled"`` was requested for a construct the emitter
+#: deliberately refuses (pointer flow, exec hooks, ...); deterministic
+ERROR_BACKEND_UNSUPPORTED = "backend-unsupported"
+
+#: permanent backend failures the ladder handles specially: instead of
+#: retrying (useless — deterministic) or refusing, the service re-runs
+#: the job with ``backend="interp"`` at the same fidelity rung
+BACKEND_SHED_KINDS = frozenset({
+    ERROR_BACKEND_MISMATCH,
+    ERROR_BACKEND_UNSUPPORTED,
+})
 
 #: kinds worth retrying: the failure is environmental, not the job's
 RETRYABLE_KINDS = frozenset({
@@ -351,11 +365,14 @@ class ResiliencePolicy:
 
 
 __all__ = [
+    "BACKEND_SHED_KINDS",
     "BREAKER_CLOSED",
     "BREAKER_HALF_OPEN",
     "BREAKER_OPEN",
     "BreakerPolicy",
     "CircuitBreaker",
+    "ERROR_BACKEND_MISMATCH",
+    "ERROR_BACKEND_UNSUPPORTED",
     "ERROR_CACHE_IO",
     "ERROR_COMPILE",
     "ERROR_POOL",

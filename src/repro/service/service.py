@@ -32,7 +32,7 @@ across ``--jobs`` settings, cache temperatures, and seeded chaos.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterator, Optional, Sequence
 
 from ..ir.function import Module
@@ -52,6 +52,7 @@ from .jobs import CompileJob, JobOutcome
 from .metrics import ServiceStats
 from .pool import PoolEvent, run_jobs
 from .resilience import (
+    BACKEND_SHED_KINDS,
     CircuitBreaker,
     ERROR_COMPILE,
     ERROR_REFUSED,
@@ -411,6 +412,17 @@ class CompilationService:
             return None
         kind = (outcome.error_info.kind
                 if outcome.error_info is not None else ERROR_COMPILE)
+        if kind in BACKEND_SHED_KINDS and item.job.backend != "interp":
+            # Permanent, but not unfixable: a compiled-tier mismatch or
+            # refusal is a property of the *backend*, not the program.
+            # Re-run the identical job on the interpreter at the same
+            # fidelity rung — no retry could change the outcome, and no
+            # rung below FULL would help either.
+            batch.backend_shed += 1
+            item.job = replace(item.job, backend="interp")
+            item.probe = False
+            item.reasons.append(kind)
+            return item
         if not is_retryable(kind):
             # Compile diagnostics are deterministic; re-running the
             # same program at a lower rung cannot un-break its syntax.
@@ -477,6 +489,23 @@ class CompilationService:
         entry = outcome.entry
         assert entry is not None
         degraded = item.admission_degraded or item.rung > RUNG_FULL
+        shed_kinds = [r for r in item.reasons
+                      if r in BACKEND_SHED_KINDS]
+        if shed_kinds:
+            # The artifact is full fidelity, but it executes on the
+            # interpreter tier; the remark rides the (cacheable) entry
+            # so warm hits surface the degradation too.
+            entry.remarks.append({
+                "severity": Severity.WARNING.value,
+                "category": "backend",
+                "message": f"compiled execution tier shed to the "
+                           f"interpreter after "
+                           f"{', '.join(shed_kinds)}",
+                "function": job.name, "pass_name": "backend",
+                "phase": "backend",
+                "remediation": "inspect the backend-mismatch report, "
+                               "or submit with backend=interp",
+            })
         if item.admission_degraded:
             entry.remarks.append({
                 "severity": Severity.WARNING.value,
@@ -544,6 +573,7 @@ class CompilationService:
         life.breaker_closed += batch.breaker_closed
         life.breaker_probes += batch.breaker_probes
         life.breaker_shed += batch.breaker_shed
+        life.backend_shed += batch.backend_shed
         life.queue_depth_highwater = max(life.queue_depth_highwater,
                                          batch.queue_depth_highwater)
         life.batch_seconds += batch.batch_seconds

@@ -1,0 +1,262 @@
+"""Backend integration with the compilation service.
+
+Covers the CACHE_SCHEMA bump (old entries are clean misses, never
+corruption), the backend ingredient in the cache key, generated-source
+storage and warm serving, the two permanent backend failure kinds, and
+the degradation ladder's shed-to-interpreter round.
+"""
+
+from __future__ import annotations
+
+import json
+
+import repro.backend.validate as validate_mod
+from repro.costmodel.targets import skylake_like
+from repro.ir import F64, Function, I64, IRBuilder, Module, PointerType
+from repro.kernels.catalog import ALL_KERNELS
+from repro.service import (
+    CompilationService,
+    CompileCache,
+    DiskCache,
+    execute_job,
+    job_for_kernel,
+    job_for_module,
+    MemoryCache,
+)
+from repro.service.cache import CACHE_SCHEMA, StaleSchemaError
+from repro.service.resilience import (
+    BACKEND_SHED_KINDS,
+    ERROR_BACKEND_MISMATCH,
+    ERROR_BACKEND_UNSUPPORTED,
+    is_retryable,
+)
+from repro.slp.vectorizer import VectorizerConfig
+
+KERNEL = next(iter(ALL_KERNELS.values()))
+
+
+def _job(**overrides):
+    return job_for_kernel(KERNEL, VectorizerConfig.lslp(),
+                          skylake_like(), **overrides)
+
+
+def pointer_arg_module():
+    m = Module("ptrarg")
+    f = Function("touch", [("p", PointerType(F64)), ("i", I64)])
+    f.return_type = F64
+    b = IRBuilder(f.add_block("entry"))
+    b.ret(b.load(b.gep(f.argument("p"), f.argument("i"))))
+    m.add_function(f)
+    return m
+
+
+def _pointer_job(**overrides):
+    overrides.setdefault("verify_runs", 0)
+    return job_for_module("ptrarg", pointer_arg_module(),
+                          VectorizerConfig.lslp(), skylake_like(),
+                          **overrides)
+
+
+# ---------------------------------------------------------------------------
+# Schema migration (satellite 1)
+# ---------------------------------------------------------------------------
+
+
+def test_schema_is_bumped():
+    assert CACHE_SCHEMA >= 2
+
+
+def test_old_schema_entry_is_clean_miss(tmp_path):
+    """A healthy entry written by an older release must read as a
+    miss — counted as stale schema, not corruption — and be evicted
+    so the write-through can replace it."""
+    disk = DiskCache(tmp_path)
+    outcome = execute_job(_job())
+    assert outcome.error == ""
+    entry = outcome.entry
+    disk.put(entry.key, entry)
+    path = disk._path(entry.key)
+    data = json.loads(path.read_text())
+    data["schema"] = CACHE_SCHEMA - 1
+    path.write_text(json.dumps(data))
+
+    assert disk.get(entry.key) is None
+    assert disk.stale_schema == 1
+    assert disk.corrupt == 0
+    assert disk.misses == 1
+    assert not path.exists()
+
+    # a recompile write-through restores service
+    disk.put(entry.key, entry)
+    warm = disk.get(entry.key)
+    assert warm is not None and warm.schema == CACHE_SCHEMA
+
+
+def test_from_json_raises_typed_error():
+    outcome = execute_job(_job())
+    data = json.loads(outcome.entry.to_json())
+    data["schema"] = 1
+    try:
+        from repro.service.cache import CacheEntry
+        CacheEntry.from_json(json.dumps(data))
+    except StaleSchemaError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("expected StaleSchemaError")
+
+
+# ---------------------------------------------------------------------------
+# Cache key + stored artifact
+# ---------------------------------------------------------------------------
+
+
+def test_backend_is_a_cache_key_ingredient():
+    keys = {_job(backend=b).cache_key()
+            for b in ("interp", "compiled", "auto")}
+    assert len(keys) == 3
+
+
+def test_compiled_job_stores_generated_source():
+    outcome = execute_job(_job(backend="compiled", verify_runs=2))
+    assert outcome.error == ""
+    entry = outcome.entry
+    assert entry.backend == "compiled"
+    assert "def " in entry.generated_source
+    assert entry.schema == CACHE_SCHEMA
+
+
+def test_interp_job_stores_no_source():
+    outcome = execute_job(_job(backend="interp"))
+    assert outcome.error == ""
+    assert outcome.entry.backend == "interp"
+    assert outcome.entry.generated_source == ""
+
+
+def test_warm_disk_hit_serves_generated_source(tmp_path):
+    job = _job(backend="compiled", verify_runs=1)
+    cold_cache = CompileCache(memory=MemoryCache(),
+                              disk=DiskCache(tmp_path))
+    svc = CompilationService(cache=cold_cache)
+    cold = svc.compile_job(job)
+    assert cold.error == "" and cold.cache_tier == ""
+    source = cold.entry.generated_source
+    assert source
+
+    # a fresh service over the same directory: pure disk hit, byte-equal
+    warm_svc = CompilationService(cache=CompileCache(
+        memory=MemoryCache(), disk=DiskCache(tmp_path)))
+    warm = warm_svc.compile_job(job)
+    assert warm.cache_tier == "disk"
+    assert warm.entry.generated_source == source
+    assert warm_svc.stats.vectorizer_invocations == 0
+
+
+# ---------------------------------------------------------------------------
+# Permanent failure kinds (satellite 2)
+# ---------------------------------------------------------------------------
+
+
+def test_backend_kinds_are_permanent():
+    assert not is_retryable(ERROR_BACKEND_MISMATCH)
+    assert not is_retryable(ERROR_BACKEND_UNSUPPORTED)
+    assert BACKEND_SHED_KINDS == {ERROR_BACKEND_MISMATCH,
+                                  ERROR_BACKEND_UNSUPPORTED}
+
+
+def test_unsupported_construct_fails_compiled_jobs():
+    outcome = execute_job(_pointer_job(backend="compiled"))
+    assert outcome.entry is None
+    assert outcome.error_info is not None
+    assert outcome.error_info.kind == ERROR_BACKEND_UNSUPPORTED
+    assert "pointer-argument" in outcome.error
+
+
+def test_auto_jobs_fall_back_with_remark():
+    outcome = execute_job(_pointer_job(backend="auto"))
+    assert outcome.error == ""
+    entry = outcome.entry
+    # auto keeps the generated source (other functions in the module
+    # may still be servable); the runtime falls back per function
+    assert entry.backend == "auto"
+    backend_remarks = [r for r in entry.remarks
+                       if r.get("category") == "backend"]
+    assert backend_remarks
+    assert "pointer-argument" in backend_remarks[0]["message"]
+
+
+def test_divergence_fails_compiled_jobs(monkeypatch):
+    """A compiled-vs-interpreter mismatch is the one bug class this
+    subsystem exists to catch: it must be a permanent, named failure."""
+
+    class FakeDivergence:
+        ok = False
+        runs = 1
+        compiled_runs = 1
+
+        def render(self):
+            return "run 0: return value diverged (injected)"
+
+    monkeypatch.setattr(validate_mod, "cross_check",
+                        lambda *a, **k: FakeDivergence())
+    outcome = execute_job(_job(backend="compiled", verify_runs=1))
+    assert outcome.entry is None
+    assert outcome.error_info is not None
+    assert outcome.error_info.kind == ERROR_BACKEND_MISMATCH
+    assert "diverged" in outcome.error
+
+
+# ---------------------------------------------------------------------------
+# Degradation ladder: shed to the interpreter tier (satellite 2)
+# ---------------------------------------------------------------------------
+
+
+def test_ladder_sheds_compiled_failure_to_interp():
+    svc = CompilationService(cache=CompileCache(memory=MemoryCache()))
+    res = svc.compile_job(_pointer_job(backend="compiled"))
+    assert res.error == ""
+    # the submitted job is reported unchanged; the artifact records
+    # the tier that actually produced it
+    assert res.job.backend == "compiled"
+    assert res.entry.backend == "interp"
+    shed = [r for r in res.entry.remarks
+            if r.get("category") == "backend"
+            and "shed to the interpreter" in r.get("message", "")]
+    assert shed
+    assert svc.stats.backend_shed == 1
+    assert svc.stats.refused == 0
+
+
+def test_shed_artifact_is_cached_warm():
+    """The interp-tier artifact produced by the shed round is the true
+    artifact for the rewritten key: a resubmit must not recompile."""
+    svc = CompilationService(cache=CompileCache(memory=MemoryCache()))
+    svc.compile_job(_pointer_job(backend="compiled"))
+    invocations = svc.stats.vectorizer_invocations
+    again = svc.compile_job(_pointer_job(backend="interp"))
+    assert again.cache_tier == "memory"
+    assert svc.stats.vectorizer_invocations == invocations
+    shed = [r for r in again.entry.remarks
+            if r.get("category") == "backend"]
+    assert shed  # the warm hit still surfaces the shed
+
+
+def test_mismatch_sheds_too(monkeypatch):
+    class FakeDivergence:
+        ok = False
+
+        def render(self):
+            return "run 0: memory diverged (injected)"
+
+    monkeypatch.setattr(validate_mod, "cross_check",
+                        lambda *a, **k: FakeDivergence())
+    svc = CompilationService(cache=CompileCache(memory=MemoryCache()))
+    res = svc.compile_job(_job(backend="compiled", verify_runs=1))
+    assert res.error == ""
+    assert res.entry.backend == "interp"
+    assert svc.stats.backend_shed == 1
+
+
+def test_stats_render_mentions_backend_shed():
+    svc = CompilationService(cache=CompileCache(memory=MemoryCache()))
+    svc.compile_job(_pointer_job(backend="compiled"))
+    assert "1 shed to interp" in svc.stats.render()
