@@ -20,14 +20,56 @@ of the whole session into ``benchmarks/output/trace.json``
 published metrics + trace summary) comes from
 :func:`repro.obs.reporting.stats_footer` and goes to stdout only — the
 ``output/*.txt`` table artifacts stay byte-stable.
+
+Every benchmark's wall seconds, CPU seconds and peak RSS are recorded
+into ``benchmarks/output/resources.json`` (one entry per test nodeid)
+so perf movements across sessions are diffable without touching the
+deterministic tables.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
 
+import pytest
+
+try:
+    import resource
+except ImportError:  # non-POSIX: RSS reads as 0
+    resource = None
+
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: per-benchmark resource usage, written to ``output/resources.json``
+#: at session end (timing data lives here, never in the byte-stable
+#: ``output/*.txt`` tables)
+_RESOURCES: dict[str, dict] = {}
+
+
+def _peak_rss_kb() -> int:
+    """The process's RSS high-water mark in KiB (monotone: ru_maxrss
+    never falls, so per-test growth is the interesting delta)."""
+    if resource is None:
+        return 0
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Record wall/CPU seconds and peak RSS for every benchmark."""
+    rss_before = _peak_rss_kb()
+    wall = time.perf_counter()
+    cpu = time.process_time()
+    yield
+    _RESOURCES[item.nodeid] = {
+        "wall_seconds": round(time.perf_counter() - wall, 6),
+        "cpu_seconds": round(time.process_time() - cpu, 6),
+        "peak_rss_kb": _peak_rss_kb(),
+        "rss_growth_kb": _peak_rss_kb() - rss_before,
+    }
 
 
 def pytest_sessionstart(session):
@@ -53,6 +95,14 @@ def pytest_sessionfinish(session, exitstatus):
         path = OUTPUT_DIR / "trace.json"
         path.write_text(tracer.to_chrome() + "\n")
         print(f"trace written to {path}")
+    if _RESOURCES:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        path = OUTPUT_DIR / "resources.json"
+        path.write_text(json.dumps(
+            {"schema": 1, "benchmarks": _RESOURCES},
+            sort_keys=True, indent=2,
+        ) + "\n")
+        print(f"per-benchmark resources written to {path}")
 
 
 def emit_table(table) -> str:

@@ -672,10 +672,13 @@ def _batch_report_document(jobs, batch) -> dict:
                       if result.error_info is not None else None),
             "ir_sha256": ir_sha,
             "static_cost": result.static_cost,
+            #: worker wall seconds of the final execution (0 for cache
+            #: hits) — what ``lslp report`` ranks slowest jobs by
+            "seconds": result.worker_seconds,
         })
     stats = _dataclasses.asdict(batch.stats)
     return {
-        "schema": 1,
+        "schema": 2,
         "ok": batch.ok,
         "submitted": len(jobs),
         "completed": len(batch.results),
@@ -724,6 +727,15 @@ def cmd_batch(args) -> int:
             raise SystemExit(f"error: --chaos: {error}")
         jobs = [replace(job, chaos=chaos) for job in jobs]
 
+    telemetry = None
+    if getattr(args, "telemetry_out", None):
+        from .service import TelemetrySession
+
+        # Every job runs under its own obs context so the worker ships
+        # spans/metrics/records home on the outcome for stitching.
+        telemetry = TelemetrySession(args.telemetry_out)
+        jobs = [replace(job, capture_telemetry=True) for job in jobs]
+
     cache = None
     if args.cache == "memory":
         cache = CompileCache(memory=MemoryCache(args.cache_size))
@@ -749,7 +761,8 @@ def cmd_batch(args) -> int:
     )
     service = CompilationService(cache=cache, jobs=args.jobs,
                                  admission=admission,
-                                 resilience=resilience)
+                                 resilience=resilience,
+                                 telemetry=telemetry)
     try:
         batch = service.compile_batch(jobs)
     except BaseException:
@@ -762,10 +775,14 @@ def cmd_batch(args) -> int:
                 args.report_out, jobs,
                 _BatchResult([], _ServiceStats(workers=args.jobs)),
             )
+        if telemetry is not None:
+            telemetry.close(breaker_states=service.breaker.snapshot())
         raise
 
     if args.report_out:
         _write_batch_report(args.report_out, jobs, batch)
+    if telemetry is not None:
+        telemetry.close(breaker_states=batch.breaker_states)
 
     for result in batch.results:
         if args.remarks:
@@ -797,6 +814,56 @@ def cmd_batch(args) -> int:
             )
             return 1
     return 0 if batch.ok else 1
+
+
+def cmd_report(args) -> int:
+    import os
+
+    from .service import report as _report
+
+    if args.diff:
+        try:
+            old = _report.load_report(args.diff[0])
+            new = _report.load_report(args.diff[1])
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            raise SystemExit(f"error: --diff: {error}")
+        regressions, notes = _report.diff_reports(old, new)
+        sys.stdout.write(_report.render_diff(regressions, notes))
+        return 1 if regressions else 0
+
+    if not args.report:
+        raise SystemExit(
+            "error: pass a batch report file (from `lslp batch "
+            "--report-out`) or --diff OLD NEW"
+        )
+    try:
+        document = _report.load_report(args.report)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        raise SystemExit(f"error: {error}")
+    metrics = None
+    if args.telemetry:
+        metrics = _report.load_metrics(
+            os.path.join(args.telemetry, "metrics.json")
+        )
+        if metrics is None:
+            print(f"; no readable metrics.json under "
+                  f"{args.telemetry}; digest omits merged metrics",
+                  file=sys.stderr)
+    digest = _report.render_digest(
+        document, metrics=metrics, fmt=args.format, top=args.top,
+        timings=not args.no_timings,
+    )
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(digest)
+        except OSError as error:
+            raise SystemExit(
+                f"error: cannot write {args.out}: {error}"
+            )
+    else:
+        sys.stdout.write(digest)
+    return 0
 
 
 def cmd_kernels(_args) -> int:
@@ -1068,7 +1135,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a structured JSON batch report (per-job outcome, "
              "retries, ladder rung, breaker states, lost-job count)",
     )
+    p_batch.add_argument(
+        "--telemetry-out", default=None, metavar="DIR",
+        help="write the batch telemetry artifact directory: "
+             "trace.json (one stitched Chrome trace with per-worker "
+             "lanes and per-job async arrows), metrics.prom "
+             "(Prometheus text exposition), metrics.json (canonical "
+             "JSON), events.jsonl (job timeline + worker records)",
+    )
     p_batch.set_defaults(handler=cmd_batch)
+
+    p_report = sub.add_parser(
+        "report",
+        help="render a batch health digest from a --report-out file, "
+             "or diff two reports for regressions",
+    )
+    p_report.add_argument(
+        "report", nargs="?", default=None,
+        help="batch report JSON written by `lslp batch --report-out`",
+    )
+    p_report.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="telemetry directory (from `lslp batch --telemetry-out`) "
+             "whose merged metrics.json enriches the digest",
+    )
+    p_report.add_argument(
+        "--format", choices=("text", "markdown"), default="text",
+        help="digest rendering (default: text)",
+    )
+    p_report.add_argument(
+        "--top", type=int, default=5, metavar="N",
+        help="slowest jobs to list (default: 5)",
+    )
+    p_report.add_argument(
+        "--no-timings", action="store_true",
+        help="omit wall-clock-derived lines (latencies, slowest jobs); "
+             "two identically seeded runs then produce byte-identical "
+             "digests",
+    )
+    p_report.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the digest to FILE instead of stdout",
+    )
+    p_report.add_argument(
+        "--diff", nargs=2, metavar=("OLD", "NEW"), default=None,
+        help="compare two batch reports; exit 1 on regressions (new "
+             "errors/refusals, lost jobs, worsened job status, a "
+             "breaker left open) — latency drift is informational",
+    )
+    p_report.set_defaults(handler=cmd_report)
 
     p_kernels = sub.add_parser("kernels", help="list the kernel catalog")
     p_kernels.set_defaults(handler=cmd_kernels)

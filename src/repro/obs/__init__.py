@@ -25,7 +25,7 @@ its disabled, empty state (tests call it automatically).
 
 from __future__ import annotations
 
-from . import metrics, records, tracing
+from . import export, metrics, records, tracing
 from .canon import canonicalize_handles
 from .metrics import MetricsRegistry
 from .profile import InterpProfile
@@ -63,6 +63,7 @@ __all__ = [
     "Tracer",
     "canonicalize_handles",
     "enabled",
+    "export",
     "metrics",
     "records",
     "reset",

@@ -17,6 +17,7 @@ automatically).
 from __future__ import annotations
 
 import json
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Any, Union
 
@@ -55,16 +56,43 @@ class Gauge:
         return self.value
 
 
+#: fixed histogram bucket upper bounds, shared by every histogram so
+#: cross-process merges are bucket-for-bucket additive and the
+#: Prometheus exposition is stable.  Spans sub-millisecond cache
+#: lookups through thousand-second batch walls.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+)
+
+
+def format_bound(bound: float) -> str:
+    """One stable text rendering per bucket bound (``0.001``, ``10``,
+    ``+Inf``) — the exposition and the golden tests both use it."""
+    if bound == float("inf"):
+        return "+Inf"
+    text = repr(bound)
+    return text[:-2] if text.endswith(".0") else text
+
+
 @dataclass
 class Histogram:
-    """Summary statistics over observed samples (no buckets: count,
-    sum, min, max — enough for compile-time and cycle distributions)."""
+    """Observed-sample distribution with **fixed, stable bucket
+    bounds**: every histogram shares :data:`DEFAULT_BUCKETS`, bucket
+    counts are kept per-bound and rendered *cumulatively* (Prometheus
+    ``le`` semantics, the implicit ``+Inf`` bucket equalling
+    ``count``), and summary stats (count/sum/min/max) ride along."""
 
     name: str
     count: int = 0
     total: float = 0.0
     min: float = field(default=float("inf"))
     max: float = field(default=float("-inf"))
+    #: per-bucket (non-cumulative) sample counts, one per bound plus a
+    #: final overflow slot for samples above the largest bound
+    bucket_counts: list[int] = field(
+        default_factory=lambda: [0] * (len(DEFAULT_BUCKETS) + 1)
+    )
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -73,12 +101,45 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        # bisect_left keeps Prometheus ``le`` semantics inclusive: a
+        # sample exactly on a bound counts in that bound's bucket.
+        self.bucket_counts[bisect_left(DEFAULT_BUCKETS, value)] += 1
 
-    def snapshot(self) -> dict[str, float]:
+    def buckets(self) -> dict[str, int]:
+        """Cumulative counts keyed by the stable bound text, in bound
+        order, ending with ``+Inf`` == ``count``."""
+        cumulative = 0
+        out: dict[str, int] = {}
+        for bound, slot in zip(DEFAULT_BUCKETS, self.bucket_counts):
+            cumulative += slot
+            out[format_bound(bound)] = cumulative
+        out["+Inf"] = self.count
+        return out
+
+    def snapshot(self) -> dict[str, Any]:
         if self.count == 0:
-            return {"count": 0, "sum": 0, "min": 0, "max": 0}
+            return {"count": 0, "sum": 0, "min": 0, "max": 0,
+                    "buckets": self.buckets()}
         return {"count": self.count, "sum": self.total,
-                "min": self.min, "max": self.max}
+                "min": self.min, "max": self.max,
+                "buckets": self.buckets()}
+
+    def merge_counts(self, snapshot: dict[str, Any]) -> None:
+        """Fold another histogram's snapshot into this one (the
+        cross-process stitch).  Bucket bounds are fixed process-wide,
+        so cumulative counts de-accumulate and add exactly."""
+        if not snapshot.get("count"):
+            return
+        self.count += snapshot["count"]
+        self.total += snapshot["sum"]
+        self.min = min(self.min, snapshot["min"])
+        self.max = max(self.max, snapshot["max"])
+        previous = 0
+        merged = list(snapshot["buckets"].values())
+        for index, cumulative in enumerate(merged[:-1]):
+            self.bucket_counts[index] += cumulative - previous
+            previous = cumulative
+        self.bucket_counts[-1] += merged[-1] - previous
 
 
 Metric = Union[Counter, Gauge, Histogram]
@@ -131,16 +192,51 @@ class MetricsRegistry:
             for name in sorted(self._metrics)
         }
 
+    def typed_snapshot(self) -> dict[str, dict[str, Any]]:
+        """Like :meth:`snapshot`, but each entry also names its metric
+        type — the picklable form :meth:`merge_typed` consumes when a
+        worker's registry is stitched into the parent's."""
+        kinds = {Counter: "counter", Gauge: "gauge",
+                 Histogram: "histogram"}
+        return {
+            name: {"kind": kinds[type(self._metrics[name])],
+                   "value": self._metrics[name].snapshot()}
+            for name in sorted(self._metrics)
+        }
+
+    def merge_typed(self, snapshot: dict[str, dict[str, Any]]) -> None:
+        """Fold a :meth:`typed_snapshot` from another process into this
+        registry: counters and histogram buckets add, gauges take the
+        incoming value (last write wins, as everywhere)."""
+        for name, entry in snapshot.items():
+            kind, value = entry["kind"], entry["value"]
+            if kind == "counter":
+                self.counter(name).inc(value)
+            elif kind == "gauge":
+                self.gauge(name).set(value)
+            else:
+                self.histogram(name).merge_counts(value)
+
     def render(self) -> str:
-        """LLVM ``-stats``-style text block, name-sorted."""
+        """LLVM ``-stats``-style text block, name-sorted.  Histogram
+        lines carry the stable bucket bounds with *cumulative* counts
+        (only buckets a sample landed in, plus ``+Inf``)."""
         lines = ["== lslp stats =="]
-        for name, value in self.snapshot().items():
-            if isinstance(value, dict):
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                value = metric.snapshot()
                 detail = (f"count={value['count']} sum={value['sum']} "
                           f"min={value['min']} max={value['max']}")
-                lines.append(f"{name}: {detail}")
+                shown = []
+                previous = 0
+                for bound, cumulative in value["buckets"].items():
+                    if cumulative != previous or bound == "+Inf":
+                        shown.append(f"le{bound}={cumulative}")
+                        previous = cumulative
+                lines.append(f"{name}: {detail} | {' '.join(shown)}")
             else:
-                lines.append(f"{value:>12} {name}")
+                lines.append(f"{metric.snapshot():>12} {name}")
         return "\n".join(lines)
 
     def to_json(self) -> str:
@@ -157,6 +253,17 @@ _PUBLISH = False
 
 def registry() -> MetricsRegistry:
     return _REGISTRY
+
+
+def swap_registry(new: MetricsRegistry) -> MetricsRegistry:
+    """Install ``new`` as the process-wide registry, returning the
+    previous one.  Pool workers swap in a fresh registry per telemetry-
+    captured job so each :class:`~repro.service.jobs.JobOutcome`
+    carries exactly that job's metrics; the parent merges them back
+    with :meth:`MetricsRegistry.merge_typed`."""
+    global _REGISTRY
+    previous, _REGISTRY = _REGISTRY, new
+    return previous
 
 
 def publishing() -> bool:
@@ -195,14 +302,17 @@ def observe(name: str, value: float) -> None:
 
 __all__ = [
     "Counter",
+    "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "add",
+    "format_bound",
     "observe",
     "publishing",
     "registry",
     "reset",
     "set_gauge",
     "set_publishing",
+    "swap_registry",
 ]

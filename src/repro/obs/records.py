@@ -41,6 +41,10 @@ RECORD_SCHEMA: dict[str, tuple[str, ...]] = {
     # module-scope selection (the module-* --plan-select modes): exactly
     # one per compile job, summarizing the pooled candidate set
     "module_select": ("mode", "candidates", "selected"),
+    # service telemetry job timeline (repro.service.telemetry): one per
+    # lifecycle milestone — queued, hit, dispatched, retry, timeout,
+    # rung, backend-shed, completed, failed, refused
+    "job": ("event", "index", "job", "config"),
 }
 
 #: keys every record carries regardless of type

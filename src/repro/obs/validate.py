@@ -18,16 +18,28 @@ import json
 import sys
 from typing import Any, Optional, Sequence
 
+import re
+
 from .records import validate_record
 
 #: keys every Chrome complete ("X") event must carry
 _EVENT_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+#: keys every async ("b"/"n"/"e") event must carry
+_ASYNC_KEYS = ("name", "ph", "ts", "pid", "tid", "id")
+#: keys every metadata ("M") event must carry
+_META_KEYS = ("name", "ph", "pid", "args")
 
 
 def validate_chrome_trace(text: str,
                           require_spans: Sequence[str] = ()
                           ) -> list[str]:
-    """Errors in a Chrome ``trace_event`` JSON document ('' = valid)."""
+    """Errors in a Chrome ``trace_event`` JSON document ('' = valid).
+
+    Accepts the three event phases the repo emits: complete spans
+    (``X``), the stitched-trace process/thread metadata (``M``), and
+    the per-job async arrows (``b``/``n``/``e``).  A document of
+    *only* metadata still counts as an empty span tree.
+    """
     try:
         data = json.loads(text)
     except json.JSONDecodeError as exc:
@@ -38,17 +50,31 @@ def validate_chrome_trace(text: str,
     if not isinstance(events, list):
         return ["'traceEvents' is not a list"]
     errors: list[str] = []
-    if not events:
-        errors.append("span tree is empty (no trace events)")
     names = set()
+    spans = 0
     for index, event in enumerate(events):
-        missing = [k for k in _EVENT_KEYS if k not in event]
-        if missing:
-            errors.append(f"event {index} missing {missing}")
+        phase = event.get("ph")
+        if phase == "M":
+            required = _META_KEYS
+        elif phase in ("b", "n", "e"):
+            required = _ASYNC_KEYS
+        elif phase == "X":
+            required = _EVENT_KEYS
+        else:
+            errors.append(
+                f"event {index} has unsupported phase {phase!r}"
+            )
             continue
-        if event["ph"] != "X":
-            errors.append(f"event {index} is not a complete event")
-        names.add(event["name"])
+        missing = [k for k in required if k not in event]
+        if missing:
+            errors.append(f"event {index} ({phase}) missing {missing}")
+            continue
+        if phase != "M":
+            names.add(event["name"])
+        if phase == "X":
+            spans += 1
+    if spans == 0:
+        errors.append("span tree is empty (no complete trace events)")
     for wanted in require_spans:
         if not any(name == wanted or name.startswith(wanted + ".")
                    for name in names):
@@ -97,6 +123,88 @@ def validate_stats_json(text: str,
     return errors
 
 
+#: one Prometheus text-format sample line:
+#: ``name{labels} value`` with optional labels
+_PROM_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>-?(?:\d+(?:\.\d+)?(?:e-?\d+)?|\+?Inf|NaN))$"
+)
+
+
+def validate_prometheus_text(text: str,
+                             require_metrics: Sequence[str] = ()
+                             ) -> list[str]:
+    """Errors in a Prometheus text-exposition document ('' = valid).
+
+    Checks the line grammar, that every sample belongs to a ``# TYPE``-
+    declared family, and histogram invariants: ``le`` buckets
+    cumulative (monotonically non-decreasing, ending at ``+Inf``) with
+    ``_count`` equalling the ``+Inf`` bucket.
+    """
+    errors: list[str] = []
+    typed: dict[str, str] = {}
+    buckets: dict[str, list[tuple[str, float]]] = {}
+    counts: dict[str, float] = {}
+    seen: set[str] = set()
+    for number, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                errors.append(f"line {number}: malformed TYPE comment")
+                continue
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _PROM_SAMPLE.match(line)
+        if match is None:
+            errors.append(f"line {number}: not a valid sample: {line!r}")
+            continue
+        name, value = match.group("name"), float(match.group("value"))
+        seen.add(name)
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                family = name[: -len(suffix)]
+        if family not in typed:
+            errors.append(
+                f"line {number}: sample {name!r} has no # TYPE"
+            )
+            continue
+        seen.add(family)
+        if name.endswith("_bucket") and typed[family] == "histogram":
+            labels = match.group("labels") or ""
+            le = re.search(r'le="([^"]*)"', labels)
+            if le is None:
+                errors.append(
+                    f"line {number}: histogram bucket without le label"
+                )
+                continue
+            buckets.setdefault(family, []).append((le.group(1), value))
+        elif name.endswith("_count") and typed[family] == "histogram":
+            counts[family] = value
+    for family, series in sorted(buckets.items()):
+        cumulative = [value for _, value in series]
+        if cumulative != sorted(cumulative):
+            errors.append(
+                f"{family}: bucket counts are not cumulative"
+            )
+        if not series or series[-1][0] != "+Inf":
+            errors.append(f"{family}: last bucket is not le=\"+Inf\"")
+        elif family in counts and counts[family] != series[-1][1]:
+            errors.append(
+                f"{family}: _count {counts[family]} != +Inf bucket "
+                f"{series[-1][1]}"
+            )
+    for wanted in require_metrics:
+        if wanted not in seen:
+            errors.append(f"no metric named {wanted!r}")
+    return errors
+
+
 def _read(path: str) -> Optional[str]:
     try:
         with open(path) as handle:
@@ -116,6 +224,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="remark/decision JSONL to validate")
     parser.add_argument("--stats", metavar="FILE",
                         help="metrics snapshot JSON to validate")
+    parser.add_argument("--prom", metavar="FILE",
+                        help="Prometheus text exposition to validate")
     parser.add_argument("--require-span", action="append", default=[],
                         metavar="NAME",
                         help="fail unless a span NAME (or NAME.*) exists")
@@ -159,8 +269,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         check("stats", args.stats,
               None if text is None
               else validate_stats_json(text, args.require_metric))
-    if not (args.trace or args.remarks or args.stats):
-        parser.error("nothing to validate; pass --trace/--remarks/--stats")
+    if args.prom:
+        text = _read(args.prom)
+        check("prom", args.prom,
+              None if text is None
+              else validate_prometheus_text(text))
+    if not (args.trace or args.remarks or args.stats or args.prom):
+        parser.error(
+            "nothing to validate; pass --trace/--remarks/--stats/--prom"
+        )
     return 1 if failures else 0
 
 
@@ -171,6 +288,7 @@ if __name__ == "__main__":  # pragma: no cover
 __all__ = [
     "main",
     "validate_chrome_trace",
+    "validate_prometheus_text",
     "validate_remarks_jsonl",
     "validate_stats_json",
 ]

@@ -19,6 +19,11 @@ amortizes it:
   breaker that keep a long-lived service alive through worker crashes,
   hangs and cache I/O faults.
 * :mod:`metrics` — the :class:`ServiceStats` snapshot the CLI prints.
+* :mod:`telemetry` — :class:`TelemetrySession`, stitching per-worker
+  spans/metrics/records into one batch-wide artifact directory
+  (``lslp batch --telemetry-out``).
+* :mod:`report` — the ``lslp report`` batch health digest and its
+  regression diff.
 * :mod:`service` — :class:`CompilationService`, tying it together.
 
 Quickstart::
@@ -68,6 +73,7 @@ from .resilience import (
 )
 from .serde import report_from_dict, report_to_dict, report_to_json
 from .service import BatchResult, CompilationService, JobResult
+from .telemetry import TELEMETRY_ARTIFACTS, TelemetrySession
 
 __all__ = [
     "AdmissionController",
@@ -100,4 +106,6 @@ __all__ = [
     "run_jobs",
     "ServiceStats",
     "StageSeconds",
+    "TELEMETRY_ARTIFACTS",
+    "TelemetrySession",
 ]

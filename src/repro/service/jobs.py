@@ -90,6 +90,11 @@ class CompileJob:
     #: observability — excluded from the cache key, because the compiled
     #: artifact is identical with or without capture.
     capture_plans: bool = False
+    #: run the attempt under its own obs context and ship the captured
+    #: spans/metrics/records home as :attr:`JobOutcome.telemetry`.
+    #: Excluded from the cache key for the same reason as
+    #: ``capture_plans``.
+    capture_telemetry: bool = False
     #: 0-based execution attempt (the pool stamps retries); excluded
     #: from the cache key — every attempt compiles the same artifact
     attempt: int = 0
@@ -193,6 +198,11 @@ class JobOutcome:
     #: plan-dump entries (``CompileJob.capture_plans``), in the
     #: deterministic plan order the compile produced them
     plans: list[dict[str, Any]] = field(default_factory=list)
+    #: per-attempt obs payload (``CompileJob.capture_telemetry``):
+    #: ``{"pid", "wall_base", "spans", "metrics", "records"}`` — the
+    #: picklable form :class:`~repro.service.telemetry.TelemetrySession`
+    #: stitches into the batch-wide trace and merged registry
+    telemetry: Optional[dict[str, Any]] = None
 
     def __getstate__(self):
         # The live module (attached for inline callers) is an IR object
@@ -258,6 +268,68 @@ def _traceback_tail(limit: int = 1200) -> str:
     return text.replace("\n", " | ")
 
 
+class _TelemetryCapture:
+    """One job attempt under its own observability context.
+
+    Pool workers cannot publish into the submitting process's tracer,
+    registry, or record sink, so a telemetry-captured job swaps in
+    fresh ones, runs under a root ``job.attempt`` span, and ships
+    everything home as a plain-dict payload on the outcome.  The
+    previous obs state is restored on :meth:`finish`, so inline
+    (serial) execution leaves the caller's pillars untouched — which is
+    what makes serial and pool batches publish identical metric sets.
+    """
+
+    def __init__(self, job: CompileJob):
+        from ..obs import metrics as _metrics
+        from ..obs import records as _records
+        from ..obs import tracing as _tracing
+        from ..obs.metrics import MetricsRegistry
+        from ..obs.records import ListSink
+        from ..obs.tracing import Tracer
+
+        self._metrics = _metrics
+        self._records = _records
+        self._tracing = _tracing
+        self._prev_tracer = _tracing.active()
+        self.tracer = _tracing.install(Tracer())
+        self.registry = MetricsRegistry()
+        self._prev_registry = _metrics.swap_registry(self.registry)
+        self._prev_publish = _metrics.publishing()
+        _metrics.set_publishing(True)
+        self.sink = ListSink()
+        self._prev_sink = _records.set_sink(self.sink)
+        self._span = _tracing.span(
+            "job.attempt", job=job.name, config=job.config.name,
+            attempt=job.attempt, backend=job.backend,
+        ).__enter__()
+        # Wall-clock time at this tracer's epoch: perf_counter epochs
+        # are per-process, so the stitcher rebases span offsets onto
+        # the parent timeline through this value.
+        self.wall_base = (
+            time.time() - (time.perf_counter() - self.tracer.epoch)
+        )
+
+    def finish(self) -> dict[str, Any]:
+        from ..obs.export import spans_to_payload
+
+        self._span.__exit__(None, None, None)
+        if self._prev_tracer is not None:
+            self._tracing.install(self._prev_tracer)
+        else:
+            self._tracing.uninstall()
+        self._metrics.swap_registry(self._prev_registry)
+        self._metrics.set_publishing(self._prev_publish)
+        self._records.set_sink(self._prev_sink)
+        return {
+            "pid": os.getpid(),
+            "wall_base": self.wall_base,
+            "spans": spans_to_payload(self.tracer),
+            "metrics": self.registry.typed_snapshot(),
+            "records": list(self.sink.records),
+        }
+
+
 def execute_job(job: CompileJob) -> JobOutcome:
     """Compile every function of ``job``'s module; never raises.
 
@@ -265,28 +337,41 @@ def execute_job(job: CompileJob) -> JobOutcome:
     contains everything else (front-end errors, strict-mode escalations)
     so one poisoned kernel cannot take down a batch.  Failures come back
     with a structured :class:`JobError` so a batch report can attribute
-    them without guessing.
+    them without guessing.  Telemetry capture wraps the whole attempt —
+    failure outcomes carry their payload too, so a retried job's earlier
+    attempts still appear in the stitched trace (a *really* killed
+    worker ships nothing; its lane simply ends).
     """
     started = time.perf_counter()
+    capture = _TelemetryCapture(job) if job.capture_telemetry else None
     try:
-        _fire_worker_chaos(job)
-        outcome = _execute_job_inner(job)
-    except InjectedServiceFault as fault:
-        # The in-process stand-in for a killed worker: same retryable
-        # classification as a real worker death.
-        return _failure(job, ERROR_WORKER_CRASHED, str(fault), started)
-    except BackendMismatchError as exc:
-        # Compiled tier != interpreter: permanent — the ladder sheds
-        # the job to the interpreter backend instead of retrying.
-        return _failure(job, ERROR_BACKEND_MISMATCH, str(exc), started)
-    except BackendUnsupportedError as exc:
-        return _failure(job, ERROR_BACKEND_UNSUPPORTED, str(exc),
-                        started)
-    except Exception as exc:  # worker boundary: contain everything
-        return _failure(job, ERROR_COMPILE,
-                        f"{type(exc).__name__}: {exc}", started,
-                        traceback=_traceback_tail())
-    outcome.worker_seconds = time.perf_counter() - started
+        try:
+            _fire_worker_chaos(job)
+            outcome = _execute_job_inner(job)
+        except InjectedServiceFault as fault:
+            # The in-process stand-in for a killed worker: same
+            # retryable classification as a real worker death.
+            outcome = _failure(job, ERROR_WORKER_CRASHED, str(fault),
+                               started)
+        except BackendMismatchError as exc:
+            # Compiled tier != interpreter: permanent — the ladder
+            # sheds the job to the interpreter instead of retrying.
+            outcome = _failure(job, ERROR_BACKEND_MISMATCH, str(exc),
+                               started)
+        except BackendUnsupportedError as exc:
+            outcome = _failure(job, ERROR_BACKEND_UNSUPPORTED,
+                               str(exc), started)
+        except Exception as exc:  # worker boundary: contain everything
+            outcome = _failure(job, ERROR_COMPILE,
+                               f"{type(exc).__name__}: {exc}", started,
+                               traceback=_traceback_tail())
+        else:
+            outcome.worker_seconds = time.perf_counter() - started
+    finally:
+        if capture is not None:
+            payload = capture.finish()
+    if capture is not None:
+        outcome.telemetry = payload
     return outcome
 
 

@@ -75,6 +75,13 @@ class ServiceStats:
     #: failure (compiled-vs-interpreter mismatch or unsupported
     #: construct under ``backend=compiled``)
     backend_shed: int = 0
+    # ---- latency samples (published as histograms) -------------------
+    #: seconds each cache miss waited between entering the pending set
+    #: and its first dispatch (one sample per dispatched job)
+    queue_wait_samples: list = field(default_factory=list)
+    #: end-to-end worker wall seconds per executed job, successes and
+    #: failures alike (one sample per final outcome)
+    job_latency_samples: list = field(default_factory=list)
 
     # ------------------------------------------------------------------
 
@@ -127,6 +134,16 @@ class ServiceStats:
         _metrics.add("service.backend_shed", self.backend_shed)
         _metrics.set_gauge("service.queue_depth_highwater",
                            self.queue_depth_highwater)
+        # Histograms are created even when empty so serial and pool
+        # batches publish the *same metric set* regardless of sample
+        # availability (the telemetry regression test pins this).
+        registry = _metrics.registry()
+        waits = registry.histogram("service.queue_wait_seconds")
+        for sample in self.queue_wait_samples:
+            waits.observe(sample)
+        latencies = registry.histogram("service.job_latency_seconds")
+        for sample in self.job_latency_samples:
+            latencies.observe(sample)
 
     # ------------------------------------------------------------------
 

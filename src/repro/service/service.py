@@ -84,6 +84,8 @@ class JobResult:
     error_info: Optional[JobError] = None
     #: executions the artifact took, counting pool-level retries
     attempts: int = 1
+    #: worker wall seconds the final execution took (0 for cache hits)
+    worker_seconds: float = 0.0
     #: the degradation-ladder rung the artifact was produced at
     rung: str = RUNG_NAMES[RUNG_FULL]
     #: plan-dump entries captured by the worker
@@ -180,6 +182,10 @@ class _Pending:
     job: CompileJob          #: the admitted, full-fidelity job
     rung: int = RUNG_FULL    #: rung the next dispatch runs at
     probe: bool = False      #: this dispatch is a half-open probe
+    #: perf_counter when the job entered the pending set; its first
+    #: dispatch samples the queue-wait histogram from this
+    queued_at: float = 0.0
+    dispatched: bool = False
     #: why the job is below FULL ("timeout", "worker-lost", "breaker"),
     #: newest last — surfaced in the artifact's ladder remark
     reasons: list[str] = field(default_factory=list)
@@ -196,8 +202,13 @@ class CompilationService:
                  jobs: int = 1,
                  admission: Optional[AdmissionPolicy] = None,
                  resilience: Optional[ResiliencePolicy] = None,
-                 guard_default: str = "guarded"):
+                 guard_default: str = "guarded",
+                 telemetry=None):
         self.cache = cache
+        #: optional :class:`~repro.service.telemetry.TelemetrySession`;
+        #: when set, every job lifecycle milestone is reported and each
+        #: outcome's captured payload is stitched into the batch trace
+        self.telemetry = telemetry
         self.jobs = max(1, jobs)
         self.admission = AdmissionController(admission)
         self.resilience = (resilience if resilience is not None
@@ -225,8 +236,11 @@ class CompilationService:
         pending: list[_Pending] = []
 
         # ---- stage 1: cache lookups, in submission order -------------
+        telemetry = self.telemetry
         with span("service.lookup", jobs=len(jobs)):
             for index, job in enumerate(jobs):
+                if telemetry is not None:
+                    telemetry.job_event(index, job, "queued")
                 lookup_started = time.perf_counter()
                 entry, tier = self._lookup(job)
                 batch.stage_seconds.lookup += (
@@ -239,9 +253,14 @@ class CompilationService:
                         batch.disk_hits += 1
                     results[index] = JobResult(job, entry,
                                                cache_tier=tier)
+                    if telemetry is not None:
+                        telemetry.job_event(index, job, "hit",
+                                            tier=tier)
                 else:
                     batch.misses += 1
-                    pending.append(_Pending(index, job))
+                    pending.append(_Pending(
+                        index, job, queued_at=time.perf_counter(),
+                    ))
 
         # ---- stage 2: pool rounds over the degradation ladder --------
         # Crashes and deadlines retry *inside* one pool run; a job whose
@@ -283,6 +302,7 @@ class CompilationService:
                    batch: ServiceStats) -> list[_Pending]:
         """One pool pass; returns the jobs that stepped down a rung."""
         policy = self.resilience
+        telemetry = self.telemetry
         meta: dict[int, _Pending] = {}
         carry: list[_Pending] = []
 
@@ -310,6 +330,10 @@ class CompilationService:
                         ),
                         rung=RUNG_NAMES[RUNG_REFUSE],
                     )
+                    if telemetry is not None:
+                        telemetry.job_event(item.index, item.job,
+                                            "refused",
+                                            reason="admission-budget")
                     continue
                 item.job = admitted
                 if decision == DEGRADE:
@@ -332,6 +356,11 @@ class CompilationService:
                                 f"{shard(admitted)!r} and the job has "
                                 f"no lower rung",
                             )
+                            if telemetry is not None:
+                                telemetry.job_event(
+                                    item.index, item.job, "refused",
+                                    reason="breaker-open",
+                                )
                             continue
                         item.rung = rung
                         item.reasons.append("breaker-open")
@@ -340,6 +369,16 @@ class CompilationService:
                         # ``CircuitBreaker.probes`` ticks inside
                         # route(), not record_*, so count it here.
                         batch.breaker_probes += 1
+                if not item.dispatched:
+                    item.dispatched = True
+                    batch.queue_wait_samples.append(
+                        time.perf_counter() - item.queued_at
+                    )
+                if telemetry is not None:
+                    telemetry.job_event(
+                        item.index, item.job, "dispatched",
+                        rung=RUNG_NAMES[item.rung], probe=item.probe,
+                    )
                 meta[item.index] = item
                 yield item.index, job_at_rung(item.job, item.rung)
 
@@ -355,6 +394,18 @@ class CompilationService:
                 batch.timeouts += 1
             elif event.kind == "pool-rebuild":
                 batch.pool_rebuilds += 1
+            if telemetry is None:
+                return
+            if event.kind in ("retry", "timeout") and event.index in meta:
+                telemetry.job_event(
+                    event.index, meta[event.index].job, event.kind,
+                    attempt=event.attempt,
+                    delay_ms=round(event.delay * 1e3, 3),
+                    detail=event.detail,
+                )
+            elif event.kind == "pool-rebuild":
+                telemetry.service_event("pool-rebuild",
+                                        detail=event.detail)
 
         window = self.admission.policy.queue_capacity
         for index, outcome in run_jobs(
@@ -364,6 +415,8 @@ class CompilationService:
                 on_event=observe_event,
                 max_pool_rebuilds=policy.max_pool_rebuilds):
             item = meta[index]
+            if telemetry is not None:
+                telemetry.absorb_outcome(index, item.job, outcome)
             fidelity = item.rung == RUNG_FULL and not item.admission_degraded
             if outcome.error:
                 if fidelity or item.probe:
@@ -371,16 +424,43 @@ class CompilationService:
                                            ok=False, probe=item.probe)
                 stepped = self._maybe_step_down(item, outcome, batch)
                 if stepped is not None:
+                    if telemetry is not None:
+                        reason = (stepped.reasons[-1]
+                                  if stepped.reasons else "")
+                        telemetry.job_event(
+                            index, stepped.job,
+                            ("backend-shed"
+                             if reason in BACKEND_SHED_KINDS
+                             else "rung"),
+                            rung=RUNG_NAMES[stepped.rung],
+                            reason=reason,
+                        )
                     carry.append(stepped)
                 else:
-                    results[index] = self._failure_result(item, outcome,
-                                                          batch)
+                    result = self._failure_result(item, outcome, batch)
+                    results[index] = result
+                    if telemetry is not None:
+                        kind = (result.error_info.kind
+                                if result.error_info is not None
+                                else ERROR_COMPILE)
+                        telemetry.job_event(
+                            index, item.job,
+                            ("refused" if kind == ERROR_REFUSED
+                             else "failed"),
+                            reason=kind, attempts=result.attempts,
+                        )
             else:
                 if fidelity or item.probe:
                     self._breaker_feedback(batch, shard(item.job),
                                            ok=True, probe=item.probe)
                 results[index] = self._absorb(jobs[index], outcome,
                                               batch, item)
+                if telemetry is not None:
+                    telemetry.job_event(
+                        index, item.job, "completed",
+                        rung=RUNG_NAMES[item.rung],
+                        attempts=outcome.attempts,
+                    )
         return carry
 
     # ------------------------------------------------------------------
@@ -440,6 +520,7 @@ class CompilationService:
                         batch: ServiceStats) -> JobResult:
         kind = (outcome.error_info.kind
                 if outcome.error_info is not None else ERROR_COMPILE)
+        batch.job_latency_samples.append(outcome.worker_seconds)
         if (self.resilience.ladder and is_retryable(kind)):
             # The ladder bottomed out: a structured refusal, not a
             # bare error — every rung was tried and failed.
@@ -456,6 +537,7 @@ class CompilationService:
             item.job, error=outcome.error,
             error_info=outcome.error_info,
             attempts=outcome.attempts,
+            worker_seconds=outcome.worker_seconds,
             rung=RUNG_NAMES[item.rung],
             degraded=item.rung > RUNG_FULL or item.admission_degraded,
         )
@@ -481,6 +563,7 @@ class CompilationService:
     def _absorb(self, job: CompileJob, outcome: JobOutcome,
                 batch: ServiceStats, item: _Pending) -> JobResult:
         batch.stage_seconds.compile += outcome.worker_seconds
+        batch.job_latency_samples.append(outcome.worker_seconds)
         batch.vectorizer_invocations += 1
         if outcome.attempts > 1:
             batch.retry_succeeded += 1
@@ -545,6 +628,7 @@ class CompilationService:
         return JobResult(
             job, entry, degraded=degraded,
             attempts=outcome.attempts,
+            worker_seconds=outcome.worker_seconds,
             rung=RUNG_NAMES[item.rung],
             plans=list(outcome.plans),
             _module=getattr(outcome, "module", None),
@@ -574,6 +658,8 @@ class CompilationService:
         life.breaker_probes += batch.breaker_probes
         life.breaker_shed += batch.breaker_shed
         life.backend_shed += batch.backend_shed
+        life.queue_wait_samples.extend(batch.queue_wait_samples)
+        life.job_latency_samples.extend(batch.job_latency_samples)
         life.queue_depth_highwater = max(life.queue_depth_highwater,
                                          batch.queue_depth_highwater)
         life.batch_seconds += batch.batch_seconds

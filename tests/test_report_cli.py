@@ -1,0 +1,185 @@
+"""The ``lslp batch --telemetry-out`` / ``lslp report`` CLI surface:
+artifact layout, digest rendering and determinism, and the regression
+diff's exit-code contract."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.service.report import (
+    REPORT_SCHEMA,
+    diff_reports,
+    percentile,
+)
+from repro.service.telemetry import TELEMETRY_ARTIFACTS
+
+
+def _run_batch(base, tag):
+    report = str(base / f"report-{tag}.json")
+    tele = str(base / f"tele-{tag}")
+    rc = main([
+        "batch", "catalog", "--configs", "lslp", "--cache", "off",
+        "--report-out", report, "--telemetry-out", tele,
+    ])
+    assert rc == 0
+    return report, tele
+
+
+@pytest.fixture(scope="module")
+def batch_outputs(tmp_path_factory):
+    return _run_batch(tmp_path_factory.mktemp("report-cli"), "a")
+
+
+def _digest(capsys, *argv):
+    rc = main(["report", *argv])
+    out = capsys.readouterr().out
+    return rc, out
+
+
+# ---------------------------------------------------------------------------
+# Batch artifacts
+# ---------------------------------------------------------------------------
+
+
+def test_batch_writes_report_and_telemetry_dir(batch_outputs):
+    report, tele = batch_outputs
+    with open(report) as handle:
+        document = json.load(handle)
+    assert document["schema"] == REPORT_SCHEMA
+    assert document["ok"]
+    assert document["jobs"]
+    assert all("seconds" in job for job in document["jobs"])
+    for name in TELEMETRY_ARTIFACTS:
+        path = os.path.join(tele, name)
+        assert os.path.exists(path)
+        assert os.path.getsize(path) > 0
+
+
+def test_telemetry_validates_via_module_cli(batch_outputs, capsys):
+    from repro.obs.validate import main as validate_main
+
+    _, tele = batch_outputs
+    rc = validate_main([
+        "--trace", os.path.join(tele, "trace.json"),
+        "--prom", os.path.join(tele, "metrics.prom"),
+        "--stats", os.path.join(tele, "metrics.json"),
+        "--remarks", os.path.join(tele, "events.jsonl"),
+        "--require-span", "job.attempt",
+        "--require-record", "job",
+        "--require-metric", "service.job_latency_seconds",
+    ])
+    captured = capsys.readouterr()
+    assert rc == 0, captured.err
+    assert captured.out.count("ok") == 4
+
+
+# ---------------------------------------------------------------------------
+# Digest rendering
+# ---------------------------------------------------------------------------
+
+
+def test_digest_text_has_the_health_sections(batch_outputs, capsys):
+    report, tele = batch_outputs
+    rc, out = _digest(capsys, report, "--telemetry", tele)
+    assert rc == 0
+    for section in ("batch health report", "cache hit funnel",
+                    "status breakdown", "backend tier mix",
+                    "retry / shed / degrade", "latency",
+                    "slowest jobs (top 5)",
+                    "merged metrics (telemetry)"):
+        assert section in out
+    assert "status compiled:" in out
+
+
+def test_digest_markdown_format(batch_outputs, capsys):
+    report, _ = batch_outputs
+    rc, out = _digest(capsys, report, "--format", "markdown",
+                      "--top", "3")
+    assert rc == 0
+    assert out.startswith("# batch health report")
+    assert "## cache hit funnel" in out
+    assert "slowest jobs (top 3)" in out
+    assert "\n- " in out
+
+
+def test_digest_no_timings_is_byte_deterministic(tmp_path, capsys):
+    report_a, _ = _run_batch(tmp_path, "b")
+    report_b, _ = _run_batch(tmp_path, "c")
+    capsys.readouterr()  # drop the batch commands' own summaries
+    rc_a, out_a = _digest(capsys, report_a, "--no-timings")
+    rc_b, out_b = _digest(capsys, report_b, "--no-timings")
+    assert rc_a == rc_b == 0
+    assert out_a == out_b
+    assert "latency" not in out_a
+    assert "slowest" not in out_a
+
+
+def test_digest_out_file_and_missing_report(batch_outputs, tmp_path,
+                                            capsys):
+    report, _ = batch_outputs
+    out_file = tmp_path / "digest.txt"
+    rc = main(["report", report, "--out", str(out_file)])
+    assert rc == 0
+    assert "batch health report" in out_file.read_text()
+    with pytest.raises(SystemExit):
+        main(["report"])
+    with pytest.raises(SystemExit):
+        main(["report", str(tmp_path / "missing.json")])
+
+
+# ---------------------------------------------------------------------------
+# Regression diff
+# ---------------------------------------------------------------------------
+
+
+def test_self_diff_is_always_clean(batch_outputs, capsys):
+    report, _ = batch_outputs
+    rc, out = _digest(capsys, "--diff", report, report)
+    assert rc == 0
+    assert out.startswith("0 regressions")
+    assert "REGRESSION" not in out
+
+
+def test_injected_regression_flips_the_exit_code(batch_outputs,
+                                                 tmp_path, capsys):
+    report, _ = batch_outputs
+    with open(report) as handle:
+        document = json.load(handle)
+    document["jobs"][0]["status"] = "error"
+    document["stats"]["errors"] = \
+        document["stats"].get("errors", 0) + 1
+    bad = tmp_path / "regressed.json"
+    bad.write_text(json.dumps(document))
+
+    rc, out = _digest(capsys, "--diff", report, str(bad))
+    assert rc == 1
+    assert "REGRESSION: errored jobs rose 0 -> 1" in out
+    assert "status worsened compiled -> error" in out
+
+    # the reverse direction is a recovery: informational, exit 0
+    rc, out = _digest(capsys, "--diff", str(bad), report)
+    assert rc == 0
+    assert "note:" in out
+
+
+def test_diff_flags_newly_open_breaker_and_lost_jobs():
+    old = {"jobs": [], "stats": {},
+           "breaker": {"lslp": {"state": "closed"}}, "lost_jobs": 0}
+    new = {"jobs": [], "stats": {},
+           "breaker": {"lslp": {"state": "open"}}, "lost_jobs": 1}
+    regressions, _ = diff_reports(old, new)
+    assert any("breaker" in line and "open" in line
+               for line in regressions)
+    assert any("lost jobs rose" in line for line in regressions)
+
+
+def test_percentile_is_nearest_rank():
+    samples = [0.1, 0.2, 0.3, 0.4]
+    assert percentile(samples, 0.50) == 0.2
+    assert percentile(samples, 0.95) == 0.4
+    assert percentile([], 0.95) == 0.0
+    assert percentile([7.0], 0.01) == 7.0
