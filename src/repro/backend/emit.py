@@ -391,6 +391,12 @@ class _FunctionEmitter:
                 else ", ".join(_int_lit(v) for v in vc.values)
             )
             return f"({lanes},)"
+        if elem.bits == 1 and not elem.is_float:
+            # A constant-folded vector cmp (e.g. an always-true select
+            # mask from if-conversion + constfold): a numpy bool array.
+            return self.me.hoist_constant(
+                tuple(1 if v else 0 for v in vc.values), "_np.bool_"
+            )
         dtype = self._dtype_for(elem)
         return self.me.hoist_constant(tuple(vc.values), dtype)
 
@@ -400,6 +406,8 @@ class _FunctionEmitter:
         if self.mode == "unrolled":
             zero = "0.0" if elem.is_float else "0"
             return "(" + ", ".join([zero] * count) + ",)"
+        if elem.bits == 1 and not elem.is_float:
+            return self.me.hoist_constant(tuple([0] * count), "_np.bool_")
         dtype = self._dtype_for(elem)
         return self.me.hoist_constant(
             tuple([0.0 if elem.is_float else 0] * count), dtype
@@ -476,6 +484,12 @@ class _FunctionEmitter:
                     continue
                 if mode == "numpy" and kind[0] == "iv":
                     if isinstance(inst, Cmp):
+                        kind = ("bv", kind[2])
+                    elif kind[1] == 1 and isinstance(
+                            inst, (Splat, InsertElement, ShuffleVector,
+                                   Select)):
+                        # mask plumbing (broadcast/gathered/blended
+                        # select conditions): numpy bool vectors
                         kind = ("bv", kind[2])
                     elif kind[1] == 1:
                         raise UnsupportedConstruct(
@@ -795,7 +809,9 @@ class _FunctionEmitter:
         if self.mode == "unrolled":
             self.line(f"{name} = (({scalar}),) * {count}")
         else:
-            dtype = self._dtype_for(inst.type.element)
+            elem = inst.type.element
+            dtype = ("_np.bool_" if elem.bits == 1 and not elem.is_float
+                     else self._dtype_for(elem))
             self.line(
                 f"{name} = _np.full({count}, {scalar}, dtype={dtype})"
             )

@@ -28,6 +28,7 @@ from .interp.memory import MemoryImage
 from .ir.printer import print_function, print_module
 from .kernels.catalog import ALL_KERNELS
 from .obs.tracing import span
+from .opt.ifconvert import IFCONVERT_MODES
 from .opt.pipelines import compile_function
 from .robustness.budget import Budget, ModuleMeter
 from .robustness.diagnostics import CompilerError, Remark, Severity
@@ -86,6 +87,9 @@ def _config_from_args(args, warnings: Optional[list[Remark]] = None
     weight = getattr(args, "reg_pressure_weight", 0)
     if weight:
         config = replace(config, reg_pressure_weight=weight)
+    ifconvert = getattr(args, "ifconvert", "off")
+    if ifconvert != "off":
+        config = replace(config, ifconvert=ifconvert)
     return config
 
 
@@ -281,6 +285,13 @@ def _add_compile_options(parser: argparse.ArgumentParser) -> None:
         "--reg-pressure-weight", type=int, default=0, metavar="W",
         help="selection-time penalty per live vector register beyond "
              "the target's register file (default: 0 = pressure-blind)",
+    )
+    parser.add_argument(
+        "--ifconvert", choices=IFCONVERT_MODES, default="off",
+        help="flatten if/else hammocks and diamonds into selects before "
+             "SLP: 'on' converts whenever legal, 'cost' only when the "
+             "speculated work does not exceed the branch-removal "
+             "savings (default: off)",
     )
     parser.add_argument(
         "--strict", action="store_true",
@@ -555,6 +566,9 @@ def _batch_configs(spec: str, args) -> list:
         weight = getattr(args, "reg_pressure_weight", 0)
         if weight:
             config = replace(config, reg_pressure_weight=weight)
+        ifconvert = getattr(args, "ifconvert", "off")
+        if ifconvert != "off":
+            config = replace(config, ifconvert=ifconvert)
         configs.append(config)
     if not configs:
         raise SystemExit("error: --configs selected nothing")
@@ -586,7 +600,18 @@ def _batch_jobs(args, configs) -> list:
     source = args.source
     suite_names = {spec.name for spec in SUITE_SPECS}
     if source == "catalog":
-        for kernel in ALL_KERNELS.values():
+        selected = list(ALL_KERNELS.values())
+        only = getattr(args, "kernels", None)
+        if only:
+            names = [name.strip() for name in only.split(",")]
+            unknown = [n for n in names if n not in ALL_KERNELS]
+            if unknown:
+                raise SystemExit(
+                    f"error: unknown kernel(s) {', '.join(unknown)}; "
+                    f"see 'lslp kernels' for the catalog"
+                )
+            selected = [ALL_KERNELS[name] for name in names]
+        for kernel in selected:
             for config in configs:
                 jobs.append(job_for_kernel(
                     kernel, with_budget(config), target, **common,
@@ -652,10 +677,15 @@ def _batch_report_document(jobs, batch) -> dict:
         else:
             status = "compiled"
         ir_sha = ""
+        num_vectorized = 0
         if result.entry is not None:
             ir_sha = _hashlib.sha256(
                 result.entry.ir_text.encode("utf-8")
             ).hexdigest()
+            num_vectorized = sum(
+                1 for tree in result.entry.report.get("trees", [])
+                if tree.get("vectorized")
+            )
         per_job.append({
             "name": result.job.name,
             "config": result.job.config.name,
@@ -671,6 +701,7 @@ def _batch_report_document(jobs, batch) -> dict:
             "error": (result.error_info.to_dict()
                       if result.error_info is not None else None),
             "ir_sha256": ir_sha,
+            "num_vectorized": num_vectorized,
             "static_cost": result.static_cost,
             #: worker wall seconds of the final execution (0 for cache
             #: hits) — what ``lslp report`` ranks slowest jobs by
@@ -977,6 +1008,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated configurations (default: all four; "
              "'scalar' is an alias for o3)",
     )
+    p_batch.add_argument(
+        "--kernels", default=None, metavar="A,B,...",
+        help="restrict a 'catalog' batch to these kernel names "
+             "(default: the whole catalog)",
+    )
     p_batch.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="parallel compile workers (default: 1)")
     p_batch.add_argument(
@@ -1031,6 +1067,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--reg-pressure-weight", type=int, default=0, metavar="W",
         help="selection-time penalty per live vector register beyond "
              "the target's register file (default: 0)",
+    )
+    p_batch.add_argument(
+        "--ifconvert", choices=IFCONVERT_MODES, default="off",
+        help="flatten if/else hammocks and diamonds into selects "
+             "before SLP in every job: 'on' converts whenever legal, "
+             "'cost' only when profitable (default: off)",
     )
     p_batch.add_argument(
         "--plan-dump", metavar="FILE.jsonl", default=None,

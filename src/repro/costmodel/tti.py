@@ -53,6 +53,10 @@ class TargetDescription:
     call_cost: int = 4
     #: branch / phi resolution cost
     branch_cost: int = 1
+    #: scalar / vector lane-wise conditional move (``select``) cost;
+    #: if-conversion trades branches for these
+    scalar_select_cost: int = 1
+    vector_select_cost: int = 1
     #: multipliers for expensive operations
     division_cost: int = 8
     vector_division_cost: int = 14
@@ -110,6 +114,8 @@ class TargetCostModel:
             return self.desc.scalar_store_cost
         if opcode == "gep":
             return 0  # folded into addressing modes
+        if opcode == "select":
+            return self.desc.scalar_select_cost
         return self._alu_cost(opcode, vector=False)
 
     def vector_op_cost(self, opcode: str, lanes: int) -> int:
@@ -118,6 +124,8 @@ class TargetCostModel:
             return self.desc.vector_load_cost
         if opcode == "store":
             return self.desc.vector_store_cost
+        if opcode == "select":
+            return self.desc.vector_select_cost
         return self._alu_cost(opcode, vector=True)
 
     # ---- group-level costs -------------------------------------------------------
@@ -179,6 +187,12 @@ class TargetCostModel:
             return self.desc.call_cost
         if opcode in ("br", "condbr", "phi"):
             return self.desc.branch_cost
+        if opcode == "select":
+            return (
+                self.desc.vector_select_cost
+                if is_vector
+                else self.desc.scalar_select_cost
+            )
         return self._alu_cost(opcode, vector=is_vector)
 
 

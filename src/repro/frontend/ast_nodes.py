@@ -132,6 +132,20 @@ class ReturnStmt(Stmt):
 
 
 @dataclass
+class IfStmt(Stmt):
+    """``if (cond) { then } else { else }`` — a hammock or diamond.
+
+    Bodies are straight-line statements (stores, block-scoped lets, and
+    nested ifs); the else body may be empty.  This is the shape
+    :mod:`repro.opt.ifconvert` knows how to flatten back into selects.
+    """
+
+    condition: Expr
+    then_body: list[Stmt] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
 class ForStmt(Stmt):
     """``for (long j = init; cond; j = step) { body }`` — a counted loop.
 
@@ -170,6 +184,7 @@ __all__ = [
     "Expr",
     "ForStmt",
     "FuncDecl",
+    "IfStmt",
     "IndexExpr",
     "LetStmt",
     "NumExpr",

@@ -34,7 +34,7 @@ class Token:
 
 KEYWORDS = frozenset({
     "void", "long", "unsigned", "double", "float", "int", "return",
-    "for",
+    "for", "if", "else",
 })
 
 #: multi-character operators, longest first so maximal munch works

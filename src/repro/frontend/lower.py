@@ -25,6 +25,7 @@ from .ast_nodes import (
     CType,
     Expr,
     FuncDecl,
+    IfStmt,
     IndexExpr,
     LetStmt,
     NumExpr,
@@ -141,6 +142,9 @@ class _FunctionLowering:
         if isinstance(stmt, ForStmt):
             self._lower_for(stmt)
             return False
+        if isinstance(stmt, IfStmt):
+            self._lower_if(stmt)
+            return False
         if isinstance(stmt, ReturnStmt):
             if stmt.value is None:
                 if not self.func.return_type.is_void:
@@ -193,6 +197,53 @@ class _FunctionLowering:
         self.scope = saved_scope
         self.builder.set_block(exit_block)
 
+    def _lower_if(self, stmt: IfStmt) -> None:
+        """Lower a conditional to the single-entry/single-exit hammock or
+        diamond shape :mod:`repro.opt.ifconvert` flattens: entry ->
+        condbr -> then[/else] -> merge.  The language is
+        single-assignment, so arm-scoped lets vanish at the merge and no
+        phis are needed; arms differ only in the stores they perform."""
+        condition = self._truthy(self._lower(stmt.condition, None))
+        func = self.func
+        then_block = func.add_block(func.unique_name("if.then"))
+        else_block = (
+            func.add_block(func.unique_name("if.else"))
+            if stmt.else_body else None
+        )
+        merge = func.add_block(func.unique_name("if.end"))
+        self.builder.condbr(
+            condition, then_block,
+            else_block if else_block is not None else merge,
+        )
+        for block, body in ((then_block, stmt.then_body),
+                            (else_block, stmt.else_body)):
+            if block is None:
+                continue
+            self.builder.set_block(block)
+            saved_scope = dict(self.scope)
+            for inner in body:
+                if isinstance(inner, (ReturnStmt, ForStmt)):
+                    raise LowerError(
+                        "only stores, lets and nested ifs are allowed "
+                        "inside an if body"
+                    )
+                self._lower_statement(inner)
+            self.scope = saved_scope
+            self.builder.br(merge)
+        self.builder.set_block(merge)
+
+    def _truthy(self, condition: Value) -> Value:
+        """Coerce a C-truthiness condition value to i1."""
+        if condition.type.is_integer and condition.type.bits != 1:
+            return self.builder.icmp(
+                "ne", condition, Constant(condition.type, 0)
+            )
+        if condition.type.is_float:
+            return self.builder.fcmp(
+                "one", condition, Constant(condition.type, 0.0)
+            )
+        return condition
+
     # ---- expressions ---------------------------------------------------------
 
     def _array(self, name: str) -> GlobalArray:
@@ -232,16 +283,8 @@ class _FunctionLowering:
         if isinstance(expr, BinaryExpr):
             return self._lower_binary(expr, expected)
         if isinstance(expr, ConditionalExpr):
-            condition = self._lower(expr.condition, None)
-            if condition.type.is_integer and condition.type.bits != 1:
-                # C truthiness: any non-i1 scalar compares against zero.
-                condition = self.builder.icmp(
-                    "ne", condition, Constant(condition.type, 0)
-                )
-            elif condition.type.is_float:
-                condition = self.builder.fcmp(
-                    "one", condition, Constant(condition.type, 0.0)
-                )
+            # C truthiness: any non-i1 scalar compares against zero.
+            condition = self._truthy(self._lower(expr.condition, None))
             on_true, unsigned = self._lower_typed(expr.on_true, expected)
             on_false = self._lower(expr.on_false, on_true.type)
             return (

@@ -8,6 +8,7 @@ Grammar (C subset, straight-line bodies only)::
     func_decl  := ctype NAME "(" params? ")" "{" stmt* "}"
     stmt       := NAME "[" expr "]" "=" expr ";"
                 | ctype NAME "=" expr ";"
+                | "if" "(" expr ")" "{" stmt* "}" ("else" "{" stmt* "}")?
                 | "return" expr? ";"
     expr       := conditional (C precedence: ?: || nothing | ^ & == <
                   << >> + - * / % | unary)
@@ -26,6 +27,7 @@ from .ast_nodes import (
     CType,
     Expr,
     FuncDecl,
+    IfStmt,
     IndexExpr,
     LetStmt,
     NumExpr,
@@ -172,6 +174,8 @@ class _Parser:
             raise ParseError("unexpected end of input in body", None)
         if token.kind == "KEYWORD" and token.text == "for":
             return self._parse_for()
+        if token.kind == "KEYWORD" and token.text == "if":
+            return self._parse_if()
         if token.kind == "KEYWORD" and token.text == "return":
             self._next()
             if self._accept(";"):
@@ -195,6 +199,27 @@ class _Parser:
         value = self._parse_expression()
         self._expect(";")
         return StoreStmt(IndexExpr(name, index), value)
+
+    def _parse_if(self) -> Stmt:
+        self._expect("KEYWORD")  # 'if'
+        self._expect("(")
+        condition = self._parse_expression()
+        self._expect(")")
+        then_body = self._parse_braced_body()
+        else_body: list[Stmt] = []
+        token = self._peek()
+        if (token is not None and token.kind == "KEYWORD"
+                and token.text == "else"):
+            self._next()
+            else_body = self._parse_braced_body()
+        return IfStmt(condition, then_body, else_body)
+
+    def _parse_braced_body(self) -> list[Stmt]:
+        self._expect("{")
+        body: list[Stmt] = []
+        while not self._accept("}"):
+            body.append(self._parse_statement())
+        return body
 
     def _parse_for(self) -> Stmt:
         self._expect("KEYWORD")  # 'for'

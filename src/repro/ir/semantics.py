@@ -126,6 +126,27 @@ def eval_cmp(predicate: str, lhs, rhs) -> int:
         raise ValueError(f"unknown predicate {predicate!r}") from None
 
 
+# ---------------------------------------------------------------------------
+# Speculation rules
+# ---------------------------------------------------------------------------
+
+#: opcodes whose evaluation can raise :class:`EvaluationError`
+TRAPPING_OPCODES = frozenset({"sdiv", "srem", "fdiv"})
+
+
+def opcode_may_trap(opcode: str, divisor=None) -> bool:
+    """Can one evaluation of ``opcode`` trap?
+
+    Division traps on a zero divisor; pass the divisor when it is a
+    known constant so a provably non-zero denominator is recognized as
+    safe to execute speculatively.  Everything else in the language is
+    total (shifts past the width and wrap-around are defined above).
+    """
+    if opcode not in TRAPPING_OPCODES:
+        return False
+    return divisor is None or divisor == 0
+
+
 __all__ = [
     "eval_binop",
     "eval_cmp",
@@ -133,4 +154,6 @@ __all__ = [
     "eval_int_binop",
     "eval_unop",
     "EvaluationError",
+    "opcode_may_trap",
+    "TRAPPING_OPCODES",
 ]

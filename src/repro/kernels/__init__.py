@@ -5,6 +5,13 @@ paper's three motivation examples); :mod:`suites` generates the synthetic
 whole-benchmark modules for the Figure 11/12 dilution experiments.
 """
 
+from .branchy import (
+    BRANCHY_ABS,
+    BRANCHY_CLAMP,
+    BRANCHY_KERNELS,
+    BRANCHY_MAXBLEND,
+    BRANCHY_SATADD,
+)
 from .catalog import (
     ALL_KERNELS,
     BOY_SURFACE,
@@ -45,10 +52,20 @@ from .overlap import (
 )
 from .suites import build_suite, suite_by_name, SuiteSpec, SUITE_SPECS
 
+# The branchy family rides in the main catalog (``batch catalog``, the
+# backend smoke, ``kernel_by_name``); it lives in its own module because
+# it needs if-conversion to vectorize, unlike everything in catalog.py.
+ALL_KERNELS.update({kernel.name: kernel for kernel in BRANCHY_KERNELS})
+
 __all__ = [
     "ALL_KERNELS",
     "BOY_SURFACE",
     "BOY_SURFACE_LOOP",
+    "BRANCHY_ABS",
+    "BRANCHY_CLAMP",
+    "BRANCHY_KERNELS",
+    "BRANCHY_MAXBLEND",
+    "BRANCHY_SATADD",
     "build_suite",
     "CALC_Z3",
     "EXTENDED_KERNELS",

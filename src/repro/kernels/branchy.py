@@ -1,0 +1,122 @@
+"""Branchy kernels: control flow in the hot region.
+
+Each kernel guards its per-lane store behind an ``if``/``else``, so
+after lowering every lane's store sits in a *different* basic block.
+The per-block SLP seed collector therefore finds zero vector seeds and
+every configuration serves these kernels scalar — until
+:mod:`repro.opt.ifconvert` flattens the hammocks/diamonds back into
+straight-line select form (``--ifconvert on|cost``), at which point the
+usual 4-wide load/cmp/select/store trees appear.  The shapes are the
+classic if-converted idioms: absolute value, clamp, saturating add, and
+a max-blend hammock whose guarded store exercises the load/select/store
+predication path.
+"""
+
+from __future__ import annotations
+
+from .catalog import Kernel
+
+BRANCHY_ABS = Kernel(
+    name="branchy-abs",
+    origin="if-conversion motivation: per-lane absolute value",
+    description=(
+        "Four abs diamonds: each lane stores either the negation or the "
+        "value itself; both arms store to the same address, so "
+        "if-conversion merges them into one select-fed store per lane."
+    ),
+    source="""
+long A[64], B[64];
+void kernel(long i) {
+    if (A[i + 0] < 0) { B[i + 0] = 0 - A[i + 0]; } else { B[i + 0] = A[i + 0]; }
+    if (A[i + 1] < 0) { B[i + 1] = 0 - A[i + 1]; } else { B[i + 1] = A[i + 1]; }
+    if (A[i + 2] < 0) { B[i + 2] = 0 - A[i + 2]; } else { B[i + 2] = A[i + 2]; }
+    if (A[i + 3] < 0) { B[i + 3] = 0 - A[i + 3]; } else { B[i + 3] = A[i + 3]; }
+}
+""",
+)
+
+BRANCHY_CLAMP = Kernel(
+    name="branchy-clamp",
+    origin="if-conversion motivation: per-lane clamp to [-128, 127]",
+    description=(
+        "Nested diamonds per lane (upper clamp outside, lower clamp "
+        "inside): the inner diamond must flatten before the outer one "
+        "matches, exercising the fixed-point conversion order."
+    ),
+    source="""
+long A[64], B[64];
+void kernel(long i) {
+    if (A[i + 0] > 127) { B[i + 0] = 127; } else {
+        if (A[i + 0] < 0 - 128) { B[i + 0] = 0 - 128; } else { B[i + 0] = A[i + 0]; }
+    }
+    if (A[i + 1] > 127) { B[i + 1] = 127; } else {
+        if (A[i + 1] < 0 - 128) { B[i + 1] = 0 - 128; } else { B[i + 1] = A[i + 1]; }
+    }
+    if (A[i + 2] > 127) { B[i + 2] = 127; } else {
+        if (A[i + 2] < 0 - 128) { B[i + 2] = 0 - 128; } else { B[i + 2] = A[i + 2]; }
+    }
+    if (A[i + 3] > 127) { B[i + 3] = 127; } else {
+        if (A[i + 3] < 0 - 128) { B[i + 3] = 0 - 128; } else { B[i + 3] = A[i + 3]; }
+    }
+}
+""",
+)
+
+BRANCHY_SATADD = Kernel(
+    name="branchy-satadd",
+    origin="if-conversion motivation: saturating add",
+    description=(
+        "Per-lane saturating add: the sum is computed unconditionally, "
+        "the store picks the sum or the saturation constant — a diamond "
+        "whose arms are a constant store and a value store."
+    ),
+    source="""
+long A[64], B[64], C[64];
+void kernel(long i) {
+    long s0 = A[i + 0] + B[i + 0];
+    long s1 = A[i + 1] + B[i + 1];
+    long s2 = A[i + 2] + B[i + 2];
+    long s3 = A[i + 3] + B[i + 3];
+    if (s0 > 255) { C[i + 0] = 255; } else { C[i + 0] = s0; }
+    if (s1 > 255) { C[i + 1] = 255; } else { C[i + 1] = s1; }
+    if (s2 > 255) { C[i + 2] = 255; } else { C[i + 2] = s2; }
+    if (s3 > 255) { C[i + 3] = 255; } else { C[i + 3] = s3; }
+}
+""",
+)
+
+BRANCHY_MAXBLEND = Kernel(
+    name="branchy-maxblend",
+    origin="if-conversion motivation: in-place max (hammock)",
+    description=(
+        "Per-lane in-place max over doubles: an if with no else, whose "
+        "guarded store is predicated as load/select/store — the "
+        "dereferenceability proof comes from the condition's own read "
+        "of the store target."
+    ),
+    source="""
+double B[64], C[64];
+void kernel(long i) {
+    if (C[i + 0] < B[i + 0]) { C[i + 0] = B[i + 0]; }
+    if (C[i + 1] < B[i + 1]) { C[i + 1] = B[i + 1]; }
+    if (C[i + 2] < B[i + 2]) { C[i + 2] = B[i + 2]; }
+    if (C[i + 3] < B[i + 3]) { C[i + 3] = B[i + 3]; }
+}
+""",
+)
+
+#: the branchy family, in catalog order
+BRANCHY_KERNELS: list[Kernel] = [
+    BRANCHY_ABS,
+    BRANCHY_CLAMP,
+    BRANCHY_SATADD,
+    BRANCHY_MAXBLEND,
+]
+
+__all__ = [
+    "BRANCHY_ABS",
+    "BRANCHY_CLAMP",
+    "BRANCHY_KERNELS",
+    "BRANCHY_MAXBLEND",
+    "BRANCHY_SATADD",
+]

@@ -45,6 +45,10 @@ RECORD_SCHEMA: dict[str, tuple[str, ...]] = {
     # lifecycle milestone — queued, hit, dispatched, retry, timeout,
     # rung, backend-shed, completed, failed, refused
     "job": ("event", "index", "job", "config"),
+    # if-conversion (repro.opt.ifconvert): one per matched hammock or
+    # diamond — event is "converted" or "declined" (reason set on
+    # declines only)
+    "ifconvert": ("event", "shape", "reason"),
 }
 
 #: keys every record carries regardless of type

@@ -3,6 +3,12 @@
 from .constfold import fold_instruction, run_constfold
 from .cse import run_cse
 from .dce import is_trivially_dead, run_dce
+from .ifconvert import (
+    IfConverter,
+    IFCONVERT_MODES,
+    is_speculatable,
+    run_ifconvert,
+)
 from .inline import can_inline, inline_call, run_inline
 from .instcombine import run_instcombine, simplify_binop
 from .passmanager import FunctionPass, PassManager, PassTiming, PipelineResult
@@ -42,6 +48,9 @@ __all__ = [
     "merge_straight_line_blocks",
     "remove_unreachable_blocks",
     "FunctionPass",
+    "IfConverter",
+    "IFCONVERT_MODES",
+    "is_speculatable",
     "is_trivially_dead",
     "PassManager",
     "PassTiming",
@@ -49,6 +58,7 @@ __all__ = [
     "run_constfold",
     "run_cse",
     "run_dce",
+    "run_ifconvert",
     "can_inline",
     "inline_call",
     "run_inline",

@@ -39,6 +39,7 @@ from ..slp.vectorizer import (
 from .constfold import run_constfold
 from .cse import run_cse
 from .dce import run_dce
+from .ifconvert import run_ifconvert
 from .inline import run_inline
 from .instcombine import run_instcombine
 from .passmanager import PassManager, PipelineResult
@@ -102,15 +103,24 @@ class _VectorizePass:
         return report.num_vectorized > 0
 
 
-def scalar_pipeline(verify_each: bool = False, guard=None) -> PassManager:
+def scalar_pipeline(verify_each: bool = False, guard=None,
+                    ifconvert: str = "off",
+                    target: Optional[TargetCostModel] = None) -> PassManager:
     """The scalar "O3" passes every configuration runs.
 
     Loop unrolling runs here (not in the vectorizing add-on) so that the
     O3 baseline and the vectorizing configurations see the *same*
     straight-line code, exactly like the paper's setup where SLP runs
     after the loop transformations (§2.1).
+
+    ``ifconvert`` ("on"/"cost") sequences :func:`repro.opt.ifconvert.
+    run_ifconvert` after the CFG is cleaned up and before the post-unroll
+    scalar cleanups, so flattened arms get constant-folded/CSE'd exactly
+    like code that was straight-line from the start; a second simplifycfg
+    then merges the emptied merge blocks back in.  The default "off"
+    reproduces the historical pass sequence exactly.
     """
-    return (
+    manager = (
         PassManager(verify_each=verify_each, guard=guard)
         .add("inline", run_inline)
         .add("constfold", run_constfold)
@@ -119,6 +129,22 @@ def scalar_pipeline(verify_each: bool = False, guard=None) -> PassManager:
         .add("dce", run_dce)
         .add("unroll", run_unroll)
         .add("simplifycfg", run_simplifycfg)
+    )
+    if ifconvert != "off":
+        ifc_target = target if target is not None else skylake_like()
+        collected: list[Remark] = []
+        #: decline remarks, drained into ``CompileResult.remarks``
+        manager.ifconvert_remarks = collected
+
+        def run_ifconvert_pass(func: Function,
+                               _mode=ifconvert, _target=ifc_target) -> bool:
+            return run_ifconvert(func, mode=_mode, target=_target,
+                                 remarks=collected)
+
+        manager.add("ifconvert", run_ifconvert_pass)
+        manager.add("simplifycfg-post-ifconvert", run_simplifycfg)
+    return (
+        manager
         .add("constfold-post-unroll", run_constfold)
         .add("instcombine-post-unroll", run_instcombine)
         .add("cse-post-unroll", run_cse)
@@ -138,7 +164,8 @@ def build_pipeline(config: VectorizerConfig,
     target = target if target is not None else skylake_like()
     if faults is not None:
         target = faults.perturb_cost_model(target)
-    manager = scalar_pipeline(verify_each=verify_each, guard=guard)
+    manager = scalar_pipeline(verify_each=verify_each, guard=guard,
+                              ifconvert=config.ifconvert, target=target)
     vectorize = None
     if config.enabled:
         vectorize = _VectorizePass(config, target, module_meter)
@@ -209,6 +236,7 @@ def compile_function(func: Function, config: VectorizerConfig,
                 pass_guard.finish()
             result.remarks = pass_guard.diagnostics.remarks
             result.rolled_back = pass_guard.rolled_back
+    result.remarks.extend(getattr(manager, "ifconvert_remarks", []))
     result.remarks.extend(result.report.remarks)
     return result
 
@@ -294,27 +322,29 @@ def compile_module_planned(module: Module, config: VectorizerConfig,
 
     # Phase 1: scalar passes, then read-only planning, per function.
     staged: list[tuple[Function, PipelineResult,
-                       Optional[PassGuard]]] = []
+                       Optional[PassGuard], list[Remark]]] = []
     for func in module.functions.values():
         policy = _resolve_guard(
             guard, oracles(func) if oracles is not None else None
         )
         pass_guard = PassGuard(policy) if policy is not None else None
-        manager = scalar_pipeline(guard=pass_guard)
+        manager = scalar_pipeline(guard=pass_guard,
+                                  ifconvert=config.ifconvert, target=target)
         if faults is not None:
             faults.instrument(manager)
         with span("compile.scalar", function=func.name,
                   config=config.name):
             timing = manager.run_function(func)
         driver.plan_function(func)
-        staged.append((func, timing, pass_guard))
+        staged.append((func, timing, pass_guard,
+                       getattr(manager, "ifconvert_remarks", [])))
 
     # Phase 2: one module-wide selection over the pooled candidates.
     driver.select()
 
     # Phase 3: materialize per function, guarded, in planning order.
     results: list[CompileResult] = []
-    for func, timing, pass_guard in staged:
+    for func, timing, pass_guard, ifc_remarks in staged:
         vectorize = _ApplyModulePass(driver)
         manager = (
             PassManager(guard=pass_guard)
@@ -343,6 +373,7 @@ def compile_module_planned(module: Module, config: VectorizerConfig,
                     pass_guard.finish()
                 result.remarks = pass_guard.diagnostics.remarks
                 result.rolled_back = pass_guard.rolled_back
+        result.remarks.extend(ifc_remarks)
         result.remarks.extend(result.report.remarks)
         results.append(result)
     return results

@@ -109,6 +109,12 @@ class VectorizerConfig:
     #: the target's register file (repro.slp.pressure); 0 disables the
     #: pressure term entirely
     reg_pressure_weight: int = 0
+    #: if-conversion mode (repro.opt.ifconvert): "off" (default, keeps
+    #: every historical pipeline byte-identical), "on" (flatten every
+    #: legal hammock/diamond so SLP can pack across the former branch),
+    #: or "cost" (flatten only when the speculated work does not exceed
+    #: the branch-removal savings)
+    ifconvert: str = "off"
 
     # ---- the paper's configurations -----------------------------------
 

@@ -131,8 +131,27 @@ def dynamic_shift_module():
 
 
 def i1_vector_module():
-    """A splat of an i1 produces an i1 vector outside a compare."""
+    """Mask *arithmetic* (an ``and`` of two i1 vectors) has no numpy
+    rendering; mask plumbing (cmp/splat/insert/shuffle/select) does."""
     m = Module("boolvec")
+    a = m.add_global(GlobalArray("A", I64, 16))
+    f = Function("mask", [("x", I64)])
+    f.return_type = I64
+    b = IRBuilder(f.add_block("entry"))
+    vec = b.vload(b.gep(a, b.i64(0)), 4)
+    zeros = b.splat(b.i64(0), 4)
+    low = b.icmp("sgt", vec, zeros)
+    high = b.icmp("slt", vec, b.splat(b.i64(7), 4))
+    both = b.and_(low, high)
+    b.ret(b.extractelement(both, 2))
+    m.add_function(f)
+    return m
+
+
+def splat_mask_module():
+    """A splat of an i1 condition is mask plumbing — now rendered as a
+    numpy bool vector (the uniform select mask if-conversion emits)."""
+    m = Module("splatmask")
     f = Function("mask", [("x", I64)])
     f.return_type = I64
     b = IRBuilder(f.add_block("entry"))
@@ -236,6 +255,30 @@ def test_i1_vector_numpy_only():
                      vector_mode="numpy")
     _auto_matches_interp(m, "mask", {"x": 5}, "i1-vector",
                          vector_mode="numpy")
+    # the unrolled rendering handles mask arithmetic lane-wise, exactly
+    emitted = emit_module(m, TARGET, "unrolled")
+    assert "mask" not in emitted.unsupported
+
+
+def test_splat_mask_supported_in_numpy():
+    """Mask *plumbing* is not declined: a splat of an i1 condition (the
+    uniform select mask if-conversion emits) renders as a numpy bool
+    vector and agrees with the interpreter bit for bit."""
+    m = splat_mask_module()
+    emitted = emit_module(m, TARGET, "numpy")
+    assert "mask" not in emitted.unsupported, emitted.unsupported
+    for x in (-3, 0, 5):
+        mem_ref = MemoryImage(m)
+        expected = Interpreter(mem_ref, TARGET).run(
+            m.get_function("mask"), {"x": x}
+        )
+        executor = TieredExecutor(m, MemoryImage(m), TARGET,
+                                  backend="compiled",
+                                  vector_mode="numpy")
+        run = executor.run("mask", {"x": x})
+        assert run.tier == "compiled" and not run.fallback
+        assert run.result.return_value == expected.return_value
+        assert run.result.cycles == expected.cycles
 
 
 def test_i1_memory_numpy_only():

@@ -111,7 +111,7 @@ def test_key_misses_on_pipeline_change():
     a = compute_key("source", KERNEL.source, config, target,
                     pipeline=PIPELINE_NAME)
     b = compute_key("source", KERNEL.source, config, target,
-                    pipeline="o3+slp/v2")
+                    pipeline="o3+slp/v1")
     assert a != b
 
 
