@@ -1,14 +1,29 @@
 """repro.analysis — the analyses the SLP vectorizer depends on.
 
 * :mod:`repro.analysis.scev` — affine address expressions ("scalar
-  evolution"), used to prove loads/stores consecutive.
+  evolution") and add-recurrences over loop phis, used to prove
+  loads/stores consecutive and to compute symbolic trip counts.
 * :mod:`repro.analysis.aliasing` — base-object + constant-offset alias
   analysis.
+* :mod:`repro.analysis.loops` — natural-loop discovery from dominance
+  and counted-loop recognition, shared by unroll and the planner.
 * :mod:`repro.analysis.schedule` — bundle and tree scheduling legality.
 """
 
 from .aliasing import AliasAnalysis, AliasResult
-from .scev import AffineExpr, PointerSCEV, ScalarEvolution
+from .loops import (
+    CountedLoop,
+    CountedLoopInfo,
+    DEFAULT_MAX_TRIP_COUNT,
+    LoopAccumulator,
+    LoopInfo,
+    NaturalLoop,
+    find_counted_loop,
+    find_counted_loops,
+    find_natural_loops,
+    match_counted_loop,
+)
+from .scev import AddRec, AffineExpr, PointerSCEV, ScalarEvolution
 from .schedule import (
     TreeScheduler,
     bundle_is_schedulable,
@@ -17,11 +32,22 @@ from .schedule import (
 )
 
 __all__ = [
+    "AddRec",
     "AffineExpr",
     "AliasAnalysis",
     "AliasResult",
     "bundle_is_schedulable",
+    "CountedLoop",
+    "CountedLoopInfo",
+    "DEFAULT_MAX_TRIP_COUNT",
     "depends_on",
+    "find_counted_loop",
+    "find_counted_loops",
+    "find_natural_loops",
+    "LoopAccumulator",
+    "LoopInfo",
+    "match_counted_loop",
+    "NaturalLoop",
     "PointerSCEV",
     "same_block",
     "ScalarEvolution",

@@ -1,0 +1,454 @@
+"""Loop analyses: natural loops from dominance, counted-loop matching.
+
+The unroller historically carried a private pattern-match for the one
+loop shape the frontend emits.  This module lifts that into two layered,
+reusable analyses:
+
+* :func:`find_natural_loops` / :class:`LoopInfo` — generic natural-loop
+  discovery from CFG back edges (an edge ``u -> h`` where ``h``
+  dominates ``u``), with nesting depth, so passes can reason about any
+  reducible loop even when it is not unrollable.
+* :func:`match_counted_loop` / :class:`CountedLoopInfo` — recognition of
+  frontend-shaped counted loops, generalized beyond the legacy matcher:
+  the induction variable's init and bound may be loop-invariant *values*
+  (symbolic trip counts), and additional header phis are accepted as
+  loop-carried accumulators (``s = s + ...`` reductions).
+
+The legacy :class:`CountedLoop` (integer init/step/bound) and
+:func:`find_counted_loop` are kept byte-for-byte compatible for existing
+callers and tests; they are thin filters over the generalized matcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ir.basicblock import BasicBlock
+from ..ir.cfg import DominatorInfo, predecessors, reachable_blocks
+from ..ir.controlflow import Br, CondBr, Phi
+from ..ir.function import Function
+from ..ir.instructions import BinaryOperator, Cmp
+from ..ir.semantics import eval_cmp, eval_int_binop
+from ..ir.values import Constant, Value
+
+#: default cap on full unrolling (overridable via --unroll-max-trip)
+DEFAULT_MAX_TRIP_COUNT = 256
+
+
+# ---------------------------------------------------------------------------
+# Natural loops
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class NaturalLoop:
+    """One natural loop: header plus the blocks that reach its latches."""
+
+    header: BasicBlock
+    latches: list[BasicBlock]
+    blocks: list[BasicBlock]
+    depth: int = 1
+    parent: Optional["NaturalLoop"] = None
+
+    def contains(self, block: BasicBlock) -> bool:
+        return any(b is block for b in self.blocks)
+
+    def preheader(self) -> Optional[BasicBlock]:
+        """The unique out-of-loop predecessor, when it branches only here."""
+        outside = [
+            pred
+            for pred in self._preds.get(id(self.header), [])
+            if not self.contains(pred)
+        ]
+        if len(outside) != 1:
+            return None
+        pred = outside[0]
+        if isinstance(pred.terminator, Br):
+            return pred
+        return None
+
+    def exits(self) -> list[BasicBlock]:
+        """Blocks outside the loop with a predecessor inside it."""
+        inside = {id(b) for b in self.blocks}
+        seen: set[int] = set()
+        out: list[BasicBlock] = []
+        for block in self.blocks:
+            for succ in block.successors():
+                if id(succ) not in inside and id(succ) not in seen:
+                    seen.add(id(succ))
+                    out.append(succ)
+        return out
+
+    # populated by find_natural_loops so preheader() can answer without
+    # recomputing the CFG; not part of the public dataclass surface
+    _preds: dict[int, list[BasicBlock]] = field(
+        default_factory=dict, repr=False
+    )
+
+
+def find_natural_loops(func: Function) -> list[NaturalLoop]:
+    """Natural loops of ``func`` (reachable blocks only), outermost first.
+
+    Loops sharing a header are merged.  Nesting (``parent``/``depth``) is
+    derived from block containment; irreducible regions simply produce no
+    loop, matching what the rest of the pipeline can handle.
+    """
+    blocks = reachable_blocks(func)
+    if not blocks:
+        return []
+    dom = DominatorInfo(func)
+    preds = predecessors(func)
+
+    latches_by_header: dict[int, tuple[BasicBlock, list[BasicBlock]]] = {}
+    for block in blocks:
+        for succ in block.successors():
+            if dom.dominates(succ, block):
+                header, latches = latches_by_header.setdefault(
+                    id(succ), (succ, [])
+                )
+                latches.append(block)
+
+    loops: list[NaturalLoop] = []
+    for header, latches in latches_by_header.values():
+        body: list[BasicBlock] = [header]
+        inside = {id(header)}
+        work = [latch for latch in latches if id(latch) not in inside]
+        for latch in work:
+            inside.add(id(latch))
+            body.append(latch)
+        while work:
+            block = work.pop()
+            for pred in preds.get(id(block), []):
+                if id(pred) not in inside:
+                    inside.add(id(pred))
+                    body.append(pred)
+                    work.append(pred)
+        loops.append(
+            NaturalLoop(header=header, latches=latches, blocks=body,
+                        _preds=preds)
+        )
+
+    # nesting: the parent is the smallest strictly-containing loop
+    loops.sort(key=lambda loop: len(loop.blocks), reverse=True)
+    for i, loop in enumerate(loops):
+        best: Optional[NaturalLoop] = None
+        for other in loops:
+            if other is loop or len(other.blocks) <= len(loop.blocks):
+                continue
+            if other.contains(loop.header):
+                if best is None or len(other.blocks) < len(best.blocks):
+                    best = other
+        loop.parent = best
+    for loop in loops:
+        depth = 1
+        parent = loop.parent
+        while parent is not None:
+            depth += 1
+            parent = parent.parent
+        loop.depth = depth
+    return loops
+
+
+class LoopInfo:
+    """Per-function container mapping blocks to their innermost loop."""
+
+    def __init__(self, func: Function):
+        self.func = func
+        self.loops = find_natural_loops(func)
+        self._innermost: dict[int, NaturalLoop] = {}
+        # loops are sorted outermost-first, so later (smaller) loops win
+        for loop in self.loops:
+            for block in loop.blocks:
+                self._innermost[id(block)] = loop
+
+    def innermost(self, block: BasicBlock) -> Optional[NaturalLoop]:
+        return self._innermost.get(id(block))
+
+    def depth(self, block: BasicBlock) -> int:
+        loop = self.innermost(block)
+        return loop.depth if loop is not None else 0
+
+
+# ---------------------------------------------------------------------------
+# Counted loops (generalized)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LoopAccumulator:
+    """A loop-carried header phi that is not the induction variable."""
+
+    phi: Phi
+    init: Value  # incoming from the preheader (loop-invariant)
+    next: Value  # incoming from the latch (recomputed each iteration)
+
+
+@dataclass
+class CountedLoopInfo:
+    """A frontend-shaped counted loop, possibly with a symbolic bound.
+
+    ``init`` and ``bound`` are loop-invariant :class:`Value`\\ s (often
+    but not necessarily constants); ``step`` is always a constant.
+    Header phis other than the induction variable are reported as
+    ``accumulators``.
+    """
+
+    preheader: BasicBlock
+    header: BasicBlock
+    body: BasicBlock
+    exit: BasicBlock
+    iv: Phi
+    iv_next: BinaryOperator
+    init: Value
+    step: int
+    bound: Value
+    predicate: str
+    accumulators: list[LoopAccumulator]
+    phis_escape: bool  # a header phi is used outside header/body
+
+    @property
+    def is_constant(self) -> bool:
+        return isinstance(self.init, Constant) and isinstance(
+            self.bound, Constant
+        )
+
+    def iterate(self, max_trip: int
+                ) -> Optional[tuple[list[int], int]]:
+        """Concrete IV values plus the exit value, or None.
+
+        None when the bound is symbolic or the trip count exceeds
+        ``max_trip``.
+        """
+        if not self.is_constant:
+            return None
+        values: list[int] = []
+        j = self.init.value
+        bound = self.bound.value
+        bits = self.iv.type.bits
+        while eval_cmp(self.predicate, j, bound):
+            values.append(j)
+            if len(values) > max_trip:
+                return None
+            j = eval_int_binop("add", j, self.step, bits)
+        return values, j
+
+    def trip_count(self, max_trip: int) -> Optional[int]:
+        it = self.iterate(max_trip)
+        return len(it[0]) if it is not None else None
+
+
+def match_counted_loop(func: Function, header: BasicBlock
+                       ) -> Optional[CountedLoopInfo]:
+    """Recognize ``header`` as the header of a counted loop, or None.
+
+    The canonical frontend shape is required: a header holding only phis
+    plus ``icmp``+``condbr``, a single-block body ending in the back
+    edge, a dedicated preheader ending in ``br header``.  Exactly one
+    phi must be the induction variable (compared in the header, stepped
+    by an ``add`` with a constant in the body); the rest become
+    accumulators.  Values *defined* in the loop (other than phis) must
+    not be used outside it.
+    """
+    phis = header.phis()
+    if not phis:
+        return None
+    term = header.terminator
+    if not isinstance(term, CondBr):
+        return None
+    # header must be exactly: phis, cmp, condbr
+    if len(header) != len(phis) + 2:
+        return None
+    condition = term.condition
+    if not (isinstance(condition, Cmp) and condition.opcode == "icmp"
+            and condition.parent is header):
+        return None
+    iv = condition.lhs
+    if not (isinstance(iv, Phi) and iv.parent is header
+            and iv.type.is_integer):
+        return None
+    bound = condition.rhs
+
+    body, exit_block = term.on_true, term.on_false
+    if body is header or exit_block is body or exit_block is header:
+        return None
+    body_term = body.terminator
+    if not (isinstance(body_term, Br) and body_term.target is header):
+        return None
+    if body.phis():
+        return None
+
+    inside = {id(header), id(body)}
+
+    def defined_inside(value: Value) -> bool:
+        parent = getattr(value, "parent", None)
+        return parent is not None and id(parent) in inside
+
+    if defined_inside(bound):
+        return None
+
+    # classify the IV edges: one from the body (latch), one from outside
+    preheader: Optional[BasicBlock] = None
+    init_value: Optional[Value] = None
+    next_value: Optional[Value] = None
+    if len(iv.incoming()) != 2:
+        return None
+    for value, pred in iv.incoming():
+        if pred is body:
+            next_value = value
+        else:
+            preheader, init_value = pred, value
+    if preheader is None or next_value is None:
+        return None
+    if not (isinstance(preheader.terminator, Br)
+            and preheader.terminator.target is header):
+        return None
+    if defined_inside(init_value):
+        return None
+
+    # the step must be phi + constant, computed in the body
+    if not (isinstance(next_value, BinaryOperator)
+            and next_value.opcode == "add"
+            and next_value.parent is body
+            and next_value.lhs is iv
+            and isinstance(next_value.rhs, Constant)):
+        return None
+    if next_value.rhs.value == 0:
+        return None
+
+    # every other phi is a loop-carried accumulator with the same edges
+    accumulators: list[LoopAccumulator] = []
+    for phi in phis:
+        if phi is iv:
+            continue
+        if len(phi.incoming()) != 2:
+            return None
+        try:
+            acc_init = phi.incoming_for(preheader)
+            acc_next = phi.incoming_for(body)
+        except KeyError:
+            return None
+        if defined_inside(acc_init):
+            return None
+        # the recomputed value must not live in the header (it would be
+        # the cmp or another phi — neither is a sensible accumulator)
+        parent = getattr(acc_next, "parent", None)
+        if parent is header:
+            return None
+        accumulators.append(
+            LoopAccumulator(phi=phi, init=acc_init, next=acc_next)
+        )
+
+    # non-phi values defined in the loop must not escape it; phis may
+    # (final-value substitution or the epilogue's phi rewiring covers them)
+    phis_escape = False
+    for block in (header, body):
+        for inst in block:
+            is_phi = isinstance(inst, Phi)
+            for use in inst.uses:
+                user = use.user
+                parent = getattr(user, "parent", None)
+                if parent is None or id(parent) not in inside:
+                    if is_phi:
+                        phis_escape = True
+                    else:
+                        return None
+
+    return CountedLoopInfo(
+        preheader=preheader,
+        header=header,
+        body=body,
+        exit=exit_block,
+        iv=iv,
+        iv_next=next_value,
+        init=init_value,
+        step=next_value.rhs.value,
+        bound=bound,
+        predicate=condition.predicate,
+        accumulators=accumulators,
+        phis_escape=phis_escape,
+    )
+
+
+def find_counted_loops(func: Function) -> list[CountedLoopInfo]:
+    """All counted loops in ``func``, in block order."""
+    out = []
+    for header in func.blocks:
+        info = match_counted_loop(func, header)
+        if info is not None:
+            out.append(info)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Legacy single-phi constant-bound interface (kept byte-compatible)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CountedLoop:
+    """A recognized frontend-shaped counted loop (legacy, constant form)."""
+
+    preheader: BasicBlock
+    header: BasicBlock
+    body: BasicBlock
+    exit: BasicBlock
+    phi: Phi
+    init: int
+    step: int
+    bound: int
+    predicate: str
+    info: Optional[CountedLoopInfo] = None
+
+    def trip_values(self) -> Optional[list[int]]:
+        """The induction-variable values, or None if unbounded/too long."""
+        values: list[int] = []
+        j = self.init
+        bits = self.phi.type.bits
+        while eval_cmp(self.predicate, j, self.bound):
+            values.append(j)
+            if len(values) > DEFAULT_MAX_TRIP_COUNT:
+                return None
+            j = eval_int_binop("add", j, self.step, bits)
+        return values
+
+
+def find_counted_loop(func: Function) -> Optional[CountedLoop]:
+    """The first legacy-analyzable counted loop in ``func``, if any.
+
+    Legacy means: a single (induction) phi, constant init and bound, and
+    no loop value — not even the phi — used outside the loop.
+    """
+    for header in func.blocks:
+        info = match_counted_loop(func, header)
+        if info is None:
+            continue
+        if info.accumulators or info.phis_escape or not info.is_constant:
+            continue
+        return CountedLoop(
+            preheader=info.preheader,
+            header=info.header,
+            body=info.body,
+            exit=info.exit,
+            phi=info.iv,
+            init=info.init.value,
+            step=info.step,
+            bound=info.bound.value,
+            predicate=info.predicate,
+            info=info,
+        )
+    return None
+
+
+__all__ = [
+    "CountedLoop",
+    "CountedLoopInfo",
+    "DEFAULT_MAX_TRIP_COUNT",
+    "LoopAccumulator",
+    "LoopInfo",
+    "NaturalLoop",
+    "find_counted_loop",
+    "find_counted_loops",
+    "find_natural_loops",
+    "match_counted_loop",
+]

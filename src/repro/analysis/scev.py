@@ -1,4 +1,4 @@
-"""Scalar-evolution-lite: affine address expressions.
+"""Scalar-evolution-lite: affine address expressions and add-recurrences.
 
 The SLP seed collector and operand reordering both need to answer one
 question: *do two memory accesses touch adjacent elements of the same
@@ -10,12 +10,20 @@ symbols are opaque IR values (arguments, or instructions the analysis
 cannot see through).  Two pointer expressions with the same base object
 and symbolically identical affine parts differ only in their constant
 offsets, so adjacency is decidable.
+
+Loop phis deliberately stay *opaque symbols* in :meth:`index_expr` —
+that is exactly what lets partially-unrolled bodies pack: the addresses
+``A[jm]``, ``A[jm+1]``, … share the symbol ``jm`` and differ only by
+constants.  The loop structure itself is exposed separately as an
+:class:`AddRec` (``{init,+,step}``), queried by the unroller for
+symbolic trip counts.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from ..ir.controlflow import Phi
 from ..ir.instructions import BinaryOperator, GetElementPtr, Load, Store
 from ..ir.values import Argument, Constant, GlobalArray, Value
 
@@ -137,12 +145,40 @@ class PointerSCEV:
         return f"<PointerSCEV {self}>"
 
 
+class AddRec:
+    """An add-recurrence ``{init,+,step}`` over one loop's phi.
+
+    ``init`` is the affine form of the value entering the loop and
+    ``step`` the constant added on every back edge, so the value on
+    iteration ``k`` is ``init + k*step``.
+    """
+
+    __slots__ = ("phi", "init", "step", "latch")
+
+    def __init__(self, phi: Phi, init: AffineExpr, step: int,
+                 latch: Value):
+        self.phi = phi
+        self.init = init
+        self.step = step
+        self.latch = latch  # the in-loop `add phi, step` instruction
+
+    def value_at(self, iteration: int) -> AffineExpr:
+        return self.init + AffineExpr.constant(self.step * iteration)
+
+    def __str__(self) -> str:
+        return f"{{{self.init},+,{self.step}}}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AddRec {self}>"
+
+
 class ScalarEvolution:
     """Per-function scalar evolution analysis with memoization."""
 
     def __init__(self):
         self._index_cache: dict[int, AffineExpr] = {}
         self._pointer_cache: dict[int, Optional[PointerSCEV]] = {}
+        self._addrec_cache: dict[int, Optional[AddRec]] = {}
 
     # ---- integer expressions ---------------------------------------------
 
@@ -175,6 +211,78 @@ class ScalarEvolution:
                 if rhs.is_constant and 0 <= rhs.offset < 64:
                     return lhs.scaled(1 << rhs.offset)
         return AffineExpr.symbol(value)
+
+    # ---- add-recurrences ----------------------------------------------------
+
+    def add_recurrence(self, value: Value) -> Optional[AddRec]:
+        """``{init,+,step}`` form of a loop phi, or None.
+
+        Matches a two-incoming integer phi whose back-edge value is
+        ``add phi, constant``.  The init edge is folded through
+        :meth:`index_expr`, so chained recurrences keep the outer phi as
+        a symbol rather than recursing.
+        """
+        if id(value) not in self._addrec_cache:
+            self._addrec_cache[id(value)] = self._compute_addrec(value)
+        return self._addrec_cache[id(value)]
+
+    def _compute_addrec(self, value: Value) -> Optional[AddRec]:
+        if not (isinstance(value, Phi) and value.type.is_integer
+                and len(value.incoming()) == 2):
+            return None
+        latch_value: Optional[Value] = None
+        init_value: Optional[Value] = None
+        for incoming, _pred in value.incoming():
+            if (isinstance(incoming, BinaryOperator)
+                    and incoming.opcode == "add"
+                    and incoming.lhs is value
+                    and isinstance(incoming.rhs, Constant)):
+                latch_value = incoming
+            else:
+                init_value = incoming
+        if latch_value is None or init_value is None:
+            return None
+        return AddRec(
+            phi=value,
+            init=self.index_expr(init_value),
+            step=latch_value.rhs.value,
+            latch=latch_value,
+        )
+
+    def trip_count(self, init: Value, step: int, bound: Value,
+                   predicate: str) -> Optional[AffineExpr]:
+        """Iterations of ``for (j=init; j PRED bound; j+=step)``.
+
+        Returns an affine expression — constant when both ends are — or
+        None when the combination is not algebraically countable (wrong
+        step direction, non-unit symbolic step, eq/ne/unsigned
+        predicates).  A symbolic result is only meaningful when the
+        runtime value is non-negative; a loop that would not execute has
+        trip count zero, which callers must clamp.
+        """
+        init_expr = self.index_expr(init)
+        bound_expr = self.index_expr(bound)
+        if predicate in ("slt", "sle"):
+            if step <= 0:
+                return None
+            delta = bound_expr - init_expr
+            if predicate == "sle":
+                delta = delta + AffineExpr.constant(1)
+        elif predicate in ("sgt", "sge"):
+            if step >= 0:
+                return None
+            delta = init_expr - bound_expr
+            if predicate == "sge":
+                delta = delta + AffineExpr.constant(1)
+            step = -step
+        else:
+            return None
+        if delta.is_constant:
+            trips = max(0, -(-delta.offset // step))  # ceil division
+            return AffineExpr.constant(trips)
+        if step == 1:
+            return delta
+        return None
 
     # ---- pointers -------------------------------------------------------------
 
@@ -229,4 +337,4 @@ class ScalarEvolution:
         return pa.index.constant_difference(pb.index) == 1
 
 
-__all__ = ["AffineExpr", "PointerSCEV", "ScalarEvolution"]
+__all__ = ["AddRec", "AffineExpr", "PointerSCEV", "ScalarEvolution"]

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence
 
 from ..ir.basicblock import BasicBlock
+from ..ir.controlflow import Phi
 from ..ir.instructions import Instruction, Load, Store
 from .aliasing import AliasAnalysis
 
@@ -116,6 +117,16 @@ class TreeScheduler:
                 if id(user) in in_tree:
                     continue
                 if user.parent is not block:
+                    # The replacement def (extract / reduced value) is
+                    # emitted in this same block, so its dominance over
+                    # *other* blocks is identical to the scalar def's.
+                    # A phi user reads the value at the end of the
+                    # incoming block, which the new def still dominates
+                    # — this is the loop-carried accumulator shape
+                    # unroll-and-SLP produces.  Non-phi cross-block
+                    # users stay conservative.
+                    if isinstance(user, Phi):
+                        continue
                     return False
                 if user.index_in_block() <= insert_pos:
                     return False

@@ -90,6 +90,11 @@ def _config_from_args(args, warnings: Optional[list[Remark]] = None
     ifconvert = getattr(args, "ifconvert", "off")
     if ifconvert != "off":
         config = replace(config, ifconvert=ifconvert)
+    if getattr(args, "loop_vectorize", False):
+        config = replace(config, loop_vectorize=True)
+    unroll_max_trip = getattr(args, "unroll_max_trip", None)
+    if unroll_max_trip is not None:
+        config = replace(config, unroll_max_trip=unroll_max_trip)
     return config
 
 
@@ -292,6 +297,17 @@ def _add_compile_options(parser: argparse.ArgumentParser) -> None:
              "SLP: 'on' converts whenever legal, 'cost' only when the "
              "speculated work does not exceed the branch-removal "
              "savings (default: off)",
+    )
+    parser.add_argument(
+        "--loop-vectorize", action="store_true",
+        help="unroll-and-SLP: partially unroll loops that full "
+             "unrolling refuses (symbolic bounds, trips beyond the cap) "
+             "by a target-derived factor with a scalar epilogue, so SLP "
+             "packs across iterations (default: off)",
+    )
+    parser.add_argument(
+        "--unroll-max-trip", type=int, default=None, metavar="N",
+        help="full-unroll trip-count cap (default: 256)",
     )
     parser.add_argument(
         "--strict", action="store_true",
@@ -569,6 +585,11 @@ def _batch_configs(spec: str, args) -> list:
         ifconvert = getattr(args, "ifconvert", "off")
         if ifconvert != "off":
             config = replace(config, ifconvert=ifconvert)
+        if getattr(args, "loop_vectorize", False):
+            config = replace(config, loop_vectorize=True)
+        unroll_max_trip = getattr(args, "unroll_max_trip", None)
+        if unroll_max_trip is not None:
+            config = replace(config, unroll_max_trip=unroll_max_trip)
         configs.append(config)
     if not configs:
         raise SystemExit("error: --configs selected nothing")
@@ -1073,6 +1094,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="flatten if/else hammocks and diamonds into selects "
              "before SLP in every job: 'on' converts whenever legal, "
              "'cost' only when profitable (default: off)",
+    )
+    p_batch.add_argument(
+        "--loop-vectorize", action="store_true",
+        help="unroll-and-SLP in every job: partially unroll loops that "
+             "full unrolling refuses, with a scalar epilogue "
+             "(default: off)",
+    )
+    p_batch.add_argument(
+        "--unroll-max-trip", type=int, default=None, metavar="N",
+        help="full-unroll trip-count cap (default: 256)",
     )
     p_batch.add_argument(
         "--plan-dump", metavar="FILE.jsonl", default=None,

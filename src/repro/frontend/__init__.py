@@ -11,6 +11,7 @@ Lets kernels be authored exactly as the paper prints them::
 
 from .ast_nodes import (
     ArrayDecl,
+    AssignStmt,
     BinaryExpr,
     ConditionalExpr,
     CType,
@@ -32,7 +33,8 @@ from .lower import compile_kernel_source, ir_type, lower_program, LowerError
 from .parser import DEFAULT_ARRAY_SIZE, parse_program, ParseError
 
 __all__ = [
-    "ArrayDecl", "BinaryExpr", "compile_kernel_source", "ConditionalExpr",
+    "ArrayDecl", "AssignStmt", "BinaryExpr", "compile_kernel_source",
+    "ConditionalExpr",
     "CType", "DEFAULT_ARRAY_SIZE", "Expr", "FuncDecl", "IndexExpr",
     "ir_type", "LetStmt", "LexError", "lower_program", "LowerError",
     "NumExpr", "Param", "parse_program", "ParseError", "Program",

@@ -127,6 +127,18 @@ class LetStmt(Stmt):
 
 
 @dataclass
+class AssignStmt(Stmt):
+    """``name = expr;`` — reassignment of an in-scope scalar variable.
+
+    Inside a ``for`` body this creates a loop-carried value (an
+    accumulator phi), e.g. ``s = s + B[j];``.
+    """
+
+    name: str
+    value: Expr
+
+
+@dataclass
 class ReturnStmt(Stmt):
     value: Optional[Expr]
 
@@ -177,6 +189,7 @@ class Program:
 
 __all__ = [
     "ArrayDecl",
+    "AssignStmt",
     "BinaryExpr",
     "CallExpr",
     "ConditionalExpr",

@@ -18,6 +18,7 @@ from ..ir.values import Constant, GlobalArray, Value
 from ..obs.tracing import span
 from .ast_nodes import (
     ArrayDecl,
+    AssignStmt,
     BinaryExpr,
     CallExpr,
     ForStmt,
@@ -97,6 +98,9 @@ class _FunctionLowering:
         self.unsigned_arrays = unsigned_arrays or {}
         #: name -> (Value, unsigned?) for params and locals
         self.scope: dict[str, tuple[Value, bool]] = {}
+        #: induction variables of the enclosing for-loops (reassignment
+        #: of these outside the step position is rejected)
+        self._loop_vars: list[str] = []
         self.func: Optional[Function] = None
         self.builder = IRBuilder()
 
@@ -139,6 +143,21 @@ class _FunctionLowering:
             value, unsigned = self._lower_typed(stmt.value, declared)
             self.scope[stmt.name] = (value, stmt.ctype.unsigned or unsigned)
             return False
+        if isinstance(stmt, AssignStmt):
+            entry = self.scope.get(stmt.name)
+            if entry is None:
+                raise LowerError(
+                    f"assignment to undefined name {stmt.name!r}"
+                )
+            if stmt.name in self._loop_vars:
+                raise LowerError(
+                    f"cannot reassign loop variable {stmt.name!r} "
+                    "inside the loop body"
+                )
+            old, unsigned = entry
+            value, value_unsigned = self._lower_typed(stmt.value, old.type)
+            self.scope[stmt.name] = (value, unsigned or value_unsigned)
+            return False
         if isinstance(stmt, ForStmt):
             self._lower_for(stmt)
             return False
@@ -159,8 +178,14 @@ class _FunctionLowering:
         raise LowerError(f"unsupported statement {stmt!r}")
 
     def _lower_for(self, stmt: ForStmt) -> None:
-        """Lower a counted loop to preheader -> header(phi, cond, condbr)
-        -> body(..., step, br header) -> exit."""
+        """Lower a counted loop to preheader -> header(phis, cond,
+        condbr) -> body(..., step, br header) -> exit.
+
+        Variables already in scope that the body reassigns become
+        loop-carried: each gets a header phi merging the pre-loop value
+        with the body's final one, and keeps naming that phi after the
+        loop (its value on the final header evaluation is the fully
+        accumulated one)."""
         var_type = ir_type(stmt.var_type)
         if not var_type.is_integer:
             raise LowerError("loop variable must have an integer type")
@@ -177,8 +202,20 @@ class _FunctionLowering:
         phi = self.builder.phi(var_type, stmt.var)
         phi.add_incoming(init_value, preheader)
 
+        carried: dict[str, tuple] = {}
+        for name in _mutated_names(stmt.body):
+            if name == stmt.var or name not in self.scope:
+                continue
+            current, unsigned = self.scope[name]
+            acc_phi = self.builder.phi(current.type, name)
+            acc_phi.add_incoming(current, preheader)
+            carried[name] = (acc_phi, unsigned)
+
         saved_scope = dict(self.scope)
         self.scope[stmt.var] = (phi, stmt.var_type.unsigned)
+        for name, (acc_phi, unsigned) in carried.items():
+            self.scope[name] = (acc_phi, unsigned)
+        self._loop_vars.append(stmt.var)
         condition = self._lower(stmt.condition, None)
         if condition.type is not I1:
             raise LowerError("loop condition must be a comparison")
@@ -193,8 +230,14 @@ class _FunctionLowering:
         latch = self.builder.block
         self.builder.br(header)
         phi.add_incoming(next_value, latch)
+        for name, (acc_phi, _) in carried.items():
+            final_value, _ = self.scope[name]
+            acc_phi.add_incoming(final_value, latch)
 
+        self._loop_vars.pop()
         self.scope = saved_scope
+        for name, (acc_phi, unsigned) in carried.items():
+            self.scope[name] = (acc_phi, unsigned)
         self.builder.set_block(exit_block)
 
     def _lower_if(self, stmt: IfStmt) -> None:
@@ -222,10 +265,11 @@ class _FunctionLowering:
             self.builder.set_block(block)
             saved_scope = dict(self.scope)
             for inner in body:
-                if isinstance(inner, (ReturnStmt, ForStmt)):
+                if isinstance(inner, (ReturnStmt, ForStmt, AssignStmt)):
                     raise LowerError(
                         "only stores, lets and nested ifs are allowed "
-                        "inside an if body"
+                        "inside an if body (use ?: for a conditional "
+                        "reassignment)"
                     )
                 self._lower_statement(inner)
             self.scope = saved_scope
@@ -407,6 +451,28 @@ class _FunctionLowering:
             raise LowerError(
                 f"type mismatch for {what}: expected {expected}, got {actual}"
             )
+
+
+def _mutated_names(body: list) -> list[str]:
+    """Names reassigned anywhere under ``body``, in first-assignment
+    order (recursing into nested loops; if arms reject assignment)."""
+    out: list[str] = []
+    seen: set[str] = set()
+
+    def visit(stmts: list) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, AssignStmt):
+                if stmt.name not in seen:
+                    seen.add(stmt.name)
+                    out.append(stmt.name)
+            elif isinstance(stmt, IfStmt):
+                visit(stmt.then_body)
+                visit(stmt.else_body)
+            elif isinstance(stmt, ForStmt):
+                visit(stmt.body)
+
+    visit(body)
+    return out
 
 
 def compile_kernel_source(source: str, module_name: str = "kernel") -> Module:

@@ -7,6 +7,7 @@ Grammar (C subset, straight-line bodies only)::
     declarator := NAME "[" NUMBER? "]"
     func_decl  := ctype NAME "(" params? ")" "{" stmt* "}"
     stmt       := NAME "[" expr "]" "=" expr ";"
+                | NAME "=" expr ";"
                 | ctype NAME "=" expr ";"
                 | "if" "(" expr ")" "{" stmt* "}" ("else" "{" stmt* "}")?
                 | "return" expr? ";"
@@ -20,6 +21,7 @@ from typing import Optional
 
 from .ast_nodes import (
     ArrayDecl,
+    AssignStmt,
     BinaryExpr,
     CallExpr,
     ForStmt,
@@ -190,8 +192,13 @@ class _Parser:
             value = self._parse_expression()
             self._expect(";")
             return LetStmt(name, ctype, value)
-        # Array store: NAME [ expr ] = expr ;
+        # Scalar reassignment: NAME = expr ;
         name = self._expect("NAME").text
+        if self._accept("="):
+            value = self._parse_expression()
+            self._expect(";")
+            return AssignStmt(name, value)
+        # Array store: NAME [ expr ] = expr ;
         self._expect("[")
         index = self._parse_expression()
         self._expect("]")

@@ -38,6 +38,13 @@ from .extended import (
     MULT_SU2_LIB,
     VSUMSQR_LIB,
 )
+from .loopy import (
+    LOOP_DOT,
+    LOOP_MAX,
+    LOOP_SAXPY,
+    LOOP_STRIDED_SUM,
+    LOOPY_KERNELS,
+)
 from .modulewide import (
     MODULE_BUDGET_SKEW,
     MODULE_BUDGET_TWIN,
@@ -56,6 +63,10 @@ from .suites import build_suite, suite_by_name, SuiteSpec, SUITE_SPECS
 # backend smoke, ``kernel_by_name``); it lives in its own module because
 # it needs if-conversion to vectorize, unlike everything in catalog.py.
 ALL_KERNELS.update({kernel.name: kernel for kernel in BRANCHY_KERNELS})
+# Likewise the loopy family: it needs --loop-vectorize (unroll-and-SLP)
+# to produce vector trees, so it joins the catalog but not the
+# evaluation figures, which stay byte-stable with the flag off.
+ALL_KERNELS.update({kernel.name: kernel for kernel in LOOPY_KERNELS})
 
 __all__ = [
     "ALL_KERNELS",
@@ -75,6 +86,11 @@ __all__ = [
     "INTERSECT_QUADRATIC",
     "Kernel",
     "kernel_by_name",
+    "LOOP_DOT",
+    "LOOP_MAX",
+    "LOOP_SAXPY",
+    "LOOP_STRIDED_SUM",
+    "LOOPY_KERNELS",
     "MESH1",
     "MODULE_BUDGET_SKEW",
     "MODULE_BUDGET_TWIN",

@@ -1,0 +1,121 @@
+"""Loopy kernels: the hot region is a counted loop, not straight line.
+
+Every kernel here runs its work inside a ``for`` whose trip count is
+either symbolic (a function argument) or a constant larger than the
+full-unroll cap (:data:`repro.opt.unroll.MAX_TRIP_COUNT`), so the
+classic pipeline cannot flatten the loop away and every configuration
+serves these kernels scalar — until ``--loop-vectorize`` partially
+unrolls the loop by the target's vector width and lets the existing
+SLP plan/select/apply machinery pack the unrolled copies
+(:func:`repro.opt.unroll.partial_unroll` plus the reduction planner in
+:mod:`repro.slp.reductions`).  The shapes are the classic loop idioms:
+a dot product, a strided neighbour sum, saxpy, and a loop-carried max
+riding next to a packable store stream.
+"""
+
+from __future__ import annotations
+
+from .catalog import Kernel
+
+LOOP_DOT = Kernel(
+    name="loop-dot",
+    origin="loop vectorization motivation: dot product, symbolic trips",
+    description=(
+        "Dot-product reduction with a runtime trip count: the "
+        "accumulator phi becomes a horizontal add reduction across the "
+        "unrolled lanes, with a scalar epilogue for the remainder."
+    ),
+    source="""
+long B[], C[];
+long kernel(long n) {
+    long s = 0;
+    for (long j = 0; j < n; j = j + 1) {
+        s = s + B[j] * C[j];
+    }
+    return s;
+}
+""",
+    default_args={"n": 64},
+)
+
+LOOP_SAXPY = Kernel(
+    name="loop-saxpy",
+    origin="loop vectorization motivation: saxpy, symbolic trips",
+    description=(
+        "Scaled vector add storing one element per iteration: the "
+        "unrolled store group is a single consecutive run, the classic "
+        "unroll-and-jam shape with no reduction at all."
+    ),
+    source="""
+long A[], B[], C[];
+void kernel(long n, long a) {
+    for (long j = 0; j < n; j = j + 1) {
+        A[j] = a * B[j] + C[j];
+    }
+}
+""",
+    default_args={"n": 64, "a": 3},
+)
+
+LOOP_STRIDED_SUM = Kernel(
+    name="loop-strided-sum",
+    origin="loop vectorization motivation: stride-2 neighbour sums",
+    description=(
+        "Step-2 loop writing two adjacent sliding-window sums per "
+        "iteration: the constant trip count (600 iterations over 1200 "
+        "elements) exceeds the full-unroll cap, the per-iteration "
+        "offsets only tile into consecutive runs across unrolled "
+        "copies, and the packed operands are two overlapping "
+        "consecutive load runs."
+    ),
+    source="""
+long A[1200], B[1202];
+void kernel(long i) {
+    for (long j = 0; j < 1200; j = j + 2) {
+        A[j] = B[j] + B[j + 1];
+        A[j + 1] = B[j + 1] + B[j + 2];
+    }
+}
+""",
+    default_args={"i": 0},
+)
+
+LOOP_MAX = Kernel(
+    name="loop-max",
+    origin="loop vectorization motivation: max next to a store stream",
+    description=(
+        "A packable store stream riding with a loop-carried maximum: "
+        "the stores vectorize across the unrolled copies while the "
+        "select-based max chain deliberately stays scalar (it is not a "
+        "commutative binary-operator reduction), exercising the mixed "
+        "packable/serial cost estimate."
+    ),
+    source="""
+long A[], B[], C[], D[];
+long kernel(long n) {
+    long m = 0 - 4611686018427387904;
+    for (long j = 0; j < n; j = j + 1) {
+        A[j] = B[j] + C[j];
+        m = (D[j] > m) ? D[j] : m;
+    }
+    return m;
+}
+""",
+    default_args={"n": 64},
+)
+
+#: the loopy family, in catalog order
+LOOPY_KERNELS: list[Kernel] = [
+    LOOP_DOT,
+    LOOP_SAXPY,
+    LOOP_STRIDED_SUM,
+    LOOP_MAX,
+]
+
+__all__ = [
+    "LOOP_DOT",
+    "LOOP_MAX",
+    "LOOP_SAXPY",
+    "LOOP_STRIDED_SUM",
+    "LOOPY_KERNELS",
+]

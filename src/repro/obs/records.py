@@ -49,6 +49,10 @@ RECORD_SCHEMA: dict[str, tuple[str, ...]] = {
     # diamond — event is "converted" or "declined" (reason set on
     # declines only)
     "ifconvert": ("event", "shape", "reason"),
+    # loop unrolling (repro.opt.unroll): one per loop left scalar
+    # (event "declined") or partially unrolled for unroll-and-SLP
+    # (event "partial", reason carries the factor)
+    "loop.unroll": ("event", "reason", "header"),
 }
 
 #: keys every record carries regardless of type

@@ -21,7 +21,11 @@ from .simplifycfg import (
 )
 from .unroll import (
     CountedLoop,
+    MAX_TRIP_COUNT,
+    choose_unroll_factor,
     find_counted_loop,
+    partial_unroll,
+    plan_loop_vectorize,
     run_unroll,
     unroll_loop,
 )
@@ -40,8 +44,12 @@ __all__ = [
     "compile_module",
     "CompileResult",
     "GuardSpec",
+    "choose_unroll_factor",
     "CountedLoop",
     "find_counted_loop",
+    "MAX_TRIP_COUNT",
+    "partial_unroll",
+    "plan_loop_vectorize",
     "fold_constant_branches",
     "fold_instruction",
     "fold_trivial_phis",

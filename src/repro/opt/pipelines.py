@@ -105,13 +105,20 @@ class _VectorizePass:
 
 def scalar_pipeline(verify_each: bool = False, guard=None,
                     ifconvert: str = "off",
-                    target: Optional[TargetCostModel] = None) -> PassManager:
+                    target: Optional[TargetCostModel] = None,
+                    unroll_max_trip: Optional[int] = None,
+                    loop_vectorize: bool = False) -> PassManager:
     """The scalar "O3" passes every configuration runs.
 
     Loop unrolling runs here (not in the vectorizing add-on) so that the
     O3 baseline and the vectorizing configurations see the *same*
     straight-line code, exactly like the paper's setup where SLP runs
-    after the loop transformations (§2.1).
+    after the loop transformations (§2.1).  ``unroll_max_trip`` overrides
+    the full-unroll cap; ``loop_vectorize`` additionally partially
+    unrolls the loops full unrolling refuses (symbolic bounds, trips
+    beyond the cap) so the SLP pass can pack across iterations, with the
+    original loop kept as a scalar epilogue.  Unroll decline remarks are
+    collected on ``manager.unroll_remarks``.
 
     ``ifconvert`` ("on"/"cost") sequences :func:`repro.opt.ifconvert.
     run_ifconvert` after the CFG is cleaned up and before the post-unroll
@@ -120,6 +127,14 @@ def scalar_pipeline(verify_each: bool = False, guard=None,
     then merges the emptied merge blocks back in.  The default "off"
     reproduces the historical pass sequence exactly.
     """
+    unroll_remarks: list[Remark] = []
+    unroll_target = target if target is not None else skylake_like()
+
+    def run_unroll_pass(func: Function) -> bool:
+        return run_unroll(func, max_trip_count=unroll_max_trip,
+                          loop_vectorize=loop_vectorize,
+                          target=unroll_target, remarks=unroll_remarks)
+
     manager = (
         PassManager(verify_each=verify_each, guard=guard)
         .add("inline", run_inline)
@@ -127,9 +142,11 @@ def scalar_pipeline(verify_each: bool = False, guard=None,
         .add("instcombine", run_instcombine)
         .add("cse", run_cse)
         .add("dce", run_dce)
-        .add("unroll", run_unroll)
+        .add("unroll", run_unroll_pass)
         .add("simplifycfg", run_simplifycfg)
     )
+    #: decline remarks, drained into ``CompileResult.remarks``
+    manager.unroll_remarks = unroll_remarks
     if ifconvert != "off":
         ifc_target = target if target is not None else skylake_like()
         collected: list[Remark] = []
@@ -165,7 +182,9 @@ def build_pipeline(config: VectorizerConfig,
     if faults is not None:
         target = faults.perturb_cost_model(target)
     manager = scalar_pipeline(verify_each=verify_each, guard=guard,
-                              ifconvert=config.ifconvert, target=target)
+                              ifconvert=config.ifconvert, target=target,
+                              unroll_max_trip=config.unroll_max_trip,
+                              loop_vectorize=config.loop_vectorize)
     vectorize = None
     if config.enabled:
         vectorize = _VectorizePass(config, target, module_meter)
@@ -236,6 +255,7 @@ def compile_function(func: Function, config: VectorizerConfig,
                 pass_guard.finish()
             result.remarks = pass_guard.diagnostics.remarks
             result.rolled_back = pass_guard.rolled_back
+    result.remarks.extend(getattr(manager, "unroll_remarks", []))
     result.remarks.extend(getattr(manager, "ifconvert_remarks", []))
     result.remarks.extend(result.report.remarks)
     return result
@@ -329,15 +349,18 @@ def compile_module_planned(module: Module, config: VectorizerConfig,
         )
         pass_guard = PassGuard(policy) if policy is not None else None
         manager = scalar_pipeline(guard=pass_guard,
-                                  ifconvert=config.ifconvert, target=target)
+                                  ifconvert=config.ifconvert, target=target,
+                                  unroll_max_trip=config.unroll_max_trip,
+                                  loop_vectorize=config.loop_vectorize)
         if faults is not None:
             faults.instrument(manager)
         with span("compile.scalar", function=func.name,
                   config=config.name):
             timing = manager.run_function(func)
         driver.plan_function(func)
-        staged.append((func, timing, pass_guard,
-                       getattr(manager, "ifconvert_remarks", [])))
+        scalar_remarks = list(getattr(manager, "unroll_remarks", []))
+        scalar_remarks.extend(getattr(manager, "ifconvert_remarks", []))
+        staged.append((func, timing, pass_guard, scalar_remarks))
 
     # Phase 2: one module-wide selection over the pooled candidates.
     driver.select()

@@ -1,181 +1,136 @@
-"""Full unrolling of counted loops.
+"""Loop unrolling: full unroll plus partial unroll-and-SLP.
 
 The paper's setting (§2.1) assumes SLP runs after loop transformations
-have exposed straight-line code.  This pass provides the key one: a
-counted loop with constant bounds is replaced by its iterations laid out
-straight-line, turning
+have exposed straight-line code.  This pass provides them, in two tiers:
 
-    for (long j = 0; j < 4; j = j + 1) { A[4*i + j] = ...; }
+* **Full unrolling** replaces a counted loop with constant bounds by its
+  iterations laid out straight-line, turning
 
-into four consecutive statements that the SLP seed collector can group.
+      for (long j = 0; j < 4; j = j + 1) { A[4*i + j] = ...; }
 
-Only the canonical shape the frontend emits is matched (single-phi
-header with an ``icmp``+``condbr``, a single-block body ending in a
-back-edge); nested loops unroll inside-out across pass iterations once
-``simplifycfg`` has collapsed the inner loop's blocks.
+  into four consecutive statements the SLP seed collector can group.
+  Loop-carried accumulators (``s = s + ...``) are threaded through the
+  copies and substituted into their external uses.
+
+* **Partial unrolling** (the ``--loop-vectorize`` mode) handles the
+  loops full unrolling refuses — symbolic bounds, trip counts beyond the
+  cap.  The loop is split into a *main loop* running ``factor``
+  iterations per trip and the original loop kept as a *scalar epilogue*
+  for the remainder::
+
+      main.header: jm = phi [init, pre], [jm+F*step, main.body]
+                   guard = icmp pred (jm + (F-1)*step), bound
+                   condbr guard, main.body, header      ; epilogue
+      main.body:   F copies of the body at jm, jm+step, ...
+                   br main.header
+
+  The main body is straight-line, so the existing plan/select/apply
+  pipeline packs stores across iterations, and accumulator chains feed
+  the reduction machinery in :mod:`repro.slp.reductions`.  A cost gate
+  estimates the vectorized main loop against ``factor`` scalar
+  iterations before transforming; unprofitable or unsupported loops stay
+  scalar and say why.
+
+Declines are never silent: every loop left scalar emits a structured
+remark (category ``loop-unroll``), a ``loop.unroll.declined`` metric and
+a ``loop.unroll`` record, mirroring the if-converter's diagnostics.
+
+Loop recognition itself lives in :mod:`repro.analysis.loops`; the
+legacy :class:`CountedLoop`/:func:`find_counted_loop` names are
+re-exported for compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
+from ..analysis.loops import (
+    DEFAULT_MAX_TRIP_COUNT,
+    CountedLoop,
+    CountedLoopInfo,
+    find_counted_loop,
+    find_natural_loops,
+    match_counted_loop,
+)
+from ..analysis.scev import ScalarEvolution
+from ..costmodel.tti import TargetCostModel
 from ..ir.basicblock import BasicBlock
 from ..ir.cloning import clone_instruction
 from ..ir.controlflow import Br, CondBr, Phi
 from ..ir.function import Function
-from ..ir.instructions import BinaryOperator, Cmp, Instruction
-from ..ir.semantics import eval_cmp, eval_int_binop
-from ..ir.values import Constant
+from ..ir.instructions import (
+    BinaryOperator,
+    Cmp,
+    GetElementPtr,
+    Instruction,
+    Load,
+    Select,
+    Store,
+    UnaryOperator,
+)
+from ..ir.values import Constant, Value
+from ..obs import metrics as _metrics
+from ..obs import records as _records
+from ..robustness.diagnostics import Remark, Severity
 
-#: refuse to fully unroll loops longer than this
-MAX_TRIP_COUNT = 256
-
-
-@dataclass
-class CountedLoop:
-    """A recognized frontend-shaped counted loop."""
-
-    preheader: BasicBlock
-    header: BasicBlock
-    body: BasicBlock
-    exit: BasicBlock
-    phi: Phi
-    init: int
-    step: int
-    bound: int
-    predicate: str
-
-    def trip_values(self) -> Optional[list[int]]:
-        """The induction-variable values, or None if unbounded/too long."""
-        values: list[int] = []
-        j = self.init
-        bits = self.phi.type.bits
-        while eval_cmp(self.predicate, j, self.bound):
-            values.append(j)
-            if len(values) > MAX_TRIP_COUNT:
-                return None
-            j = eval_int_binop("add", j, self.step, bits)
-        return values
+#: refuse to fully unroll loops longer than this (see --unroll-max-trip)
+MAX_TRIP_COUNT = DEFAULT_MAX_TRIP_COUNT
 
 
-def find_counted_loop(func: Function) -> Optional[CountedLoop]:
-    """The first fully-analyzable counted loop in ``func``, if any."""
-    for header in func.blocks:
-        loop = _match_header(func, header)
-        if loop is not None:
-            return loop
-    return None
+# ---------------------------------------------------------------------------
+# Full unrolling
+# ---------------------------------------------------------------------------
 
 
-def _match_header(func: Function, header: BasicBlock
-                  ) -> Optional[CountedLoop]:
-    phis = header.phis()
-    if len(phis) != 1:
-        return None
-    phi = phis[0]
-    if not phi.type.is_integer or len(phi.incoming()) != 2:
-        return None
-    term = header.terminator
-    if not isinstance(term, CondBr):
-        return None
-    condition = term.condition
-    # header must be exactly: phi, cmp, condbr
-    if len(header) != 3:
-        return None
-    if not (isinstance(condition, Cmp) and condition.opcode == "icmp"
-            and condition.parent is header):
-        return None
-    if not (condition.lhs is phi and isinstance(condition.rhs, Constant)):
-        return None
+def unroll_loop(func: Function, loop, max_trip: Optional[int] = None
+                ) -> bool:
+    """Replace ``loop`` with straight-line copies of its body.
 
-    body, exit_block = term.on_true, term.on_false
-    if body is header or exit_block is body:
-        return None
-    body_term = body.terminator
-    if not (isinstance(body_term, Br) and body_term.target is header):
-        return None
-    if body.phis():
-        return None
-
-    # classify the phi edges: one from the body (latch), one from outside
-    incoming = dict()
-    for value, pred in phi.incoming():
-        incoming[id(pred)] = (value, pred)
-    latch_entry = incoming.pop(id(body), None)
-    if latch_entry is None or len(incoming) != 1:
-        return None
-    next_value, _ = latch_entry
-    (init_value, preheader) = next(iter(incoming.values()))
-    if not isinstance(init_value, Constant):
-        return None
-    if not (isinstance(preheader.terminator, Br)
-            and preheader.terminator.target is header):
-        return None
-
-    # the step must be phi + constant, computed in the body
-    if not (isinstance(next_value, BinaryOperator)
-            and next_value.opcode == "add"
-            and next_value.parent is body
-            and next_value.lhs is phi
-            and isinstance(next_value.rhs, Constant)):
-        return None
-    if next_value.rhs.value == 0:
-        return None
-
-    loop = CountedLoop(
-        preheader=preheader,
-        header=header,
-        body=body,
-        exit=exit_block,
-        phi=phi,
-        init=init_value.value,
-        step=next_value.rhs.value,
-        bound=condition.rhs.value,
-        predicate=condition.predicate,
+    Accepts either the legacy :class:`CountedLoop` or a generalized
+    :class:`CountedLoopInfo`; accumulator phis are threaded through the
+    copies and their final values substituted into external uses.
+    """
+    info: CountedLoopInfo = (
+        loop.info if isinstance(loop, CountedLoop) else loop
     )
-    if _values_escape(loop):
-        return None
-    return loop
-
-
-def _values_escape(loop: CountedLoop) -> bool:
-    """True when a loop-defined value is used outside header/body (the
-    frontend's scoping prevents this, but hand-written IR may not)."""
-    inside = {id(loop.header), id(loop.body)}
-    for block in (loop.header, loop.body):
-        for inst in block:
-            for use in inst.uses:
-                user = use.user
-                parent = getattr(user, "parent", None)
-                if parent is None or id(parent) not in inside:
-                    return True
-    return False
-
-
-def unroll_loop(func: Function, loop: CountedLoop) -> bool:
-    """Replace ``loop`` with straight-line copies of its body."""
-    values = loop.trip_values()
-    if values is None:
+    cap = DEFAULT_MAX_TRIP_COUNT if max_trip is None else max_trip
+    iteration = info.iterate(cap)
+    if iteration is None:
         return False
+    values, final_iv = iteration
 
-    preheader_br = loop.preheader.terminator
+    preheader_br = info.preheader.terminator
     body_insts = [
-        inst for inst in loop.body.instructions if not inst.is_terminator
+        inst for inst in info.body.instructions if not inst.is_terminator
     ]
+    acc_running: dict[int, Value] = {
+        id(acc.phi): acc.init for acc in info.accumulators
+    }
     for j in values:
-        vmap = {id(loop.phi): Constant(loop.phi.type, j)}
+        vmap: dict[int, Value] = {
+            id(info.iv): Constant(info.iv.type, j)
+        }
+        for acc in info.accumulators:
+            vmap[id(acc.phi)] = acc_running[id(acc.phi)]
         for inst in body_insts:
             clone = clone_instruction(inst, vmap)
             clone.name = (
                 func.unique_name(inst.name) if inst.name else ""
             )
-            loop.preheader.insert_before(preheader_br, clone)
+            info.preheader.insert_before(preheader_br, clone)
             vmap[id(inst)] = clone
+        for acc in info.accumulators:
+            acc_running[id(acc.phi)] = vmap.get(id(acc.next), acc.next)
+
+    # substitute final phi values into any uses outside the loop
+    if info.phis_escape or info.accumulators:
+        info.iv.replace_all_uses_with(Constant(info.iv.type, final_iv))
+        for acc in info.accumulators:
+            acc.phi.replace_all_uses_with(acc_running[id(acc.phi)])
 
     # Retarget the preheader straight to the exit and delete the loop.
-    preheader_br.replace_successor(loop.header, loop.exit)
-    _erase_region(func, [loop.header, loop.body])
+    preheader_br.replace_successor(info.header, info.exit)
+    _erase_region(func, [info.header, info.body])
     return True
 
 
@@ -189,23 +144,410 @@ def _erase_region(func: Function, blocks: list[BasicBlock]) -> None:
         func.blocks.remove(block)
 
 
-def run_unroll(func: Function, max_loops: int = 64) -> bool:
-    """Fully unroll counted loops until none remain (or a budget)."""
+# ---------------------------------------------------------------------------
+# Partial unrolling (unroll-and-SLP)
+# ---------------------------------------------------------------------------
+
+
+def partial_unroll(func: Function, loop: CountedLoopInfo, factor: int
+                   ) -> Optional[BasicBlock]:
+    """Split ``loop`` into a ``factor``-wide main loop + scalar epilogue.
+
+    The original loop is kept *unchanged* as the epilogue: only its
+    phis' entry edges are rewired to come from the new main header with
+    the main loop's exit values, so a zero-trip or remainder run falls
+    through correctly.  Returns the new main header, or None when the
+    predicate/step combination is unsupported.
+    """
+    if factor < 2:
+        return None
+    step = loop.step
+    if loop.predicate in ("slt", "sle"):
+        if step <= 0:
+            return None
+    elif loop.predicate in ("sgt", "sge"):
+        if step >= 0:
+            return None
+    else:
+        return None
+
+    iv_ty = loop.iv.type
+    main_header = func.add_block(func.unique_name("main.header"))
+    main_body = func.add_block(func.unique_name("main.body"))
+    # position the main loop where the original loop sat
+    func.blocks.remove(main_header)
+    func.blocks.remove(main_body)
+    pos = func.blocks.index(loop.header)
+    func.blocks.insert(pos, main_body)
+    func.blocks.insert(pos, main_header)
+
+    # main header: phis, the guard on the *last* iteration of the batch
+    jm = Phi(iv_ty, func.unique_name(loop.iv.name or "iv"))
+    main_header.append(jm)
+    acc_phis: list[Phi] = []
+    for acc in loop.accumulators:
+        am = Phi(acc.phi.type, func.unique_name(acc.phi.name or "acc"))
+        main_header.append(am)
+        acc_phis.append(am)
+    last = BinaryOperator(
+        "add", jm, Constant(iv_ty, (factor - 1) * step),
+        func.unique_name("last"),
+    )
+    main_header.append(last)
+    guard = Cmp(
+        "icmp", loop.predicate, last, loop.bound,
+        func.unique_name("guard"),
+    )
+    main_header.append(guard)
+    main_header.append(CondBr(guard, main_body, loop.header))
+
+    # main body: factor copies of the original body at jm + k*step
+    body_insts = [
+        inst for inst in loop.body.instructions if not inst.is_terminator
+    ]
+    running: dict[int, Value] = {
+        id(acc.phi): am for acc, am in zip(loop.accumulators, acc_phis)
+    }
+    for k in range(factor):
+        vmap: dict[int, Value] = {}
+        if k == 0:
+            vmap[id(loop.iv)] = jm
+        else:
+            iv_k = BinaryOperator(
+                "add", jm, Constant(iv_ty, k * step),
+                func.unique_name(loop.iv.name or "iv"),
+            )
+            main_body.append(iv_k)
+            vmap[id(loop.iv)] = iv_k
+        for acc in loop.accumulators:
+            vmap[id(acc.phi)] = running[id(acc.phi)]
+        for inst in body_insts:
+            clone = clone_instruction(inst, vmap)
+            clone.name = (
+                func.unique_name(inst.name) if inst.name else ""
+            )
+            main_body.append(clone)
+            vmap[id(inst)] = clone
+        for acc in loop.accumulators:
+            running[id(acc.phi)] = vmap.get(id(acc.next), acc.next)
+    jm_next = BinaryOperator(
+        "add", jm, Constant(iv_ty, factor * step),
+        func.unique_name((loop.iv.name or "iv") + ".next"),
+    )
+    main_body.append(jm_next)
+    main_body.append(Br(main_header))
+
+    jm.add_incoming(loop.init, loop.preheader)
+    jm.add_incoming(jm_next, main_body)
+    for acc, am in zip(loop.accumulators, acc_phis):
+        am.add_incoming(acc.init, loop.preheader)
+        am.add_incoming(running[id(acc.phi)], main_body)
+
+    # the original loop becomes the epilogue: entry edges now come from
+    # the main header, carrying the main loop's exit values
+    _replace_incoming(loop.iv, loop.preheader, jm, main_header)
+    for acc, am in zip(loop.accumulators, acc_phis):
+        _replace_incoming(acc.phi, loop.preheader, am, main_header)
+    loop.preheader.terminator.replace_successor(loop.header, main_header)
+    return main_header
+
+
+def _replace_incoming(phi: Phi, old_block: BasicBlock, new_value: Value,
+                      new_block: BasicBlock) -> None:
+    kept = phi.incoming()
+    phi.drop_all_references()
+    phi.incoming_blocks = []
+    for value, pred in kept:
+        if pred is old_block:
+            phi.add_incoming(new_value, new_block)
+        else:
+            phi.add_incoming(value, pred)
+
+
+# ---------------------------------------------------------------------------
+# Cost gate
+# ---------------------------------------------------------------------------
+
+#: body instruction classes the packability walk may traverse
+_PACKABLE_CLASSES = (
+    BinaryOperator,
+    UnaryOperator,
+    Cmp,
+    Select,
+    GetElementPtr,
+    Load,
+)
+
+
+def choose_unroll_factor(loop: CountedLoopInfo,
+                         target: TargetCostModel) -> int:
+    """Unroll factor from the target's vector width, or 0.
+
+    The narrowest element type among the loop's stored values and
+    commutative accumulators bounds the lane count; the factor is the
+    largest power of two not exceeding it.
+    """
+    elements = set()
+    for inst in loop.body:
+        if isinstance(inst, Store):
+            elements.add(inst.value.type)
+    for acc in loop.accumulators:
+        if _reduction_op(loop, acc) is not None:
+            elements.add(acc.phi.type)
+    elements = {ty for ty in elements if not ty.is_vector}
+    if not elements:
+        return 0
+    lanes = min(target.max_lanes(ty) for ty in elements)
+    factor = 1
+    while factor * 2 <= lanes:
+        factor *= 2
+    return factor if factor >= 2 else 0
+
+
+def _reduction_op(loop: CountedLoopInfo, acc) -> Optional[BinaryOperator]:
+    """The accumulator's commutative update op, when it looks like a
+    reduction the SLP reduction planner can take over."""
+    nxt = acc.next
+    if (isinstance(nxt, BinaryOperator) and nxt.is_commutative
+            and nxt.parent is loop.body
+            and not nxt.type.is_vector):
+        return nxt
+    return None
+
+
+def _packable_ids(loop: CountedLoopInfo, factor: int) -> set[int]:
+    """Body instructions expected to collapse into one vector op across
+    the ``factor`` unrolled copies (an optimistic estimate; the SLP
+    planner's per-tree cost model has the final word)."""
+    scev = ScalarEvolution()
+    packable: set[int] = set()
+
+    # store groups whose per-iteration offsets tile the stride: grouped
+    # by (base, iv coefficient, non-iv symbolic part, value type), they
+    # pack when the constant offsets form a run as long as coeff*step
+    groups: dict[tuple, list[tuple[int, Store]]] = {}
+    for inst in loop.body:
+        if not isinstance(inst, Store):
+            continue
+        pointer = scev.access_pointer(inst)
+        if pointer is None:
+            continue
+        index = pointer.index
+        coeff = index.terms.get(id(loop.iv), (None, 0))[1]
+        rest = frozenset(
+            (key, c) for key, (_, c) in index.terms.items()
+            if key != id(loop.iv)
+        )
+        key = (id(pointer.base), coeff, rest, inst.value.type)
+        groups.setdefault(key, []).append((index.offset, inst))
+    for (_, coeff, _, _), entries in groups.items():
+        period = coeff * loop.step
+        if period <= 0:
+            continue
+        offsets = sorted(offset for offset, _ in entries)
+        run = list(range(offsets[0], offsets[0] + period))
+        if len(entries) == period and offsets == run:
+            packable.update(id(inst) for _, inst in entries)
+
+    # reduction chains hand their lanes to the reduction planner
+    for acc in loop.accumulators:
+        op = _reduction_op(loop, acc)
+        if op is not None:
+            packable.add(id(op))
+
+    # pure value computations feeding packable work vectorize with it
+    stack = [
+        inst for inst in loop.body if id(inst) in packable
+    ]
+    while stack:
+        inst = stack.pop()
+        for operand in inst.operands:
+            if not isinstance(operand, Instruction):
+                continue
+            if operand.parent is not loop.body:
+                continue
+            if id(operand) in packable:
+                continue
+            if isinstance(operand, _PACKABLE_CLASSES):
+                packable.add(id(operand))
+                stack.append(operand)
+    return packable
+
+
+def estimate_loop_vectorize(loop: CountedLoopInfo, factor: int,
+                            target: TargetCostModel
+                            ) -> tuple[int, int]:
+    """(scalar, vector) cost estimates for ``factor`` iterations.
+
+    Scalar: ``factor`` trips through header + body.  Vector: one trip
+    through the main loop with packable work counted once, the rest
+    ``factor`` times, plus per-accumulator horizontal-reduction
+    overhead (log2(factor) shuffle+op steps and one extract).
+    """
+    cost = target.issue_cost
+    body_insts = [
+        inst for inst in loop.body.instructions if not inst.is_terminator
+    ]
+    header_cost = sum(cost(inst) for inst in loop.header.instructions)
+    back_edge = target.desc.branch_cost
+    scalar_total = factor * (
+        header_cost + sum(cost(inst) for inst in body_insts) + back_edge
+    )
+
+    packable = _packable_ids(loop, factor)
+    # main header: same phis/cmp/condbr plus the guard's extra add
+    vector_total = header_cost + target.desc.scalar_alu_cost + back_edge
+    for inst in body_insts:
+        if id(inst) in packable:
+            vector_total += cost(inst)
+        else:
+            vector_total += factor * cost(inst)
+    steps = factor.bit_length() - 1
+    for acc in loop.accumulators:
+        op = _reduction_op(loop, acc)
+        if op is not None:
+            vector_total += steps * (
+                target.desc.shuffle_cost
+                + target.scalar_op_cost(op.opcode)
+            ) + target.desc.extract_cost
+    return scalar_total, vector_total
+
+
+def plan_loop_vectorize(loop: CountedLoopInfo,
+                        target: Optional[TargetCostModel] = None
+                        ) -> tuple[int, str]:
+    """(factor, reason): factor 0 means "stay scalar" and reason says why."""
+    target = target if target is not None else TargetCostModel()
+    if loop.predicate not in ("slt", "sle", "sgt", "sge"):
+        return 0, f"unsupported exit predicate '{loop.predicate}'"
+    descending = loop.predicate in ("sgt", "sge")
+    if (loop.step < 0) != descending:
+        return 0, "step direction does not match the exit predicate"
+    factor = choose_unroll_factor(loop, target)
+    if factor == 0:
+        return 0, "no vectorizable stores or reductions in the loop body"
+    scalar_cost, vector_cost = estimate_loop_vectorize(
+        loop, factor, target
+    )
+    if vector_cost >= scalar_cost:
+        return 0, (
+            f"estimated vector cost {vector_cost} does not beat "
+            f"{factor} scalar iterations ({scalar_cost})"
+        )
+    return factor, ""
+
+
+# ---------------------------------------------------------------------------
+# Driver + diagnostics
+# ---------------------------------------------------------------------------
+
+
+def run_unroll(func: Function, max_loops: int = 64, *,
+               max_trip_count: Optional[int] = None,
+               loop_vectorize: bool = False,
+               target: Optional[TargetCostModel] = None,
+               remarks: Optional[list[Remark]] = None) -> bool:
+    """Unroll counted loops until none remain (or a budget).
+
+    Constant-trip loops within ``max_trip_count`` (default
+    ``MAX_TRIP_COUNT``) unroll fully.  With ``loop_vectorize``, the rest
+    are partially unrolled by a target-derived factor behind a cost
+    gate, leaving the original loop as a scalar epilogue.  Every loop
+    left scalar gets a decline remark, a ``loop.unroll.declined`` metric
+    and a ``loop.unroll`` record.
+    """
+    cap = DEFAULT_MAX_TRIP_COUNT if max_trip_count is None else max_trip_count
     changed = False
+    quiet: set[int] = set()     # headers produced by partial unrolling
+    declined: set[int] = set()  # headers already diagnosed this run
     for _ in range(max_loops):
-        loop = find_counted_loop(func)
-        if loop is None:
+        progress = False
+        for header in list(func.blocks):
+            if id(header) in quiet or id(header) in declined:
+                continue
+            info = match_counted_loop(func, header)
+            if info is None:
+                continue
+            if unroll_loop(func, info, max_trip=cap):
+                changed = progress = True
+                break
+            # full unroll refused: symbolic bound or trip beyond the cap
+            if loop_vectorize:
+                factor, reason = plan_loop_vectorize(info, target)
+                if factor:
+                    main_header = partial_unroll(func, info, factor)
+                    if main_header is not None:
+                        quiet.add(id(main_header))
+                        quiet.add(id(header))
+                        _metrics.add("loop.unroll.partial", 1)
+                        _records.emit(
+                            "loop.unroll", event="partial",
+                            reason=f"factor={factor}",
+                            function=func.name, header=header.name,
+                        )
+                        changed = progress = True
+                        break
+                    reason = "predicate/step shape unsupported by partial unrolling"
+            elif info.is_constant:
+                reason = (
+                    f"constant trip count exceeds the unroll cap ({cap}); "
+                    "raise --unroll-max-trip or enable --loop-vectorize"
+                )
+            else:
+                reason = (
+                    "symbolic trip count; full unrolling needs constant "
+                    "bounds (enable --loop-vectorize)"
+                )
+            _decline(func, header, reason, remarks)
+            declined.add(id(header))
+        if not progress:
             break
-        if not unroll_loop(func, loop):
-            break
-        changed = True
+
+    # loops the counted-loop matcher cannot even recognize
+    for natural in find_natural_loops(func):
+        if id(natural.header) in quiet or id(natural.header) in declined:
+            continue
+        if match_counted_loop(func, natural.header) is None:
+            _decline(
+                func, natural.header,
+                "non-canonical loop shape (multi-block body, irregular "
+                "induction variable, or loop values used outside)",
+                remarks,
+            )
+            declined.add(id(natural.header))
     return changed
+
+
+def _decline(func: Function, header: BasicBlock, reason: str,
+             remarks: Optional[list[Remark]]) -> None:
+    remark = Remark(
+        severity=Severity.NOTE,
+        category="loop-unroll",
+        message=f"not unrolling loop at {header.name}: {reason}",
+        function=func.name,
+        pass_name="unroll",
+        phase="transform",
+        remediation=(
+            "restructure the loop into the canonical counted shape, or "
+            "compile with --loop-vectorize / a larger --unroll-max-trip"
+        ),
+    )
+    if remarks is not None:
+        remarks.append(remark)
+    _records.emit_remark(remark)
+    _metrics.add("loop.unroll.declined", 1)
+    _records.emit("loop.unroll", event="declined", reason=reason,
+                  function=func.name, header=header.name)
 
 
 __all__ = [
     "CountedLoop",
+    "choose_unroll_factor",
+    "estimate_loop_vectorize",
     "find_counted_loop",
     "MAX_TRIP_COUNT",
+    "partial_unroll",
+    "plan_loop_vectorize",
     "run_unroll",
     "unroll_loop",
 ]

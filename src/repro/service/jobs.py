@@ -46,7 +46,7 @@ from .resilience import (
 from .serde import remark_to_dict, report_to_dict
 
 #: pipeline identity folded into every cache key; bump on pass changes
-PIPELINE_NAME = "o3+slp/v2"
+PIPELINE_NAME = "o3+slp/v3"
 
 #: execution backends a job may request (mirrors
 #: :data:`repro.backend.tiers.BACKEND_MODES`; kept literal so pool

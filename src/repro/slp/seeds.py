@@ -18,6 +18,7 @@ from ..analysis.scev import ScalarEvolution
 from ..analysis.schedule import bundle_is_schedulable
 from ..costmodel.tti import TargetCostModel
 from ..ir.basicblock import BasicBlock
+from ..ir.controlflow import Phi
 from ..ir.instructions import BinaryOperator, Instruction, Store
 
 
@@ -164,6 +165,13 @@ def collect_reduction_seeds(block: BasicBlock, *, min_operands: int = 3
         chain: list[BinaryOperator] = []
         operands: list = []
         _grow_chain(inst, inst.opcode, chain, operands)
+        # Loop accumulator phis (s = s + ...) reach the frontier first,
+        # but packing a phi as a lane would poison the vector tree; keep
+        # phis at the tail so they fold in as the scalar leftover.
+        operands = (
+            [op for op in operands if not isinstance(op, Phi)]
+            + [op for op in operands if isinstance(op, Phi)]
+        )
         if len(operands) >= min_operands:
             seeds.append(ReductionSeed(inst.opcode, inst, chain, operands))
     return seeds

@@ -115,6 +115,14 @@ class VectorizerConfig:
     #: or "cost" (flatten only when the speculated work does not exceed
     #: the branch-removal savings)
     ifconvert: str = "off"
+    #: unroll-and-SLP mode (repro.opt.unroll): partially unroll loops
+    #: that full unrolling refuses (symbolic bounds, trips beyond the
+    #: cap) by a target-derived factor with a scalar epilogue, so SLP
+    #: packs across iterations; off by default to keep every historical
+    #: pipeline byte-identical
+    loop_vectorize: bool = False
+    #: full-unroll trip-count cap override (None = MAX_TRIP_COUNT)
+    unroll_max_trip: Optional[int] = None
 
     # ---- the paper's configurations -----------------------------------
 

@@ -207,6 +207,60 @@ def test_splat_select_mask_regression():
         assert result.ok, f"{mode}: {result.render()}"
 
 
+# ---------------------------------------------------------------------------
+# Counted loops (the unroll-and-SLP surface)
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def loop_reduction_kernels(draw):
+    """Accumulator loops with random trips, steps, and reduction ops:
+    under ``loop_vectorize=True`` these partially unroll, pack across
+    the copies, and fold through a horizontal reduction — all of which
+    the compiled tier must replay bit-for-bit, epilogue included."""
+    bound = draw(st.integers(min_value=0, max_value=24))
+    step = draw(st.integers(min_value=1, max_value=2))
+    use_symbolic_bound = draw(st.booleans())
+    bound_text = "n" if use_symbolic_bound else str(bound)
+    op = draw(st.sampled_from(["+", "*", "&", "|", "^"]))
+    array = draw(st.sampled_from(ARRAYS))
+    other = draw(st.sampled_from(ARRAYS))
+    multiply = draw(st.booleans())
+    update = (f"s {op} {array}[j] * {other}[j]" if multiply
+              else f"s {op} {array}[j]")
+    with_store = draw(st.booleans())
+    store = f"        A[j] = {array}[j] + {other}[j];\n" if with_store else ""
+    source = (
+        f"{_decls()}\n"
+        "unsigned long kernel(long n) {\n"
+        "    unsigned long s = 1;\n"
+        f"    for (long j = 0; j < {bound_text}; j = j + {step}) {{\n"
+        f"{store}"
+        f"        s = {update};\n"
+        "    }\n"
+        "    return s;\n"
+        "}\n"
+    )
+    return source, bound
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=loop_reduction_kernels(),
+       seed=st.integers(min_value=0, max_value=10**6))
+def test_compiled_matches_interpreter_loop_vectorized(data, seed):
+    source, bound = data
+    module, func = build_kernel(source)
+    config = replace(VectorizerConfig.lslp(), loop_vectorize=True)
+    compile_function(func, config, TARGET)
+    for mode in ("unrolled", "numpy"):
+        result = cross_check(
+            module, func, TARGET,
+            base_args={"n": bound},
+            runs=2, base_seed=seed, vector_mode=mode,
+        )
+        assert result.ok, f"{mode} diverged: {result.render()}\n{source}"
+
+
 @settings(max_examples=25, deadline=None)
 @given(source=kernels(), seed=st.integers(min_value=0, max_value=10**6))
 def test_compiled_matches_interpreter_scalar(source, seed):

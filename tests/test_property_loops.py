@@ -10,6 +10,8 @@ CFG simplification, and vectorization together.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from hypothesis import given, settings, strategies as st
 
 from repro.interp import compare_runs
@@ -20,6 +22,9 @@ from tests.conftest import build_kernel
 
 ARRAYS = ["B", "C", "D"]
 OPS = ["+", "-", "*", "&", "|", "^"]
+#: commutative + associative updates: legal to reassociate into a
+#: horizontal reduction (``-`` deliberately excluded)
+REDUCTION_OPS = ["+", "*", "&", "|", "^"]
 
 
 @st.composite
@@ -57,10 +62,53 @@ def loop_kernels(draw):
     return source, bound
 
 
+@st.composite
+def reduction_loop_kernels(draw):
+    """Counted loops carrying scalar accumulators: random trip counts
+    (constant or symbolic), steps, and commutative reduction ops —
+    the unroll-and-SLP surface (partial unroll, accumulator phis,
+    horizontal reductions, scalar epilogues)."""
+    bound = draw(st.integers(min_value=0, max_value=40))
+    step = draw(st.integers(min_value=1, max_value=3))
+    predicate = draw(st.sampled_from(["<", "<="]))
+    use_symbolic_bound = draw(st.booleans())
+    bound_text = "n" if use_symbolic_bound else str(bound)
+
+    op = draw(st.sampled_from(REDUCTION_OPS))
+    init = draw(st.integers(min_value=-3, max_value=3))
+    array = draw(st.sampled_from(ARRAYS))
+    other = draw(st.sampled_from(ARRAYS))
+    shape = draw(st.sampled_from(["plain", "product", "offset"]))
+    if shape == "plain":
+        update = f"s {op} {array}[j]"
+    elif shape == "product":
+        update = f"s {op} {array}[j] * {other}[j]"
+    else:
+        offset = draw(st.integers(min_value=1, max_value=3))
+        update = f"s {op} ({array}[j] + {other}[j + {offset}])"
+    with_store = draw(st.booleans())
+    store = f"        A[j] = {array}[j] {op} 1;\n" if with_store else ""
+    source = (
+        "unsigned long A[2048], B[2048], C[2048], D[2048];\n"
+        "unsigned long kernel(long n) {\n"
+        f"    unsigned long s = {init};\n"
+        f"    for (long j = 0; j {predicate} {bound_text}; j = j + {step})"
+        " {\n"
+        f"{store}"
+        f"        s = {update};\n"
+        "    }\n"
+        "    return s;\n"
+        "}\n"
+    )
+    return source, bound
+
+
 CONFIGS = [
     VectorizerConfig.o3(),
     VectorizerConfig.slp(),
     VectorizerConfig.lslp(),
+    replace(VectorizerConfig.lslp(name="LSLP-loopvec"),
+            loop_vectorize=True),
 ]
 
 
@@ -78,6 +126,28 @@ def test_loop_pipeline_preserves_semantics(data, seed):
         )
         assert outcome.equivalent, (
             f"{config.name} broke a loop kernel: {outcome.detail}\n{source}"
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=reduction_loop_kernels(),
+       seed=st.integers(min_value=0, max_value=10**6))
+def test_reduction_loops_preserve_semantics(data, seed):
+    """Random accumulator loops survive every configuration — including
+    unroll-and-SLP, whose horizontal reduction reassociates the chain
+    (sound for these modular commutative ops)."""
+    source, bound = data
+    reference = build_kernel(source)
+    for config in CONFIGS:
+        module, func = build_kernel(source)
+        compile_function(func, config)
+        verify_function(func)
+        outcome = compare_runs(
+            reference, (module, func), args={"n": bound}, seed=seed
+        )
+        assert outcome.equivalent, (
+            f"{config.name} broke a reduction loop: "
+            f"{outcome.detail}\n{source}"
         )
 
 
